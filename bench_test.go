@@ -1,0 +1,237 @@
+package tass_test
+
+// Benchmark harness: one bench per paper table/figure (regenerating the
+// experiment on a reduced-scale world), plus ablation benches for the
+// design choices called out in DESIGN.md §6. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The full paper-scale regeneration is `go run ./cmd/experiments`.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/tass-scan/tass"
+	"github.com/tass-scan/tass/internal/core"
+	"github.com/tass-scan/tass/internal/experiment"
+	"github.com/tass-scan/tass/internal/scan"
+	"github.com/tass-scan/tass/internal/trie"
+)
+
+var (
+	benchWorldOnce sync.Once
+	benchWorld     *experiment.World
+	benchWorldErr  error
+)
+
+// world builds the shared reduced-scale world once per test binary.
+func world(b *testing.B) *experiment.World {
+	b.Helper()
+	benchWorldOnce.Do(func() {
+		benchWorld, benchWorldErr = experiment.BuildWorld(experiment.SmallConfig(1))
+	})
+	if benchWorldErr != nil {
+		b.Fatal(benchWorldErr)
+	}
+	return benchWorld
+}
+
+func benchExperiment(b *testing.B, id string) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Run(w, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (address-space coverage per φ).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFigure1 regenerates Figure 1 (scan-strategy scoping funnel).
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, "figure1") }
+
+// BenchmarkFigure2 regenerates Figure 2 (l-prefix deaggregation).
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, "figure2") }
+
+// BenchmarkFigure3 regenerates Figure 3 (hosts per prefix length over 7
+// measurements).
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }
+
+// BenchmarkFigure4 regenerates Figure 4 (ranked density/coverage curves).
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "figure4") }
+
+// BenchmarkFigure5 regenerates Figure 5 (hitlist hitrate decay).
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, "figure5") }
+
+// BenchmarkFigure6 regenerates Figure 6 (TASS hitrate over time, φ=1 and
+// φ=0.95, l- and m-universes).
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "figure6") }
+
+// BenchmarkSectionStats regenerates the §3.4 statistics.
+func BenchmarkSectionStats(b *testing.B) { benchExperiment(b, "section34") }
+
+// BenchmarkHeadline regenerates the §4.2 headline (FTP m-prefix TASS
+// after six months).
+func BenchmarkHeadline(b *testing.B) { benchExperiment(b, "headline") }
+
+// BenchmarkEfficiency regenerates the 1.25–10x efficiency comparison.
+func BenchmarkEfficiency(b *testing.B) { benchExperiment(b, "efficiency") }
+
+// BenchmarkAblationRanking compares density ranking against host-count
+// and random orderings (DESIGN.md §6).
+func BenchmarkAblationRanking(b *testing.B) { benchExperiment(b, "ablation-ranking") }
+
+// BenchmarkClustering regenerates the §5 Cai-Heidemann prefix-clustering
+// extension.
+func BenchmarkClustering(b *testing.B) { benchExperiment(b, "clustering") }
+
+// BenchmarkReseed regenerates the Δt reseed-interval frontier.
+func BenchmarkReseed(b *testing.B) { benchExperiment(b, "reseed") }
+
+// BenchmarkVulnEstimate regenerates the §5 vulnerable-population
+// estimator.
+func BenchmarkVulnEstimate(b *testing.B) { benchExperiment(b, "vulnestimate") }
+
+// BenchmarkMissed regenerates the missed-host distribution analysis.
+func BenchmarkMissed(b *testing.B) { benchExperiment(b, "missed") }
+
+// BenchmarkSelect measures one TASS selection on the seed snapshot (the
+// operation a reseeding scanner runs monthly).
+func BenchmarkSelect(b *testing.B) {
+	w := world(b)
+	seed := w.Series["http"].At(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Select(seed, w.U.More, core.Options{Phi: 0.95}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCountingMerge measures per-prefix host counting with
+// the sorted-merge walk the library uses.
+func BenchmarkAblationCountingMerge(b *testing.B) {
+	w := world(b)
+	seed := w.Series["http"].At(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.U.More.CountAddrs(seed.Addrs)
+	}
+}
+
+// BenchmarkAblationCountingTrie measures the alternative design: a
+// longest-prefix-match trie lookup per address. The merge walk wins by a
+// wide margin on sorted scan output, which is why Partition.CountAddrs
+// exists.
+func BenchmarkAblationCountingTrie(b *testing.B) {
+	w := world(b)
+	seed := w.Series["http"].At(0)
+	tr := trie.New[int]()
+	for i, p := range w.U.More.Prefixes() {
+		tr.Insert(p, i)
+	}
+	counts := make([]int, w.U.More.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range counts {
+			counts[j] = 0
+		}
+		for _, a := range seed.Addrs {
+			if _, idx, ok := tr.Lookup(a); ok {
+				counts[idx]++
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPermutation measures ZMap-style permuted target
+// generation (what the scanner uses).
+func BenchmarkAblationPermutation(b *testing.B) {
+	pm, err := scan.NewPermutation(1<<24, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := pm.Next(); !ok {
+			pm.Reset()
+		}
+	}
+}
+
+// BenchmarkAblationLinearSweep measures the naive alternative: linear
+// index iteration. Linear is faster per address but concentrates probes
+// on one network at a time — the burstiness the permutation exists to
+// avoid (see scan.TestPermutationSpreads).
+func BenchmarkAblationLinearSweep(b *testing.B) {
+	var idx uint64
+	const n = 1 << 24
+	for i := 0; i < b.N; i++ {
+		idx++
+		if idx == n {
+			idx = 0
+		}
+	}
+	_ = idx
+}
+
+// BenchmarkScanCycle measures a complete simulated scan cycle of a TASS
+// plan (selection + permuted probing of the selected space).
+func BenchmarkScanCycle(b *testing.B) {
+	w := world(b)
+	seed := w.Series["ftp"].At(0)
+	sel, err := core.Select(seed, w.U.More, core.Options{Phi: 0.7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prober, err := scan.NewSimProber(seed.Addrs, 0.01, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := scan.New(scan.Config{
+			Targets: sel.Partition(),
+			Prober:  prober,
+			Workers: 8,
+			Seed:    int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		report, err := s.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Probed == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}
+
+// BenchmarkGenerateUniverse measures synthetic-Internet generation at the
+// reduced benchmark scale.
+func BenchmarkGenerateUniverse(b *testing.B) {
+	cfg := tass.ScaledUniverseConfig(1, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tass.GenerateUniverse(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeaggregateTable measures Figure-2 deaggregation of the whole
+// announced table.
+func BenchmarkDeaggregateTable(b *testing.B) {
+	w := world(b)
+	prefixes := w.U.Table.Prefixes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trie.Deaggregate(prefixes)
+	}
+}

@@ -1,0 +1,66 @@
+// Command experiments regenerates every table and figure of the TASS
+// paper on the synthetic universe and prints them as text tables.
+//
+// Usage:
+//
+//	experiments [-seed N] [-scale F] [-months N] [-run id,id,...] [-list]
+//
+// -scale 1.0 (default) is the paper-scale universe (≈3.7 B allocated
+// addresses, ≈7 M hosts; a run takes tens of seconds). Use -scale 0.01
+// for a quick pass. -list prints the experiment IDs and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tass-scan/tass/internal/experiment"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "universe seed (churn uses seed+1)")
+		scale  = flag.Float64("scale", 1.0, "universe scale: 1.0 = paper scale")
+		months = flag.Int("months", 6, "churn months (paper: 6 → 7 snapshots)")
+		run    = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiment.Config{Seed: *seed, Months: *months, Scale: *scale}
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building universe (seed=%d scale=%g months=%d)...\n",
+		*seed, *scale, *months)
+	w, err := experiment.BuildWorld(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "world ready in %v: %d announced prefixes, %d l-prefixes, %d m-pieces\n",
+		time.Since(start).Round(time.Millisecond),
+		w.U.Table.Len(), w.U.Less.Len(), w.U.More.Len())
+
+	ids := experiment.IDs()
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		res, err := experiment.Run(w, strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}

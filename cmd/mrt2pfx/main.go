@@ -1,0 +1,108 @@
+// Command mrt2pfx converts an MRT TABLE_DUMP_V2 RIB dump into a CAIDA-
+// style pfx2as table — the reduction CAIDA applies to Routeviews
+// archives to produce the prefix-to-AS datasets the TASS paper consumes.
+//
+// Usage:
+//
+//	mrt2pfx -in RIB.mrt [-out table.pfx2as]
+//	mrt2pfx -synth N -out rib.mrt [-seed S]
+//
+// The second form synthesizes an N-route MRT RIB (for demos and tests;
+// real users download Routeviews archives instead).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/tass-scan/tass"
+	"github.com/tass-scan/tass/internal/mrt"
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/pfx2as"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input MRT RIB dump")
+		out   = flag.String("out", "", "output file (default stdout)")
+		synth = flag.Int("synth", 0, "instead of converting, synthesize an N-route MRT RIB")
+		seed  = flag.Int64("seed", 1, "seed for -synth")
+	)
+	flag.Parse()
+	var err error
+	switch {
+	case *synth > 0:
+		err = synthesize(*out, *synth, *seed)
+	case *in != "":
+		err = convert(*in, *out)
+	default:
+		fmt.Fprintln(os.Stderr, "mrt2pfx: need -in FILE or -synth N")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrt2pfx:", err)
+		os.Exit(1)
+	}
+}
+
+func convert(inPath, outPath string) error {
+	f, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	table, skipped, err := tass.ExtractMRT(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d prefixes extracted, %d entries skipped\n", table.Len(), skipped)
+	w := os.Stdout
+	if outPath != "" {
+		w, err = os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	return tass.WritePfx2as(w, table)
+}
+
+func synthesize(outPath string, n int, seed int64) error {
+	if outPath == "" {
+		return fmt.Errorf("-synth requires -out")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	peers := []mrt.Peer{
+		{BGPID: 0x0A0A0A01, Addr: netaddr.MustParseAddr("198.51.100.1"), AS: 64500, AS4: true},
+		{BGPID: 0x0A0A0A02, Addr: netaddr.MustParseAddr("198.51.100.2"), AS: 64501, AS4: true},
+	}
+	var routes []pfx2as.Record
+	cursor := uint32(0x14000000) // 20.0.0.0
+	for i := 0; i < n; i++ {
+		bits := 12 + rng.Intn(13) // /12../24
+		size := uint32(1) << (32 - uint(bits))
+		cursor = (cursor + size - 1) / size * size
+		p, err := netaddr.PrefixFrom(netaddr.Addr(cursor), bits)
+		if err != nil {
+			return err
+		}
+		cursor += size
+		origin := pfx2as.SingleOrigin(uint32(64512 + rng.Intn(1000)))
+		if rng.Intn(20) == 0 { // occasional MOAS
+			origin.Groups = append(origin.Groups, []uint32{uint32(64512 + rng.Intn(1000))})
+		}
+		routes = append(routes, pfx2as.Record{Prefix: p, Origin: origin})
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := mrt.SynthesizeRIB(f, 1441065600, 0xC0A80001, peers, routes); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d routes to %s\n", len(routes), outPath)
+	return nil
+}

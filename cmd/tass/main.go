@@ -1,0 +1,226 @@
+// Command tass computes TASS prefix selections from scan results.
+//
+// Usage:
+//
+//	tass select -pfx2as TABLE -addrs ADDRS [-phi 0.95] [-universe more]
+//	tass rank   -pfx2as TABLE -addrs ADDRS [-top 20]
+//	tass stats  -pfx2as TABLE
+//
+// TABLE is a CAIDA Routeviews pfx2as file; ADDRS is a text file with one
+// responsive IPv4 address per line ('#' comments allowed). "select"
+// prints the prefixes to scan each cycle, "rank" the densest prefixes,
+// "stats" the aggregation structure of the table.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/tass-scan/tass"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "select":
+		err = runSelect(os.Args[2:])
+	case "rank":
+		err = runRank(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "diff":
+		err = runDiff(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "tass: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tass:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tass select -pfx2as TABLE -addrs ADDRS [-phi F] [-universe less|more] [-min-density F]
+  tass rank   -pfx2as TABLE -addrs ADDRS [-universe less|more] [-top N]
+  tass stats  -pfx2as TABLE
+  tass diff   -a ADDRS -b ADDRS`)
+}
+
+func loadTable(path string) (*tass.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tass.ReadPfx2as(f)
+}
+
+func loadAddrs(path string) (*tass.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var addrs []tass.Addr
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		a, err := tass.ParseAddr(text)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, line, err)
+		}
+		addrs = append(addrs, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tass.NewSnapshot("scan", 0, addrs), nil
+}
+
+func universeOf(t *tass.Table, which string) (tass.Partition, error) {
+	switch which {
+	case "less", "l":
+		return t.LessSpecifics(), nil
+	case "more", "m":
+		return t.Deaggregated(), nil
+	}
+	return tass.Partition{}, fmt.Errorf("unknown universe %q (want less or more)", which)
+}
+
+func runSelect(args []string) error {
+	fs := flag.NewFlagSet("select", flag.ExitOnError)
+	tablePath := fs.String("pfx2as", "", "CAIDA pfx2as table (required)")
+	addrsPath := fs.String("addrs", "", "responsive addresses, one per line (required)")
+	phi := fs.Float64("phi", 0.95, "host coverage target φ in (0,1]")
+	universe := fs.String("universe", "more", "prefix universe: less or more")
+	minDensity := fs.Float64("min-density", 0, "stop below this density (0 = off)")
+	fs.Parse(args)
+	if *tablePath == "" || *addrsPath == "" {
+		return fmt.Errorf("select: -pfx2as and -addrs are required")
+	}
+	table, err := loadTable(*tablePath)
+	if err != nil {
+		return err
+	}
+	seed, err := loadAddrs(*addrsPath)
+	if err != nil {
+		return err
+	}
+	part, err := universeOf(table, *universe)
+	if err != nil {
+		return err
+	}
+	sel, err := tass.Select(seed, part, tass.Options{Phi: *phi, MinDensity: *minDensity})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# %s\n", tass.Describe(sel))
+	w := bufio.NewWriter(os.Stdout)
+	for _, p := range sel.Partition().Prefixes() {
+		fmt.Fprintln(w, p)
+	}
+	return w.Flush()
+}
+
+func runRank(args []string) error {
+	fs := flag.NewFlagSet("rank", flag.ExitOnError)
+	tablePath := fs.String("pfx2as", "", "CAIDA pfx2as table (required)")
+	addrsPath := fs.String("addrs", "", "responsive addresses, one per line (required)")
+	universe := fs.String("universe", "more", "prefix universe: less or more")
+	top := fs.Int("top", 20, "how many ranks to print")
+	fs.Parse(args)
+	if *tablePath == "" || *addrsPath == "" {
+		return fmt.Errorf("rank: -pfx2as and -addrs are required")
+	}
+	table, err := loadTable(*tablePath)
+	if err != nil {
+		return err
+	}
+	seed, err := loadAddrs(*addrsPath)
+	if err != nil {
+		return err
+	}
+	part, err := universeOf(table, *universe)
+	if err != nil {
+		return err
+	}
+	ranked := tass.Rank(seed, part)
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "# %d responsive prefixes, %d hosts\n", len(ranked), seed.Hosts())
+	fmt.Fprintln(w, "# rank\tprefix\thosts\tdensity\tcoverage")
+	for i, st := range ranked {
+		if i >= *top {
+			break
+		}
+		fmt.Fprintf(w, "%d\t%v\t%d\t%.3g\t%.4f\n", i+1, st.Prefix, st.Hosts, st.Density, st.Coverage)
+	}
+	return w.Flush()
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	aPath := fs.String("a", "", "earlier scan's addresses (required)")
+	bPath := fs.String("b", "", "later scan's addresses (required)")
+	fs.Parse(args)
+	if *aPath == "" || *bPath == "" {
+		return fmt.Errorf("diff: -a and -b are required")
+	}
+	a, err := loadAddrs(*aPath)
+	if err != nil {
+		return err
+	}
+	b, err := loadAddrs(*bPath)
+	if err != nil {
+		return err
+	}
+	d := tass.DiffSnapshots(a, b)
+	fmt.Printf("earlier:   %d hosts\n", a.Hosts())
+	fmt.Printf("later:     %d hosts\n", b.Hosts())
+	fmt.Printf("kept:      %d\n", d.Kept)
+	fmt.Printf("lost:      %d\n", d.Lost)
+	fmt.Printf("new:       %d\n", d.New)
+	fmt.Printf("retention: %.3f\n", d.Retention())
+	return nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	tablePath := fs.String("pfx2as", "", "CAIDA pfx2as table (required)")
+	fs.Parse(args)
+	if *tablePath == "" {
+		return fmt.Errorf("stats: -pfx2as is required")
+	}
+	table, err := loadTable(*tablePath)
+	if err != nil {
+		return err
+	}
+	s := table.Stats()
+	fmt.Printf("prefixes:            %d\n", s.Prefixes)
+	fmt.Printf("more-specifics:      %d (%.1f%%)\n", s.MoreSpecifics, 100*s.MoreShare)
+	fmt.Printf("announced space:     %d addresses\n", s.Space)
+	fmt.Printf("more-specific space: %d addresses (%.1f%%)\n", s.MoreSpace, 100*s.MoreSpaceShare)
+	fmt.Printf("l-prefix universe:   %d prefixes\n", table.LessSpecifics().Len())
+	fmt.Printf("m-prefix universe:   %d pieces\n", table.Deaggregated().Len())
+	return nil
+}

@@ -1,0 +1,58 @@
+package tass_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tass-scan/tass"
+)
+
+// ExampleSelect demonstrates the paper's core algorithm on a hand-built
+// universe: three prefixes with different densities, selected at φ=0.7.
+func ExampleSelect() {
+	universe, err := tass.NewPartition([]tass.Prefix{
+		tass.MustParsePrefix("198.51.100.0/24"), // dense: 4 hosts / 256
+		tass.MustParsePrefix("203.0.0.0/16"),    // sparse: 4 hosts / 65536
+		tass.MustParsePrefix("192.0.2.0/24"),    // empty
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed := tass.NewSnapshot("ftp", 0, []tass.Addr{
+		tass.MustParseAddr("198.51.100.1"), tass.MustParseAddr("198.51.100.2"),
+		tass.MustParseAddr("198.51.100.3"), tass.MustParseAddr("198.51.100.4"),
+		tass.MustParseAddr("203.0.7.7"), tass.MustParseAddr("203.0.8.8"),
+		tass.MustParseAddr("203.0.9.9"), tass.MustParseAddr("203.0.10.10"),
+	})
+	sel, err := tass.Select(seed, universe, tass.Options{Phi: 0.7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range sel.Prefixes() {
+		fmt.Println(p)
+	}
+	fmt.Printf("coverage %.2f with %d of %d addresses\n",
+		sel.HostCoverage, sel.Space, universe.AddressCount())
+	// Output:
+	// 198.51.100.0/24
+	// 203.0.0.0/16
+	// coverage 1.00 with 65792 of 66048 addresses
+}
+
+// ExampleDeaggregate reproduces the paper's Figure 2: a /8 with an
+// announced /12 inside decomposes into the minimal disjoint partition.
+func ExampleDeaggregate() {
+	pieces := tass.Deaggregate([]tass.Prefix{
+		tass.MustParsePrefix("100.0.0.0/8"),
+		tass.MustParsePrefix("100.16.0.0/12"),
+	})
+	for _, p := range pieces {
+		fmt.Println(p)
+	}
+	// Output:
+	// 100.0.0.0/12
+	// 100.16.0.0/12
+	// 100.32.0.0/11
+	// 100.64.0.0/10
+	// 100.128.0.0/9
+}

@@ -1,0 +1,71 @@
+// Campaign: a six-month periodic-scanning campaign comparing every
+// strategy of the paper head to head (Figures 5 and 6 in one table).
+//
+// For each strategy the program reports the per-cycle probe cost and the
+// hitrate trajectory over seven monthly ground-truth snapshots: the
+// trade-off between being a good Internet citizen (fewer probes) and
+// coverage (hosts found).
+//
+//	go run ./examples/campaign [protocol]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/tass-scan/tass"
+)
+
+func main() {
+	protocol := "http"
+	if len(os.Args) > 1 {
+		protocol = os.Args[1]
+	}
+
+	fmt.Println("simulating a six-month Internet (synthetic censys.io stand-in)...")
+	u, err := tass.GenerateUniverse(tass.SmallUniverseConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	series := tass.SimulateMonths(u, 8, 6)[protocol]
+	if series == nil {
+		log.Fatalf("unknown protocol %q (have ftp, http, https, cwmp)", protocol)
+	}
+	fullSpace := u.Less.AddressCount()
+	fmt.Printf("protocol %s: %d hosts at month 0, %d addresses announced\n\n",
+		protocol, series.At(0).Hosts(), fullSpace)
+
+	strategies := []tass.Strategy{
+		tass.FullScan{Universe: u.Less},
+		tass.HitlistStrategy{},
+		tass.SampleStrategy{Universe: u.Less, Blocks: 2400, Seed: 99},
+		tass.TASSStrategy{Universe: u.Less, Opts: tass.Options{Phi: 1}, Label: "tass-l phi=1.00"},
+		tass.TASSStrategy{Universe: u.More, Opts: tass.Options{Phi: 1}, Label: "tass-m phi=1.00"},
+		tass.TASSStrategy{Universe: u.Less, Opts: tass.Options{Phi: 0.95}, Label: "tass-l phi=0.95"},
+		tass.TASSStrategy{Universe: u.More, Opts: tass.Options{Phi: 0.95}, Label: "tass-m phi=0.95"},
+	}
+
+	fmt.Printf("%-16s %10s %7s | hitrate by month\n", "strategy", "probes", "share")
+	fmt.Println("--------------------------------------------------------------------------")
+	for _, s := range strategies {
+		ev, err := tass.Evaluate(s, series, fullSpace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %10d %6.1f%% |", ev.Strategy, ev.Cost, 100*ev.CostShare)
+		for _, h := range ev.Hitrate {
+			fmt.Printf(" %.3f", h)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println(`
+reading the table:
+  full scan     probes everything every cycle: perfect coverage, maximal footprint.
+  hitlist       cheapest, but dynamic addressing erodes it within weeks (paper fig. 5).
+  sample24      Heidemann-style /24 sample: tiny cost, tiny coverage.
+  tass          prefix selection holds its hitrate for months at a fraction
+                of the probes (paper fig. 6); m-prefixes are cheaper than
+                l-prefixes, l-prefixes age slightly better.`)
+}

@@ -1,0 +1,445 @@
+// Package bgp implements the BGP-4 wire encodings the TASS pipeline needs
+// to consume raw routing data: UPDATE path attributes (RFC 4271, with
+// 4-octet AS support per RFC 6793) and NLRI prefix encoding. Parsing and
+// serialization are symmetric (gopacket-style DecodeFromBytes/SerializeTo
+// pairs) and round-trip tested.
+//
+// The package is deliberately scoped to what a RIB consumer needs: it
+// does not implement the BGP state machine, only the data formats found
+// inside MRT TABLE_DUMP_V2 and BGP4MP records.
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// Path-attribute type codes (RFC 4271 §4.3, RFC 1997).
+const (
+	AttrTypeOrigin          = 1
+	AttrTypeASPath          = 2
+	AttrTypeNextHop         = 3
+	AttrTypeMED             = 4
+	AttrTypeLocalPref       = 5
+	AttrTypeAtomicAggregate = 6
+	AttrTypeAggregator      = 7
+	AttrTypeCommunities     = 8
+)
+
+// Attribute flag bits.
+const (
+	FlagOptional   = 0x80
+	FlagTransitive = 0x40
+	FlagPartial    = 0x20
+	FlagExtended   = 0x10 // 2-byte length
+)
+
+// ORIGIN values.
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// AS_PATH segment types.
+const (
+	SegmentASSet      = 1
+	SegmentASSequence = 2
+)
+
+// ErrTruncated reports attribute data shorter than its declared length.
+var ErrTruncated = errors.New("bgp: truncated data")
+
+// ErrMalformed reports structurally invalid attribute data.
+var ErrMalformed = errors.New("bgp: malformed data")
+
+// Segment is one AS_PATH segment.
+type Segment struct {
+	// Type is SegmentASSet or SegmentASSequence.
+	Type uint8
+	// ASNs lists the AS numbers of the segment.
+	ASNs []uint32
+}
+
+// ASPath is a sequence of AS_PATH segments.
+type ASPath []Segment
+
+// Origin returns the originating AS: the last AS of the last
+// AS_SEQUENCE segment (or, when the path ends in an AS_SET, the set is
+// ambiguous and the first member is returned). ok is false for an empty
+// path.
+func (p ASPath) Origin() (uint32, bool) {
+	if len(p) == 0 {
+		return 0, false
+	}
+	last := p[len(p)-1]
+	if len(last.ASNs) == 0 {
+		return 0, false
+	}
+	if last.Type == SegmentASSequence {
+		return last.ASNs[len(last.ASNs)-1], true
+	}
+	return last.ASNs[0], true
+}
+
+// Attributes is a parsed BGP UPDATE path-attribute block. Optional
+// attributes use pointers so that absence is distinguishable from zero.
+type Attributes struct {
+	// Origin is the ORIGIN attribute value; nil when absent.
+	Origin *uint8
+	// ASPath is the AS_PATH attribute (empty when absent).
+	ASPath ASPath
+	// NextHop is the NEXT_HOP address; nil when absent.
+	NextHop *netaddr.Addr
+	// MED is MULTI_EXIT_DISC; nil when absent.
+	MED *uint32
+	// LocalPref is LOCAL_PREF; nil when absent.
+	LocalPref *uint32
+	// AtomicAggregate reports presence of ATOMIC_AGGREGATE.
+	AtomicAggregate bool
+	// Aggregator is the AGGREGATOR (AS, router-ID) pair; nil when absent.
+	Aggregator *Aggregator
+	// Communities lists RFC 1997 community values.
+	Communities []uint32
+	// Unknown keeps unrecognized attributes for round-tripping.
+	Unknown []RawAttribute
+}
+
+// Aggregator is the AGGREGATOR attribute payload.
+type Aggregator struct {
+	AS       uint32
+	RouterID uint32
+}
+
+// RawAttribute preserves an attribute this package does not interpret.
+type RawAttribute struct {
+	Flags uint8
+	Type  uint8
+	Value []byte
+}
+
+// OriginAS returns the originating AS of the route per the AS_PATH.
+func (a *Attributes) OriginAS() (uint32, bool) { return a.ASPath.Origin() }
+
+// ParseAttributes decodes a path-attribute block. as4 selects 4-octet AS
+// numbers in AS_PATH and AGGREGATOR (always true inside TABLE_DUMP_V2 per
+// RFC 6396 §4.3.4).
+func ParseAttributes(data []byte, as4 bool) (*Attributes, error) {
+	attrs := &Attributes{}
+	for len(data) > 0 {
+		if len(data) < 2 {
+			return nil, fmt.Errorf("%w: attribute header", ErrTruncated)
+		}
+		flags, typ := data[0], data[1]
+		var alen int
+		var body []byte
+		if flags&FlagExtended != 0 {
+			if len(data) < 4 {
+				return nil, fmt.Errorf("%w: extended length", ErrTruncated)
+			}
+			alen = int(binary.BigEndian.Uint16(data[2:4]))
+			data = data[4:]
+		} else {
+			if len(data) < 3 {
+				return nil, fmt.Errorf("%w: length", ErrTruncated)
+			}
+			alen = int(data[2])
+			data = data[3:]
+		}
+		if len(data) < alen {
+			return nil, fmt.Errorf("%w: attribute %d wants %d bytes, has %d",
+				ErrTruncated, typ, alen, len(data))
+		}
+		body, data = data[:alen], data[alen:]
+
+		switch typ {
+		case AttrTypeOrigin:
+			if len(body) != 1 {
+				return nil, fmt.Errorf("%w: ORIGIN length %d", ErrMalformed, len(body))
+			}
+			v := body[0]
+			if v > OriginIncomplete {
+				return nil, fmt.Errorf("%w: ORIGIN value %d", ErrMalformed, v)
+			}
+			attrs.Origin = &v
+		case AttrTypeASPath:
+			path, err := parseASPath(body, as4)
+			if err != nil {
+				return nil, err
+			}
+			attrs.ASPath = path
+		case AttrTypeNextHop:
+			if len(body) != 4 {
+				return nil, fmt.Errorf("%w: NEXT_HOP length %d", ErrMalformed, len(body))
+			}
+			v := netaddr.Addr(binary.BigEndian.Uint32(body))
+			attrs.NextHop = &v
+		case AttrTypeMED:
+			v, err := parseU32(body, "MED")
+			if err != nil {
+				return nil, err
+			}
+			attrs.MED = &v
+		case AttrTypeLocalPref:
+			v, err := parseU32(body, "LOCAL_PREF")
+			if err != nil {
+				return nil, err
+			}
+			attrs.LocalPref = &v
+		case AttrTypeAtomicAggregate:
+			if len(body) != 0 {
+				return nil, fmt.Errorf("%w: ATOMIC_AGGREGATE length %d", ErrMalformed, len(body))
+			}
+			attrs.AtomicAggregate = true
+		case AttrTypeAggregator:
+			agg, err := parseAggregator(body, as4)
+			if err != nil {
+				return nil, err
+			}
+			attrs.Aggregator = agg
+		case AttrTypeCommunities:
+			if len(body)%4 != 0 {
+				return nil, fmt.Errorf("%w: COMMUNITIES length %d", ErrMalformed, len(body))
+			}
+			for i := 0; i < len(body); i += 4 {
+				attrs.Communities = append(attrs.Communities,
+					binary.BigEndian.Uint32(body[i:i+4]))
+			}
+		default:
+			attrs.Unknown = append(attrs.Unknown, RawAttribute{
+				Flags: flags, Type: typ, Value: append([]byte(nil), body...),
+			})
+		}
+	}
+	return attrs, nil
+}
+
+func parseU32(body []byte, what string) (uint32, error) {
+	if len(body) != 4 {
+		return 0, fmt.Errorf("%w: %s length %d", ErrMalformed, what, len(body))
+	}
+	return binary.BigEndian.Uint32(body), nil
+}
+
+func parseAggregator(body []byte, as4 bool) (*Aggregator, error) {
+	want := 6
+	if as4 {
+		want = 8
+	}
+	if len(body) != want {
+		return nil, fmt.Errorf("%w: AGGREGATOR length %d (as4=%v)", ErrMalformed, len(body), as4)
+	}
+	agg := &Aggregator{}
+	if as4 {
+		agg.AS = binary.BigEndian.Uint32(body[:4])
+		agg.RouterID = binary.BigEndian.Uint32(body[4:])
+	} else {
+		agg.AS = uint32(binary.BigEndian.Uint16(body[:2]))
+		agg.RouterID = binary.BigEndian.Uint32(body[2:])
+	}
+	return agg, nil
+}
+
+func parseASPath(body []byte, as4 bool) (ASPath, error) {
+	asSize := 2
+	if as4 {
+		asSize = 4
+	}
+	var path ASPath
+	for len(body) > 0 {
+		if len(body) < 2 {
+			return nil, fmt.Errorf("%w: AS_PATH segment header", ErrTruncated)
+		}
+		segType, count := body[0], int(body[1])
+		if segType != SegmentASSet && segType != SegmentASSequence {
+			return nil, fmt.Errorf("%w: AS_PATH segment type %d", ErrMalformed, segType)
+		}
+		body = body[2:]
+		need := count * asSize
+		if len(body) < need {
+			return nil, fmt.Errorf("%w: AS_PATH segment wants %d bytes, has %d",
+				ErrTruncated, need, len(body))
+		}
+		seg := Segment{Type: segType, ASNs: make([]uint32, count)}
+		for i := 0; i < count; i++ {
+			if as4 {
+				seg.ASNs[i] = binary.BigEndian.Uint32(body[i*4:])
+			} else {
+				seg.ASNs[i] = uint32(binary.BigEndian.Uint16(body[i*2:]))
+			}
+		}
+		body = body[need:]
+		path = append(path, seg)
+	}
+	return path, nil
+}
+
+// Serialize encodes the attributes as a path-attribute block, the inverse
+// of ParseAttributes. Attributes are emitted in type order; unknown
+// attributes retain their original flags.
+func (a *Attributes) Serialize(as4 bool) []byte {
+	var out []byte
+	emit := func(flags, typ uint8, body []byte) {
+		if len(body) > 255 || flags&FlagExtended != 0 {
+			flags |= FlagExtended
+			out = append(out, flags, typ,
+				byte(len(body)>>8), byte(len(body)))
+		} else {
+			out = append(out, flags, typ, byte(len(body)))
+		}
+		out = append(out, body...)
+	}
+	if a.Origin != nil {
+		emit(FlagTransitive, AttrTypeOrigin, []byte{*a.Origin})
+	}
+	if len(a.ASPath) > 0 {
+		var body []byte
+		for _, seg := range a.ASPath {
+			body = append(body, seg.Type, byte(len(seg.ASNs)))
+			for _, asn := range seg.ASNs {
+				if as4 {
+					body = binary.BigEndian.AppendUint32(body, asn)
+				} else {
+					body = binary.BigEndian.AppendUint16(body, uint16(asn))
+				}
+			}
+		}
+		emit(FlagTransitive, AttrTypeASPath, body)
+	}
+	if a.NextHop != nil {
+		emit(FlagTransitive, AttrTypeNextHop,
+			binary.BigEndian.AppendUint32(nil, uint32(*a.NextHop)))
+	}
+	if a.MED != nil {
+		emit(FlagOptional, AttrTypeMED, binary.BigEndian.AppendUint32(nil, *a.MED))
+	}
+	if a.LocalPref != nil {
+		emit(FlagTransitive, AttrTypeLocalPref, binary.BigEndian.AppendUint32(nil, *a.LocalPref))
+	}
+	if a.AtomicAggregate {
+		emit(FlagTransitive, AttrTypeAtomicAggregate, nil)
+	}
+	if a.Aggregator != nil {
+		var body []byte
+		if as4 {
+			body = binary.BigEndian.AppendUint32(body, a.Aggregator.AS)
+		} else {
+			body = binary.BigEndian.AppendUint16(body, uint16(a.Aggregator.AS))
+		}
+		body = binary.BigEndian.AppendUint32(body, a.Aggregator.RouterID)
+		emit(FlagOptional|FlagTransitive, AttrTypeAggregator, body)
+	}
+	if len(a.Communities) > 0 {
+		var body []byte
+		for _, c := range a.Communities {
+			body = binary.BigEndian.AppendUint32(body, c)
+		}
+		emit(FlagOptional|FlagTransitive, AttrTypeCommunities, body)
+	}
+	for _, raw := range a.Unknown {
+		emit(raw.Flags&^FlagExtended, raw.Type, raw.Value)
+	}
+	return out
+}
+
+// ParseNLRI decodes RFC 4271 §4.3 network-layer reachability information:
+// a sequence of (length-in-bits, truncated prefix bytes) pairs.
+func ParseNLRI(data []byte) ([]netaddr.Prefix, error) {
+	var out []netaddr.Prefix
+	for len(data) > 0 {
+		bits := int(data[0])
+		if bits > 32 {
+			return nil, fmt.Errorf("%w: NLRI length %d", ErrMalformed, bits)
+		}
+		nbytes := (bits + 7) / 8
+		if len(data) < 1+nbytes {
+			return nil, fmt.Errorf("%w: NLRI body", ErrTruncated)
+		}
+		var v uint32
+		for i := 0; i < nbytes; i++ {
+			v |= uint32(data[1+i]) << (24 - 8*uint(i))
+		}
+		p, err := netaddr.PrefixFrom(netaddr.Addr(v), bits)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		if p.Addr() != netaddr.Addr(v) {
+			return nil, fmt.Errorf("%w: NLRI %v has bits beyond /%d", ErrMalformed, netaddr.Addr(v), bits)
+		}
+		out = append(out, p)
+		data = data[1+nbytes:]
+	}
+	return out, nil
+}
+
+// AppendNLRI encodes prefixes in NLRI notation, appending to dst.
+func AppendNLRI(dst []byte, prefixes []netaddr.Prefix) []byte {
+	for _, p := range prefixes {
+		bits := p.Bits()
+		dst = append(dst, byte(bits))
+		v := uint32(p.Addr())
+		for i := 0; i < (bits+7)/8; i++ {
+			dst = append(dst, byte(v>>(24-8*uint(i))))
+		}
+	}
+	return dst
+}
+
+// Update is a parsed BGP UPDATE message body.
+type Update struct {
+	Withdrawn  []netaddr.Prefix
+	Attributes *Attributes
+	NLRI       []netaddr.Prefix
+}
+
+// ParseUpdate decodes an UPDATE message body (without the 19-byte BGP
+// message header).
+func ParseUpdate(body []byte, as4 bool) (*Update, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: withdrawn length", ErrTruncated)
+	}
+	wlen := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < wlen {
+		return nil, fmt.Errorf("%w: withdrawn routes", ErrTruncated)
+	}
+	withdrawn, err := ParseNLRI(body[:wlen])
+	if err != nil {
+		return nil, err
+	}
+	body = body[wlen:]
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: attribute length", ErrTruncated)
+	}
+	alen := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < alen {
+		return nil, fmt.Errorf("%w: attributes", ErrTruncated)
+	}
+	attrs, err := ParseAttributes(body[:alen], as4)
+	if err != nil {
+		return nil, err
+	}
+	nlri, err := ParseNLRI(body[alen:])
+	if err != nil {
+		return nil, err
+	}
+	return &Update{Withdrawn: withdrawn, Attributes: attrs, NLRI: nlri}, nil
+}
+
+// Serialize encodes the UPDATE body, the inverse of ParseUpdate.
+func (u *Update) Serialize(as4 bool) []byte {
+	withdrawn := AppendNLRI(nil, u.Withdrawn)
+	var attrs []byte
+	if u.Attributes != nil {
+		attrs = u.Attributes.Serialize(as4)
+	}
+	out := binary.BigEndian.AppendUint16(nil, uint16(len(withdrawn)))
+	out = append(out, withdrawn...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(attrs)))
+	out = append(out, attrs...)
+	return AppendNLRI(out, u.NLRI)
+}

@@ -1,0 +1,261 @@
+package bgp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+func u8p(v uint8) *uint8    { return &v }
+func u32p(v uint32) *uint32 { return &v }
+
+func sampleAttrs() *Attributes {
+	nh := netaddr.MustParseAddr("203.0.113.1")
+	return &Attributes{
+		Origin: u8p(OriginIGP),
+		ASPath: ASPath{
+			{Type: SegmentASSequence, ASNs: []uint32{64500, 64501, 397212}},
+			{Type: SegmentASSet, ASNs: []uint32{65001, 65002}},
+		},
+		NextHop:         &nh,
+		MED:             u32p(100),
+		LocalPref:       u32p(200),
+		AtomicAggregate: true,
+		Aggregator:      &Aggregator{AS: 64500, RouterID: 0x0A000001},
+		Communities:     []uint32{64500<<16 | 666, 64500<<16 | 1},
+	}
+}
+
+func TestAttributesRoundTrip(t *testing.T) {
+	for _, as4 := range []bool{false, true} {
+		in := sampleAttrs()
+		if !as4 {
+			in.ASPath[0].ASNs[2] = 23456 // AS_TRANS placeholder fits 2 bytes
+		}
+		wire := in.Serialize(as4)
+		out, err := ParseAttributes(wire, as4)
+		if err != nil {
+			t.Fatalf("as4=%v: %v", as4, err)
+		}
+		if *out.Origin != *in.Origin {
+			t.Errorf("as4=%v origin %d", as4, *out.Origin)
+		}
+		if len(out.ASPath) != 2 || len(out.ASPath[0].ASNs) != 3 {
+			t.Fatalf("as4=%v path %+v", as4, out.ASPath)
+		}
+		for i, asn := range in.ASPath[0].ASNs {
+			if out.ASPath[0].ASNs[i] != asn {
+				t.Errorf("as4=%v path[0][%d] = %d, want %d", as4, i, out.ASPath[0].ASNs[i], asn)
+			}
+		}
+		if *out.NextHop != *in.NextHop || *out.MED != 100 || *out.LocalPref != 200 {
+			t.Errorf("as4=%v scalar attrs wrong", as4)
+		}
+		if !out.AtomicAggregate || out.Aggregator == nil || out.Aggregator.AS != 64500 {
+			t.Errorf("as4=%v aggregate attrs wrong", as4)
+		}
+		if len(out.Communities) != 2 || out.Communities[0] != 64500<<16|666 {
+			t.Errorf("as4=%v communities %v", as4, out.Communities)
+		}
+		// Round-trip stability: serialize(parse(x)) == x.
+		if again := out.Serialize(as4); !bytes.Equal(again, wire) {
+			t.Errorf("as4=%v: serialization not stable", as4)
+		}
+	}
+}
+
+func TestUnknownAttributePreserved(t *testing.T) {
+	in := &Attributes{
+		Origin:  u8p(OriginEGP),
+		Unknown: []RawAttribute{{Flags: FlagOptional | FlagTransitive, Type: 99, Value: []byte{1, 2, 3}}},
+	}
+	out, err := ParseAttributes(in.Serialize(true), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Unknown) != 1 || out.Unknown[0].Type != 99 || !bytes.Equal(out.Unknown[0].Value, []byte{1, 2, 3}) {
+		t.Fatalf("unknown attr %+v", out.Unknown)
+	}
+}
+
+func TestExtendedLengthAttribute(t *testing.T) {
+	// A community list longer than 255 bytes forces the extended-length
+	// encoding.
+	in := &Attributes{}
+	for i := 0; i < 100; i++ {
+		in.Communities = append(in.Communities, uint32(i))
+	}
+	wire := in.Serialize(true)
+	out, err := ParseAttributes(wire, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Communities) != 100 {
+		t.Fatalf("communities: %d", len(out.Communities))
+	}
+	if !bytes.Equal(out.Serialize(true), wire) {
+		t.Error("extended-length round trip unstable")
+	}
+}
+
+func TestOriginAS(t *testing.T) {
+	cases := []struct {
+		path ASPath
+		want uint32
+		ok   bool
+	}{
+		{ASPath{{Type: SegmentASSequence, ASNs: []uint32{1, 2, 3}}}, 3, true},
+		{ASPath{{Type: SegmentASSequence, ASNs: []uint32{1}},
+			{Type: SegmentASSet, ASNs: []uint32{7, 8}}}, 7, true},
+		{ASPath{}, 0, false},
+		{ASPath{{Type: SegmentASSequence, ASNs: nil}}, 0, false},
+	}
+	for i, c := range cases {
+		got, ok := c.path.Origin()
+		if got != c.want || ok != c.ok {
+			t.Errorf("case %d: Origin = %d, %v; want %d, %v", i, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestParseAttributesErrors(t *testing.T) {
+	cases := [][]byte{
+		{0x40},                              // truncated header
+		{0x40, AttrTypeOrigin},              // missing length
+		{0x40, AttrTypeOrigin, 5, 0},        // length beyond data
+		{0x40, AttrTypeOrigin, 2, 0, 0},     // bad ORIGIN length
+		{0x40, AttrTypeOrigin, 1, 9},        // bad ORIGIN value
+		{0x40, AttrTypeNextHop, 3, 1, 2, 3}, // bad NEXT_HOP length
+		{0x40, AttrTypeASPath, 2, 9, 1},     // bad segment type
+		{0x40, AttrTypeASPath, 3, 2, 2, 0},  // segment truncated
+		{0x40, AttrTypeMED, 2, 0, 0},        // bad MED length
+		{0x40, AttrTypeAtomicAggregate, 1, 0},
+		{0x40, AttrTypeAggregator, 3, 0, 0, 0},
+		{0xC0, AttrTypeCommunities, 3, 0, 0, 0},
+		{0x50, AttrTypeOrigin, 0}, // extended flag, truncated length
+	}
+	for i, c := range cases {
+		if _, err := ParseAttributes(c, true); err == nil {
+			t.Errorf("case %d: accepted %v", i, c)
+		}
+	}
+}
+
+func TestNLRIRoundTrip(t *testing.T) {
+	prefixes := []netaddr.Prefix{
+		netaddr.MustParsePrefix("0.0.0.0/0"),
+		netaddr.MustParsePrefix("10.0.0.0/8"),
+		netaddr.MustParsePrefix("100.64.0.0/10"),
+		netaddr.MustParsePrefix("192.0.2.0/24"),
+		netaddr.MustParsePrefix("192.0.2.1/32"),
+		netaddr.MustParsePrefix("128.0.0.0/1"),
+	}
+	wire := AppendNLRI(nil, prefixes)
+	out, err := ParseNLRI(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(prefixes) {
+		t.Fatalf("got %d prefixes", len(out))
+	}
+	for i := range prefixes {
+		if out[i] != prefixes[i] {
+			t.Errorf("prefix %d: %v != %v", i, out[i], prefixes[i])
+		}
+	}
+}
+
+func TestNLRIRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(20)
+		in := make([]netaddr.Prefix, n)
+		for i := range in {
+			in[i] = netaddr.MustPrefixFrom(netaddr.Addr(rng.Uint32()), rng.Intn(33))
+		}
+		out, err := ParseNLRI(AppendNLRI(nil, in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("iter %d prefix %d: %v != %v", iter, i, out[i], in[i])
+			}
+		}
+	}
+}
+
+func TestParseNLRIErrors(t *testing.T) {
+	cases := [][]byte{
+		{33},         // bits out of range
+		{24, 1, 2},   // truncated body
+		{8, 0x12, 0}, // trailing garbage is parsed as next NLRI: 0x12/8 then /0... actually {8,0x12} then {0} = 0.0.0.0/0: valid!
+	}
+	if _, err := ParseNLRI(cases[0]); !errors.Is(err, ErrMalformed) {
+		t.Error("bits 33 accepted")
+	}
+	if _, err := ParseNLRI(cases[1]); !errors.Is(err, ErrTruncated) {
+		t.Error("truncated body accepted")
+	}
+	if out, err := ParseNLRI(cases[2]); err != nil || len(out) != 2 {
+		t.Errorf("valid trailing /0: %v, %v", out, err)
+	}
+	// Non-zero bits beyond the prefix length are malformed.
+	if _, err := ParseNLRI([]byte{8, 0xFF, 0xFF}); err == nil {
+		t.Error("NLRI with stray bits accepted")
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	in := &Update{
+		Withdrawn: []netaddr.Prefix{netaddr.MustParsePrefix("198.51.100.0/24")},
+		Attributes: &Attributes{
+			Origin: u8p(OriginIGP),
+			ASPath: ASPath{{Type: SegmentASSequence, ASNs: []uint32{64500, 65550}}},
+		},
+		NLRI: []netaddr.Prefix{
+			netaddr.MustParsePrefix("203.0.113.0/24"),
+			netaddr.MustParsePrefix("100.0.0.0/8"),
+		},
+	}
+	out, err := ParseUpdate(in.Serialize(true), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Withdrawn) != 1 || out.Withdrawn[0] != in.Withdrawn[0] {
+		t.Errorf("withdrawn %v", out.Withdrawn)
+	}
+	if len(out.NLRI) != 2 || out.NLRI[1] != in.NLRI[1] {
+		t.Errorf("nlri %v", out.NLRI)
+	}
+	if asn, ok := out.Attributes.OriginAS(); !ok || asn != 65550 {
+		t.Errorf("origin AS %d, %v", asn, ok)
+	}
+}
+
+func TestParseUpdateErrors(t *testing.T) {
+	cases := [][]byte{
+		{},              // no withdrawn length
+		{0, 5, 1},       // withdrawn truncated
+		{0, 0},          // no attr length
+		{0, 0, 0, 9, 1}, // attrs truncated
+	}
+	for i, c := range cases {
+		if _, err := ParseUpdate(c, true); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func BenchmarkParseAttributes(b *testing.B) {
+	wire := sampleAttrs().Serialize(true)
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAttributes(wire, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package census stores full-scan observations: for each protocol and
+// month, the sorted set of responsive IPv4 addresses. It plays the role of
+// the censys.io snapshot archive in the paper — the ground truth that
+// selection strategies are seeded from and evaluated against.
+//
+// Snapshots serialize to a compact binary format (varint delta coding of
+// the sorted address set, typically ~1.5 bytes/host) so that a six-month,
+// four-protocol series fits comfortably on disk and loads in milliseconds.
+package census
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
+)
+
+// Snapshot is one full-scan observation: every responsive address for one
+// protocol in one measurement month. Addrs is sorted and duplicate-free.
+type Snapshot struct {
+	Protocol string
+	Month    int
+	Addrs    []netaddr.Addr
+}
+
+// NewSnapshot builds a snapshot from addrs, copying, sorting and
+// de-duplicating the input.
+func NewSnapshot(protocol string, month int, addrs []netaddr.Addr) *Snapshot {
+	cp := make([]netaddr.Addr, len(addrs))
+	copy(cp, addrs)
+	SortAddrs(cp)
+	w := 0
+	for i, a := range cp {
+		if i > 0 && cp[w-1] == a {
+			continue
+		}
+		cp[w] = a
+		w++
+	}
+	return &Snapshot{Protocol: protocol, Month: month, Addrs: cp[:w]}
+}
+
+// Hosts returns the number of responsive addresses.
+func (s *Snapshot) Hosts() int { return len(s.Addrs) }
+
+// Contains reports whether a responded in this snapshot.
+func (s *Snapshot) Contains(a netaddr.Addr) bool {
+	i := sort.Search(len(s.Addrs), func(i int) bool { return s.Addrs[i] >= a })
+	return i < len(s.Addrs) && s.Addrs[i] == a
+}
+
+// CountByPrefix counts responsive addresses per partition prefix. The
+// second result is the number of addresses outside the partition.
+func (s *Snapshot) CountByPrefix(p rib.Partition) (counts []int, outside int) {
+	return p.CountAddrs(s.Addrs)
+}
+
+// CountIn returns how many of the snapshot's addresses fall inside the
+// partition (e.g. a TASS selection).
+func (s *Snapshot) CountIn(p rib.Partition) int {
+	counts, _ := p.CountAddrs(s.Addrs)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// IntersectCount returns |a ∩ b| for two sorted address sets.
+func IntersectCount(a, b []netaddr.Addr) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Binary format:
+//
+//	magic   [8]byte  "TASSCNS\x01"
+//	proto   uvarint length + bytes
+//	month   uvarint
+//	count   uvarint
+//	addrs   count uvarints: first value absolute, then deltas (>=1)
+var magic = [8]byte{'T', 'A', 'S', 'S', 'C', 'N', 'S', 1}
+
+// ErrFormat reports a malformed snapshot stream.
+var ErrFormat = errors.New("census: malformed snapshot")
+
+// WriteTo serializes the snapshot. It implements io.WriterTo.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	write := func(b []byte) error {
+		m, err := bw.Write(b)
+		n += int64(m)
+		return err
+	}
+	if err := write(magic[:]); err != nil {
+		return n, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		return write(buf[:binary.PutUvarint(buf[:], v)])
+	}
+	if err := putUvarint(uint64(len(s.Protocol))); err != nil {
+		return n, err
+	}
+	if err := write([]byte(s.Protocol)); err != nil {
+		return n, err
+	}
+	if err := putUvarint(uint64(s.Month)); err != nil {
+		return n, err
+	}
+	if err := putUvarint(uint64(len(s.Addrs))); err != nil {
+		return n, err
+	}
+	prev := uint64(0)
+	for i, a := range s.Addrs {
+		v := uint64(a)
+		if i > 0 {
+			if v <= prev {
+				return n, fmt.Errorf("%w: addresses not strictly ascending", ErrFormat)
+			}
+			if err := putUvarint(v - prev); err != nil {
+				return n, err
+			}
+		} else {
+			if err := putUvarint(v); err != nil {
+				return n, err
+			}
+		}
+		prev = v
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadSnapshot parses one snapshot from r. When r is already a
+// *bufio.Reader it is used directly, so back-to-back snapshots in one
+// stream are not disturbed by read-ahead.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("census: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, got[:])
+	}
+	protoLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("census: %w", err)
+	}
+	if protoLen > 255 {
+		return nil, fmt.Errorf("%w: protocol name length %d", ErrFormat, protoLen)
+	}
+	proto := make([]byte, protoLen)
+	if _, err := io.ReadFull(br, proto); err != nil {
+		return nil, fmt.Errorf("census: %w", err)
+	}
+	month, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("census: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("census: %w", err)
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("%w: impossible host count %d", ErrFormat, count)
+	}
+	addrs := make([]netaddr.Addr, count)
+	prev := uint64(0)
+	for i := range addrs {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("census: address %d: %w", i, err)
+		}
+		v := d
+		if i > 0 {
+			if d == 0 {
+				return nil, fmt.Errorf("%w: zero delta", ErrFormat)
+			}
+			v = prev + d
+		}
+		if v > 0xFFFFFFFF {
+			return nil, fmt.Errorf("%w: address overflow", ErrFormat)
+		}
+		addrs[i] = netaddr.Addr(v)
+		prev = v
+	}
+	return &Snapshot{Protocol: string(proto), Month: int(month), Addrs: addrs}, nil
+}
+
+// Series is the monthly snapshot sequence for one protocol, ordered by
+// month.
+type Series struct {
+	Protocol  string
+	Snapshots []*Snapshot
+}
+
+// Months returns the number of snapshots in the series.
+func (s *Series) Months() int { return len(s.Snapshots) }
+
+// At returns the snapshot for the given month index.
+func (s *Series) At(month int) *Snapshot { return s.Snapshots[month] }
+
+// WriteTo serializes all snapshots back to back.
+func (s *Series) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, snap := range s.Snapshots {
+		n, err := snap.WriteTo(w)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadSeries parses back-to-back snapshots until EOF. All snapshots must
+// belong to one protocol and be ordered by month.
+func ReadSeries(r io.Reader) (*Series, error) {
+	br := bufio.NewReader(r)
+	s := &Series{}
+	for {
+		if _, err := br.Peek(1); errors.Is(err, io.EOF) {
+			if len(s.Snapshots) == 0 {
+				return nil, fmt.Errorf("%w: empty series", ErrFormat)
+			}
+			return s, nil
+		}
+		snap, err := ReadSnapshot(br)
+		if err != nil {
+			return nil, err
+		}
+		if s.Protocol == "" {
+			s.Protocol = snap.Protocol
+		} else if s.Protocol != snap.Protocol {
+			return nil, fmt.Errorf("%w: mixed protocols %q and %q", ErrFormat, s.Protocol, snap.Protocol)
+		}
+		if n := len(s.Snapshots); n > 0 && s.Snapshots[n-1].Month >= snap.Month {
+			return nil, fmt.Errorf("%w: months out of order", ErrFormat)
+		}
+		s.Snapshots = append(s.Snapshots, snap)
+	}
+}

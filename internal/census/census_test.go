@@ -1,0 +1,241 @@
+package census
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
+)
+
+func addrs(ss ...string) []netaddr.Addr {
+	out := make([]netaddr.Addr, len(ss))
+	for i, s := range ss {
+		out[i] = netaddr.MustParseAddr(s)
+	}
+	return out
+}
+
+func TestNewSnapshotSortsAndDedups(t *testing.T) {
+	s := NewSnapshot("ftp", 0, addrs("10.0.0.2", "10.0.0.1", "10.0.0.2", "9.0.0.1"))
+	if s.Hosts() != 3 {
+		t.Fatalf("Hosts = %d", s.Hosts())
+	}
+	want := addrs("9.0.0.1", "10.0.0.1", "10.0.0.2")
+	for i := range want {
+		if s.Addrs[i] != want[i] {
+			t.Fatalf("Addrs = %v", s.Addrs)
+		}
+	}
+	if !s.Contains(netaddr.MustParseAddr("10.0.0.1")) {
+		t.Error("Contains miss")
+	}
+	if s.Contains(netaddr.MustParseAddr("10.0.0.3")) {
+		t.Error("Contains false positive")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	raw := make([]netaddr.Addr, 50000)
+	for i := range raw {
+		raw[i] = netaddr.Addr(rng.Uint32())
+	}
+	s := NewSnapshot("https", 4, raw)
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	// Delta coding should stay well under 5 bytes/host for random data.
+	if perHost := float64(buf.Len()) / float64(s.Hosts()); perHost > 5 {
+		t.Errorf("encoding uses %.1f bytes/host", perHost)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Protocol != "https" || back.Month != 4 || back.Hosts() != s.Hosts() {
+		t.Fatalf("header: %+v", back)
+	}
+	for i := range s.Addrs {
+		if back.Addrs[i] != s.Addrs[i] {
+			t.Fatalf("addr %d: %v != %v", i, back.Addrs[i], s.Addrs[i])
+		}
+	}
+}
+
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	f := func(vals []uint32, month uint8) bool {
+		raw := make([]netaddr.Addr, len(vals))
+		for i, v := range vals {
+			raw[i] = netaddr.Addr(v)
+		}
+		s := NewSnapshot("p", int(month), raw)
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := ReadSnapshot(&buf)
+		if err != nil || back.Hosts() != s.Hosts() {
+			return false
+		}
+		for i := range s.Addrs {
+			if back.Addrs[i] != s.Addrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("truncated magic must fail")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("XXXXXXXXrest"))); !errors.Is(err, ErrFormat) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Valid header then truncated body.
+	s := NewSnapshot("ftp", 0, addrs("1.2.3.4", "5.6.7.8"))
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-1]
+	if _, err := ReadSnapshot(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated body must fail")
+	}
+}
+
+func TestWriteToRejectsUnsorted(t *testing.T) {
+	s := &Snapshot{Protocol: "x", Addrs: addrs("2.0.0.0", "1.0.0.0")}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); !errors.Is(err, ErrFormat) {
+		t.Errorf("unsorted write: %v", err)
+	}
+}
+
+func TestSeriesRoundTrip(t *testing.T) {
+	sr := &Series{Protocol: "ftp"}
+	rng := rand.New(rand.NewSource(2))
+	for m := 0; m < 7; m++ {
+		raw := make([]netaddr.Addr, 1000)
+		for i := range raw {
+			raw[i] = netaddr.Addr(rng.Uint32())
+		}
+		sr.Snapshots = append(sr.Snapshots, NewSnapshot("ftp", m, raw))
+	}
+	var buf bytes.Buffer
+	if _, err := sr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Protocol != "ftp" || back.Months() != 7 {
+		t.Fatalf("series: %q, %d months", back.Protocol, back.Months())
+	}
+	for m := 0; m < 7; m++ {
+		if back.At(m).Month != m || back.At(m).Hosts() != sr.At(m).Hosts() {
+			t.Fatalf("month %d mismatch", m)
+		}
+	}
+}
+
+func TestReadSeriesErrors(t *testing.T) {
+	if _, err := ReadSeries(bytes.NewReader(nil)); err == nil {
+		t.Error("empty series must fail")
+	}
+	var buf bytes.Buffer
+	a := NewSnapshot("ftp", 0, addrs("1.2.3.4"))
+	b := NewSnapshot("http", 1, addrs("1.2.3.4"))
+	a.WriteTo(&buf)
+	b.WriteTo(&buf)
+	if _, err := ReadSeries(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("mixed protocols must fail")
+	}
+	buf.Reset()
+	a.WriteTo(&buf)
+	a.WriteTo(&buf) // same month twice
+	if _, err := ReadSeries(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("months out of order must fail")
+	}
+}
+
+func TestCountByPrefixAndCountIn(t *testing.T) {
+	part, err := rib.NewPartition([]netaddr.Prefix{
+		netaddr.MustParsePrefix("10.0.0.0/8"),
+		netaddr.MustParsePrefix("20.0.0.0/8"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSnapshot("ftp", 0, addrs("10.0.0.1", "10.9.9.9", "20.1.1.1", "30.0.0.1"))
+	counts, outside := s.CountByPrefix(part)
+	if counts[0] != 2 || counts[1] != 1 || outside != 1 {
+		t.Fatalf("counts %v outside %d", counts, outside)
+	}
+	if got := s.CountIn(part); got != 3 {
+		t.Fatalf("CountIn = %d", got)
+	}
+}
+
+func TestIntersectCount(t *testing.T) {
+	a := addrs("1.0.0.0", "2.0.0.0", "3.0.0.0")
+	b := addrs("2.0.0.0", "3.0.0.0", "4.0.0.0")
+	if got := IntersectCount(a, b); got != 2 {
+		t.Fatalf("IntersectCount = %d", got)
+	}
+	if got := IntersectCount(nil, b); got != 0 {
+		t.Fatalf("IntersectCount(nil) = %d", got)
+	}
+}
+
+func BenchmarkSnapshotEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	raw := make([]netaddr.Addr, 1<<20)
+	for i := range raw {
+		raw[i] = netaddr.Addr(rng.Uint32())
+	}
+	s := NewSnapshot("bench", 0, raw)
+	b.SetBytes(int64(len(s.Addrs) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	raw := make([]netaddr.Addr, 1<<20)
+	for i := range raw {
+		raw[i] = netaddr.Addr(rng.Uint32())
+	}
+	s := NewSnapshot("bench", 0, raw)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(s.Addrs) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadSnapshot(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package churn evolves the host populations of a synthetic universe
+// month by month, reproducing the three churn processes behind the TASS
+// paper's temporal results:
+//
+//  1. Dynamic addressing: a protocol-dependent share of hosts re-rolls
+//     its address every month, almost always inside the same announced
+//     prefix. This is what collapses address hitlists (Figure 5) while
+//     leaving prefix selections nearly intact (Figure 6).
+//  2. Population turnover: hosts die and are replaced; most births land
+//     near existing population mass, a small background lands uniformly
+//     in the announced space and seeds previously-empty prefixes.
+//  3. Re-homing: a small share of hosts moves to an unrelated announced
+//     address (provider change), the dominant cause of the slow
+//     0.3–0.7 %/month decay of TASS accuracy.
+package churn
+
+import (
+	"math/rand"
+
+	"github.com/tass-scan/tass/internal/census"
+	"github.com/tass-scan/tass/internal/topo"
+)
+
+// Simulator advances the populations of one universe. It owns its RNG;
+// with the same universe and seed the produced series is deterministic.
+type Simulator struct {
+	u     *topo.Universe
+	rng   *rand.Rand
+	month int
+}
+
+// New returns a simulator for u seeded with seed.
+func New(u *topo.Universe, seed int64) *Simulator {
+	return &Simulator{u: u, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Month returns the number of Step calls so far.
+func (s *Simulator) Month() int { return s.month }
+
+// Step advances every population by one month.
+func (s *Simulator) Step() {
+	for _, name := range s.u.Protocols() {
+		s.stepPop(s.u.Pops[name])
+	}
+	s.month++
+}
+
+func (s *Simulator) stepPop(pop *topo.Population) {
+	prof := &pop.Profile
+	hosts := pop.Hosts
+	rng := s.rng
+	for i := range hosts {
+		h := &hosts[i]
+		r := rng.Float64()
+		switch {
+		case r < prof.DeathRate:
+			// Death with immediate replacement (stationary population).
+			if rng.Float64() < prof.BirthBackground {
+				// Background birth: uniform over the announced space.
+				addr := s.u.RandomAnnouncedAddr(rng)
+				lidx, _ := s.u.LPrefixOf(addr)
+				h.Addr = addr
+				h.LIdx = int32(lidx)
+			} else {
+				// Mass-proportional birth: same prefix as a random
+				// existing host, placed like an original resident.
+				j := rng.Intn(len(hosts))
+				lidx := int(hosts[j].LIdx)
+				h.Addr = s.u.PlaceHostAddr(rng, lidx, prof)
+				h.LIdx = int32(lidx)
+			}
+			h.Dynamic = rng.Float64() < prof.DynamicShare
+
+		case r < prof.DeathRate+prof.MoveRate:
+			// Re-homing. A share of movers lands in cold space (prefixes
+			// that hosted nothing at seed time — new deployments), the
+			// rest uniformly in the announced space.
+			if rng.Float64() < prof.MoveColdShare {
+				if addr, lidx, ok := s.u.RandomColdAddr(rng, pop); ok {
+					h.Addr = addr
+					h.LIdx = int32(lidx)
+					break
+				}
+			}
+			addr := s.u.RandomAnnouncedAddr(rng)
+			lidx, _ := s.u.LPrefixOf(addr)
+			h.Addr = addr
+			h.LIdx = int32(lidx)
+
+		default:
+			if !h.Dynamic {
+				break
+			}
+			// Dynamic re-roll inside the current prefix. With
+			// probability MLocality the new lease stays inside the same
+			// m-partition piece; otherwise anywhere in the l-prefix.
+			if rng.Float64() < prof.MLocality {
+				if mi, ok := s.u.More.Find(h.Addr); ok {
+					h.Addr = topo.RandomAddrIn(rng, s.u.More.Prefix(mi))
+					break
+				}
+			}
+			h.Addr = topo.RandomAddrIn(rng, s.u.Less.Prefix(int(h.LIdx)))
+		}
+	}
+}
+
+// Snapshot captures the current state of one protocol as a census
+// snapshot labeled with the current month.
+func (s *Simulator) Snapshot(protocol string) *census.Snapshot {
+	pop := s.u.Pops[protocol]
+	return &census.Snapshot{
+		Protocol: protocol,
+		Month:    s.month,
+		Addrs:    pop.Addresses(),
+	}
+}
+
+// Run generates a monthly series of months+1 snapshots per protocol
+// (months 0..months), evolving the universe in place.
+func Run(u *topo.Universe, seed int64, months int) map[string]*census.Series {
+	sim := New(u, seed)
+	out := make(map[string]*census.Series, len(u.Pops))
+	for _, name := range u.Protocols() {
+		out[name] = &census.Series{Protocol: name}
+	}
+	for m := 0; m <= months; m++ {
+		if m > 0 {
+			sim.Step()
+		}
+		for _, name := range u.Protocols() {
+			snap := sim.Snapshot(name)
+			out[name].Snapshots = append(out[name].Snapshots, snap)
+		}
+	}
+	return out
+}

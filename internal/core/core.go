@@ -1,0 +1,239 @@
+// Package core implements the paper's contribution: the Topology Aware
+// Scanning Strategy (TASS) prefix-selection algorithm.
+//
+// Given one full scan (the seed) and a prefix universe (either the
+// l-prefix or the deaggregated m-prefix partition of the announced table),
+// TASS:
+//
+//  1. counts responsive addresses c_i per prefix i (Σc_i = N),
+//  2. computes density ρ_i = c_i / 2^(32-len_i) and relative host
+//     coverage φ_i = c_i / N,
+//  3. ranks prefixes by descending density,
+//  4. selects the smallest k with Σ_{i≤k} φ_i > φ,
+//  5. hands prefixes 1..k to the periodic scanner until the next reseed.
+//
+// Steps 1–4 live here; step 5 is the scan scheduler in internal/scan and
+// the public tass package.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tass-scan/tass/internal/census"
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
+)
+
+// PrefixStat describes one responsive prefix of the seed scan.
+type PrefixStat struct {
+	Prefix netaddr.Prefix
+	// Hosts is c_i: responsive addresses inside the prefix.
+	Hosts int
+	// Density is ρ_i = Hosts / 2^(32-len).
+	Density float64
+	// Coverage is φ_i = Hosts / N.
+	Coverage float64
+}
+
+// Rank computes the responsive-prefix statistics of a seed snapshot over
+// a partition, sorted by descending density (steps 1–3). Ties break by
+// host count (more first) and then prefix order, keeping the ranking
+// deterministic. Prefixes with zero hosts are omitted (ρ > 0, as in the
+// paper's Figure 4).
+func Rank(seed *census.Snapshot, part rib.Partition) []PrefixStat {
+	counts, _ := part.CountAddrs(seed.Addrs)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	stats := make([]PrefixStat, 0, len(counts)/2)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := part.Prefix(i)
+		stats = append(stats, PrefixStat{
+			Prefix:   p,
+			Hosts:    c,
+			Density:  float64(c) / float64(p.NumAddresses()),
+			Coverage: float64(c) / float64(total),
+		})
+	}
+	sort.Slice(stats, func(a, b int) bool {
+		sa, sb := &stats[a], &stats[b]
+		if sa.Density != sb.Density {
+			return sa.Density > sb.Density
+		}
+		if sa.Hosts != sb.Hosts {
+			return sa.Hosts > sb.Hosts
+		}
+		return sa.Prefix.Compare(sb.Prefix) < 0
+	})
+	return stats
+}
+
+// Options parameterizes Select.
+type Options struct {
+	// Phi is the target host coverage φ in (0, 1]. φ=1 selects every
+	// responsive prefix; φ=0.95 trades 5 % of hosts for a much smaller
+	// scan footprint.
+	Phi float64
+
+	// MinDensity, when positive, stops selection once the ranked density
+	// falls below the threshold, even if φ has not been reached (the
+	// paper's "omit prefixes with a low density" optimization, §3.4).
+	MinDensity float64
+
+	// MaxPrefixes, when positive, caps the number of selected prefixes
+	// (the paper's "first 20 K prefixes" analysis).
+	MaxPrefixes int
+}
+
+// Selection is a TASS scan plan: the prefixes to probe each cycle.
+type Selection struct {
+	// Ranked lists every responsive prefix in density order; the first K
+	// entries are selected.
+	Ranked []PrefixStat
+	// K is the number of selected prefixes (step 4's smallest k).
+	K int
+	// SeedHosts is N, the responsive-address count of the seed scan
+	// inside the partition.
+	SeedHosts int
+	// HostCoverage is the achieved Σφ_i over the selection.
+	HostCoverage float64
+	// Space is the address count of the selection: the per-cycle probe
+	// cost of the plan.
+	Space uint64
+	// SpaceShare is Space relative to the full partition.
+	SpaceShare float64
+
+	part rib.Partition // selected prefixes as a partition
+}
+
+// Select runs TASS prefix selection (steps 1–4) on a seed snapshot.
+func Select(seed *census.Snapshot, universe rib.Partition, opts Options) (*Selection, error) {
+	if opts.Phi <= 0 || opts.Phi > 1 {
+		return nil, fmt.Errorf("core: φ must be in (0,1], got %v", opts.Phi)
+	}
+	ranked := Rank(seed, universe)
+	total := 0
+	for i := range ranked {
+		total += ranked[i].Hosts
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("core: seed snapshot has no hosts inside the universe")
+	}
+
+	sel := &Selection{Ranked: ranked, SeedHosts: total}
+	covered := 0
+	for i := range ranked {
+		if opts.MaxPrefixes > 0 && i >= opts.MaxPrefixes {
+			break
+		}
+		if opts.MinDensity > 0 && ranked[i].Density < opts.MinDensity {
+			break
+		}
+		covered += ranked[i].Hosts
+		sel.K = i + 1
+		sel.Space += ranked[i].Prefix.NumAddresses()
+		// Strict "> φ" per the paper's step 4; float64 comparison on the
+		// integer ratio keeps this exact.
+		if float64(covered) > opts.Phi*float64(total) ||
+			(opts.Phi == 1 && covered == total) {
+			break
+		}
+	}
+	sel.HostCoverage = float64(covered) / float64(total)
+	if s := universe.AddressCount(); s > 0 {
+		sel.SpaceShare = float64(sel.Space) / float64(s)
+	}
+
+	ps := make([]netaddr.Prefix, sel.K)
+	for i := 0; i < sel.K; i++ {
+		ps[i] = ranked[i].Prefix
+	}
+	part, err := rib.NewPartition(ps)
+	if err != nil {
+		// Cannot happen: the universe is disjoint, so any subset is too.
+		return nil, fmt.Errorf("core: internal: %w", err)
+	}
+	sel.part = part
+	return sel, nil
+}
+
+// Partition returns the selected prefixes as a sorted disjoint partition,
+// ready for scanning or evaluation.
+func (s *Selection) Partition() rib.Partition { return s.part }
+
+// Prefixes returns the selected prefixes in density-rank order.
+func (s *Selection) Prefixes() []netaddr.Prefix {
+	out := make([]netaddr.Prefix, s.K)
+	for i := 0; i < s.K; i++ {
+		out[i] = s.Ranked[i].Prefix
+	}
+	return out
+}
+
+// Efficiency returns the expected probes-per-host ratio of the plan on
+// the seed month: Space / covered hosts. Lower is better; a full scan's
+// efficiency is partition space / N.
+func (s *Selection) Efficiency() float64 {
+	covered := float64(s.HostCoverage) * float64(s.SeedHosts)
+	if covered == 0 {
+		return 0
+	}
+	return float64(s.Space) / covered
+}
+
+// Hitrate evaluates the plan against a later full-scan snapshot: the
+// fraction of that month's hosts the selection still covers (the y-axis
+// of the paper's Figure 6).
+func (s *Selection) Hitrate(snap *census.Snapshot) float64 {
+	if snap.Hosts() == 0 {
+		return 0
+	}
+	return float64(snap.CountIn(s.part)) / float64(snap.Hosts())
+}
+
+// CoverageCurve returns, for each rank r (1-based, downsampled to at most
+// points entries), the cumulative host coverage and cumulative space
+// share — the solid and dashed curves of the paper's Figure 4.
+type CurvePoint struct {
+	Rank       int
+	Density    float64
+	HostCov    float64
+	SpaceShare float64
+}
+
+// CoverageCurve computes the ranked density/coverage curves of Figure 4.
+// points bounds the number of samples (0 means every rank).
+func CoverageCurve(ranked []PrefixStat, universeSpace uint64, points int) []CurvePoint {
+	if len(ranked) == 0 {
+		return nil
+	}
+	total := 0
+	for i := range ranked {
+		total += ranked[i].Hosts
+	}
+	step := 1
+	if points > 0 && len(ranked) > points {
+		step = (len(ranked) + points - 1) / points
+	}
+	var out []CurvePoint
+	hosts := 0
+	var space uint64
+	for i := range ranked {
+		hosts += ranked[i].Hosts
+		space += ranked[i].Prefix.NumAddresses()
+		if (i+1)%step == 0 || i == len(ranked)-1 {
+			out = append(out, CurvePoint{
+				Rank:       i + 1,
+				Density:    ranked[i].Density,
+				HostCov:    float64(hosts) / float64(total),
+				SpaceShare: float64(space) / float64(universeSpace),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sharedWorld builds one small world for the whole test file (worlds are
+// deterministic, so sharing is safe and keeps the suite fast).
+var sharedWorld *World
+
+func world(t testing.TB) *World {
+	t.Helper()
+	if sharedWorld == nil {
+		w, err := BuildWorld(SmallConfig(41))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedWorld = w
+	}
+	return sharedWorld
+}
+
+func TestBuildWorldShape(t *testing.T) {
+	w := world(t)
+	if len(w.Protocols()) != 4 {
+		t.Fatalf("protocols: %v", w.Protocols())
+	}
+	for _, p := range w.Protocols() {
+		if w.Series[p].Months() != 7 {
+			t.Errorf("%s: %d snapshots, want 7", p, w.Series[p].Months())
+		}
+	}
+}
+
+func TestTable1Bands(t *testing.T) {
+	w := world(t)
+	res, err := Table1(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTable(t, res.Text)
+	if len(rows) != 10 {
+		t.Fatalf("table1 has %d data rows, want 10 (5 φ × 2 universes)", len(rows))
+	}
+	// Structural invariants of Table 1 that must hold at any scale:
+	// (a) coverage decreases monotonically as φ decreases, per column;
+	// (b) the m-prefix universe needs no more space than the l-universe
+	//     at the same φ;
+	// (c) φ=1 coverage is strictly below 1 (unresponsive space exists).
+	get := func(uni string, phiIdx, col int) float64 {
+		base := 0
+		if uni == "more" {
+			base = 5
+		}
+		v, err := strconv.ParseFloat(rows[base+phiIdx][2+col], 64)
+		if err != nil {
+			t.Fatalf("parse %v: %v", rows[base+phiIdx], err)
+		}
+		return v
+	}
+	for col := 0; col < 4; col++ {
+		for _, uni := range []string{"less", "more"} {
+			for i := 1; i < 5; i++ {
+				if get(uni, i, col) > get(uni, i-1, col)+1e-9 {
+					t.Errorf("%s col %d: coverage not monotone in φ", uni, col)
+				}
+			}
+			if get(uni, 0, col) >= 1 {
+				t.Errorf("%s col %d: φ=1 coverage = %v, want < 1", uni, col, get(uni, 0, col))
+			}
+		}
+		if get("more", 0, col) > get("less", 0, col)+1e-9 {
+			t.Errorf("col %d: m-universe must not need more space than l at φ=1", col)
+		}
+	}
+}
+
+func TestFigure1Monotone(t *testing.T) {
+	w := world(t)
+	res, err := Figure1(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTable(t, res.Text)
+	// /0 ≥ allocated ≥ announced > any hitlist.
+	val := func(i int) float64 {
+		v, err := strconv.ParseFloat(rows[i][len(rows[i])-1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if !(val(0) >= val(1) && val(1) >= val(2)) {
+		t.Errorf("scoping funnel not monotone: %v", res.Text)
+	}
+	for i := 3; i < len(rows); i++ {
+		if val(i) >= val(2) {
+			t.Errorf("hitlist row %d not below announced space", i)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	res, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"100.16.0.0/12", "100.128.0.0/9", "5 pieces", "true"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("figure2 output missing %q:\n%s", want, res.Text)
+		}
+	}
+}
+
+func TestFigure3CoversLengths(t *testing.T) {
+	w := world(t)
+	res, err := Figure3(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sections for both universes and all four protocols.
+	for _, want := range []string{"[less prefixes, ftp]", "[more prefixes, cwmp]"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("figure3 missing section %q", want)
+		}
+	}
+	// m-prefix universe must show entries at longer lengths than /24's
+	// parent range start (i.e. the table renders real length rows).
+	if !strings.Contains(res.Text, "/24") {
+		t.Error("figure3 has no /24 row")
+	}
+}
+
+func TestFigure4CurveShape(t *testing.T) {
+	w := world(t)
+	res, err := Figure4(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final cumulative host coverage must reach 1.000 in each section.
+	if c := strings.Count(res.Text, "1.000"); c < 4 {
+		t.Errorf("figure4: expected every section to reach full host coverage:\n%s", res.Text)
+	}
+}
+
+func TestFigure5Decay(t *testing.T) {
+	w := world(t)
+	res, err := Figure5(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTable(t, res.Text)
+	for _, row := range rows {
+		m0, _ := strconv.ParseFloat(row[1], 64)
+		m6, _ := strconv.ParseFloat(row[len(row)-1], 64)
+		if m0 != 1 {
+			t.Errorf("%s: hitlist month-0 hitrate %v, want 1.000", row[0], m0)
+		}
+		if m6 >= m0 {
+			t.Errorf("%s: hitlist must decay (m0=%v m6=%v)", row[0], m0, m6)
+		}
+	}
+	// CWMP must decay hardest (the paper's contrast protocol).
+	last := func(name string) float64 {
+		for _, row := range rows {
+			if row[0] == name {
+				v, _ := strconv.ParseFloat(row[len(row)-1], 64)
+				return v
+			}
+		}
+		t.Fatalf("row %s missing", name)
+		return 0
+	}
+	if !(last("cwmp") < last("ftp") && last("cwmp") < last("http")) {
+		t.Errorf("cwmp should decay hardest: %s", res.Text)
+	}
+}
+
+func TestFigure6TASSBeatsHitlist(t *testing.T) {
+	w := world(t)
+	res6, err := Figure6(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All TASS φ=1 hitrates stay above 0.9 through month 6 (the paper's
+	// Figure 6 y-axis floor).
+	sections := strings.Split(res6.Text, "φ = ")
+	if len(sections) < 3 {
+		t.Fatalf("figure6 sections: %d", len(sections))
+	}
+	phi1rows := parseTable(t, sections[1])
+	for _, row := range phi1rows {
+		m6, _ := strconv.ParseFloat(row[len(row)-2], 64)
+		if m6 < 0.90 {
+			t.Errorf("φ=1 %s: month-6 hitrate %v below the paper's 0.90 floor", row[0], m6)
+		}
+	}
+}
+
+func TestSectionStatsAndHeadline(t *testing.T) {
+	w := world(t)
+	res, err := SectionStats(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "φ=1.00") || !strings.Contains(res.Text, "dense head") {
+		t.Errorf("section34 text:\n%s", res.Text)
+	}
+	hres, err := Headline(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTable(t, hres.Text)
+	if len(rows) != 2 {
+		t.Fatalf("headline rows: %d", len(rows))
+	}
+	// φ=0.95 must be much cheaper than φ=1.
+	s1, _ := strconv.ParseFloat(rows[0][1], 64)
+	s95, _ := strconv.ParseFloat(rows[1][1], 64)
+	if s95 >= s1 {
+		t.Errorf("headline: φ=0.95 space %v not below φ=1 space %v", s95, s1)
+	}
+}
+
+func TestEfficiencyGains(t *testing.T) {
+	w := world(t)
+	res, err := Efficiency(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTable(t, res.Text)
+	// Every TASS variant must be at least as efficient as the full scan
+	// (gain ≥ 1), and φ=0.95 strictly better.
+	for _, row := range rows {
+		gain, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "x"), 64)
+		if err != nil {
+			t.Fatalf("gain cell %q", row[4])
+		}
+		if gain < 1 {
+			t.Errorf("%s φ=%s: efficiency gain %v < 1", row[0], row[1], gain)
+		}
+		if row[1] == "0.95" && gain < 1.25 {
+			t.Errorf("%s φ=0.95: gain %v below the paper's 1.25x lower bound", row[0], gain)
+		}
+	}
+}
+
+func TestAblationRankingDensityWins(t *testing.T) {
+	w := world(t)
+	res, err := AblationRanking(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTable(t, res.Text)
+	for _, row := range rows {
+		density, _ := strconv.ParseFloat(row[1], 64)
+		byHosts, _ := strconv.ParseFloat(row[2], 64)
+		random, _ := strconv.ParseFloat(row[3], 64)
+		if density > byHosts+1e-9 || density > random+1e-9 {
+			t.Errorf("%s: density ranking (%v) must dominate host-count (%v) and random (%v)",
+				row[0], density, byHosts, random)
+		}
+	}
+}
+
+func TestRunAndAll(t *testing.T) {
+	w := world(t)
+	if _, err := Run(w, "table1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(w, "nope"); err == nil {
+		t.Error("unknown id must fail")
+	}
+	results, err := All(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("All returned %d results, want %d", len(results), len(IDs()))
+	}
+	for _, r := range results {
+		if r.Text == "" {
+			t.Errorf("%s: empty text", r.ID)
+		}
+		if !strings.Contains(r.String(), r.ID) {
+			t.Errorf("%s: String() missing id", r.ID)
+		}
+	}
+}
+
+// parseTable splits a stats.Table rendering into data rows (skipping the
+// header and separator).
+func parseTable(t *testing.T, text string) [][]string {
+	t.Helper()
+	var rows [][]string
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	for i, ln := range lines {
+		if i == 0 || strings.HasPrefix(ln, "---") || strings.TrimSpace(ln) == "" {
+			continue
+		}
+		if !strings.Contains(lines[0], "  ") { // not a table section
+			continue
+		}
+		fields := strings.Fields(ln)
+		if len(fields) > 1 {
+			rows = append(rows, fields)
+		}
+	}
+	return rows
+}

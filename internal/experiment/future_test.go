@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestClusteringReducesSpace(t *testing.T) {
+	w := world(t)
+	res, err := Clustering(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTable(t, res.Text)
+	if len(rows) != 12 { // 4 protocols × 3 universes
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// Per protocol: scan-driven clustering of the l-universe must beat
+	// the plain l-universe on space at φ=0.95 (it carves out the dense
+	// cores), and its month-6 hitrate must not beat l's (finer prefixes
+	// cannot age better).
+	for i := 0; i < len(rows); i += 3 {
+		l, m, c := rows[i], rows[i+1], rows[i+2]
+		if l[1] != "l" || m[1] != "m" || c[1] != "clustered" {
+			t.Fatalf("unexpected universe order: %v %v %v", l[1], m[1], c[1])
+		}
+		lSpace, _ := strconv.ParseFloat(l[3], 64)
+		cSpace, _ := strconv.ParseFloat(c[3], 64)
+		if cSpace >= lSpace {
+			t.Errorf("%s: clustering did not reduce space: l=%v clustered=%v", l[0], lSpace, cSpace)
+		}
+		lHit, _ := strconv.ParseFloat(l[4], 64)
+		cHit, _ := strconv.ParseFloat(c[4], 64)
+		if cHit > lHit+0.005 {
+			t.Errorf("%s: clustered hitrate %v should not beat l-universe %v", l[0], cHit, lHit)
+		}
+	}
+}
+
+func TestReseedFrontier(t *testing.T) {
+	w := world(t)
+	res, err := Reseed(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTable(t, res.Text)
+	if len(rows) != 5 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// Monthly reseeding = all full scans: cost 1, hitrate 1.
+	monthly := rows[0]
+	if monthly[2] != "1.000" || monthly[3] != "1.000" {
+		t.Errorf("monthly reseed row: %v", monthly)
+	}
+	// Cost decreases (weakly) as Δt grows; "never" is cheapest.
+	var prev float64 = 2
+	for _, row := range rows {
+		c, _ := strconv.ParseFloat(row[2], 64)
+		if c > prev+1e-9 {
+			t.Errorf("cost share not decreasing with Δt: %v", res.Text)
+		}
+		prev = c
+	}
+	// Even "never" keeps min hitrate high over 6 months (the paper's
+	// "at least 6 months" claim).
+	never := rows[len(rows)-1]
+	min, _ := strconv.ParseFloat(never[4], 64)
+	if min < 0.85 {
+		t.Errorf("never-reseed min hitrate %v", min)
+	}
+}
+
+func TestVulnEstimate(t *testing.T) {
+	w := world(t)
+	res, err := VulnEstimate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseTable(t, res.Text)
+	if len(rows) != 4 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, row := range rows {
+		errPct, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(row[5], "+"), "%"), 64)
+		if err != nil {
+			t.Fatalf("error cell %q", row[5])
+		}
+		phi := row[1]
+		placement := row[0]
+		switch {
+		case placement == "uniform":
+			// Uniform placement: extrapolation must be nearly unbiased.
+			if errPct < -10 || errPct > 10 {
+				t.Errorf("uniform φ=%s estimate off by %v%%", phi, errPct)
+			}
+		case placement == "sparse-biased":
+			// Adversarial placement: the estimate must UNDERcount (the
+			// missed sparse prefixes carry extra vulnerable hosts) — the
+			// effect the paper warns about.
+			if errPct > 5 {
+				t.Errorf("sparse-biased φ=%s should undercount, got %+v%%", phi, errPct)
+			}
+		}
+	}
+}
+
+func TestMissedDistribution(t *testing.T) {
+	w := world(t)
+	res, err := Missed(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "residential") || !strings.Contains(res.Text, "/24") {
+		t.Fatalf("missing breakdowns:\n%s", res.Text)
+	}
+	// Sanity: overall missed share at month 6 with φ=0.95 should be
+	// modest (5-15%): parse the kind table rows.
+	rows := parseTable(t, strings.Split(res.Text, "\n\n")[0])
+	totalFound, totalMissed := 0, 0
+	for _, row := range rows {
+		f, _ := strconv.Atoi(row[len(row)-3])
+		m, _ := strconv.Atoi(row[len(row)-2])
+		totalFound += f
+		totalMissed += m
+	}
+	share := float64(totalMissed) / float64(totalFound+totalMissed)
+	if share < 0.02 || share > 0.3 {
+		t.Errorf("overall missed share %v implausible", share)
+	}
+}
+
+func TestNewExperimentsRegistered(t *testing.T) {
+	ids := IDs()
+	for _, want := range []string{"clustering", "reseed", "vulnestimate", "missed"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q not registered", want)
+		}
+	}
+}

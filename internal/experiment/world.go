@@ -1,0 +1,109 @@
+// Package experiment regenerates every table and figure of the TASS paper
+// on the synthetic universe. Each experiment returns a Result holding the
+// rendered rows/series the paper reports; cmd/experiments prints them and
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// The package is deliberately deterministic: a (seed, scale, months)
+// triple fully determines every number in every Result.
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/tass-scan/tass/internal/census"
+	"github.com/tass-scan/tass/internal/churn"
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/topo"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	// Seed drives universe generation (Seed) and churn (Seed+1).
+	Seed int64
+	// Months is the number of churn steps; the paper observes months
+	// 0..6 (7 snapshots).
+	Months int
+	// Scale selects the universe size: 1.0 is paper scale (≈3.7 B
+	// allocated addresses, ≈7 M hosts), smaller values shrink the
+	// allocated space and host counts proportionally for tests and
+	// benchmarks.
+	Scale float64
+}
+
+// DefaultConfig is the paper-scale setup: full address space, 7 monthly
+// snapshots.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, Months: 6, Scale: 1.0}
+}
+
+// SmallConfig is a fast, reduced-scale setup for tests and benches.
+func SmallConfig(seed int64) Config {
+	return Config{Seed: seed, Months: 6, Scale: 0.01}
+}
+
+// World bundles the generated universe and its ground-truth snapshot
+// series; all experiments share one World.
+type World struct {
+	Cfg    Config
+	U      *topo.Universe
+	Series map[string]*census.Series
+}
+
+// BuildWorld generates the universe and simulates the monthly series.
+func BuildWorld(cfg Config) (*World, error) {
+	if cfg.Months <= 0 {
+		cfg.Months = 6
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	var tcfg topo.Config
+	if cfg.Scale >= 1.0 {
+		tcfg = topo.DefaultConfig(cfg.Seed)
+	} else {
+		// Shrink the allocated space to keep densities comparable:
+		// pick a slice of /8 blocks matching the scale.
+		tcfg = topo.DefaultConfig(cfg.Seed)
+		blocks := int(cfg.Scale * 220)
+		if blocks < 1 {
+			blocks = 1
+		}
+		var alloc []netaddr.Prefix
+		for b := 0; b < blocks; b++ {
+			alloc = append(alloc, netaddr.MustPrefixFrom(
+				netaddr.AddrFrom4(byte(20+b), 0, 0, 0), 8))
+		}
+		tcfg.Allocated = alloc
+		tcfg.Protocols = topo.DefaultProfiles(cfg.Scale)
+		// Suppress whole-/8 announcements that would dominate a small
+		// universe (see topo.SmallConfig).
+		for l := 0; l <= 12; l++ {
+			tcfg.AnnounceProb[l] = 0
+			tcfg.HoleProb[l] = 0
+		}
+	}
+	u, err := topo.Generate(tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generating universe: %w", err)
+	}
+	series := churn.Run(u, cfg.Seed+1, cfg.Months)
+	return &World{Cfg: cfg, U: u, Series: series}, nil
+}
+
+// Protocols returns the protocol names in canonical order.
+func (w *World) Protocols() []string { return w.U.Protocols() }
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID matches the experiment index in DESIGN.md ("table1", "figure5").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Text is the rendered rows/series.
+	Text string
+}
+
+// String renders the result with its header.
+func (r Result) String() string {
+	return fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Text)
+}

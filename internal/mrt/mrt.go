@@ -1,0 +1,446 @@
+// Package mrt reads and writes MRT routing-information records (RFC 6396)
+// — the archive format of Routeviews and RIPE RIS collectors, and the raw
+// input behind the CAIDA pfx2as tables the TASS paper consumes.
+//
+// Supported record types:
+//
+//   - TABLE_DUMP_V2 / PEER_INDEX_TABLE and RIB_IPV4_UNICAST, enough to
+//     walk a full RIB snapshot and derive prefix→origin-AS mappings,
+//   - BGP4MP / BGP4MP_MESSAGE and BGP4MP_MESSAGE_AS4 (UPDATE streams).
+//
+// Reading and writing are symmetric and round-trip tested, so synthetic
+// RIBs can be generated, archived and re-consumed without external data.
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/tass-scan/tass/internal/bgp"
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// MRT record types (RFC 6396 §4).
+const (
+	TypeTableDumpV2 = 13
+	TypeBGP4MP      = 16
+)
+
+// TABLE_DUMP_V2 subtypes (RFC 6396 §4.3).
+const (
+	SubtypePeerIndexTable = 1
+	SubtypeRIBIPv4Unicast = 2
+)
+
+// BGP4MP subtypes (RFC 6396 §4.4).
+const (
+	SubtypeBGP4MPMessage    = 1
+	SubtypeBGP4MPMessageAS4 = 4
+)
+
+// ErrFormat reports malformed MRT data.
+var ErrFormat = errors.New("mrt: malformed record")
+
+// Header is the fixed 12-byte MRT record header.
+type Header struct {
+	Timestamp uint32
+	Type      uint16
+	Subtype   uint16
+	Length    uint32 // body length in bytes
+}
+
+// Record is one raw MRT record: header plus undecoded body. Decode into
+// typed records with AsPeerIndexTable, AsRIB or AsBGP4MP.
+type Record struct {
+	Header Header
+	Body   []byte
+}
+
+// Peer is one collector peer from a PEER_INDEX_TABLE.
+type Peer struct {
+	BGPID uint32
+	// Addr is the peer's IPv4 address (IPv6 peers are preserved raw in
+	// Addr6 and flagged).
+	Addr  netaddr.Addr
+	Addr6 netaddr.Addr6
+	IPv6  bool
+	AS    uint32
+	// AS4 records whether the AS was encoded in 4 bytes.
+	AS4 bool
+}
+
+// PeerIndexTable is the TABLE_DUMP_V2 peer directory; RIB entries refer
+// to peers by index into it.
+type PeerIndexTable struct {
+	CollectorBGPID uint32
+	ViewName       string
+	Peers          []Peer
+}
+
+// RIBEntry is one peer's path for a RIB prefix.
+type RIBEntry struct {
+	PeerIndex      uint16
+	OriginatedTime uint32
+	// Attrs is the raw BGP path-attribute block (4-byte AS encoding per
+	// RFC 6396 §4.3.4). Decode with bgp.ParseAttributes(attrs, true).
+	Attrs []byte
+}
+
+// RIB is a TABLE_DUMP_V2 RIB_IPV4_UNICAST record: one prefix with every
+// peer's path.
+type RIB struct {
+	SequenceNo uint32
+	Prefix     netaddr.Prefix
+	Entries    []RIBEntry
+}
+
+// BGP4MP is a BGP4MP_MESSAGE(_AS4) record: one BGP message observed on a
+// collector session.
+type BGP4MP struct {
+	PeerAS, LocalAS uint32
+	InterfaceIndex  uint16
+	PeerIP, LocalIP netaddr.Addr
+	// AS4 reports the BGP4MP_MESSAGE_AS4 subtype (4-byte AS header).
+	AS4 bool
+	// Message is the raw BGP message including its 19-byte header.
+	Message []byte
+}
+
+// Reader decodes MRT records from a stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader returns a Reader consuming r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next raw record, or io.EOF at end of stream.
+func (r *Reader) Next() (*Record, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("mrt: reading header: %w", err)
+	}
+	rec := &Record{Header: Header{
+		Timestamp: binary.BigEndian.Uint32(hdr[0:4]),
+		Type:      binary.BigEndian.Uint16(hdr[4:6]),
+		Subtype:   binary.BigEndian.Uint16(hdr[6:8]),
+		Length:    binary.BigEndian.Uint32(hdr[8:12]),
+	}}
+	if rec.Header.Length > 1<<24 {
+		return nil, fmt.Errorf("%w: body length %d", ErrFormat, rec.Header.Length)
+	}
+	rec.Body = make([]byte, rec.Header.Length)
+	if _, err := io.ReadFull(r.br, rec.Body); err != nil {
+		return nil, fmt.Errorf("mrt: reading %d-byte body: %w", rec.Header.Length, err)
+	}
+	return rec, nil
+}
+
+// Writer encodes MRT records to a stream.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter returns a Writer emitting to w. Call Flush when done.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// WriteRecord emits one record, fixing up the header length.
+func (w *Writer) WriteRecord(rec *Record) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], rec.Header.Timestamp)
+	binary.BigEndian.PutUint16(hdr[4:6], rec.Header.Type)
+	binary.BigEndian.PutUint16(hdr[6:8], rec.Header.Subtype)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(rec.Body)))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("mrt: %w", err)
+	}
+	if _, err := w.bw.Write(rec.Body); err != nil {
+		return fmt.Errorf("mrt: %w", err)
+	}
+	return nil
+}
+
+// Flush drains buffered output.
+func (w *Writer) Flush() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("mrt: %w", err)
+	}
+	return nil
+}
+
+// AsPeerIndexTable decodes a TABLE_DUMP_V2/PEER_INDEX_TABLE record.
+func (rec *Record) AsPeerIndexTable() (*PeerIndexTable, error) {
+	if rec.Header.Type != TypeTableDumpV2 || rec.Header.Subtype != SubtypePeerIndexTable {
+		return nil, fmt.Errorf("%w: not a PEER_INDEX_TABLE (%d/%d)",
+			ErrFormat, rec.Header.Type, rec.Header.Subtype)
+	}
+	b := rec.Body
+	if len(b) < 8 {
+		return nil, fmt.Errorf("%w: peer index header", ErrFormat)
+	}
+	t := &PeerIndexTable{CollectorBGPID: binary.BigEndian.Uint32(b[0:4])}
+	nameLen := int(binary.BigEndian.Uint16(b[4:6]))
+	b = b[6:]
+	if len(b) < nameLen+2 {
+		return nil, fmt.Errorf("%w: view name", ErrFormat)
+	}
+	t.ViewName = string(b[:nameLen])
+	b = b[nameLen:]
+	peerCount := int(binary.BigEndian.Uint16(b[0:2]))
+	b = b[2:]
+	for i := 0; i < peerCount; i++ {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("%w: peer %d type", ErrFormat, i)
+		}
+		ptype := b[0]
+		b = b[1:]
+		p := Peer{IPv6: ptype&0x01 != 0, AS4: ptype&0x02 != 0}
+		if len(b) < 4 {
+			return nil, fmt.Errorf("%w: peer %d BGP ID", ErrFormat, i)
+		}
+		p.BGPID = binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if p.IPv6 {
+			if len(b) < 16 {
+				return nil, fmt.Errorf("%w: peer %d IPv6", ErrFormat, i)
+			}
+			p.Addr6 = netaddr.Addr6{
+				Hi: binary.BigEndian.Uint64(b[0:8]),
+				Lo: binary.BigEndian.Uint64(b[8:16]),
+			}
+			b = b[16:]
+		} else {
+			if len(b) < 4 {
+				return nil, fmt.Errorf("%w: peer %d IPv4", ErrFormat, i)
+			}
+			p.Addr = netaddr.Addr(binary.BigEndian.Uint32(b))
+			b = b[4:]
+		}
+		if p.AS4 {
+			if len(b) < 4 {
+				return nil, fmt.Errorf("%w: peer %d AS4", ErrFormat, i)
+			}
+			p.AS = binary.BigEndian.Uint32(b)
+			b = b[4:]
+		} else {
+			if len(b) < 2 {
+				return nil, fmt.Errorf("%w: peer %d AS2", ErrFormat, i)
+			}
+			p.AS = uint32(binary.BigEndian.Uint16(b))
+			b = b[2:]
+		}
+		t.Peers = append(t.Peers, p)
+	}
+	return t, nil
+}
+
+// Record encodes the table as an MRT record.
+func (t *PeerIndexTable) Record(timestamp uint32) *Record {
+	body := binary.BigEndian.AppendUint32(nil, t.CollectorBGPID)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(t.ViewName)))
+	body = append(body, t.ViewName...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(t.Peers)))
+	for _, p := range t.Peers {
+		var ptype byte
+		if p.IPv6 {
+			ptype |= 0x01
+		}
+		if p.AS4 {
+			ptype |= 0x02
+		}
+		body = append(body, ptype)
+		body = binary.BigEndian.AppendUint32(body, p.BGPID)
+		if p.IPv6 {
+			body = binary.BigEndian.AppendUint64(body, p.Addr6.Hi)
+			body = binary.BigEndian.AppendUint64(body, p.Addr6.Lo)
+		} else {
+			body = binary.BigEndian.AppendUint32(body, uint32(p.Addr))
+		}
+		if p.AS4 {
+			body = binary.BigEndian.AppendUint32(body, p.AS)
+		} else {
+			body = binary.BigEndian.AppendUint16(body, uint16(p.AS))
+		}
+	}
+	return &Record{
+		Header: Header{Timestamp: timestamp, Type: TypeTableDumpV2, Subtype: SubtypePeerIndexTable},
+		Body:   body,
+	}
+}
+
+// AsRIB decodes a TABLE_DUMP_V2/RIB_IPV4_UNICAST record.
+func (rec *Record) AsRIB() (*RIB, error) {
+	if rec.Header.Type != TypeTableDumpV2 || rec.Header.Subtype != SubtypeRIBIPv4Unicast {
+		return nil, fmt.Errorf("%w: not a RIB_IPV4_UNICAST (%d/%d)",
+			ErrFormat, rec.Header.Type, rec.Header.Subtype)
+	}
+	b := rec.Body
+	if len(b) < 5 {
+		return nil, fmt.Errorf("%w: RIB header", ErrFormat)
+	}
+	rib := &RIB{SequenceNo: binary.BigEndian.Uint32(b[0:4])}
+	bits := int(b[4])
+	if bits > 32 {
+		return nil, fmt.Errorf("%w: prefix length %d", ErrFormat, bits)
+	}
+	b = b[5:]
+	nbytes := (bits + 7) / 8
+	if len(b) < nbytes+2 {
+		return nil, fmt.Errorf("%w: prefix bytes", ErrFormat)
+	}
+	var v uint32
+	for i := 0; i < nbytes; i++ {
+		v |= uint32(b[i]) << (24 - 8*uint(i))
+	}
+	p, err := netaddr.PrefixFrom(netaddr.Addr(v), bits)
+	if err != nil || p.Addr() != netaddr.Addr(v) {
+		return nil, fmt.Errorf("%w: non-canonical prefix", ErrFormat)
+	}
+	rib.Prefix = p
+	b = b[nbytes:]
+	entryCount := int(binary.BigEndian.Uint16(b[0:2]))
+	b = b[2:]
+	for i := 0; i < entryCount; i++ {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("%w: RIB entry %d header", ErrFormat, i)
+		}
+		e := RIBEntry{
+			PeerIndex:      binary.BigEndian.Uint16(b[0:2]),
+			OriginatedTime: binary.BigEndian.Uint32(b[2:6]),
+		}
+		alen := int(binary.BigEndian.Uint16(b[6:8]))
+		b = b[8:]
+		if len(b) < alen {
+			return nil, fmt.Errorf("%w: RIB entry %d attributes", ErrFormat, i)
+		}
+		e.Attrs = append([]byte(nil), b[:alen]...)
+		b = b[alen:]
+		rib.Entries = append(rib.Entries, e)
+	}
+	return rib, nil
+}
+
+// Record encodes the RIB entry as an MRT record.
+func (rib *RIB) Record(timestamp uint32) *Record {
+	body := binary.BigEndian.AppendUint32(nil, rib.SequenceNo)
+	bits := rib.Prefix.Bits()
+	body = append(body, byte(bits))
+	v := uint32(rib.Prefix.Addr())
+	for i := 0; i < (bits+7)/8; i++ {
+		body = append(body, byte(v>>(24-8*uint(i))))
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(rib.Entries)))
+	for _, e := range rib.Entries {
+		body = binary.BigEndian.AppendUint16(body, e.PeerIndex)
+		body = binary.BigEndian.AppendUint32(body, e.OriginatedTime)
+		body = binary.BigEndian.AppendUint16(body, uint16(len(e.Attrs)))
+		body = append(body, e.Attrs...)
+	}
+	return &Record{
+		Header: Header{Timestamp: timestamp, Type: TypeTableDumpV2, Subtype: SubtypeRIBIPv4Unicast},
+		Body:   body,
+	}
+}
+
+// AsBGP4MP decodes a BGP4MP_MESSAGE or BGP4MP_MESSAGE_AS4 record.
+func (rec *Record) AsBGP4MP() (*BGP4MP, error) {
+	if rec.Header.Type != TypeBGP4MP ||
+		(rec.Header.Subtype != SubtypeBGP4MPMessage && rec.Header.Subtype != SubtypeBGP4MPMessageAS4) {
+		return nil, fmt.Errorf("%w: not a BGP4MP message (%d/%d)",
+			ErrFormat, rec.Header.Type, rec.Header.Subtype)
+	}
+	m := &BGP4MP{AS4: rec.Header.Subtype == SubtypeBGP4MPMessageAS4}
+	b := rec.Body
+	asLen := 2
+	if m.AS4 {
+		asLen = 4
+	}
+	if len(b) < 2*asLen+4 {
+		return nil, fmt.Errorf("%w: BGP4MP header", ErrFormat)
+	}
+	if m.AS4 {
+		m.PeerAS = binary.BigEndian.Uint32(b[0:4])
+		m.LocalAS = binary.BigEndian.Uint32(b[4:8])
+	} else {
+		m.PeerAS = uint32(binary.BigEndian.Uint16(b[0:2]))
+		m.LocalAS = uint32(binary.BigEndian.Uint16(b[2:4]))
+	}
+	b = b[2*asLen:]
+	m.InterfaceIndex = binary.BigEndian.Uint16(b[0:2])
+	afi := binary.BigEndian.Uint16(b[2:4])
+	b = b[4:]
+	if afi != 1 {
+		return nil, fmt.Errorf("%w: unsupported AFI %d", ErrFormat, afi)
+	}
+	if len(b) < 8 {
+		return nil, fmt.Errorf("%w: BGP4MP addresses", ErrFormat)
+	}
+	m.PeerIP = netaddr.Addr(binary.BigEndian.Uint32(b[0:4]))
+	m.LocalIP = netaddr.Addr(binary.BigEndian.Uint32(b[4:8]))
+	m.Message = append([]byte(nil), b[8:]...)
+	return m, nil
+}
+
+// Record encodes the message as an MRT record.
+func (m *BGP4MP) Record(timestamp uint32) *Record {
+	var body []byte
+	subtype := uint16(SubtypeBGP4MPMessage)
+	if m.AS4 {
+		subtype = SubtypeBGP4MPMessageAS4
+		body = binary.BigEndian.AppendUint32(body, m.PeerAS)
+		body = binary.BigEndian.AppendUint32(body, m.LocalAS)
+	} else {
+		body = binary.BigEndian.AppendUint16(body, uint16(m.PeerAS))
+		body = binary.BigEndian.AppendUint16(body, uint16(m.LocalAS))
+	}
+	body = binary.BigEndian.AppendUint16(body, m.InterfaceIndex)
+	body = binary.BigEndian.AppendUint16(body, 1) // AFI IPv4
+	body = binary.BigEndian.AppendUint32(body, uint32(m.PeerIP))
+	body = binary.BigEndian.AppendUint32(body, uint32(m.LocalIP))
+	body = append(body, m.Message...)
+	return &Record{
+		Header: Header{Timestamp: timestamp, Type: TypeBGP4MP, Subtype: subtype},
+		Body:   body,
+	}
+}
+
+// Update extracts the BGP UPDATE body from the wrapped message (skipping
+// the 19-byte BGP header) and parses it.
+func (m *BGP4MP) Update() (*bgp.Update, error) {
+	if len(m.Message) < 19 {
+		return nil, fmt.Errorf("%w: BGP message header", ErrFormat)
+	}
+	msgType := m.Message[18]
+	if msgType != 2 {
+		return nil, fmt.Errorf("%w: BGP message type %d is not UPDATE", ErrFormat, msgType)
+	}
+	msgLen := int(binary.BigEndian.Uint16(m.Message[16:18]))
+	if msgLen != len(m.Message) {
+		return nil, fmt.Errorf("%w: BGP message length %d, record carries %d",
+			ErrFormat, msgLen, len(m.Message))
+	}
+	return bgp.ParseUpdate(m.Message[19:], m.AS4)
+}
+
+// WrapUpdate builds the wire form of a BGP UPDATE message (19-byte header
+// plus body) for embedding in a BGP4MP record.
+func WrapUpdate(u *bgp.Update, as4 bool) []byte {
+	body := u.Serialize(as4)
+	msg := make([]byte, 19, 19+len(body))
+	for i := 0; i < 16; i++ {
+		msg[i] = 0xFF
+	}
+	binary.BigEndian.PutUint16(msg[16:18], uint16(19+len(body)))
+	msg[18] = 2 // UPDATE
+	return append(msg, body...)
+}

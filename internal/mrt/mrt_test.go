@@ -1,0 +1,284 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/bgp"
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/pfx2as"
+)
+
+func testPeers() []Peer {
+	return []Peer{
+		{BGPID: 0x01010101, Addr: netaddr.MustParseAddr("198.51.100.1"), AS: 64500, AS4: true},
+		{BGPID: 0x02020202, Addr: netaddr.MustParseAddr("198.51.100.2"), AS: 64501, AS4: true},
+		{BGPID: 0x03030303, Addr6: netaddr.MustParseAddr6("2001:db8::1"), IPv6: true, AS: 397212, AS4: true},
+		{BGPID: 0x04040404, Addr: netaddr.MustParseAddr("198.51.100.4"), AS: 65010, AS4: false},
+	}
+}
+
+func TestPeerIndexTableRoundTrip(t *testing.T) {
+	in := &PeerIndexTable{CollectorBGPID: 0xC0C0C0C0, ViewName: "rv2", Peers: testPeers()}
+	rec := in.Record(1234567890)
+	if rec.Header.Type != TypeTableDumpV2 || rec.Header.Subtype != SubtypePeerIndexTable {
+		t.Fatalf("header %+v", rec.Header)
+	}
+	out, err := rec.AsPeerIndexTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CollectorBGPID != in.CollectorBGPID || out.ViewName != "rv2" {
+		t.Errorf("table header %+v", out)
+	}
+	if len(out.Peers) != len(in.Peers) {
+		t.Fatalf("peers %d", len(out.Peers))
+	}
+	for i := range in.Peers {
+		if out.Peers[i] != in.Peers[i] {
+			t.Errorf("peer %d: %+v != %+v", i, out.Peers[i], in.Peers[i])
+		}
+	}
+}
+
+func TestRIBRoundTrip(t *testing.T) {
+	origin := uint8(bgp.OriginIGP)
+	nh := netaddr.MustParseAddr("198.51.100.1")
+	attrs := (&bgp.Attributes{
+		Origin:  &origin,
+		ASPath:  bgp.ASPath{{Type: bgp.SegmentASSequence, ASNs: []uint32{64500, 13335}}},
+		NextHop: &nh,
+	}).Serialize(true)
+	in := &RIB{
+		SequenceNo: 42,
+		Prefix:     netaddr.MustParsePrefix("100.64.0.0/10"),
+		Entries: []RIBEntry{
+			{PeerIndex: 0, OriginatedTime: 111, Attrs: attrs},
+			{PeerIndex: 1, OriginatedTime: 222, Attrs: attrs},
+		},
+	}
+	out, err := in.Record(99).AsRIB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SequenceNo != 42 || out.Prefix != in.Prefix || len(out.Entries) != 2 {
+		t.Fatalf("rib %+v", out)
+	}
+	if out.Entries[1].OriginatedTime != 222 || !bytes.Equal(out.Entries[1].Attrs, attrs) {
+		t.Errorf("entry 1 %+v", out.Entries[1])
+	}
+	// The embedded attributes parse back to the same origin AS.
+	parsed, err := bgp.ParseAttributes(out.Entries[0].Attrs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asn, ok := parsed.OriginAS(); !ok || asn != 13335 {
+		t.Errorf("origin %d, %v", asn, ok)
+	}
+}
+
+func TestReaderWriterStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	pit := &PeerIndexTable{CollectorBGPID: 1, ViewName: "x", Peers: testPeers()[:1]}
+	if err := w.WriteRecord(pit.Record(10)); err != nil {
+		t.Fatal(err)
+	}
+	rib := &RIB{Prefix: netaddr.MustParsePrefix("10.0.0.0/8")}
+	if err := w.WriteRecord(rib.Record(11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	r1, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Header.Timestamp != 10 || r1.Header.Subtype != SubtypePeerIndexTable {
+		t.Errorf("record 1 header %+v", r1.Header)
+	}
+	r2, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Header.Timestamp != 11 || r2.Header.Subtype != SubtypeRIBIPv4Unicast {
+		t.Errorf("record 2 header %+v", r2.Header)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	pit := &PeerIndexTable{ViewName: "x"}
+	rec := pit.Record(1)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	full := buf.Bytes()
+	for _, cut := range []int{3, 11, len(full) - 1} {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) && cut > 0 {
+			// A cut inside the header or body must be an error, except a
+			// clean cut at 0 bytes which is EOF.
+			if cut != 0 {
+				t.Errorf("cut=%d: got %v", cut, err)
+			}
+		}
+	}
+}
+
+func TestWrongSubtypeDecodes(t *testing.T) {
+	pit := (&PeerIndexTable{ViewName: "x"}).Record(1)
+	if _, err := pit.AsRIB(); err == nil {
+		t.Error("peer index decoded as RIB")
+	}
+	rib := (&RIB{Prefix: netaddr.MustParsePrefix("10.0.0.0/8")}).Record(1)
+	if _, err := rib.AsPeerIndexTable(); err == nil {
+		t.Error("RIB decoded as peer index")
+	}
+	if _, err := rib.AsBGP4MP(); err == nil {
+		t.Error("RIB decoded as BGP4MP")
+	}
+}
+
+func TestBGP4MPRoundTrip(t *testing.T) {
+	origin := uint8(bgp.OriginIGP)
+	update := &bgp.Update{
+		Attributes: &bgp.Attributes{
+			Origin: &origin,
+			ASPath: bgp.ASPath{{Type: bgp.SegmentASSequence, ASNs: []uint32{64500, 13335}}},
+		},
+		NLRI: []netaddr.Prefix{netaddr.MustParsePrefix("203.0.113.0/24")},
+	}
+	for _, as4 := range []bool{true, false} {
+		in := &BGP4MP{
+			PeerAS: 64500, LocalAS: 64501, InterfaceIndex: 7,
+			PeerIP:  netaddr.MustParseAddr("198.51.100.1"),
+			LocalIP: netaddr.MustParseAddr("198.51.100.2"),
+			AS4:     as4,
+			Message: WrapUpdate(update, as4),
+		}
+		out, err := in.Record(77).AsBGP4MP()
+		if err != nil {
+			t.Fatalf("as4=%v: %v", as4, err)
+		}
+		if out.PeerAS != 64500 || out.LocalAS != 64501 || out.AS4 != as4 {
+			t.Errorf("as4=%v header %+v", as4, out)
+		}
+		u, err := out.Update()
+		if err != nil {
+			t.Fatalf("as4=%v update: %v", as4, err)
+		}
+		if len(u.NLRI) != 1 || u.NLRI[0] != update.NLRI[0] {
+			t.Errorf("as4=%v nlri %v", as4, u.NLRI)
+		}
+		if asn, ok := u.Attributes.OriginAS(); !ok || asn != 13335 {
+			t.Errorf("as4=%v origin %d", as4, asn)
+		}
+	}
+}
+
+func TestBGP4MPUpdateErrors(t *testing.T) {
+	m := &BGP4MP{Message: []byte{1, 2, 3}}
+	if _, err := m.Update(); err == nil {
+		t.Error("short message accepted")
+	}
+	msg := WrapUpdate(&bgp.Update{}, true)
+	msg[18] = 1 // OPEN, not UPDATE
+	m = &BGP4MP{Message: msg}
+	if _, err := m.Update(); err == nil {
+		t.Error("non-UPDATE accepted")
+	}
+}
+
+func TestExtractPfx2as(t *testing.T) {
+	routes := []pfx2as.Record{
+		{Prefix: netaddr.MustParsePrefix("100.0.0.0/8"), Origin: pfx2as.SingleOrigin(3356)},
+		{Prefix: netaddr.MustParsePrefix("100.16.0.0/12"), Origin: pfx2as.SingleOrigin(13335)},
+		{Prefix: netaddr.MustParsePrefix("203.0.112.0/23"),
+			Origin: pfx2as.Origin{Groups: [][]uint32{{64500}, {64501}}}}, // MOAS
+	}
+	var buf bytes.Buffer
+	if err := SynthesizeRIB(&buf, 1000, 0xAA, testPeers()[:2], routes); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := ExtractPfx2as(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped %d", skipped)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("extracted %d records", len(recs))
+	}
+	if asn, _ := recs[0].Origin.Primary(); recs[0].Prefix != routes[0].Prefix || asn != 3356 {
+		t.Errorf("rec 0: %v %v", recs[0].Prefix, recs[0].Origin)
+	}
+	if asn, _ := recs[1].Origin.Primary(); asn != 13335 {
+		t.Errorf("rec 1 origin %v", recs[1].Origin)
+	}
+	if !recs[2].Origin.MOAS() {
+		t.Errorf("rec 2 should be MOAS, got %v", recs[2].Origin)
+	}
+}
+
+func TestExtractPfx2asSkipsGarbage(t *testing.T) {
+	// A RIB whose attributes do not parse must be skipped, not fatal.
+	rib := &RIB{
+		Prefix:  netaddr.MustParsePrefix("10.0.0.0/8"),
+		Entries: []RIBEntry{{PeerIndex: 0, Attrs: []byte{0xFF}}},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRecord(rib.Record(1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	recs, skipped, err := ExtractPfx2as(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || skipped == 0 {
+		t.Errorf("recs=%d skipped=%d", len(recs), skipped)
+	}
+}
+
+func TestSynthesizeRIBNeedsPeers(t *testing.T) {
+	var buf bytes.Buffer
+	err := SynthesizeRIB(&buf, 1, 1, nil, nil)
+	if err == nil {
+		t.Error("no peers accepted")
+	}
+}
+
+func BenchmarkExtractPfx2as(b *testing.B) {
+	var routes []pfx2as.Record
+	for i := 0; i < 1000; i++ {
+		routes = append(routes, pfx2as.Record{
+			Prefix: netaddr.MustPrefixFrom(netaddr.Addr(uint32(i)<<16), 16),
+			Origin: pfx2as.SingleOrigin(uint32(1000 + i)),
+		})
+	}
+	var buf bytes.Buffer
+	if err := SynthesizeRIB(&buf, 1, 1, testPeers()[:2], routes); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ExtractPfx2as(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

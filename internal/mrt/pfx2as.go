@@ -1,0 +1,130 @@
+package mrt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/tass-scan/tass/internal/bgp"
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/pfx2as"
+)
+
+// ExtractPfx2as walks a TABLE_DUMP_V2 stream and derives the prefix→
+// origin-AS mapping, the same reduction CAIDA applies to Routeviews RIBs
+// to produce the pfx2as datasets the paper uses. For each prefix, origins
+// are collected across all peers; multiple distinct origins yield a MOAS
+// record (origins sorted by descending peer support, then numerically).
+// Unparseable entries are skipped and counted, not fatal: real RIB dumps
+// always contain a few damaged paths.
+func ExtractPfx2as(r io.Reader) (records []pfx2as.Record, skipped int, err error) {
+	rd := NewReader(r)
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return records, skipped, err
+		}
+		if rec.Header.Type != TypeTableDumpV2 || rec.Header.Subtype != SubtypeRIBIPv4Unicast {
+			continue // peer index tables, IPv6 RIBs, ...
+		}
+		rib, err := rec.AsRIB()
+		if err != nil {
+			skipped++
+			continue
+		}
+		support := make(map[uint32]int)
+		for _, e := range rib.Entries {
+			attrs, err := bgp.ParseAttributes(e.Attrs, true)
+			if err != nil {
+				skipped++
+				continue
+			}
+			if origin, ok := attrs.OriginAS(); ok {
+				support[origin]++
+			}
+		}
+		if len(support) == 0 {
+			skipped++
+			continue
+		}
+		origins := make([]uint32, 0, len(support))
+		for asn := range support {
+			origins = append(origins, asn)
+		}
+		sort.Slice(origins, func(i, j int) bool {
+			if support[origins[i]] != support[origins[j]] {
+				return support[origins[i]] > support[origins[j]]
+			}
+			return origins[i] < origins[j]
+		})
+		o := pfx2as.Origin{}
+		for _, asn := range origins {
+			o.Groups = append(o.Groups, []uint32{asn})
+		}
+		records = append(records, pfx2as.Record{Prefix: rib.Prefix, Origin: o})
+	}
+	sort.Slice(records, func(i, j int) bool {
+		return records[i].Prefix.Compare(records[j].Prefix) < 0
+	})
+	return records, skipped, nil
+}
+
+// SynthesizeRIB writes a TABLE_DUMP_V2 stream announcing the given
+// (prefix, origin) pairs: one PEER_INDEX_TABLE with the given peers and
+// one RIB_IPV4_UNICAST record per prefix, with every peer carrying a
+// plausible AS path ending at the prefix's origin. It is the test and
+// demo generator standing in for a Routeviews archive download.
+func SynthesizeRIB(w io.Writer, timestamp uint32, collectorID uint32,
+	peers []Peer, routes []pfx2as.Record) error {
+
+	if len(peers) == 0 {
+		return fmt.Errorf("mrt: synthesize needs at least one peer")
+	}
+	mw := NewWriter(w)
+	pit := &PeerIndexTable{CollectorBGPID: collectorID, ViewName: "synthetic"}
+	pit.Peers = append(pit.Peers, peers...)
+	if err := mw.WriteRecord(pit.Record(timestamp)); err != nil {
+		return err
+	}
+	origin := uint8(bgp.OriginIGP)
+	for seq, route := range routes {
+		primary, ok := route.Origin.Primary()
+		if !ok {
+			return fmt.Errorf("mrt: route %v has no origin", route.Prefix)
+		}
+		rib := &RIB{SequenceNo: uint32(seq), Prefix: route.Prefix}
+		for pi, peer := range peers {
+			// Path: peer AS, a stable middle hop, then the origin(s).
+			// MOAS routes alternate origins across peers.
+			asn := primary
+			if groups := route.Origin.Groups; len(groups) > 1 {
+				g := groups[pi%len(groups)]
+				if len(g) > 0 {
+					asn = g[0]
+				}
+			}
+			nh := netaddr.Addr(peer.Addr)
+			attrs := &bgp.Attributes{
+				Origin: &origin,
+				ASPath: bgp.ASPath{{
+					Type: bgp.SegmentASSequence,
+					ASNs: []uint32{peer.AS, 64512 + uint32(pi), asn},
+				}},
+				NextHop: &nh,
+			}
+			rib.Entries = append(rib.Entries, RIBEntry{
+				PeerIndex:      uint16(pi),
+				OriginatedTime: timestamp,
+				Attrs:          attrs.Serialize(true),
+			})
+		}
+		if err := mw.WriteRecord(rib.Record(timestamp)); err != nil {
+			return err
+		}
+	}
+	return mw.Flush()
+}

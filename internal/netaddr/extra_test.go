@@ -1,0 +1,117 @@
+package netaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskAndOctets(t *testing.T) {
+	cases := []struct {
+		prefix string
+		mask   string
+	}{
+		{"0.0.0.0/0", "0.0.0.0"},
+		{"10.0.0.0/8", "255.0.0.0"},
+		{"100.64.0.0/10", "255.192.0.0"},
+		{"192.0.2.0/24", "255.255.255.0"},
+		{"192.0.2.1/32", "255.255.255.255"},
+	}
+	for _, c := range cases {
+		p := MustParsePrefix(c.prefix)
+		if got := p.Mask().String(); got != c.mask {
+			t.Errorf("%s mask = %s, want %s", c.prefix, got, c.mask)
+		}
+	}
+	o := MustParseAddr("1.2.3.4").Octets()
+	if o != [4]byte{1, 2, 3, 4} {
+		t.Errorf("Octets = %v", o)
+	}
+}
+
+func TestContainsPrefixTransitive(t *testing.T) {
+	// If a ⊇ b and b ⊇ c then a ⊇ c: derive nested prefixes and check.
+	f := func(v uint32, b1, b2, b3 uint8) bool {
+		l1 := int(b1 % 11)    // 0..10
+		l2 := l1 + int(b2%11) // l1..l1+10
+		l3 := l2 + int(b3%11) // l2..l2+10
+		if l3 > 32 {
+			return true
+		}
+		a := MustPrefixFrom(Addr(v), l1)
+		b := MustPrefixFrom(Addr(v), l2)
+		c := MustPrefixFrom(Addr(v), l3)
+		return a.ContainsPrefix(b) && b.ContainsPrefix(c) && a.ContainsPrefix(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsMatchesRange(t *testing.T) {
+	// Contains(a) must agree with First() <= a <= Last().
+	f := func(v, probe uint32, bitsRaw uint8) bool {
+		p := MustPrefixFrom(Addr(v), int(bitsRaw%33))
+		a := Addr(probe)
+		inRange := a >= p.First() && a <= p.Last()
+		return p.Contains(a) == inRange
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	f := func(v1, v2 uint32, b1, b2 uint8) bool {
+		p := MustPrefixFrom(Addr(v1), int(b1%33))
+		q := MustPrefixFrom(Addr(v2), int(b2%33))
+		pq, qp := p.Compare(q), q.Compare(p)
+		if p == q {
+			return pq == 0 && qp == 0
+		}
+		return pq == -qp && pq != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixFromRejectsBadBits(t *testing.T) {
+	if _, err := PrefixFrom(0, 33); err == nil {
+		t.Error("bits 33 accepted")
+	}
+	if _, err := PrefixFrom(0, -1); err == nil {
+		t.Error("bits -1 accepted")
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MustParseAddr":   func() { MustParseAddr("bogus") },
+		"MustParsePrefix": func() { MustParsePrefix("bogus") },
+		"MustPrefixFrom":  func() { MustPrefixFrom(0, 99) },
+		"MustParseAddr6":  func() { MustParseAddr6("bogus") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSummarizeRangeAdjacentMerges(t *testing.T) {
+	// Two adjacent /25s summarize to one /24.
+	got := SummarizeRange(MustParseAddr("10.0.0.0"), MustParseAddr("10.0.0.255"))
+	if len(got) != 1 || got[0].String() != "10.0.0.0/24" {
+		t.Errorf("SummarizeRange = %v", got)
+	}
+	// Unaligned start forces a split.
+	got = SummarizeRange(MustParseAddr("10.0.0.128"), MustParseAddr("10.0.1.255"))
+	want := []string{"10.0.0.128/25", "10.0.1.0/24"}
+	if len(got) != 2 || got[0].String() != want[0] || got[1].String() != want[1] {
+		t.Errorf("SummarizeRange = %v, want %v", got, want)
+	}
+}

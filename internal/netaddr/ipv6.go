@@ -1,0 +1,205 @@
+package netaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr6 is a 128-bit IPv6 address stored as two 64-bit halves. It exists so
+// the prefix machinery in this repository has a forward path to IPv6
+// scanning, the explicit future-work direction of the TASS paper: when
+// brute-forcing the address space is impossible, prefix selection is the
+// only viable scan scoping, and all selection code here is width-agnostic.
+type Addr6 struct {
+	Hi, Lo uint64
+}
+
+// Compare orders addresses numerically and returns -1, 0 or +1.
+func (a Addr6) Compare(b Addr6) int {
+	switch {
+	case a.Hi < b.Hi:
+		return -1
+	case a.Hi > b.Hi:
+		return 1
+	case a.Lo < b.Lo:
+		return -1
+	case a.Lo > b.Lo:
+		return 1
+	}
+	return 0
+}
+
+// String formats a in full (uncompressed) RFC 5952 hexadecimal groups.
+// Zero-run compression is applied for the single longest run.
+func (a Addr6) String() string {
+	var groups [8]uint16
+	for i := 0; i < 4; i++ {
+		groups[i] = uint16(a.Hi >> (48 - 16*uint(i)))
+		groups[i+4] = uint16(a.Lo >> (48 - 16*uint(i)))
+	}
+	// Longest run of zero groups (must be >1 to compress, per RFC 5952).
+	best, bestLen := -1, 1
+	for i := 0; i < 8; {
+		if groups[i] != 0 {
+			i++
+			continue
+		}
+		j := i
+		for j < 8 && groups[j] == 0 {
+			j++
+		}
+		if j-i > bestLen {
+			best, bestLen = i, j-i
+		}
+		i = j
+	}
+	var sb strings.Builder
+	for i := 0; i < 8; i++ {
+		if i == best {
+			sb.WriteString("::")
+			i += bestLen - 1
+			continue
+		}
+		if i > 0 && !(best >= 0 && i == best+bestLen) {
+			sb.WriteByte(':')
+		}
+		sb.WriteString(strconv.FormatUint(uint64(groups[i]), 16))
+	}
+	s := sb.String()
+	if s == "" {
+		return "::"
+	}
+	return s
+}
+
+// ParseAddr6 parses an RFC 4291 textual IPv6 address (with optional "::"
+// compression). Embedded IPv4 notation is not supported.
+func ParseAddr6(s string) (Addr6, error) {
+	var head, tail []uint16
+	parts := strings.Split(s, "::")
+	if len(parts) > 2 {
+		return Addr6{}, fmt.Errorf("%w: multiple '::' in %q", ErrBadAddr, s)
+	}
+	parse := func(seg string) ([]uint16, error) {
+		if seg == "" {
+			return nil, nil
+		}
+		var out []uint16
+		for _, g := range strings.Split(seg, ":") {
+			if g == "" || len(g) > 4 {
+				return nil, fmt.Errorf("%w: bad group %q in %q", ErrBadAddr, g, s)
+			}
+			v, err := strconv.ParseUint(g, 16, 16)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad group %q in %q", ErrBadAddr, g, s)
+			}
+			out = append(out, uint16(v))
+		}
+		return out, nil
+	}
+	var err error
+	if head, err = parse(parts[0]); err != nil {
+		return Addr6{}, err
+	}
+	if len(parts) == 2 {
+		if tail, err = parse(parts[1]); err != nil {
+			return Addr6{}, err
+		}
+		if len(head)+len(tail) > 7 {
+			return Addr6{}, fmt.Errorf("%w: '::' with 8 groups in %q", ErrBadAddr, s)
+		}
+	} else if len(head) != 8 {
+		return Addr6{}, fmt.Errorf("%w: %d groups in %q", ErrBadAddr, len(head), s)
+	}
+	var groups [8]uint16
+	copy(groups[:], head)
+	copy(groups[8-len(tail):], tail)
+	var a Addr6
+	for i := 0; i < 4; i++ {
+		a.Hi |= uint64(groups[i]) << (48 - 16*uint(i))
+		a.Lo |= uint64(groups[i+4]) << (48 - 16*uint(i))
+	}
+	return a, nil
+}
+
+// MustParseAddr6 is ParseAddr6 for tests and constants; it panics on error.
+func MustParseAddr6(s string) Addr6 {
+	a, err := ParseAddr6(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Prefix6 is a canonical IPv6 CIDR prefix.
+type Prefix6 struct {
+	addr Addr6
+	bits uint8
+}
+
+// Prefix6From returns the canonical prefix of length bits containing a.
+func Prefix6From(a Addr6, bits int) (Prefix6, error) {
+	if bits < 0 || bits > 128 {
+		return Prefix6{}, fmt.Errorf("%w: length %d", ErrBadPrefix, bits)
+	}
+	hi, lo := mask6(bits)
+	return Prefix6{addr: Addr6{Hi: a.Hi & hi, Lo: a.Lo & lo}, bits: uint8(bits)}, nil
+}
+
+// ParsePrefix6 parses IPv6 CIDR notation such as "2001:db8::/32". Host
+// bits must be zero.
+func ParsePrefix6(s string) (Prefix6, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix6{}, fmt.Errorf("%w: missing '/' in %q", ErrBadPrefix, s)
+	}
+	a, err := ParseAddr6(s[:slash])
+	if err != nil {
+		return Prefix6{}, fmt.Errorf("%w: %v", ErrBadPrefix, err)
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 128 {
+		return Prefix6{}, fmt.Errorf("%w: bad length in %q", ErrBadPrefix, s)
+	}
+	hi, lo := mask6(bits)
+	if a.Hi&^hi != 0 || a.Lo&^lo != 0 {
+		return Prefix6{}, fmt.Errorf("%w: host bits set in %q", ErrBadPrefix, s)
+	}
+	return Prefix6{addr: a, bits: uint8(bits)}, nil
+}
+
+func mask6(bits int) (hi, lo uint64) {
+	switch {
+	case bits <= 0:
+		return 0, 0
+	case bits <= 64:
+		return ^uint64(0) << (64 - uint(bits)), 0
+	case bits >= 128:
+		return ^uint64(0), ^uint64(0)
+	default:
+		return ^uint64(0), ^uint64(0) << (128 - uint(bits))
+	}
+}
+
+// Addr returns the network address of p.
+func (p Prefix6) Addr() Addr6 { return p.addr }
+
+// Bits returns the prefix length of p.
+func (p Prefix6) Bits() int { return int(p.bits) }
+
+// String formats p in CIDR notation.
+func (p Prefix6) String() string {
+	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
+}
+
+// Contains reports whether a lies inside p.
+func (p Prefix6) Contains(a Addr6) bool {
+	hi, lo := mask6(int(p.bits))
+	return a.Hi&hi == p.addr.Hi && a.Lo&lo == p.addr.Lo
+}
+
+// ContainsPrefix reports whether q is fully inside p.
+func (p Prefix6) ContainsPrefix(q Prefix6) bool {
+	return q.bits >= p.bits && p.Contains(q.addr)
+}

@@ -1,0 +1,98 @@
+package netaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr6(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr6
+		ok   bool
+	}{
+		{"::", Addr6{}, true},
+		{"::1", Addr6{Lo: 1}, true},
+		{"2001:db8::", Addr6{Hi: 0x20010db800000000}, true},
+		{"2001:db8::1", Addr6{Hi: 0x20010db800000000, Lo: 1}, true},
+		{"ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff",
+			Addr6{Hi: ^uint64(0), Lo: ^uint64(0)}, true},
+		{"1:2:3:4:5:6:7:8",
+			Addr6{Hi: 0x0001000200030004, Lo: 0x0005000600070008}, true},
+		{"1:2:3:4:5:6:7", Addr6{}, false},
+		{"1:2:3:4:5:6:7:8:9", Addr6{}, false},
+		{"::1::", Addr6{}, false},
+		{"12345::", Addr6{}, false},
+		{"g::", Addr6{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr6(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseAddr6(%q) = %+v, %v; want %+v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseAddr6(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestAddr6StringRoundTrip(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		a := Addr6{Hi: hi, Lo: lo}
+		back, err := ParseAddr6(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Compression corner cases.
+	for _, s := range []string{"::", "::1", "1::", "2001:db8::1:0:0:1"} {
+		a := MustParseAddr6(s)
+		back, err := ParseAddr6(a.String())
+		if err != nil || back != a {
+			t.Errorf("round trip %q via %q: %+v, %v", s, a.String(), back, err)
+		}
+	}
+}
+
+func TestPrefix6(t *testing.T) {
+	p, err := ParsePrefix6("2001:db8::/32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bits() != 32 {
+		t.Errorf("Bits = %d", p.Bits())
+	}
+	if !p.Contains(MustParseAddr6("2001:db8::1")) {
+		t.Error("should contain 2001:db8::1")
+	}
+	if p.Contains(MustParseAddr6("2001:db9::")) {
+		t.Error("should not contain 2001:db9::")
+	}
+	q, _ := ParsePrefix6("2001:db8:1::/48")
+	if !p.ContainsPrefix(q) || q.ContainsPrefix(p) {
+		t.Error("containment between /32 and /48 wrong")
+	}
+	if _, err := ParsePrefix6("2001:db8::1/32"); err == nil {
+		t.Error("host bits set must be rejected")
+	}
+	if _, err := ParsePrefix6("2001:db8::/129"); err == nil {
+		t.Error("length 129 must be rejected")
+	}
+	long, _ := Prefix6From(MustParseAddr6("2001:db8::ffff"), 112)
+	if got, want := long.String(), "2001:db8::/112"; got != want {
+		t.Errorf("masking: got %s want %s", got, want)
+	}
+}
+
+func TestPrefix6String(t *testing.T) {
+	for _, s := range []string{"::/0", "2001:db8::/32", "ff00::/8", "::1/128"} {
+		p, err := ParsePrefix6(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if p.String() != s {
+			t.Errorf("String = %q, want %q", p.String(), s)
+		}
+	}
+}

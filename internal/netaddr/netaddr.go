@@ -1,0 +1,315 @@
+// Package netaddr provides compact IPv4 address and prefix arithmetic for
+// scan-strategy computations.
+//
+// Addresses are represented as host-order uint32 values (the integer value
+// of the dotted quad), which makes range arithmetic, sorting and set
+// operations on hundreds of millions of addresses cheap. Prefixes are a
+// (masked address, length) pair and are always canonical: host bits below
+// the prefix length are zero.
+//
+// The package also ships a 128-bit Prefix6 type (ipv6.go) so that the data
+// structures built on top of it (tries, partitions) can be extended to the
+// IPv6 future-work direction of the TASS paper without changing callers.
+package netaddr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Addr is an IPv4 address stored as its 32-bit integer value
+// (192.0.2.1 == 0xC0000201).
+type Addr uint32
+
+// AddrFrom4 assembles an Addr from four dotted-quad octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Octets returns the four dotted-quad octets of a.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// String formats a in dotted-quad notation.
+func (a Addr) String() string {
+	o := a.Octets()
+	// Hand-rolled to avoid fmt overhead in hot logging paths.
+	buf := make([]byte, 0, 15)
+	for i, b := range o {
+		if i > 0 {
+			buf = append(buf, '.')
+		}
+		buf = strconv.AppendUint(buf, uint64(b), 10)
+	}
+	return string(buf)
+}
+
+// ErrBadAddr is returned by ParseAddr for malformed dotted quads.
+var ErrBadAddr = errors.New("netaddr: invalid IPv4 address")
+
+// ErrBadPrefix is returned by ParsePrefix and PrefixFrom for malformed or
+// out-of-range prefixes.
+var ErrBadPrefix = errors.New("netaddr: invalid IPv4 prefix")
+
+// ParseAddr parses a dotted-quad IPv4 address such as "192.0.2.1".
+// Leading zeros, empty octets and out-of-range octets are rejected.
+func ParseAddr(s string) (Addr, error) {
+	var v uint32
+	octet := uint32(0)
+	digits := 0
+	dots := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			if digits > 0 && octet == 0 {
+				return 0, fmt.Errorf("%w: leading zero in %q", ErrBadAddr, s)
+			}
+			octet = octet*10 + uint32(c-'0')
+			if octet > 255 {
+				return 0, fmt.Errorf("%w: octet out of range in %q", ErrBadAddr, s)
+			}
+			digits++
+		case c == '.':
+			if digits == 0 {
+				return 0, fmt.Errorf("%w: empty octet in %q", ErrBadAddr, s)
+			}
+			v = v<<8 | octet
+			octet, digits = 0, 0
+			dots++
+			if dots > 3 {
+				return 0, fmt.Errorf("%w: too many octets in %q", ErrBadAddr, s)
+			}
+		default:
+			return 0, fmt.Errorf("%w: unexpected character %q in %q", ErrBadAddr, c, s)
+		}
+	}
+	if dots != 3 || digits == 0 {
+		return 0, fmt.Errorf("%w: %q", ErrBadAddr, s)
+	}
+	return Addr(v<<8 | octet), nil
+}
+
+// MustParseAddr is ParseAddr for tests and constants; it panics on error.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Prefix is a canonical IPv4 CIDR prefix: the address has all bits below
+// the prefix length cleared. The zero value is the full /0 prefix.
+type Prefix struct {
+	addr Addr
+	bits uint8
+}
+
+// PrefixFrom returns the canonical prefix of length bits containing a.
+// Host bits of a are masked off. bits must be in [0, 32].
+func PrefixFrom(a Addr, bits int) (Prefix, error) {
+	if bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("%w: length %d", ErrBadPrefix, bits)
+	}
+	return Prefix{addr: a & maskOf(bits), bits: uint8(bits)}, nil
+}
+
+// MustPrefixFrom is PrefixFrom for tests and constants; it panics on error.
+func MustPrefixFrom(a Addr, bits int) Prefix {
+	p, err := PrefixFrom(a, bits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses CIDR notation such as "100.64.0.0/10". The address
+// part must be the canonical network address (no host bits set); this
+// strictness catches data errors in routing-table inputs early.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			slash = i
+			break
+		}
+	}
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("%w: missing '/' in %q", ErrBadPrefix, s)
+	}
+	a, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, fmt.Errorf("%w: %v", ErrBadPrefix, err)
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("%w: bad length in %q", ErrBadPrefix, s)
+	}
+	if a&^maskOf(bits) != 0 {
+		return Prefix{}, fmt.Errorf("%w: host bits set in %q", ErrBadPrefix, s)
+	}
+	return Prefix{addr: a, bits: uint8(bits)}, nil
+}
+
+// MustParsePrefix is ParsePrefix for tests and constants; it panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func maskOf(bits int) Addr {
+	if bits <= 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - uint(bits)))
+}
+
+// Mask returns the netmask of p as an address value.
+func (p Prefix) Mask() Addr { return maskOf(int(p.bits)) }
+
+// Addr returns the (canonical) network address of p.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Bits returns the prefix length of p.
+func (p Prefix) Bits() int { return int(p.bits) }
+
+// String formats p in CIDR notation.
+func (p Prefix) String() string {
+	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
+}
+
+// NumAddresses returns the number of addresses covered by p (2^(32-bits)).
+func (p Prefix) NumAddresses() uint64 { return 1 << (32 - uint(p.bits)) }
+
+// First returns the lowest address in p (its network address).
+func (p Prefix) First() Addr { return p.addr }
+
+// Last returns the highest address in p (its broadcast address).
+func (p Prefix) Last() Addr { return p.addr | ^p.Mask() }
+
+// Contains reports whether a lies inside p.
+func (p Prefix) Contains(a Addr) bool { return a&p.Mask() == p.addr }
+
+// ContainsPrefix reports whether q is fully inside p (q at least as
+// specific as p and sharing p's prefix bits). A prefix contains itself.
+func (p Prefix) ContainsPrefix(q Prefix) bool {
+	return q.bits >= p.bits && q.addr&p.Mask() == p.addr
+}
+
+// Overlaps reports whether p and q share any address. For prefixes this is
+// equivalent to one containing the other.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.ContainsPrefix(q) || q.ContainsPrefix(p)
+}
+
+// Split returns the two halves of p. ok is false when p is a /32 and
+// cannot be split.
+func (p Prefix) Split() (lo, hi Prefix, ok bool) {
+	if p.bits >= 32 {
+		return Prefix{}, Prefix{}, false
+	}
+	b := p.bits + 1
+	lo = Prefix{addr: p.addr, bits: b}
+	hi = Prefix{addr: p.addr | (1 << (32 - uint(b))), bits: b}
+	return lo, hi, true
+}
+
+// Parent returns the prefix one bit shorter that contains p. ok is false
+// for the /0 root.
+func (p Prefix) Parent() (Prefix, bool) {
+	if p.bits == 0 {
+		return Prefix{}, false
+	}
+	b := int(p.bits) - 1
+	return Prefix{addr: p.addr & maskOf(b), bits: uint8(b)}, true
+}
+
+// Sibling returns the other half of p's parent. ok is false for the /0
+// root.
+func (p Prefix) Sibling() (Prefix, bool) {
+	if p.bits == 0 {
+		return Prefix{}, false
+	}
+	return Prefix{addr: p.addr ^ (1 << (32 - uint(p.bits))), bits: p.bits}, true
+}
+
+// Bit returns the i-th most significant bit (0-based) of p's address as
+// 0 or 1. It is the branching bit at depth i in a binary trie.
+func (p Prefix) Bit(i int) int {
+	return int(p.addr>>(31-uint(i))) & 1
+}
+
+// Compare orders prefixes by network address, then by length (shorter
+// first). It returns -1, 0 or +1. The induced order places a covering
+// prefix immediately before the prefixes it contains, which the partition
+// and trie code relies on.
+func (p Prefix) Compare(q Prefix) int {
+	switch {
+	case p.addr < q.addr:
+		return -1
+	case p.addr > q.addr:
+		return 1
+	case p.bits < q.bits:
+		return -1
+	case p.bits > q.bits:
+		return 1
+	}
+	return 0
+}
+
+// SortPrefixes sorts ps in Compare order in place.
+func SortPrefixes(ps []Prefix) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 })
+}
+
+// SummarizeRange returns the minimal list of prefixes that exactly covers
+// the inclusive address range [first, last], in ascending order. It is the
+// classic CIDR range-summarization algorithm and the building block of
+// prefix deaggregation (Figure 2 of the paper).
+func SummarizeRange(first, last Addr) []Prefix {
+	if first > last {
+		return nil
+	}
+	var out []Prefix
+	cur := uint64(first)
+	end := uint64(last)
+	for cur <= end {
+		// Largest power-of-two block that starts aligned at cur ...
+		size := cur & (^cur + 1) // lowest set bit of cur
+		if size == 0 {
+			size = 1 << 32 // cur == 0 is aligned for any block size
+		}
+		// ... shrunk until it also fits in the remaining span.
+		for cur+size-1 > end {
+			size >>= 1
+		}
+		bits := 32
+		for s := size; s > 1; s >>= 1 {
+			bits--
+		}
+		out = append(out, Prefix{addr: Addr(cur), bits: uint8(bits)})
+		cur += size
+	}
+	return out
+}
+
+// AddrRange is an inclusive address range, used for exclusion lists and
+// space accounting.
+type AddrRange struct {
+	First, Last Addr
+}
+
+// Size returns the number of addresses in r.
+func (r AddrRange) Size() uint64 { return uint64(r.Last) - uint64(r.First) + 1 }
+
+// Contains reports whether a lies in r.
+func (r AddrRange) Contains(a Addr) bool { return a >= r.First && a <= r.Last }
+
+// Range returns p as an inclusive AddrRange.
+func (p Prefix) Range() AddrRange { return AddrRange{First: p.First(), Last: p.Last()} }

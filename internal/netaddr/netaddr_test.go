@@ -1,0 +1,301 @@
+package netaddr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xFFFFFFFF, true},
+		{"192.0.2.1", 0xC0000201, true},
+		{"10.0.0.1", 0x0A000001, true},
+		{"1.2.3.4", AddrFrom4(1, 2, 3, 4), true},
+		{"256.0.0.0", 0, false},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"1..3.4", 0, false},
+		{"01.2.3.4", 0, false},
+		{"1.2.3.4 ", 0, false},
+		{"", 0, false},
+		{"a.b.c.d", 0, false},
+		{"-1.2.3.4", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseAddr(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseAddr(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixParseAndFormat(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"0.0.0.0/0", true},
+		{"10.0.0.0/8", true},
+		{"100.64.0.0/10", true},
+		{"192.0.2.0/24", true},
+		{"192.0.2.1/32", true},
+		{"192.0.2.1/24", false}, // host bits set
+		{"10.0.0.0/33", false},
+		{"10.0.0.0/-1", false},
+		{"10.0.0.0", false},
+		{"10.0.0.0/x", false},
+	}
+	for _, c := range cases {
+		p, err := ParsePrefix(c.in)
+		if c.ok {
+			if err != nil {
+				t.Errorf("ParsePrefix(%q): %v", c.in, err)
+				continue
+			}
+			if p.String() != c.in {
+				t.Errorf("ParsePrefix(%q).String() = %q", c.in, p.String())
+			}
+		} else if err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestPrefixFromMasksHostBits(t *testing.T) {
+	p := MustPrefixFrom(MustParseAddr("192.0.2.77"), 24)
+	if got, want := p.String(), "192.0.2.0/24"; got != want {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+	if p.NumAddresses() != 256 {
+		t.Fatalf("NumAddresses = %d, want 256", p.NumAddresses())
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("100.64.0.0/10")
+	if !p.Contains(MustParseAddr("100.64.0.0")) ||
+		!p.Contains(MustParseAddr("100.127.255.255")) {
+		t.Error("prefix should contain its own range endpoints")
+	}
+	if p.Contains(MustParseAddr("100.128.0.0")) || p.Contains(MustParseAddr("100.63.255.255")) {
+		t.Error("prefix contains addresses outside its range")
+	}
+	if got := p.First(); got != MustParseAddr("100.64.0.0") {
+		t.Errorf("First = %v", got)
+	}
+	if got := p.Last(); got != MustParseAddr("100.127.255.255") {
+		t.Errorf("Last = %v", got)
+	}
+}
+
+func TestContainsPrefixAndOverlaps(t *testing.T) {
+	l := MustParsePrefix("100.0.0.0/8")
+	m := MustParsePrefix("100.16.0.0/12")
+	other := MustParsePrefix("101.0.0.0/8")
+	if !l.ContainsPrefix(m) {
+		t.Error("/8 should contain its /12")
+	}
+	if m.ContainsPrefix(l) {
+		t.Error("/12 should not contain its /8")
+	}
+	if !l.ContainsPrefix(l) {
+		t.Error("prefix should contain itself")
+	}
+	if !l.Overlaps(m) || !m.Overlaps(l) {
+		t.Error("nested prefixes overlap")
+	}
+	if l.Overlaps(other) {
+		t.Error("disjoint prefixes must not overlap")
+	}
+}
+
+func TestSplitParentSibling(t *testing.T) {
+	p := MustParsePrefix("100.0.0.0/8")
+	lo, hi, ok := p.Split()
+	if !ok || lo.String() != "100.0.0.0/9" || hi.String() != "100.128.0.0/9" {
+		t.Fatalf("Split = %v, %v, %v", lo, hi, ok)
+	}
+	if parent, ok := lo.Parent(); !ok || parent != p {
+		t.Errorf("Parent(%v) = %v, %v", lo, parent, ok)
+	}
+	if sib, ok := lo.Sibling(); !ok || sib != hi {
+		t.Errorf("Sibling(%v) = %v, %v", lo, sib, ok)
+	}
+	if _, _, ok := MustParsePrefix("1.2.3.4/32").Split(); ok {
+		t.Error("splitting a /32 must fail")
+	}
+	root := MustParsePrefix("0.0.0.0/0")
+	if _, ok := root.Parent(); ok {
+		t.Error("/0 has no parent")
+	}
+	if _, ok := root.Sibling(); ok {
+		t.Error("/0 has no sibling")
+	}
+}
+
+func TestSplitPropertyPartition(t *testing.T) {
+	// Splitting any prefix yields two disjoint halves whose union is the
+	// original prefix.
+	f := func(v uint32, bitsRaw uint8) bool {
+		bits := int(bitsRaw % 32) // 0..31 so Split always succeeds
+		p := MustPrefixFrom(Addr(v), bits)
+		lo, hi, ok := p.Split()
+		if !ok {
+			return false
+		}
+		return lo.First() == p.First() &&
+			hi.Last() == p.Last() &&
+			uint64(lo.Last())+1 == uint64(hi.First()) &&
+			lo.NumAddresses()+hi.NumAddresses() == p.NumAddresses() &&
+			!lo.Overlaps(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBit(t *testing.T) {
+	p := MustParsePrefix("128.0.0.0/1")
+	if p.Bit(0) != 1 {
+		t.Error("MSB of 128.0.0.0 should be 1")
+	}
+	q := MustParsePrefix("64.0.0.0/2")
+	if q.Bit(0) != 0 || q.Bit(1) != 1 {
+		t.Errorf("bits of 64.0.0.0: %d %d", q.Bit(0), q.Bit(1))
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	ps := []Prefix{
+		MustParsePrefix("10.0.0.0/9"),
+		MustParsePrefix("10.0.0.0/8"),
+		MustParsePrefix("9.0.0.0/8"),
+		MustParsePrefix("10.128.0.0/9"),
+	}
+	SortPrefixes(ps)
+	want := []string{"9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/9", "10.128.0.0/9"}
+	for i, w := range want {
+		if ps[i].String() != w {
+			t.Fatalf("sorted[%d] = %s, want %s", i, ps[i], w)
+		}
+	}
+}
+
+func TestSummarizeRangeExact(t *testing.T) {
+	cases := []struct {
+		first, last string
+		want        []string
+	}{
+		{"10.0.0.0", "10.255.255.255", []string{"10.0.0.0/8"}},
+		{"10.0.0.0", "10.0.0.0", []string{"10.0.0.0/32"}},
+		{"10.0.0.1", "10.0.0.2", []string{"10.0.0.1/32", "10.0.0.2/32"}},
+		// The Figure 2 remainder: /8 minus its first /12 leaves /12,/11,/10,/9.
+		{"100.16.0.0", "100.255.255.255",
+			[]string{"100.16.0.0/12", "100.32.0.0/11", "100.64.0.0/10", "100.128.0.0/9"}},
+		{"0.0.0.0", "255.255.255.255", []string{"0.0.0.0/0"}},
+	}
+	for _, c := range cases {
+		got := SummarizeRange(MustParseAddr(c.first), MustParseAddr(c.last))
+		if len(got) != len(c.want) {
+			t.Errorf("SummarizeRange(%s, %s) = %v, want %v", c.first, c.last, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i].String() != c.want[i] {
+				t.Errorf("SummarizeRange(%s, %s)[%d] = %v, want %v", c.first, c.last, i, got[i], c.want[i])
+			}
+		}
+	}
+	if got := SummarizeRange(5, 2); got != nil {
+		t.Errorf("inverted range should summarize to nil, got %v", got)
+	}
+}
+
+func TestSummarizeRangeProperty(t *testing.T) {
+	// The summarized prefixes tile [first,last] exactly: consecutive,
+	// in order, no gaps, no overlap, covering the full span.
+	f := func(a, b uint32) bool {
+		first, last := Addr(a), Addr(b)
+		if first > last {
+			first, last = last, first
+		}
+		ps := SummarizeRange(first, last)
+		if len(ps) == 0 {
+			return false
+		}
+		if ps[0].First() != first || ps[len(ps)-1].Last() != last {
+			return false
+		}
+		var total uint64
+		for i, p := range ps {
+			total += p.NumAddresses()
+			if i > 0 && uint64(ps[i-1].Last())+1 != uint64(p.First()) {
+				return false
+			}
+		}
+		return total == uint64(last)-uint64(first)+1
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeRangeMinimality(t *testing.T) {
+	// A range that is exactly one prefix must summarize to that prefix.
+	f := func(v uint32, bitsRaw uint8) bool {
+		bits := int(bitsRaw % 33)
+		p := MustPrefixFrom(Addr(v), bits)
+		ps := SummarizeRange(p.First(), p.Last())
+		return len(ps) == 1 && ps[0] == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrRange(t *testing.T) {
+	r := MustParsePrefix("192.0.2.0/24").Range()
+	if r.Size() != 256 {
+		t.Errorf("Size = %d", r.Size())
+	}
+	if !r.Contains(MustParseAddr("192.0.2.128")) || r.Contains(MustParseAddr("192.0.3.0")) {
+		t.Error("Contains wrong")
+	}
+}
+
+func BenchmarkParseAddr(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAddr("203.119.45.17"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummarizeRange(b *testing.B) {
+	first := MustParseAddr("10.0.0.1")
+	last := MustParseAddr("10.255.255.254")
+	for i := 0; i < b.N; i++ {
+		SummarizeRange(first, last)
+	}
+}

@@ -1,0 +1,190 @@
+// Package pfx2as reads and writes the CAIDA Routeviews "Prefix-to-AS"
+// (pfx2as) text format that the TASS paper uses as its topology source.
+//
+// Each line maps one announced prefix to its origin AS(es):
+//
+//	1.0.0.0<TAB>24<TAB>13335
+//	1.0.4.0<TAB>22<TAB>38803_56203      (MOAS: multiple origins)
+//	223.255.254.0<TAB>24<TAB>55415,38266 (AS set)
+//
+// Following CAIDA's convention, '_' separates alternative origins observed
+// for the same prefix (MOAS) and ',' separates members of an AS set.
+// Comment lines starting with '#' and blank lines are ignored.
+package pfx2as
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// Origin is the origin-AS annotation of one announced prefix. Groups holds
+// the '_'-separated MOAS alternatives in file order; each group is a
+// ','-separated AS set (almost always a single element).
+type Origin struct {
+	Groups [][]uint32
+}
+
+// SingleOrigin is the common case of exactly one origin AS.
+func SingleOrigin(asn uint32) Origin {
+	return Origin{Groups: [][]uint32{{asn}}}
+}
+
+// Primary returns the first AS of the first group, the conventional
+// "the origin" used when one AS number is needed. ok is false for an
+// empty Origin.
+func (o Origin) Primary() (uint32, bool) {
+	if len(o.Groups) == 0 || len(o.Groups[0]) == 0 {
+		return 0, false
+	}
+	return o.Groups[0][0], true
+}
+
+// MOAS reports whether the prefix was observed with multiple alternative
+// origin ASes.
+func (o Origin) MOAS() bool { return len(o.Groups) > 1 }
+
+// String renders the origin in CAIDA notation ('_' between groups, ','
+// within a set).
+func (o Origin) String() string {
+	var sb strings.Builder
+	for i, g := range o.Groups {
+		if i > 0 {
+			sb.WriteByte('_')
+		}
+		for j, asn := range g {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.FormatUint(uint64(asn), 10))
+		}
+	}
+	return sb.String()
+}
+
+// ParseOrigin parses CAIDA origin notation such as "13335",
+// "38803_56203" or "55415,38266".
+func ParseOrigin(s string) (Origin, error) {
+	if s == "" {
+		return Origin{}, errors.New("pfx2as: empty origin")
+	}
+	var o Origin
+	for _, part := range strings.Split(s, "_") {
+		var group []uint32
+		for _, as := range strings.Split(part, ",") {
+			v, err := strconv.ParseUint(as, 10, 32)
+			if err != nil {
+				return Origin{}, fmt.Errorf("pfx2as: bad AS number %q: %w", as, err)
+			}
+			group = append(group, uint32(v))
+		}
+		o.Groups = append(o.Groups, group)
+	}
+	return o, nil
+}
+
+// Record is one pfx2as line: an announced prefix and its origin.
+type Record struct {
+	Prefix netaddr.Prefix
+	Origin Origin
+}
+
+// Reader parses pfx2as data line by line.
+type Reader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader consuming r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Reader{s: s}
+}
+
+// Read returns the next record, or io.EOF after the last one.
+func (r *Reader) Read() (Record, error) {
+	for r.s.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseLine(line)
+		if err != nil {
+			return Record{}, fmt.Errorf("pfx2as: line %d: %w", r.line, err)
+		}
+		return rec, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return Record{}, fmt.Errorf("pfx2as: %w", err)
+	}
+	return Record{}, io.EOF
+}
+
+// ReadAll consumes the remaining records.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func parseLine(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return Record{}, fmt.Errorf("want 3 fields, got %d", len(fields))
+	}
+	addr, err := netaddr.ParseAddr(fields[0])
+	if err != nil {
+		return Record{}, err
+	}
+	bits, err := strconv.Atoi(fields[1])
+	if err != nil || bits < 0 || bits > 32 {
+		return Record{}, fmt.Errorf("bad prefix length %q", fields[1])
+	}
+	p, err := netaddr.PrefixFrom(addr, bits)
+	if err != nil {
+		return Record{}, err
+	}
+	if p.Addr() != addr {
+		return Record{}, fmt.Errorf("host bits set in %s/%d", addr, bits)
+	}
+	origin, err := ParseOrigin(fields[2])
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{Prefix: p, Origin: origin}, nil
+}
+
+// ParseAll reads a complete pfx2as document from r.
+func ParseAll(r io.Reader) ([]Record, error) {
+	return NewReader(r).ReadAll()
+}
+
+// Write emits records in CAIDA pfx2as notation.
+func Write(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range records {
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\n",
+			rec.Prefix.Addr(), rec.Prefix.Bits(), rec.Origin); err != nil {
+			return fmt.Errorf("pfx2as: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("pfx2as: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package pfx2as
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+const sample = `# CAIDA-style comment
+1.0.0.0	24	13335
+
+1.0.4.0	22	38803_56203
+223.255.254.0	24	55415,38266
+100.0.0.0	8	3356
+`
+
+func TestReadSample(t *testing.T) {
+	recs, err := ParseAll(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Prefix.String() != "1.0.0.0/24" {
+		t.Errorf("rec0 prefix %v", recs[0].Prefix)
+	}
+	if asn, ok := recs[0].Origin.Primary(); !ok || asn != 13335 {
+		t.Errorf("rec0 origin %v", recs[0].Origin)
+	}
+	if !recs[1].Origin.MOAS() {
+		t.Error("rec1 should be MOAS")
+	}
+	if got := recs[1].Origin.String(); got != "38803_56203" {
+		t.Errorf("rec1 origin string %q", got)
+	}
+	if got := recs[2].Origin.String(); got != "55415,38266" {
+		t.Errorf("rec2 origin string %q", got)
+	}
+	if recs[2].Origin.MOAS() {
+		t.Error("an AS set is not MOAS")
+	}
+	if recs[3].Prefix.Bits() != 8 {
+		t.Errorf("rec3 bits %d", recs[3].Prefix.Bits())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"1.0.0.0\t24",              // missing origin
+		"1.0.0.0\t24\t13335\tmore", // extra field
+		"1.0.0.0\t33\t13335",       // bad length
+		"1.0.0.1\t24\t13335",       // host bits set
+		"1.0.0.x\t24\t13335",       // bad addr
+		"1.0.0.0\t24\tAS13335",     // bad origin
+		"1.0.0.0\t24\t",            // empty origin field collapses to 2 fields
+		"1.0.0.0\t24\t1_x",         // bad MOAS member
+	}
+	for _, c := range cases {
+		if _, err := ParseAll(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseAll(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader("# only comments\n\n"))
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Errorf("want io.EOF, got %v", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var recs []Record
+	for i := 0; i < 500; i++ {
+		bits := 8 + rng.Intn(17)
+		p := netaddr.MustPrefixFrom(netaddr.Addr(rng.Uint32()), bits)
+		var o Origin
+		switch rng.Intn(3) {
+		case 0:
+			o = SingleOrigin(uint32(rng.Intn(1 << 17)))
+		case 1:
+			o = Origin{Groups: [][]uint32{{uint32(rng.Intn(65000))}, {uint32(rng.Intn(65000))}}}
+		default:
+			o = Origin{Groups: [][]uint32{{uint32(rng.Intn(65000)), uint32(rng.Intn(65000))}}}
+		}
+		recs = append(recs, Record{Prefix: p, Origin: o})
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip count %d, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i].Prefix != recs[i].Prefix {
+			t.Fatalf("rec %d prefix %v != %v", i, back[i].Prefix, recs[i].Prefix)
+		}
+		if back[i].Origin.String() != recs[i].Origin.String() {
+			t.Fatalf("rec %d origin %v != %v", i, back[i].Origin, recs[i].Origin)
+		}
+	}
+}
+
+func TestOriginPrimaryEmpty(t *testing.T) {
+	if _, ok := (Origin{}).Primary(); ok {
+		t.Error("empty origin should have no primary")
+	}
+}
+
+func TestParseOrigin(t *testing.T) {
+	o, err := ParseOrigin("701_1239,3356")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Groups) != 2 || len(o.Groups[1]) != 2 {
+		t.Fatalf("groups %v", o.Groups)
+	}
+	if o.String() != "701_1239,3356" {
+		t.Errorf("String = %q", o.String())
+	}
+	if _, err := ParseOrigin(""); err == nil {
+		t.Error("empty origin must fail")
+	}
+	if _, err := ParseOrigin("4294967296"); err == nil {
+		t.Error("AS > 32 bits must fail")
+	}
+}

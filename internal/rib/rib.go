@@ -1,0 +1,256 @@
+// Package rib models an announced-prefix table (a BGP RIB reduced to its
+// prefixes) and derives the two prefix universes the TASS paper compares:
+//
+//   - the l-prefix view: only less-specific (maximal) announced prefixes,
+//   - the m-prefix view: the announced table deaggregated around its
+//     more-specifics into a minimal disjoint partition (Figure 2).
+//
+// Both views are Partitions: sorted, pairwise-disjoint prefix sets that
+// support O(log n) point location and O(n+m) bulk host counting, the two
+// operations the selection algorithm and the evaluation harness live on.
+package rib
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/pfx2as"
+	"github.com/tass-scan/tass/internal/trie"
+)
+
+// Entry is one announced prefix with its origin annotation.
+type Entry struct {
+	Prefix netaddr.Prefix
+	Origin pfx2as.Origin
+}
+
+// Table is an announced-prefix table. Entries are kept sorted by
+// (address, length); duplicates are collapsed (last origin wins).
+type Table struct {
+	entries []Entry
+
+	// Lazily derived views.
+	less  *Partition
+	deagg *Partition
+}
+
+// New builds a Table from entries. The input is copied, sorted and
+// de-duplicated.
+func New(entries []Entry) *Table {
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+	sort.Slice(es, func(i, j int) bool { return es[i].Prefix.Compare(es[j].Prefix) < 0 })
+	out := es[:0]
+	for _, e := range es {
+		if n := len(out); n > 0 && out[n-1].Prefix == e.Prefix {
+			out[n-1].Origin = e.Origin
+			continue
+		}
+		out = append(out, e)
+	}
+	return &Table{entries: out}
+}
+
+// FromRecords builds a Table from pfx2as records.
+func FromRecords(records []pfx2as.Record) *Table {
+	es := make([]Entry, len(records))
+	for i, r := range records {
+		es[i] = Entry{Prefix: r.Prefix, Origin: r.Origin}
+	}
+	return New(es)
+}
+
+// Records converts the table back into pfx2as records.
+func (t *Table) Records() []pfx2as.Record {
+	out := make([]pfx2as.Record, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = pfx2as.Record{Prefix: e.Prefix, Origin: e.Origin}
+	}
+	return out
+}
+
+// Len returns the number of announced prefixes.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Entries returns the sorted announced entries. The slice is shared; do
+// not modify it.
+func (t *Table) Entries() []Entry { return t.entries }
+
+// Prefixes returns the announced prefixes in sorted order.
+func (t *Table) Prefixes() []netaddr.Prefix {
+	out := make([]netaddr.Prefix, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = e.Prefix
+	}
+	return out
+}
+
+// LessSpecifics returns the l-prefix view: the maximal announced prefixes,
+// with every prefix covered by another announcement dropped.
+func (t *Table) LessSpecifics() Partition {
+	if t.less == nil {
+		p := mustPartition(trie.LessSpecificOnly(t.Prefixes()))
+		t.less = &p
+	}
+	return *t.less
+}
+
+// Deaggregated returns the m-prefix view: the minimal disjoint partition
+// produced by decomposing every l-prefix around its announced
+// more-specifics (paper Figure 2).
+func (t *Table) Deaggregated() Partition {
+	if t.deagg == nil {
+		p := mustPartition(trie.Deaggregate(t.Prefixes()))
+		t.deagg = &p
+	}
+	return *t.deagg
+}
+
+// AnnouncedSpace returns the number of addresses covered by the table
+// (the union of all announcements).
+func (t *Table) AnnouncedSpace() uint64 {
+	return t.LessSpecifics().AddressCount()
+}
+
+// Stats summarizes the aggregation structure of a table, mirroring the
+// numbers the paper reports for the CAIDA dataset of 2015-09-07
+// (595,644 prefixes, 54% more-specifics covering 34.4% of the space).
+type Stats struct {
+	Prefixes       int     // total announced prefixes
+	MoreSpecifics  int     // prefixes covered by another announcement
+	MoreShare      float64 // MoreSpecifics / Prefixes
+	Space          uint64  // announced address space (union)
+	MoreSpace      uint64  // space covered by more-specifics (union)
+	MoreSpaceShare float64 // MoreSpace / Space
+}
+
+// Stats computes aggregation statistics for the table.
+func (t *Table) Stats() Stats {
+	tr := trie.New[struct{}]()
+	for _, e := range t.entries {
+		tr.Insert(e.Prefix, struct{}{})
+	}
+	var more []netaddr.Prefix
+	for _, e := range t.entries {
+		// A prefix is a more-specific iff some announcement strictly
+		// contains it, i.e. iff its parent has an announced cover.
+		if par, ok := e.Prefix.Parent(); ok {
+			if _, _, found := tr.LookupPrefix(par); found {
+				more = append(more, e.Prefix)
+			}
+		}
+	}
+	s := Stats{
+		Prefixes:      len(t.entries),
+		MoreSpecifics: len(more),
+		Space:         t.AnnouncedSpace(),
+	}
+	if s.Prefixes > 0 {
+		s.MoreShare = float64(s.MoreSpecifics) / float64(s.Prefixes)
+	}
+	moreUnion := mustPartition(trie.LessSpecificOnly(more))
+	s.MoreSpace = moreUnion.AddressCount()
+	if s.Space > 0 {
+		s.MoreSpaceShare = float64(s.MoreSpace) / float64(s.Space)
+	}
+	return s
+}
+
+// Partition is a sorted, pairwise-disjoint set of prefixes: one of the
+// paper's two scanning universes. The zero value is an empty partition.
+type Partition struct {
+	prefixes []netaddr.Prefix
+	firsts   []netaddr.Addr // parallel cache of prefix network addresses
+	space    uint64
+}
+
+// ErrNotPartition is returned by NewPartition when prefixes overlap.
+var ErrNotPartition = errors.New("rib: prefixes overlap")
+
+// NewPartition validates that ps is pairwise disjoint and builds a
+// Partition. The input is copied and sorted.
+func NewPartition(ps []netaddr.Prefix) (Partition, error) {
+	cp := make([]netaddr.Prefix, len(ps))
+	copy(cp, ps)
+	netaddr.SortPrefixes(cp)
+	for i := 1; i < len(cp); i++ {
+		if cp[i-1].Overlaps(cp[i]) {
+			return Partition{}, fmt.Errorf("%w: %v and %v", ErrNotPartition, cp[i-1], cp[i])
+		}
+	}
+	return newPartitionSorted(cp), nil
+}
+
+func mustPartition(sorted []netaddr.Prefix) Partition {
+	return newPartitionSorted(sorted)
+}
+
+func newPartitionSorted(sorted []netaddr.Prefix) Partition {
+	firsts := make([]netaddr.Addr, len(sorted))
+	var space uint64
+	for i, p := range sorted {
+		firsts[i] = p.First()
+		space += p.NumAddresses()
+	}
+	return Partition{prefixes: sorted, firsts: firsts, space: space}
+}
+
+// Len returns the number of prefixes in the partition.
+func (p Partition) Len() int { return len(p.prefixes) }
+
+// Prefix returns the i-th prefix in sorted order.
+func (p Partition) Prefix(i int) netaddr.Prefix { return p.prefixes[i] }
+
+// Prefixes returns the sorted prefixes. The slice is shared; do not
+// modify it.
+func (p Partition) Prefixes() []netaddr.Prefix { return p.prefixes }
+
+// AddressCount returns the total number of addresses covered.
+func (p Partition) AddressCount() uint64 { return p.space }
+
+// Find locates the partition prefix containing a and returns its index.
+func (p Partition) Find(a netaddr.Addr) (int, bool) {
+	// Rightmost prefix whose first address is <= a.
+	i := sort.Search(len(p.firsts), func(i int) bool { return p.firsts[i] > a })
+	if i == 0 {
+		return 0, false
+	}
+	i--
+	if p.prefixes[i].Contains(a) {
+		return i, true
+	}
+	return 0, false
+}
+
+// CountAddrs counts, for each partition prefix, how many of the given
+// addresses it contains. addrs must be sorted ascending. The returned
+// slice is indexed like Prefix(i); the second result is the number of
+// addresses that fell outside the partition.
+func (p Partition) CountAddrs(addrs []netaddr.Addr) (counts []int, outside int) {
+	counts = make([]int, len(p.prefixes))
+	i := 0 // partition cursor
+	for _, a := range addrs {
+		for i < len(p.prefixes) && p.prefixes[i].Last() < a {
+			i++
+		}
+		if i == len(p.prefixes) || a < p.prefixes[i].First() {
+			outside++
+			continue
+		}
+		counts[i]++
+	}
+	return counts, outside
+}
+
+// Subset returns a new Partition containing the prefixes at the given
+// indexes (e.g. a TASS selection). Indexes may be in any order.
+func (p Partition) Subset(indexes []int) Partition {
+	ps := make([]netaddr.Prefix, 0, len(indexes))
+	for _, i := range indexes {
+		ps = append(ps, p.prefixes[i])
+	}
+	netaddr.SortPrefixes(ps)
+	return newPartitionSorted(ps)
+}

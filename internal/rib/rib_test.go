@@ -1,0 +1,226 @@
+package rib
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/pfx2as"
+)
+
+func pfx(s string) netaddr.Prefix { return netaddr.MustParsePrefix(s) }
+
+func entries(ss ...string) []Entry {
+	out := make([]Entry, len(ss))
+	for i, s := range ss {
+		out[i] = Entry{Prefix: pfx(s), Origin: pfx2as.SingleOrigin(uint32(i + 1))}
+	}
+	return out
+}
+
+func TestTableSortDedup(t *testing.T) {
+	tb := New(entries("10.0.0.0/8", "9.0.0.0/8", "10.0.0.0/8", "10.16.0.0/12"))
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	got := tb.Prefixes()
+	want := []string{"9.0.0.0/8", "10.0.0.0/8", "10.16.0.0/12"}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Fatalf("Prefixes = %v", got)
+		}
+	}
+	// Last duplicate's origin wins.
+	if asn, _ := tb.Entries()[1].Origin.Primary(); asn != 3 {
+		t.Errorf("dedup kept origin %d", asn)
+	}
+}
+
+func TestLessSpecificsAndDeaggregated(t *testing.T) {
+	tb := New(entries("100.0.0.0/8", "100.16.0.0/12", "203.0.113.0/24"))
+	l := tb.LessSpecifics()
+	if l.Len() != 2 {
+		t.Fatalf("l-partition %v", l.Prefixes())
+	}
+	if l.AddressCount() != pfx("100.0.0.0/8").NumAddresses()+256 {
+		t.Errorf("l space %d", l.AddressCount())
+	}
+	m := tb.Deaggregated()
+	// /8 around /12 -> 5 pieces, plus the /24.
+	if m.Len() != 6 {
+		t.Fatalf("m-partition %v", m.Prefixes())
+	}
+	if m.AddressCount() != l.AddressCount() {
+		t.Errorf("partitions must cover the same space: %d vs %d",
+			m.AddressCount(), l.AddressCount())
+	}
+	if tb.AnnouncedSpace() != l.AddressCount() {
+		t.Errorf("AnnouncedSpace = %d", tb.AnnouncedSpace())
+	}
+}
+
+func TestStats(t *testing.T) {
+	tb := New(entries(
+		"100.0.0.0/8",    // l
+		"100.16.0.0/12",  // m (inside /8)
+		"100.16.0.0/16",  // m (nested)
+		"203.0.113.0/24", // l
+	))
+	s := tb.Stats()
+	if s.Prefixes != 4 || s.MoreSpecifics != 2 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.MoreShare != 0.5 {
+		t.Errorf("MoreShare = %v", s.MoreShare)
+	}
+	wantMoreSpace := pfx("100.16.0.0/12").NumAddresses() // /16 nested inside /12
+	if s.MoreSpace != wantMoreSpace {
+		t.Errorf("MoreSpace = %d, want %d", s.MoreSpace, wantMoreSpace)
+	}
+	if s.Space != pfx("100.0.0.0/8").NumAddresses()+256 {
+		t.Errorf("Space = %d", s.Space)
+	}
+}
+
+func TestNewPartitionRejectsOverlap(t *testing.T) {
+	if _, err := NewPartition([]netaddr.Prefix{pfx("10.0.0.0/8"), pfx("10.16.0.0/12")}); err == nil {
+		t.Error("overlapping prefixes must be rejected")
+	}
+	p, err := NewPartition([]netaddr.Prefix{pfx("10.0.0.0/9"), pfx("10.128.0.0/9")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.AddressCount() != 1<<24 {
+		t.Errorf("partition %v space %d", p.Prefixes(), p.AddressCount())
+	}
+}
+
+func TestPartitionFind(t *testing.T) {
+	p, err := NewPartition([]netaddr.Prefix{
+		pfx("10.0.0.0/8"), pfx("100.64.0.0/10"), pfx("203.0.113.0/24"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr string
+		idx  int
+		ok   bool
+	}{
+		{"10.1.2.3", 0, true},
+		{"10.0.0.0", 0, true},
+		{"10.255.255.255", 0, true},
+		{"100.64.0.0", 1, true},
+		{"100.127.255.255", 1, true},
+		{"100.128.0.0", 0, false},
+		{"203.0.113.77", 2, true},
+		{"203.0.114.0", 0, false},
+		{"9.255.255.255", 0, false},
+		{"0.0.0.0", 0, false},
+		{"255.255.255.255", 0, false},
+	}
+	for _, c := range cases {
+		idx, ok := p.Find(netaddr.MustParseAddr(c.addr))
+		if ok != c.ok || (ok && idx != c.idx) {
+			t.Errorf("Find(%s) = %d, %v; want %d, %v", c.addr, idx, ok, c.idx, c.ok)
+		}
+	}
+}
+
+func TestCountAddrsAgainstFind(t *testing.T) {
+	// CountAddrs (merge walk) must agree with per-address Find.
+	rng := rand.New(rand.NewSource(3))
+	var ps []netaddr.Prefix
+	cursor := uint64(0)
+	for cursor < 1<<32 && len(ps) < 200 {
+		bits := 10 + rng.Intn(15)
+		size := uint64(1) << (32 - uint(bits))
+		cursor = (cursor + size - 1) / size * size // align
+		if cursor+size > 1<<32 {
+			break
+		}
+		if rng.Intn(3) > 0 { // leave gaps
+			ps = append(ps, netaddr.MustPrefixFrom(netaddr.Addr(cursor), bits))
+		}
+		cursor += size * uint64(1+rng.Intn(4))
+	}
+	part, err := NewPartition(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]netaddr.Addr, 5000)
+	for i := range addrs {
+		addrs[i] = netaddr.Addr(rng.Uint32())
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	counts, outside := part.CountAddrs(addrs)
+	wantCounts := make([]int, part.Len())
+	wantOutside := 0
+	for _, a := range addrs {
+		if i, ok := part.Find(a); ok {
+			wantCounts[i]++
+		} else {
+			wantOutside++
+		}
+	}
+	if outside != wantOutside {
+		t.Fatalf("outside = %d, want %d", outside, wantOutside)
+	}
+	for i := range counts {
+		if counts[i] != wantCounts[i] {
+			t.Fatalf("counts[%d] = %d, want %d", i, counts[i], wantCounts[i])
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	p, _ := NewPartition([]netaddr.Prefix{
+		pfx("10.0.0.0/8"), pfx("100.64.0.0/10"), pfx("203.0.113.0/24"),
+	})
+	s := p.Subset([]int{2, 0})
+	if s.Len() != 2 {
+		t.Fatalf("Subset len %d", s.Len())
+	}
+	if s.Prefix(0) != pfx("10.0.0.0/8") || s.Prefix(1) != pfx("203.0.113.0/24") {
+		t.Errorf("Subset = %v", s.Prefixes())
+	}
+	if s.AddressCount() != pfx("10.0.0.0/8").NumAddresses()+256 {
+		t.Errorf("Subset space %d", s.AddressCount())
+	}
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	tb := New(entries("10.0.0.0/8", "100.64.0.0/10"))
+	back := FromRecords(tb.Records())
+	if back.Len() != tb.Len() {
+		t.Fatalf("round trip len %d", back.Len())
+	}
+	for i := range tb.Entries() {
+		if back.Entries()[i].Prefix != tb.Entries()[i].Prefix {
+			t.Fatal("prefix mismatch")
+		}
+	}
+}
+
+func BenchmarkCountAddrs(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var ps []netaddr.Prefix
+	for i := 0; i < 4096; i++ {
+		ps = append(ps, netaddr.MustPrefixFrom(netaddr.Addr(uint32(i)<<20), 12))
+	}
+	part, err := NewPartition(ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]netaddr.Addr, 1<<20)
+	for i := range addrs {
+		addrs[i] = netaddr.Addr(rng.Uint32())
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		part.CountAddrs(addrs)
+	}
+}

@@ -1,0 +1,85 @@
+package scan
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Limiter is a token-bucket rate limiter gating probe transmission, the
+// politeness mechanism every responsible scanner runs (the paper's whole
+// point is sending fewer probes; the limiter makes the ones we do send
+// smooth instead of bursty).
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+// NewLimiter builds a limiter refilling at rate tokens/second with the
+// given burst capacity. The bucket starts full.
+func NewLimiter(rate float64, burst int) (*Limiter, error) {
+	if rate <= 0 || burst <= 0 {
+		return nil, fmt.Errorf("scan: limiter needs positive rate and burst")
+	}
+	return &Limiter{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		now:    time.Now,
+	}, nil
+}
+
+func (l *Limiter) refill() {
+	now := l.now()
+	if !l.last.IsZero() {
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+}
+
+// Allow consumes one token if available, without blocking.
+func (l *Limiter) Allow() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refill()
+	if l.tokens >= 1 {
+		l.tokens--
+		return true
+	}
+	return false
+}
+
+// Wait blocks until a token is available or the context is canceled.
+func (l *Limiter) Wait(ctx context.Context) error {
+	for {
+		l.mu.Lock()
+		l.refill()
+		if l.tokens >= 1 {
+			l.tokens--
+			l.mu.Unlock()
+			return nil
+		}
+		need := (1 - l.tokens) / l.rate
+		l.mu.Unlock()
+
+		d := time.Duration(need * float64(time.Second))
+		if d < time.Microsecond {
+			d = time.Microsecond
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package scan implements the probing engine that executes TASS scan
+// plans: ZMap-style address permutation (so probes spread evenly over
+// target networks instead of hammering one prefix), token-bucket rate
+// limiting, a worker pool, exclusion lists, and pluggable probe backends
+// (an in-memory simulation prober and a real TCP connect prober).
+package scan
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Permutation iterates 0..n-1 in a pseudorandom order with O(1) state,
+// the trick popularized by ZMap: iterate the multiplicative group of
+// integers modulo a safe prime p > n with a random generator g, emitting
+// x-1 and skipping values ≥ n. Every index is visited exactly once per
+// cycle, no bitmap required.
+type Permutation struct {
+	p, g  uint64 // safe prime and group generator
+	first uint64 // starting element
+	cur   uint64
+	n     uint64 // target count
+	done  bool
+	emits uint64
+}
+
+// NewPermutation builds a permutation of [0, n). Generation is
+// deterministic in seed.
+func NewPermutation(n uint64, seed int64) (*Permutation, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("scan: empty permutation")
+	}
+	if n >= 1<<62 {
+		return nil, fmt.Errorf("scan: permutation size %d too large", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// The group covers 1..p-1; need p-1 >= n, i.e. p >= n+1.
+	p, q := nextSafePrime(n + 1)
+	// In a safe-prime group (p = 2q+1), g generates the full group iff
+	// g^2 != 1 and g^q != 1 (mod p).
+	var g uint64
+	for {
+		g = 2 + uint64(rng.Int63n(int64(p-3)))
+		if mulmod(g, g, p) != 1 && powmod(g, q, p) != 1 {
+			break
+		}
+	}
+	first := 1 + uint64(rng.Int63n(int64(p-1)))
+	return &Permutation{p: p, g: g, first: first, cur: first, n: n}, nil
+}
+
+// N returns the permutation size.
+func (pm *Permutation) N() uint64 { return pm.n }
+
+// Next returns the next index of the permutation; ok is false once all n
+// indexes have been emitted.
+func (pm *Permutation) Next() (idx uint64, ok bool) {
+	if pm.done {
+		return 0, false
+	}
+	for {
+		v := pm.cur
+		pm.cur = mulmod(pm.cur, pm.g, pm.p)
+		wrapped := pm.cur == pm.first
+		if v-1 < pm.n {
+			pm.emits++
+			if wrapped || pm.emits == pm.n {
+				pm.done = true
+			}
+			return v - 1, true
+		}
+		if wrapped {
+			pm.done = true
+			return 0, false
+		}
+	}
+}
+
+// Reset restarts the permutation from its first element.
+func (pm *Permutation) Reset() {
+	pm.cur = pm.first
+	pm.done = false
+	pm.emits = 0
+}
+
+// mulmod computes a*b mod m without overflow via a 128-bit product.
+func mulmod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a%m, b%m)
+	// hi < m always holds (hi ≤ m²/2^64 < m), so Div64 cannot panic.
+	_, rem := bits.Div64(hi, lo, m)
+	return rem
+}
+
+// powmod computes a^e mod m.
+func powmod(a, e, m uint64) uint64 {
+	res := uint64(1)
+	a %= m
+	for e > 0 {
+		if e&1 == 1 {
+			res = mulmod(res, a, m)
+		}
+		a = mulmod(a, a, m)
+		e >>= 1
+	}
+	return res
+}
+
+// millerRabin reports whether n is prime. The witness set is
+// deterministic for all 64-bit integers.
+func millerRabin(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	d := n - 1
+	r := 0
+	for d%2 == 0 {
+		d /= 2
+		r++
+	}
+witness:
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := powmod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		for i := 0; i < r-1; i++ {
+			x = mulmod(x, x, n)
+			if x == n-1 {
+				continue witness
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// nextSafePrime returns the smallest safe prime p ≥ min (p = 2q+1 with q
+// prime) and its Sophie Germain half q.
+func nextSafePrime(min uint64) (p, q uint64) {
+	if min < 5 {
+		min = 5
+	}
+	// Safe primes are ≡ 3 (mod 4) for p > 5 (q odd); walk candidates.
+	for c := min; ; c++ {
+		if c%2 == 0 {
+			continue
+		}
+		if !millerRabin(c) {
+			continue
+		}
+		half := (c - 1) / 2
+		if millerRabin(half) {
+			return c, half
+		}
+	}
+}

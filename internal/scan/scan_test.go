@@ -1,0 +1,544 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
+)
+
+func pfx(s string) netaddr.Prefix { return netaddr.MustParsePrefix(s) }
+
+func TestPermutationVisitsAllOnce(t *testing.T) {
+	for _, n := range []uint64{1, 2, 7, 100, 4096, 100000} {
+		pm, err := NewPermutation(n, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, n)
+		count := uint64(0)
+		for {
+			idx, ok := pm.Next()
+			if !ok {
+				break
+			}
+			if idx >= n {
+				t.Fatalf("n=%d: index %d out of range", n, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("n=%d: index %d visited twice", n, idx)
+			}
+			seen[idx] = true
+			count++
+		}
+		if count != n {
+			t.Fatalf("n=%d: visited %d indexes", n, count)
+		}
+		// Exhausted permutations stay exhausted.
+		if _, ok := pm.Next(); ok {
+			t.Fatalf("n=%d: Next after exhaustion", n)
+		}
+		// Reset replays the same order.
+		pm.Reset()
+		first, _ := pm.Next()
+		pm.Reset()
+		again, _ := pm.Next()
+		if first != again {
+			t.Fatalf("n=%d: reset changed order", n)
+		}
+	}
+}
+
+func TestPermutationSeedsDiffer(t *testing.T) {
+	order := func(seed int64) []uint64 {
+		pm, err := NewPermutation(1000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []uint64
+		for {
+			idx, ok := pm.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, idx)
+		}
+	}
+	a, b := order(1), order(2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/10 {
+		t.Errorf("seeds 1 and 2 agree on %d/%d positions", same, len(a))
+	}
+}
+
+func TestPermutationSpreads(t *testing.T) {
+	// ZMap's point: early probes must not hammer one /16. Check that the
+	// first 1% of a 2^20 permutation never hits any 1/16th bucket more
+	// than 5x its fair share.
+	const n = 1 << 20
+	pm, err := NewPermutation(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = n / 100
+	buckets := make([]int, 16)
+	for i := 0; i < window; i++ {
+		idx, ok := pm.Next()
+		if !ok {
+			t.Fatal("exhausted early")
+		}
+		buckets[idx/(n/16)]++
+	}
+	fair := window / 16
+	for b, c := range buckets {
+		if c > 5*fair {
+			t.Errorf("bucket %d got %d of first %d probes (fair share %d)", b, c, window, fair)
+		}
+	}
+}
+
+func TestMulmodPowmod(t *testing.T) {
+	if got := mulmod(1<<62, 3, 1000003); got != ((1<<62)%1000003*3)%1000003 {
+		t.Errorf("mulmod big: %d", got)
+	}
+	if got := powmod(2, 10, 1<<61); got != 1024 {
+		t.Errorf("powmod = %d", got)
+	}
+}
+
+func TestMillerRabin(t *testing.T) {
+	primes := []uint64{2, 3, 5, 7, 11, 104729, 4294967311, 2147483659}
+	for _, p := range primes {
+		if !millerRabin(p) {
+			t.Errorf("%d reported composite", p)
+		}
+	}
+	composites := []uint64{0, 1, 4, 9, 561, 104730, 4294967295, 3215031751}
+	for _, c := range composites {
+		if millerRabin(c) {
+			t.Errorf("%d reported prime", c)
+		}
+	}
+}
+
+func TestNextSafePrime(t *testing.T) {
+	p, q := nextSafePrime(100)
+	if p != 107 || q != 53 {
+		t.Errorf("nextSafePrime(100) = %d, %d", p, q)
+	}
+	if !millerRabin(p) || !millerRabin(q) || p != 2*q+1 {
+		t.Error("not a safe prime")
+	}
+}
+
+func TestLimiter(t *testing.T) {
+	lim, err := NewLimiter(1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst drains immediately.
+	for i := 0; i < 10; i++ {
+		if !lim.Allow() {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if lim.Allow() {
+		t.Error("11th immediate token allowed")
+	}
+	// Wait refills at ~1000/s.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if err := lim.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("20 tokens at 1000/s took only %v", elapsed)
+	}
+	// Canceled context aborts the wait.
+	canceled, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	slow, _ := NewLimiter(0.001, 1)
+	slow.Allow() // drain
+	if err := slow.Wait(canceled); !errors.Is(err, context.Canceled) {
+		t.Errorf("Wait on canceled context: %v", err)
+	}
+	if _, err := NewLimiter(0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestSimProber(t *testing.T) {
+	live := []netaddr.Addr{pfx("10.0.0.0/24").First() + 5, pfx("10.0.0.0/24").First() + 9}
+	p, err := NewSimProber(live, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Probe(context.Background(), live[0])
+	if err != nil || !res.Open || res.RTT == 0 {
+		t.Errorf("live probe: %+v, %v", res, err)
+	}
+	res, err = p.Probe(context.Background(), live[0]+1)
+	if err != nil || res.Open {
+		t.Errorf("dead probe: %+v, %v", res, err)
+	}
+	if _, err := NewSimProber(nil, 1.5, 1); err == nil {
+		t.Error("bad loss rate accepted")
+	}
+}
+
+func TestSimProberLossDeterministic(t *testing.T) {
+	var live []netaddr.Addr
+	for i := 0; i < 2000; i++ {
+		live = append(live, netaddr.Addr(0x0A000000+i))
+	}
+	p, _ := NewSimProber(live, 0.3, 7)
+	open := 0
+	for _, a := range live {
+		r1, _ := p.Probe(context.Background(), a)
+		r2, _ := p.Probe(context.Background(), a)
+		if r1.Open != r2.Open {
+			t.Fatal("loss not deterministic per address")
+		}
+		if r1.Open {
+			open++
+		}
+	}
+	// ≈70% should survive 30% loss.
+	if open < 1200 || open > 1600 {
+		t.Errorf("%d of 2000 open under 30%% loss", open)
+	}
+}
+
+func TestScannerFindsAllHosts(t *testing.T) {
+	part, err := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/24"), pfx("10.0.2.0/23")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := []netaddr.Addr{
+		netaddr.MustParseAddr("10.0.0.17"),
+		netaddr.MustParseAddr("10.0.2.1"),
+		netaddr.MustParseAddr("10.0.3.255"),
+		netaddr.MustParseAddr("99.99.99.99"), // outside targets
+	}
+	prober, _ := NewSimProber(live, 0, 1)
+	s, err := New(Config{Targets: part, Prober: prober, Workers: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Probed != part.AddressCount() {
+		t.Errorf("probed %d, want %d", report.Probed, part.AddressCount())
+	}
+	want := []string{"10.0.0.17", "10.0.2.1", "10.0.3.255"}
+	if len(report.Responsive) != len(want) {
+		t.Fatalf("responsive %v", report.Responsive)
+	}
+	for i, w := range want {
+		if report.Responsive[i].String() != w {
+			t.Errorf("responsive[%d] = %v, want %s", i, report.Responsive[i], w)
+		}
+	}
+	if hr := report.Hitrate(); hr <= 0 || hr >= 0.01 {
+		t.Errorf("hitrate %v implausible", hr)
+	}
+}
+
+func TestScannerExclusions(t *testing.T) {
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/24")})
+	live := []netaddr.Addr{netaddr.MustParseAddr("10.0.0.5")}
+	prober, _ := NewSimProber(live, 0, 1)
+	s, err := New(Config{
+		Targets: part,
+		Prober:  prober,
+		Seed:    1,
+		Exclude: []netaddr.Prefix{pfx("10.0.0.0/28")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Excluded != 16 {
+		t.Errorf("excluded %d, want 16", report.Excluded)
+	}
+	if report.Probed != 240 {
+		t.Errorf("probed %d, want 240", report.Probed)
+	}
+	if len(report.Responsive) != 0 {
+		t.Errorf("excluded host was probed: %v", report.Responsive)
+	}
+}
+
+func TestScannerMaxProbesAndCancel(t *testing.T) {
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/16")})
+	prober, _ := NewSimProber(nil, 0, 1)
+	s, err := New(Config{Targets: part, Prober: prober, Seed: 1, MaxProbes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Probed != 100 {
+		t.Errorf("probed %d, want 100", report.Probed)
+	}
+
+	// Cancellation mid-scan surfaces the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s2, _ := New(Config{Targets: part, Prober: prober, Seed: 1, Rate: 10, Burst: 1})
+	if _, err := s2.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled run: %v", err)
+	}
+}
+
+func TestScannerErrorAccounting(t *testing.T) {
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/26")})
+	inner, _ := NewSimProber(nil, 0, 1)
+	s, err := New(Config{
+		Targets: part,
+		Prober:  &FlakyProber{Inner: inner, FailEvery: 4},
+		Workers: 1,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 16 {
+		t.Errorf("errors %d, want 16 (64 probes / 4)", report.Errors)
+	}
+}
+
+func TestScannerOnResultCallback(t *testing.T) {
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/28")})
+	prober, _ := NewSimProber([]netaddr.Addr{netaddr.MustParseAddr("10.0.0.3")}, 0, 1)
+	var mu struct {
+		n    int
+		open int
+		m    chan struct{}
+	}
+	results := make(chan Result, 16)
+	s, err := New(Config{
+		Targets:  part,
+		Prober:   prober,
+		Seed:     1,
+		OnResult: func(r Result) { results <- r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(results)
+	for r := range results {
+		mu.n++
+		if r.Open {
+			mu.open++
+		}
+	}
+	if mu.n != 16 || mu.open != 1 {
+		t.Errorf("callback saw %d results, %d open", mu.n, mu.open)
+	}
+}
+
+func TestScannerConfigErrors(t *testing.T) {
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/24")})
+	prober, _ := NewSimProber(nil, 0, 1)
+	if _, err := New(Config{Prober: prober}); err == nil {
+		t.Error("no targets accepted")
+	}
+	if _, err := New(Config{Targets: part}); err == nil {
+		t.Error("no prober accepted")
+	}
+}
+
+func TestTCPProberAgainstLocalListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			fmt.Fprint(conn, "220 synthetic FTP ready\r\n")
+			conn.Close()
+		}
+	}()
+	port := ln.Addr().(*net.TCPAddr).Port
+	prober := &TCPProber{Port: port, Timeout: 2 * time.Second, BannerBytes: 64}
+	addr := netaddr.MustParseAddr("127.0.0.1")
+
+	res, err := prober.Probe(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Open {
+		t.Fatal("local listener reported closed")
+	}
+	if !strings.HasPrefix(string(res.Banner), "220") {
+		t.Errorf("banner %q", res.Banner)
+	}
+
+	// A port with (almost certainly) no listener reports closed, not error.
+	closedProber := &TCPProber{Port: 1, Timeout: 200 * time.Millisecond}
+	res, err = closedProber.Probe(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Open {
+		t.Skip("something actually listens on port 1; skipping closed-port assertion")
+	}
+}
+
+func TestScannerWithTCPProberEndToEnd(t *testing.T) {
+	// Full engine over loopback: a /30 target partition where exactly one
+	// address (127.0.0.1) has a listener.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	port := ln.Addr().(*net.TCPAddr).Port
+	part, err := rib.NewPartition([]netaddr.Prefix{pfx("127.0.0.0/30")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Targets: part,
+		Prober:  &TCPProber{Port: port, Timeout: 300 * time.Millisecond},
+		Workers: 4,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range report.Responsive {
+		if a == netaddr.MustParseAddr("127.0.0.1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("scanner missed the loopback listener: %v", report.Responsive)
+	}
+}
+
+func TestParseExclusions(t *testing.T) {
+	input := `# operator blocklist
+10.0.0.0/8
+192.0.2.1      # single address
+
+198.51.100.0/24	# trailing comment`
+	got, err := ParseExclusions(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"10.0.0.0/8", "192.0.2.1/32", "198.51.100.0/24"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i, w := range want {
+		if got[i].String() != w {
+			t.Errorf("exclusion %d = %v, want %s", i, got[i], w)
+		}
+	}
+	if _, err := ParseExclusions(strings.NewReader("not-a-prefix")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestRateLimitedScanDuration(t *testing.T) {
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/28")}) // 16 addrs
+	prober, _ := NewSimProber(nil, 0, 1)
+	s, err := New(Config{Targets: part, Prober: prober, Rate: 200, Burst: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	report, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if report.Probed != 16 {
+		t.Fatalf("probed %d", report.Probed)
+	}
+	// 16 probes at 200/s with burst 1 needs ≥ ~70ms.
+	if elapsed < 50*time.Millisecond {
+		t.Errorf("rate-limited scan finished in %v", elapsed)
+	}
+}
+
+func BenchmarkPermutationNext(b *testing.B) {
+	pm, err := NewPermutation(1<<30, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := pm.Next(); !ok {
+			pm.Reset()
+		}
+	}
+}
+
+func BenchmarkScannerSim(b *testing.B) {
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/16")})
+	var live []netaddr.Addr
+	for i := 0; i < 1000; i++ {
+		live = append(live, netaddr.Addr(0x0A000000+i*17))
+	}
+	prober, _ := NewSimProber(live, 0.02, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(Config{Targets: part, Prober: prober, Workers: 8, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package scan
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
+	"github.com/tass-scan/tass/internal/trie"
+)
+
+// Config parameterizes a scan run.
+type Config struct {
+	// Targets is the scan plan: a disjoint prefix set (a TASS selection,
+	// or the full announced space).
+	Targets rib.Partition
+	// Prober performs the probes.
+	Prober Prober
+	// Rate, when positive, caps probes per second.
+	Rate float64
+	// Burst is the limiter burst size (default 64).
+	Burst int
+	// Workers is the number of concurrent probe workers (default 16).
+	Workers int
+	// Seed drives the target permutation.
+	Seed int64
+	// Exclude lists prefixes never to probe (operator blocklist).
+	Exclude []netaddr.Prefix
+	// MaxProbes, when positive, stops the scan after that many probes
+	// (sampling mode).
+	MaxProbes uint64
+	// OnResult, when set, receives every result (including closed ones)
+	// from worker goroutines; it must be safe for concurrent calls.
+	OnResult func(Result)
+}
+
+// Report summarizes a completed scan cycle.
+type Report struct {
+	// Probed counts transmitted probes (exclusion hits don't count).
+	Probed uint64
+	// Excluded counts targets skipped by the exclusion list.
+	Excluded uint64
+	// Errors counts probe invocations that failed outright.
+	Errors uint64
+	// Responsive is the sorted set of addresses with successful
+	// handshakes.
+	Responsive []netaddr.Addr
+	// Elapsed is the wall-clock scan duration.
+	Elapsed time.Duration
+}
+
+// Hitrate returns successful handshakes per probe, the efficiency metric
+// of the paper.
+func (r *Report) Hitrate() float64 {
+	if r.Probed == 0 {
+		return 0
+	}
+	return float64(len(r.Responsive)) / float64(r.Probed)
+}
+
+// Scanner executes scan cycles over a fixed target set.
+type Scanner struct {
+	cfg     Config
+	cum     []uint64 // cumulative target sizes for index→address mapping
+	exclude *trie.Trie[struct{}]
+	limiter *Limiter
+}
+
+// New validates the configuration and builds a Scanner.
+func New(cfg Config) (*Scanner, error) {
+	if cfg.Targets.Len() == 0 {
+		return nil, fmt.Errorf("scan: no targets")
+	}
+	if cfg.Prober == nil {
+		return nil, fmt.Errorf("scan: no prober")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 16
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 64
+	}
+	s := &Scanner{cfg: cfg}
+	s.cum = make([]uint64, cfg.Targets.Len())
+	var cum uint64
+	for i := 0; i < cfg.Targets.Len(); i++ {
+		cum += cfg.Targets.Prefix(i).NumAddresses()
+		s.cum[i] = cum
+	}
+	if len(cfg.Exclude) > 0 {
+		s.exclude = trie.New[struct{}]()
+		for _, p := range cfg.Exclude {
+			s.exclude.Insert(p, struct{}{})
+		}
+	}
+	if cfg.Rate > 0 {
+		lim, err := NewLimiter(cfg.Rate, cfg.Burst)
+		if err != nil {
+			return nil, err
+		}
+		s.limiter = lim
+	}
+	return s, nil
+}
+
+// addrAt maps a permutation index to the target address space.
+func (s *Scanner) addrAt(idx uint64) netaddr.Addr {
+	i := sort.Search(len(s.cum), func(i int) bool { return s.cum[i] > idx })
+	p := s.cfg.Targets.Prefix(i)
+	off := idx
+	if i > 0 {
+		off -= s.cum[i-1]
+	}
+	return p.First() + netaddr.Addr(off)
+}
+
+// Run executes one full scan cycle: every target address is probed
+// exactly once, in permuted order, honoring rate limit, exclusions and
+// context cancellation.
+func (s *Scanner) Run(ctx context.Context) (*Report, error) {
+	perm, err := NewPermutation(s.cfg.Targets.AddressCount(), s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	report := &Report{}
+
+	targets := make(chan netaddr.Addr, s.cfg.Workers*2)
+	var mu sync.Mutex // guards report.Responsive / Errors
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for addr := range targets {
+				res, err := s.cfg.Prober.Probe(ctx, addr)
+				if err != nil {
+					mu.Lock()
+					report.Errors++
+					mu.Unlock()
+					continue
+				}
+				if s.cfg.OnResult != nil {
+					s.cfg.OnResult(res)
+				}
+				if res.Open {
+					mu.Lock()
+					report.Responsive = append(report.Responsive, res.Addr)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	var runErr error
+feed:
+	for {
+		idx, ok := perm.Next()
+		if !ok {
+			break
+		}
+		addr := s.addrAt(idx)
+		if s.exclude != nil {
+			if _, _, hit := s.exclude.Lookup(addr); hit {
+				report.Excluded++
+				continue
+			}
+		}
+		if s.limiter != nil {
+			if err := s.limiter.Wait(ctx); err != nil {
+				runErr = err
+				break feed
+			}
+		} else if ctx.Err() != nil {
+			runErr = ctx.Err()
+			break feed
+		}
+		select {
+		case targets <- addr:
+			report.Probed++
+		case <-ctx.Done():
+			runErr = ctx.Err()
+			break feed
+		}
+		if s.cfg.MaxProbes > 0 && report.Probed >= s.cfg.MaxProbes {
+			break feed
+		}
+	}
+	close(targets)
+	wg.Wait()
+
+	sort.Slice(report.Responsive, func(i, j int) bool {
+		return report.Responsive[i] < report.Responsive[j]
+	})
+	report.Elapsed = time.Since(start)
+	return report, runErr
+}
+
+// ParseExclusions reads a ZMap-style exclusion file: one CIDR prefix or
+// bare address per line, '#' comments and blank lines ignored.
+func ParseExclusions(r io.Reader) ([]netaddr.Prefix, error) {
+	sc := bufio.NewScanner(r)
+	var out []netaddr.Prefix
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		if !strings.ContainsRune(text, '/') {
+			text += "/32"
+		}
+		p, err := netaddr.ParsePrefix(text)
+		if err != nil {
+			return nil, fmt.Errorf("scan: exclusion line %d: %w", line, err)
+		}
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scan: reading exclusions: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+// Package stats provides the small numeric helpers the experiment harness
+// uses to summarize results: means, percentiles, linear decay fits and
+// fixed-width table rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MinMax returns the extremes of xs. ok is false for empty input.
+func MinMax(xs []float64) (min, max float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, 0, false
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, true
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 1 {
+		return cp[len(cp)-1]
+	}
+	pos := p * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// LinearFit returns slope and intercept of the least-squares line through
+// (xs[i], ys[i]). It is used to estimate monthly hitrate decay slopes
+// (Figure 6). Inputs must have equal nonzero length.
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	if n == 0 || len(xs) != len(ys) {
+		return 0, 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var num, den float64
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		den += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if den == 0 {
+		return 0, my
+	}
+	slope = num / den
+	return slope, my - slope*mx
+}
+
+// Histogram counts values into the given bucket boundaries: result[i]
+// counts xs in [bounds[i], bounds[i+1]); the final bucket is open-ended.
+func Histogram(xs []float64, bounds []float64) []int {
+	out := make([]int, len(bounds))
+	for _, x := range xs {
+		idx := sort.SearchFloat64s(bounds, x)
+		if idx > 0 && (idx == len(bounds) || bounds[idx] != x) {
+			idx--
+		}
+		if idx < len(out) {
+			out[idx]++
+		}
+	}
+	return out
+}
+
+// Table renders rows as an aligned fixed-width text table. The first row
+// is the header; a separator line follows it.
+type Table struct {
+	rows [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row where each cell is formatted with fmt.Sprint.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	if len(t.rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.rows[0])
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteString("\n")
+	for _, row := range t.rows[1:] {
+		writeRow(row)
+	}
+	return sb.String()
+}

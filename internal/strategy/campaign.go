@@ -1,0 +1,79 @@
+package strategy
+
+import (
+	"fmt"
+
+	"github.com/tass-scan/tass/internal/census"
+	"github.com/tass-scan/tass/internal/core"
+	"github.com/tass-scan/tass/internal/rib"
+)
+
+// Campaign is the paper's full periodic-scanning loop (§3.1 step 5): run
+// the TASS selection until t0+Δt, then reseed with a fresh full scan and
+// start over. It quantifies the choice of Δt the paper leaves open
+// ("an adjustable time period Δt").
+type Campaign struct {
+	// Universe is the prefix partition selections are drawn from.
+	Universe rib.Partition
+	// Opts carries φ and the optional cuts.
+	Opts core.Options
+	// ReseedEvery is Δt in months: a full scan is taken (and the
+	// selection rebuilt) every ReseedEvery months. 0 means never reseed
+	// after the initial full scan.
+	ReseedEvery int
+}
+
+// CampaignEval is the outcome of simulating a campaign against a
+// ground-truth series.
+type CampaignEval struct {
+	// Hitrate[m] is the fraction of month-m hosts found: 1.0 in reseed
+	// months (those run a full scan), the selection's hitrate otherwise.
+	Hitrate []float64
+	// CostShare[m] is the month's probe cost relative to a full scan.
+	CostShare []float64
+	// MeanHitrate and MeanCostShare average over all months.
+	MeanHitrate, MeanCostShare float64
+	// Reseeds counts full scans taken (including month 0).
+	Reseeds int
+}
+
+// EvaluateCampaign simulates the campaign over the series. Month 0 is
+// always a full scan (the initial seed).
+func EvaluateCampaign(c Campaign, series *census.Series, fullSpace uint64) (CampaignEval, error) {
+	if series.Months() == 0 {
+		return CampaignEval{}, fmt.Errorf("strategy: empty series")
+	}
+	if fullSpace == 0 {
+		return CampaignEval{}, fmt.Errorf("strategy: campaign needs the full-scan cost")
+	}
+	var (
+		ev  CampaignEval
+		sel *core.Selection
+	)
+	for m := 0; m < series.Months(); m++ {
+		reseed := m == 0 || (c.ReseedEvery > 0 && m%c.ReseedEvery == 0)
+		if reseed {
+			var err error
+			sel, err = core.Select(series.At(m), c.Universe, c.Opts)
+			if err != nil {
+				return CampaignEval{}, fmt.Errorf("strategy: reseed at month %d: %w", m, err)
+			}
+			ev.Reseeds++
+			// The reseed month itself runs the full scan that seeds the
+			// selection: perfect coverage, full cost.
+			ev.Hitrate = append(ev.Hitrate, 1.0)
+			ev.CostShare = append(ev.CostShare, 1.0)
+			continue
+		}
+		ev.Hitrate = append(ev.Hitrate, sel.Hitrate(series.At(m)))
+		ev.CostShare = append(ev.CostShare, float64(sel.Space)/float64(fullSpace))
+	}
+	for m := range ev.Hitrate {
+		ev.MeanHitrate += ev.Hitrate[m]
+		ev.MeanCostShare += ev.CostShare[m]
+	}
+	n := float64(len(ev.Hitrate))
+	ev.MeanHitrate /= n
+	ev.MeanCostShare /= n
+	return ev, nil
+}

@@ -1,0 +1,214 @@
+package strategy
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/census"
+	"github.com/tass-scan/tass/internal/churn"
+	"github.com/tass-scan/tass/internal/core"
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
+	"github.com/tass-scan/tass/internal/topo"
+)
+
+func pfx(s string) netaddr.Prefix { return netaddr.MustParsePrefix(s) }
+
+func smallWorld(t testing.TB, seed int64) (*topo.Universe, map[string]*census.Series) {
+	t.Helper()
+	cfg := topo.SmallConfig(seed)
+	cfg.Allocated = []netaddr.Prefix{pfx("20.0.0.0/8")}
+	cfg.Protocols = topo.DefaultProfiles(0.004)
+	u, err := topo.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, churn.Run(u, seed+1, 6)
+}
+
+func TestFullScanIsPerfect(t *testing.T) {
+	u, series := smallWorld(t, 31)
+	ev, err := Evaluate(Full{Universe: u.Less}, series["ftp"], u.Less.AddressCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Cost != u.Less.AddressCount() || ev.CostShare != 1 {
+		t.Errorf("full scan cost %d share %v", ev.Cost, ev.CostShare)
+	}
+	for m, h := range ev.Hitrate {
+		if h != 1 {
+			t.Errorf("month %d: full-scan hitrate %v, want 1 (all hosts live in announced space)", m, h)
+		}
+	}
+}
+
+func TestHitlistDecaysTASSHolds(t *testing.T) {
+	u, series := smallWorld(t, 32)
+	s := series["http"]
+
+	hl, err := Evaluate(Hitlist{}, s, u.Less.AddressCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tassL, err := Evaluate(TASS{Universe: u.Less, Opts: core.Options{Phi: 1}}, s, u.Less.AddressCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if hl.Hitrate[0] != 1 {
+		t.Errorf("hitlist month 0 hitrate %v, want 1", hl.Hitrate[0])
+	}
+	if tassL.Hitrate[0] != 1 {
+		t.Errorf("tass φ=1 month 0 hitrate %v, want 1", tassL.Hitrate[0])
+	}
+	// The paper's core contrast: after 6 months the hitlist has lost a
+	// large fraction, TASS only a few percent.
+	if hl.Hitrate[6] > 0.90 {
+		t.Errorf("hitlist at month 6 = %v, expected clear decay", hl.Hitrate[6])
+	}
+	if tassL.Hitrate[6] < 0.93 {
+		t.Errorf("tass-l at month 6 = %v, expected > 0.93", tassL.Hitrate[6])
+	}
+	if tassL.Hitrate[6] <= hl.Hitrate[6] {
+		t.Errorf("tass (%v) must beat hitlist (%v) at month 6", tassL.Hitrate[6], hl.Hitrate[6])
+	}
+	// And the hitlist is far cheaper but that's its only virtue.
+	if hl.Cost >= tassL.Cost {
+		t.Errorf("hitlist cost %d should be below tass cost %d", hl.Cost, tassL.Cost)
+	}
+}
+
+func TestTASSCoverageCostTradeoff(t *testing.T) {
+	u, series := smallWorld(t, 33)
+	s := series["ftp"]
+	full := u.Less.AddressCount()
+
+	phi1, err := Evaluate(TASS{Universe: u.Less, Opts: core.Options{Phi: 1}}, s, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi95, err := Evaluate(TASS{Universe: u.Less, Opts: core.Options{Phi: 0.95}}, s, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi95.Cost >= phi1.Cost {
+		t.Errorf("φ=0.95 cost %d must be below φ=1 cost %d", phi95.Cost, phi1.Cost)
+	}
+	if phi1.CostShare >= 1 {
+		t.Errorf("TASS φ=1 must still be cheaper than a full scan (share %v)", phi1.CostShare)
+	}
+	if phi95.Hitrate[0] < 0.95 {
+		t.Errorf("φ=0.95 must cover ≥95%% at seed month, got %v", phi95.Hitrate[0])
+	}
+}
+
+func TestTASSMoreSpecificCheaperButDecaysFaster(t *testing.T) {
+	u, series := smallWorld(t, 34)
+	s := series["http"]
+	full := u.Less.AddressCount()
+
+	l, err := Evaluate(TASS{Universe: u.Less, Opts: core.Options{Phi: 1}, Label: "tass-l"}, s, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Evaluate(TASS{Universe: u.More, Opts: core.Options{Phi: 1}, Label: "tass-m"}, s, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cost >= l.Cost {
+		t.Errorf("m-prefix cost %d must be below l-prefix cost %d (paper §3.4)", m.Cost, l.Cost)
+	}
+	if m.Hitrate[6] > l.Hitrate[6]+1e-9 {
+		t.Errorf("m-prefix hitrate %v should not beat l-prefix %v at month 6 (paper §4.2)",
+			m.Hitrate[6], l.Hitrate[6])
+	}
+}
+
+func TestRandomSample(t *testing.T) {
+	u, series := smallWorld(t, 35)
+	s := series["ftp"]
+	r := RandomSample{Universe: u.Less, Blocks: 200, Seed: 5}
+	ev, err := Evaluate(r, s, u.Less.AddressCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Cost == 0 || ev.Cost > 200*256 {
+		t.Errorf("sample cost %d", ev.Cost)
+	}
+	// A 200-block sample of a /8 universe sees only a sliver of hosts.
+	if ev.Hitrate[0] <= 0 || ev.Hitrate[0] >= 0.9 {
+		t.Errorf("sample hitrate %v implausible", ev.Hitrate[0])
+	}
+	if _, err := (RandomSample{Universe: u.Less}).Plan(s.At(0)); err == nil {
+		t.Error("zero blocks must fail")
+	}
+}
+
+func TestRandomSampleDeterministic(t *testing.T) {
+	u, series := smallWorld(t, 36)
+	s := series["ftp"]
+	r := RandomSample{Universe: u.Less, Blocks: 100, Seed: 9}
+	p1, err := r.Plan(s.At(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.Plan(s.At(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Cost() != p2.Cost() || p1.Found(s.At(3)) != p2.Found(s.At(3)) {
+		t.Error("same seed produced different sample plans")
+	}
+}
+
+func TestHitlistEmptySeed(t *testing.T) {
+	if _, err := (Hitlist{}).Plan(census.NewSnapshot("x", 0, nil)); err == nil {
+		t.Error("empty hitlist seed must fail")
+	}
+}
+
+func TestEvaluateEmptySeries(t *testing.T) {
+	if _, err := Evaluate(Hitlist{}, &census.Series{Protocol: "x"}, 1); err == nil {
+		t.Error("empty series must fail")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Full{}).Name() != "full" || (Hitlist{}).Name() != "hitlist" {
+		t.Error("names")
+	}
+	if got := (TASS{Opts: core.Options{Phi: 0.95}}).Name(); !strings.Contains(got, "0.95") {
+		t.Errorf("TASS name %q", got)
+	}
+	if got := (TASS{Label: "custom"}).Name(); got != "custom" {
+		t.Errorf("TASS label %q", got)
+	}
+	if (RandomSample{}).Name() != "sample24" {
+		t.Error("sample name")
+	}
+}
+
+func TestPartitionPlanAgainstHandData(t *testing.T) {
+	part, err := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/24"), pfx("20.0.0.0/24")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := partitionPlan{part: part}
+	if plan.Cost() != 512 {
+		t.Errorf("Cost = %d", plan.Cost())
+	}
+	snap := census.NewSnapshot("x", 0, []netaddr.Addr{
+		netaddr.MustParseAddr("10.0.0.5"),
+		netaddr.MustParseAddr("20.0.0.9"),
+		netaddr.MustParseAddr("30.0.0.1"),
+	})
+	if got := plan.Found(snap); got != 2 {
+		t.Errorf("Found = %d", got)
+	}
+	if h := Hitrate(plan, snap); h < 0.66 || h > 0.67 {
+		t.Errorf("Hitrate = %v", h)
+	}
+	if Hitrate(plan, census.NewSnapshot("x", 0, nil)) != 0 {
+		t.Error("Hitrate on empty snapshot")
+	}
+}

@@ -1,0 +1,428 @@
+package topo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/pfx2as"
+	"github.com/tass-scan/tass/internal/rib"
+)
+
+// Config parameterizes universe generation. Zero-value fields are filled
+// with defaults by Generate; DefaultConfig returns the paper-scale setup.
+type Config struct {
+	// Seed makes generation fully deterministic.
+	Seed int64
+
+	// Reserved lists never-allocated special-use space. Defaults to the
+	// IANA special-use registry (≈0.6 B addresses, leaving the paper's
+	// ≈3.7 B allocated).
+	Reserved []netaddr.Prefix
+
+	// Allocated optionally overrides the allocatable space (used by tests
+	// and small examples). When nil it is computed as the complement of
+	// Reserved.
+	Allocated []netaddr.Prefix
+
+	// MinLen/MaxLen bound announced prefix lengths (default 8 and 24,
+	// matching the paper's "prefixes longer than /24 are negligible").
+	MinLen, MaxLen int
+
+	// AnnounceProb[l] / HoleProb[l] drive the recursive announcer: a
+	// block of length l is announced whole with AnnounceProb[l], left as
+	// an unannounced hole with HoleProb[l], and split into halves
+	// otherwise. At MaxLen the block is announced with AnnounceProb[l]
+	// and a hole otherwise.
+	AnnounceProb, HoleProb [33]float64
+
+	// MChildProb is the probability that an announced l-prefix shorter
+	// than MaxLen also announces more-specific children.
+	MChildProb float64
+	// MMaxChildren caps the children per parent (draw is uniform 1..cap).
+	MMaxChildren int
+	// MDeltaWeights[d-1] weights a child being d bits longer than its
+	// parent.
+	MDeltaWeights []float64
+
+	// KindWeights is the distribution of PrefixKind over l-prefixes.
+	KindWeights [numKinds]float64
+
+	// Protocols lists the host populations to place.
+	Protocols []ProtocolProfile
+}
+
+// DefaultReserved returns the IANA special-use prefixes excluded from
+// allocation (private, loopback, link-local, CGN, multicast, class E).
+func DefaultReserved() []netaddr.Prefix {
+	ss := []string{
+		"0.0.0.0/8", "10.0.0.0/8", "100.64.0.0/10", "127.0.0.0/8",
+		"169.254.0.0/16", "172.16.0.0/12", "192.0.0.0/24", "192.0.2.0/24",
+		"192.88.99.0/24", "192.168.0.0/16", "198.18.0.0/15",
+		"198.51.100.0/24", "203.0.113.0/24", "224.0.0.0/4", "240.0.0.0/4",
+	}
+	out := make([]netaddr.Prefix, len(ss))
+	for i, s := range ss {
+		out[i] = netaddr.MustParsePrefix(s)
+	}
+	return out
+}
+
+// DefaultConfig returns the paper-scale configuration: ≈3.7 B allocated
+// addresses, ≈70 % of them announced in ≈600 K l-prefixes, with the four
+// paper protocols scaled to ≈7 M hosts total.
+func DefaultConfig(seed int64) Config {
+	cfg := Config{
+		Seed:          seed,
+		Reserved:      DefaultReserved(),
+		MinLen:        8,
+		MaxLen:        24,
+		MChildProb:    0.70,
+		MMaxChildren:  5,
+		MDeltaWeights: []float64{0.30, 0.30, 0.20, 0.10, 0.07, 0.03},
+		KindWeights: [numKinds]float64{
+			KindResidential:    0.30,
+			KindHosting:        0.12,
+			KindEnterprise:     0.38,
+			KindInfrastructure: 0.20,
+		},
+		Protocols: DefaultProfiles(1.0),
+	}
+	setLen := func(from, to int, a, h float64) {
+		for l := from; l <= to; l++ {
+			cfg.AnnounceProb[l] = a
+			cfg.HoleProb[l] = h
+		}
+	}
+	setLen(8, 11, 0.01, 0.01)
+	setLen(12, 14, 0.03, 0.02)
+	setLen(15, 15, 0.06, 0.03)
+	setLen(16, 16, 0.28, 0.05)
+	setLen(17, 19, 0.15, 0.08)
+	setLen(20, 22, 0.30, 0.12)
+	setLen(23, 23, 0.35, 0.20)
+	setLen(24, 24, 0.82, 0.18)
+	return cfg
+}
+
+// SmallConfig returns a reduced universe (a handful of /8s, tens of
+// thousands of hosts) that keeps the same statistical shape. Tests,
+// examples and benchmarks use it for speed.
+func SmallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Allocated = []netaddr.Prefix{
+		netaddr.MustParsePrefix("20.0.0.0/6"),
+		netaddr.MustParsePrefix("60.0.0.0/8"),
+	}
+	cfg.Protocols = DefaultProfiles(0.02) // ≈24 K FTP ... 48 K HTTP hosts
+	// At this scale a single whole-/8 announcement (1 % per block at full
+	// scale) would dominate the universe; force splitting down to /13.
+	for l := 0; l <= 12; l++ {
+		cfg.AnnounceProb[l] = 0
+		cfg.HoleProb[l] = 0
+	}
+	return cfg
+}
+
+// Generate builds a deterministic synthetic universe from cfg.
+func Generate(cfg Config) (*Universe, error) {
+	if cfg.MinLen == 0 {
+		cfg.MinLen = 8
+	}
+	if cfg.MaxLen == 0 {
+		cfg.MaxLen = 24
+	}
+	if cfg.MinLen > cfg.MaxLen || cfg.MaxLen > 32 {
+		return nil, fmt.Errorf("topo: bad length bounds [%d,%d]", cfg.MinLen, cfg.MaxLen)
+	}
+	if cfg.Reserved == nil {
+		cfg.Reserved = DefaultReserved()
+	}
+	if len(cfg.Protocols) == 0 {
+		return nil, errors.New("topo: no protocol profiles")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	allocated := cfg.Allocated
+	if allocated == nil {
+		allocated = complement(cfg.Reserved)
+	} else {
+		allocated = append([]netaddr.Prefix(nil), allocated...)
+		netaddr.SortPrefixes(allocated) // keep l-prefix emission in address order
+	}
+	var allocSpace uint64
+	for _, p := range allocated {
+		allocSpace += p.NumAddresses()
+	}
+
+	// Pass 1: recursive announcer over every allocated block.
+	var lPrefixes []netaddr.Prefix
+	var rec func(p netaddr.Prefix)
+	rec = func(p netaddr.Prefix) {
+		l := p.Bits()
+		if l >= cfg.MaxLen {
+			if rng.Float64() < cfg.AnnounceProb[cfg.MaxLen] {
+				lPrefixes = append(lPrefixes, p)
+			}
+			return
+		}
+		if l >= cfg.MinLen {
+			r := rng.Float64()
+			if r < cfg.AnnounceProb[l] {
+				lPrefixes = append(lPrefixes, p)
+				return
+			}
+			if r < cfg.AnnounceProb[l]+cfg.HoleProb[l] {
+				return
+			}
+		}
+		lo, hi, _ := p.Split()
+		rec(lo)
+		rec(hi)
+	}
+	for _, b := range allocated {
+		rec(b)
+	}
+	if len(lPrefixes) == 0 {
+		return nil, errors.New("topo: generation produced no announced prefixes")
+	}
+
+	// Pass 2: more-specific children, kinds, origins.
+	type parented struct {
+		children []netaddr.Prefix
+	}
+	parents := make([]parented, len(lPrefixes))
+	kinds := make([]PrefixKind, len(lPrefixes))
+	var entries []rib.Entry
+	nextASN := uint32(1000)
+	deltaTotal := 0.0
+	for _, w := range cfg.MDeltaWeights {
+		deltaTotal += w
+	}
+	for i, lp := range lPrefixes {
+		kinds[i] = drawKind(rng, cfg.KindWeights)
+		asn := nextASN
+		nextASN++
+		entries = append(entries, rib.Entry{Prefix: lp, Origin: pfx2as.SingleOrigin(asn)})
+
+		if lp.Bits() >= cfg.MaxLen || rng.Float64() >= cfg.MChildProb {
+			continue
+		}
+		n := 1 + rng.Intn(cfg.MMaxChildren)
+		for c := 0; c < n; c++ {
+			maxDelta := cfg.MaxLen - lp.Bits()
+			d := drawDelta(rng, cfg.MDeltaWeights, deltaTotal)
+			if d > maxDelta {
+				d = maxDelta
+			}
+			childBits := lp.Bits() + d
+			// Random aligned child inside the parent.
+			slot := rng.Int63n(1 << uint(d))
+			childAddr := lp.Addr() | netaddr.Addr(uint64(slot)<<(32-uint(childBits)))
+			child := netaddr.MustPrefixFrom(childAddr, childBits)
+			if overlapsAny(child, parents[i].children) {
+				continue
+			}
+			parents[i].children = append(parents[i].children, child)
+			childASN := asn
+			if rng.Float64() < 0.25 {
+				childASN = nextASN
+				nextASN++
+			}
+			entries = append(entries, rib.Entry{Prefix: child, Origin: pfx2as.SingleOrigin(childASN)})
+		}
+	}
+
+	table := rib.New(entries)
+	u := &Universe{
+		Cfg:       cfg,
+		Table:     table,
+		Less:      table.LessSpecifics(),
+		More:      table.Deaggregated(),
+		Reserved:  cfg.Reserved,
+		Allocated: allocSpace,
+		Pops:      make(map[string]*Population, len(cfg.Protocols)),
+	}
+	if u.Less.Len() != len(lPrefixes) {
+		// The recursive announcer emits disjoint prefixes, so the table's
+		// l-view must be exactly what we generated.
+		return nil, fmt.Errorf("topo: internal: %d l-prefixes, table has %d",
+			len(lPrefixes), u.Less.Len())
+	}
+	// lPrefixes were emitted in address order (depth-first over sorted
+	// blocks), so indexes line up with the sorted partition.
+	u.Kinds = kinds
+	u.mChildren = make([][]netaddr.Prefix, len(lPrefixes))
+	for i := range parents {
+		u.mChildren[i] = parents[i].children
+	}
+	u.buildIndexes()
+
+	// Pass 3: host populations.
+	for pi := range cfg.Protocols {
+		prof := cfg.Protocols[pi]
+		pop, err := placeHosts(rng, u, prof)
+		if err != nil {
+			return nil, err
+		}
+		u.buildColdIndex(pop)
+		u.Pops[prof.Name] = pop
+	}
+	return u, nil
+}
+
+// placeHosts draws the per-prefix host counts from the heavy-tailed
+// intensity model and materializes host records.
+func placeHosts(rng *rand.Rand, u *Universe, prof ProtocolProfile) (*Population, error) {
+	if prof.TargetHosts <= 0 {
+		return nil, fmt.Errorf("topo: protocol %q: TargetHosts must be positive", prof.Name)
+	}
+	n := u.Less.Len()
+	weights := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		p := u.Less.Prefix(i)
+		aff := prof.Affinity[u.Kinds[i]]
+		if aff == 0 {
+			continue
+		}
+		w := aff * math.Pow(float64(p.NumAddresses()), prof.SizeExponent) *
+			lognormal(rng, prof.DensitySigma)
+		weights[i] = w
+		sum += w
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("topo: protocol %q: zero total intensity", prof.Name)
+	}
+	pop := &Population{Profile: prof}
+	pop.Hosts = make([]Host, 0, prof.TargetHosts+prof.TargetHosts/8)
+	target := float64(prof.TargetHosts)
+	space := float64(u.Less.AddressCount())
+	for i := 0; i < n; i++ {
+		lp := u.Less.Prefix(i)
+		size := lp.NumAddresses()
+		// Affinity-driven host mass, clustered into m-children.
+		clustered := 0
+		if weights[i] != 0 {
+			clustered = poisson(rng, target*(1-prof.UniformFloor)*weights[i]/sum)
+		}
+		// Background mass: the sparse-giant floor. A mild lognormal factor
+		// turns the floor into a density gradient rather than a plateau,
+		// so the ranked-density tail (Figure 4) falls off smoothly.
+		scattered := 0
+		if prof.UniformFloor > 0 {
+			scattered = poisson(rng,
+				target*prof.UniformFloor*float64(size)/space*lognormal(rng, 1.2))
+		}
+		// A prefix cannot hold more hosts than addresses.
+		if uint64(clustered+scattered) > size {
+			clustered = int(size)
+			scattered = 0
+		}
+		for h := 0; h < clustered; h++ {
+			pop.Hosts = append(pop.Hosts, Host{
+				Addr:    u.PlaceHostAddr(rng, i, &prof),
+				LIdx:    int32(i),
+				Dynamic: rng.Float64() < prof.DynamicShare,
+			})
+		}
+		for h := 0; h < scattered; h++ {
+			pop.Hosts = append(pop.Hosts, Host{
+				Addr:    RandomAddrIn(rng, lp),
+				LIdx:    int32(i),
+				Dynamic: rng.Float64() < prof.DynamicShare,
+			})
+		}
+	}
+	return pop, nil
+}
+
+// complement returns the minimal prefix set covering all of IPv4 space
+// except the given (disjoint) prefixes.
+func complement(reserved []netaddr.Prefix) []netaddr.Prefix {
+	sorted := make([]netaddr.Prefix, len(reserved))
+	copy(sorted, reserved)
+	netaddr.SortPrefixes(sorted)
+	var out []netaddr.Prefix
+	cur := uint64(0)
+	for _, p := range sorted {
+		if uint64(p.First()) > cur {
+			out = append(out, netaddr.SummarizeRange(netaddr.Addr(cur), p.First()-1)...)
+		}
+		if next := uint64(p.Last()) + 1; next > cur {
+			cur = next
+		}
+	}
+	if cur <= math.MaxUint32 {
+		out = append(out, netaddr.SummarizeRange(netaddr.Addr(cur), netaddr.Addr(math.MaxUint32))...)
+	}
+	return out
+}
+
+func overlapsAny(p netaddr.Prefix, others []netaddr.Prefix) bool {
+	for _, o := range others {
+		if p.Overlaps(o) {
+			return true
+		}
+	}
+	return false
+}
+
+func drawKind(rng *rand.Rand, weights [numKinds]float64) PrefixKind {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	r := rng.Float64() * total
+	for k, w := range weights {
+		if r < w {
+			return PrefixKind(k)
+		}
+		r -= w
+	}
+	return KindEnterprise
+}
+
+func drawDelta(rng *rand.Rand, weights []float64, total float64) int {
+	r := rng.Float64() * total
+	for i, w := range weights {
+		if r < w {
+			return i + 1
+		}
+		r -= w
+	}
+	return 1
+}
+
+// lognormal draws exp(N(-sigma^2/2, sigma^2)), a mean-1 heavy-tailed
+// multiplier.
+func lognormal(rng *rand.Rand, sigma float64) float64 {
+	return math.Exp(rng.NormFloat64()*sigma - sigma*sigma/2)
+}
+
+// poisson draws a Poisson variate. Knuth's product method below 30,
+// a rounded normal approximation above (exact enough for host counts).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	return int(v + 0.5)
+}

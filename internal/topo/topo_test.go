@@ -1,0 +1,275 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+func testConfig(seed int64) Config {
+	cfg := SmallConfig(seed)
+	cfg.Allocated = []netaddr.Prefix{netaddr.MustParsePrefix("20.0.0.0/8")}
+	cfg.Protocols = DefaultProfiles(0.004) // a few thousand hosts
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	u1, err := Generate(testConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Generate(testConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.Table.Len() != u2.Table.Len() {
+		t.Fatalf("tables differ: %d vs %d", u1.Table.Len(), u2.Table.Len())
+	}
+	for i := range u1.Table.Entries() {
+		if u1.Table.Entries()[i].Prefix != u2.Table.Entries()[i].Prefix {
+			t.Fatalf("prefix %d differs", i)
+		}
+	}
+	p1 := u1.Pops["ftp"]
+	p2 := u2.Pops["ftp"]
+	if len(p1.Hosts) != len(p2.Hosts) {
+		t.Fatalf("populations differ: %d vs %d", len(p1.Hosts), len(p2.Hosts))
+	}
+	for i := range p1.Hosts {
+		if p1.Hosts[i] != p2.Hosts[i] {
+			t.Fatalf("host %d differs", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeeds(t *testing.T) {
+	u1, _ := Generate(testConfig(1))
+	u2, _ := Generate(testConfig(2))
+	if u1.Table.Len() == u2.Table.Len() && len(u1.Pops["ftp"].Hosts) == len(u2.Pops["ftp"].Hosts) {
+		// Identical sizes on different seeds are suspicious but possible;
+		// require at least one host placed differently.
+		same := true
+		for i := range u1.Pops["ftp"].Hosts {
+			if u1.Pops["ftp"].Hosts[i].Addr != u2.Pops["ftp"].Hosts[i].Addr {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical universes")
+		}
+	}
+}
+
+func TestUniverseInvariants(t *testing.T) {
+	u, err := Generate(testConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Announced space is contained in the allocated block.
+	alloc := netaddr.MustParsePrefix("20.0.0.0/8")
+	for _, p := range u.Less.Prefixes() {
+		if !alloc.ContainsPrefix(p) {
+			t.Fatalf("announced %v outside allocated block", p)
+		}
+	}
+	// The two partitions cover the same space.
+	if u.Less.AddressCount() != u.More.AddressCount() {
+		t.Fatalf("l covers %d, m covers %d", u.Less.AddressCount(), u.More.AddressCount())
+	}
+	// Announced fraction in a plausible band (target ≈0.70 of allocated).
+	frac := float64(u.Less.AddressCount()) / float64(alloc.NumAddresses())
+	if frac < 0.45 || frac > 0.9 {
+		t.Errorf("announced fraction %.2f outside [0.45,0.9]", frac)
+	}
+	// Kinds and children indexes are aligned with the l-partition.
+	if len(u.Kinds) != u.Less.Len() {
+		t.Fatalf("kinds %d, l-prefixes %d", len(u.Kinds), u.Less.Len())
+	}
+	for i := 0; i < u.Less.Len(); i++ {
+		for _, c := range u.MChildren(i) {
+			if !u.Less.Prefix(i).ContainsPrefix(c) {
+				t.Fatalf("child %v outside parent %v", c, u.Less.Prefix(i))
+			}
+		}
+	}
+	// Every host lies inside its recorded l-prefix.
+	for _, name := range u.Protocols() {
+		for _, h := range u.Pops[name].Hosts {
+			if !u.Less.Prefix(int(h.LIdx)).Contains(h.Addr) {
+				t.Fatalf("%s host %v not in its l-prefix %v", name, h.Addr, u.Less.Prefix(int(h.LIdx)))
+			}
+		}
+	}
+}
+
+func TestPopulationSizesNearTarget(t *testing.T) {
+	u, err := Generate(testConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prof := range u.Cfg.Protocols {
+		got := len(u.Pops[prof.Name].Hosts)
+		lo := int(0.5 * float64(prof.TargetHosts))
+		hi := int(2.0 * float64(prof.TargetHosts))
+		if got < lo || got > hi {
+			t.Errorf("%s: %d hosts, target %d", prof.Name, got, prof.TargetHosts)
+		}
+	}
+}
+
+func TestCWMPConcentration(t *testing.T) {
+	// CWMP is residential-only: the space share of its responsive
+	// prefixes must be clearly below the web protocols'.
+	u, err := Generate(testConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := func(name string) float64 {
+		pop := u.Pops[name]
+		counts, _ := u.Less.CountAddrs(pop.Addresses())
+		var space uint64
+		for i, c := range counts {
+			if c > 0 {
+				space += u.Less.Prefix(i).NumAddresses()
+			}
+		}
+		return float64(space) / float64(u.Less.AddressCount())
+	}
+	if c, h := share("cwmp"), share("http"); c >= h {
+		t.Errorf("cwmp space share %.3f should be below http %.3f", c, h)
+	}
+}
+
+func TestRandomAnnouncedAddr(t *testing.T) {
+	u, err := Generate(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		a := u.RandomAnnouncedAddr(rng)
+		if _, ok := u.Less.Find(a); !ok {
+			t.Fatalf("sampled address %v outside announced space", a)
+		}
+	}
+}
+
+func TestRandomAddrIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := netaddr.MustParsePrefix("20.1.2.0/24")
+	for i := 0; i < 1000; i++ {
+		if a := RandomAddrIn(rng, p); !p.Contains(a) {
+			t.Fatalf("address %v outside %v", a, p)
+		}
+	}
+	single := netaddr.MustParsePrefix("20.1.2.3/32")
+	if a := RandomAddrIn(rng, single); a != single.Addr() {
+		t.Fatalf("/32 sample %v", a)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	res := []netaddr.Prefix{
+		netaddr.MustParsePrefix("0.0.0.0/8"),
+		netaddr.MustParsePrefix("128.0.0.0/1"),
+	}
+	comp := complement(res)
+	var total uint64
+	for _, p := range comp {
+		total += p.NumAddresses()
+		for _, r := range res {
+			if p.Overlaps(r) {
+				t.Fatalf("complement %v overlaps reserved %v", p, r)
+			}
+		}
+	}
+	want := uint64(1<<32) - (1 << 24) - (1 << 31)
+	if total != want {
+		t.Fatalf("complement covers %d, want %d", total, want)
+	}
+}
+
+func TestDefaultReservedSpace(t *testing.T) {
+	var reserved uint64
+	for _, p := range DefaultReserved() {
+		reserved += p.NumAddresses()
+	}
+	allocated := uint64(1<<32) - reserved
+	// The paper's Figure 1: ≈3.7 B allocated addresses.
+	if allocated < 3_500_000_000 || allocated > 3_900_000_000 {
+		t.Errorf("allocated space %d outside the paper's ≈3.7 B band", allocated)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, lambda := range []float64{0, 0.5, 3, 25, 100, 5000} {
+		n := 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, lambda))
+		}
+		mean := sum / float64(n)
+		tol := 4 * math.Sqrt(lambda/float64(n)) // ≈4 standard errors
+		if lambda == 0 {
+			if mean != 0 {
+				t.Errorf("poisson(0) mean %v", mean)
+			}
+			continue
+		}
+		if math.Abs(mean-lambda) > tol+0.05 {
+			t.Errorf("poisson(%v) mean %v, tolerance %v", lambda, mean, tol)
+		}
+	}
+}
+
+func TestLognormalMeanOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += lognormal(rng, 1.0)
+	}
+	if mean := sum / float64(n); mean < 0.9 || mean > 1.1 {
+		t.Errorf("lognormal mean %v, want ≈1", mean)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Protocols = nil
+	if _, err := Generate(cfg); err == nil {
+		t.Error("no protocols must fail")
+	}
+	cfg = testConfig(1)
+	cfg.MinLen, cfg.MaxLen = 24, 8
+	if _, err := Generate(cfg); err == nil {
+		t.Error("inverted length bounds must fail")
+	}
+	cfg = testConfig(1)
+	cfg.Protocols = []ProtocolProfile{{Name: "x", TargetHosts: 0}}
+	if _, err := Generate(cfg); err == nil {
+		t.Error("zero target hosts must fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := PrefixKind(0); k < numKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	cfg := testConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package topo synthesizes a calibrated model of the announced IPv4
+// Internet: an announced-prefix table with the aggregation structure of a
+// real BGP RIB (less-specifics with announced more-specifics inside), and
+// per-protocol host populations whose per-prefix density follows the heavy
+// tail that the TASS paper measures on censys.io data.
+//
+// The paper's input — 4.1 TB of censys.io full-IPv4 scans — is proprietary
+// and unavailable offline, so this package is the substitute documented in
+// DESIGN.md: it reproduces the statistical properties TASS depends on
+// (density skew, aggregation shape, protocol concentration) rather than
+// any particular host. Every consumer (selection, strategies, experiments)
+// operates on the same types a real censys/zmap export would produce.
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/tass-scan/tass/internal/census"
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
+)
+
+// PrefixKind classifies the dominant use of an announced prefix. The kind
+// drives protocol affinity: CWMP (TR-069) lives almost exclusively on
+// residential access networks, web protocols concentrate on hosting.
+type PrefixKind uint8
+
+// Prefix kinds, roughly following the access/hosting/enterprise/
+// infrastructure split of the visible Internet.
+const (
+	KindResidential PrefixKind = iota
+	KindHosting
+	KindEnterprise
+	KindInfrastructure
+	numKinds
+)
+
+// String returns the kind name.
+func (k PrefixKind) String() string {
+	switch k {
+	case KindResidential:
+		return "residential"
+	case KindHosting:
+		return "hosting"
+	case KindEnterprise:
+		return "enterprise"
+	case KindInfrastructure:
+		return "infrastructure"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Host is one responsive service instance: an address plus the churn-
+// relevant attributes. LIdx indexes the containing l-prefix in
+// Universe.Less; Dynamic marks hosts behind dynamic address assignment
+// (they re-roll their address every churn step).
+type Host struct {
+	Addr    netaddr.Addr
+	LIdx    int32
+	Dynamic bool
+}
+
+// Population is the set of hosts speaking one protocol.
+type Population struct {
+	Profile ProtocolProfile
+	Hosts   []Host
+
+	// cold indexes the l-prefixes that held no host of this protocol at
+	// generation time, with cumulative sizes for space-uniform sampling.
+	// Host churn prefers these "cold" prefixes as landing zones for
+	// re-homed hosts: new deployments appear in previously-unused space,
+	// which is what makes φ<1 selections decay at nearly the same rate
+	// as φ=1 selections (paper Figure 6b vs 6a).
+	cold    []int32
+	coldCum []uint64
+}
+
+// Addresses returns the sorted, de-duplicated address set of the
+// population — exactly what a full scan at this instant would report.
+func (p *Population) Addresses() []netaddr.Addr {
+	out := make([]netaddr.Addr, len(p.Hosts))
+	for i, h := range p.Hosts {
+		out[i] = h.Addr
+	}
+	census.SortAddrs(out)
+	// De-duplicate: two hosts on one address answer as one.
+	w := 0
+	for i, a := range out {
+		if i > 0 && out[w-1] == a {
+			continue
+		}
+		out[w] = a
+		w++
+	}
+	return out[:w]
+}
+
+// Universe is a synthetic announced Internet at one instant.
+type Universe struct {
+	Cfg Config
+
+	Table *rib.Table    // announced prefixes with synthetic origins
+	Less  rib.Partition // l-prefix view (maximal announced prefixes)
+	More  rib.Partition // deaggregated m-prefix view (Figure 2)
+
+	Reserved  []netaddr.Prefix // never-allocated space (IANA special use)
+	Allocated uint64           // size of the allocated space
+
+	Kinds []PrefixKind // kind of Less.Prefix(i), parallel to Less
+
+	// mChildren[i] lists the announced more-specific prefixes inside
+	// Less.Prefix(i); empty for unparented l-prefixes.
+	mChildren [][]netaddr.Prefix
+
+	// lessCum[i] is the cumulative address count of Less prefixes 0..i-1,
+	// enabling O(log n) space-uniform sampling.
+	lessCum []uint64
+
+	Pops map[string]*Population
+}
+
+// Protocols returns the population names in deterministic (config) order.
+func (u *Universe) Protocols() []string {
+	out := make([]string, 0, len(u.Cfg.Protocols))
+	for _, p := range u.Cfg.Protocols {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// RandomAnnouncedAddr draws an address uniformly from the announced space.
+func (u *Universe) RandomAnnouncedAddr(rng *rand.Rand) netaddr.Addr {
+	target := uint64(rng.Int63n(int64(u.Less.AddressCount())))
+	i := sort.Search(len(u.lessCum), func(i int) bool { return u.lessCum[i] > target })
+	p := u.Less.Prefix(i)
+	off := target
+	if i > 0 {
+		off -= u.lessCum[i-1]
+	}
+	return p.First() + netaddr.Addr(off)
+}
+
+// LPrefixOf returns the index of the l-prefix containing a.
+func (u *Universe) LPrefixOf(a netaddr.Addr) (int, bool) { return u.Less.Find(a) }
+
+// PlaceHostAddr draws an address for a host homed in l-prefix lidx,
+// honoring the m-prefix clustering weight of the profile: with
+// probability prof.MClusterWeight the host lands in one of the announced
+// more-specifics of the prefix (if any), otherwise anywhere in the
+// l-prefix.
+func (u *Universe) PlaceHostAddr(rng *rand.Rand, lidx int, prof *ProtocolProfile) netaddr.Addr {
+	lp := u.Less.Prefix(lidx)
+	children := u.mChildren[lidx]
+	if len(children) > 0 && rng.Float64() < prof.MClusterWeight {
+		c := children[rng.Intn(len(children))]
+		return RandomAddrIn(rng, c)
+	}
+	return RandomAddrIn(rng, lp)
+}
+
+// RandomAddrIn draws an address uniformly from p.
+func RandomAddrIn(rng *rand.Rand, p netaddr.Prefix) netaddr.Addr {
+	return p.First() + netaddr.Addr(uint64(rng.Int63())%p.NumAddresses())
+}
+
+// MChildren returns the announced more-specifics inside l-prefix lidx.
+func (u *Universe) MChildren(lidx int) []netaddr.Prefix { return u.mChildren[lidx] }
+
+// RandomColdAddr draws an address uniformly from the population's cold
+// space (l-prefixes with no host at generation time) and returns it with
+// its l-prefix index. ok is false when the population has no cold space;
+// callers should fall back to RandomAnnouncedAddr.
+func (u *Universe) RandomColdAddr(rng *rand.Rand, pop *Population) (netaddr.Addr, int, bool) {
+	if len(pop.cold) == 0 {
+		return 0, 0, false
+	}
+	total := pop.coldCum[len(pop.coldCum)-1]
+	target := uint64(rng.Int63n(int64(total)))
+	i := sort.Search(len(pop.coldCum), func(i int) bool { return pop.coldCum[i] > target })
+	lidx := int(pop.cold[i])
+	off := target
+	if i > 0 {
+		off -= pop.coldCum[i-1]
+	}
+	return u.Less.Prefix(lidx).First() + netaddr.Addr(off), lidx, true
+}
+
+// buildColdIndex records the zero-host l-prefixes of a population.
+func (u *Universe) buildColdIndex(pop *Population) {
+	counts := make([]int32, u.Less.Len())
+	for _, h := range pop.Hosts {
+		counts[h.LIdx]++
+	}
+	var cum uint64
+	for i, c := range counts {
+		if c != 0 {
+			continue
+		}
+		pop.cold = append(pop.cold, int32(i))
+		cum += u.Less.Prefix(i).NumAddresses()
+		pop.coldCum = append(pop.coldCum, cum)
+	}
+}
+
+func (u *Universe) buildIndexes() {
+	u.lessCum = make([]uint64, u.Less.Len())
+	var cum uint64
+	for i := 0; i < u.Less.Len(); i++ {
+		cum += u.Less.Prefix(i).NumAddresses()
+		u.lessCum[i] = cum
+	}
+}

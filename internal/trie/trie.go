@@ -1,0 +1,275 @@
+// Package trie implements a binary radix trie keyed by IPv4 prefixes, plus
+// the prefix-set operations the TASS paper builds on: longest-prefix match,
+// covered-set queries, the less-specific (l-prefix) filter, and the
+// deaggregation of less-specific prefixes around their announced
+// more-specifics (Figure 2 of the paper).
+//
+// The trie is a path-uncompressed binary trie: simple, allocation-friendly
+// and fast enough for full-table workloads (~600 k announced prefixes).
+// Nodes without values are interior branch points.
+package trie
+
+import (
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// Trie maps IPv4 prefixes to values of type V.
+// The zero value is an empty trie ready for use.
+type Trie[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	child    [2]*node[V]
+	value    V
+	hasValue bool
+}
+
+// New returns an empty trie. Equivalent to new(Trie[V]).
+func New[V any]() *Trie[V] { return &Trie[V]{} }
+
+// Len returns the number of prefixes stored in t.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert stores value under p, replacing any existing value.
+// It reports whether a previous value was replaced.
+func (t *Trie[V]) Insert(p netaddr.Prefix, value V) (replaced bool) {
+	if t.root == nil {
+		t.root = &node[V]{}
+	}
+	n := t.root
+	for i := 0; i < p.Bits(); i++ {
+		b := p.Bit(i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	replaced = n.hasValue
+	n.value = value
+	n.hasValue = true
+	if !replaced {
+		t.size++
+	}
+	return replaced
+}
+
+// Get returns the value stored exactly under p.
+func (t *Trie[V]) Get(p netaddr.Prefix) (V, bool) {
+	var zero V
+	n := t.node(p)
+	if n == nil || !n.hasValue {
+		return zero, false
+	}
+	return n.value, true
+}
+
+// node walks to the node for p, or nil if the path does not exist.
+func (t *Trie[V]) node(p netaddr.Prefix) *node[V] {
+	n := t.root
+	for i := 0; i < p.Bits() && n != nil; i++ {
+		n = n.child[p.Bit(i)]
+	}
+	return n
+}
+
+// Delete removes the value stored under p and reports whether one existed.
+// Emptied interior nodes are left in place; for the workloads here
+// (build once, query many) that is the right trade-off.
+func (t *Trie[V]) Delete(p netaddr.Prefix) bool {
+	n := t.node(p)
+	if n == nil || !n.hasValue {
+		return false
+	}
+	var zero V
+	n.value = zero
+	n.hasValue = false
+	t.size--
+	return true
+}
+
+// Lookup performs a longest-prefix match for address a and returns the
+// most specific stored prefix containing it.
+func (t *Trie[V]) Lookup(a netaddr.Addr) (netaddr.Prefix, V, bool) {
+	var (
+		bestP   netaddr.Prefix
+		bestV   V
+		found   bool
+		current = t.root
+	)
+	p32 := netaddr.MustPrefixFrom(a, 32)
+	for i := 0; current != nil; i++ {
+		if current.hasValue {
+			bestP = netaddr.MustPrefixFrom(a, i)
+			bestV = current.value
+			found = true
+		}
+		if i == 32 {
+			break
+		}
+		current = current.child[p32.Bit(i)]
+	}
+	return bestP, bestV, found
+}
+
+// LookupPrefix returns the most specific stored prefix that contains q
+// (possibly q itself).
+func (t *Trie[V]) LookupPrefix(q netaddr.Prefix) (netaddr.Prefix, V, bool) {
+	var (
+		bestP netaddr.Prefix
+		bestV V
+		found bool
+	)
+	n := t.root
+	for i := 0; n != nil; i++ {
+		if n.hasValue {
+			bestP = netaddr.MustPrefixFrom(q.Addr(), i)
+			bestV = n.value
+			found = true
+		}
+		if i == q.Bits() {
+			break
+		}
+		n = n.child[q.Bit(i)]
+	}
+	return bestP, bestV, found
+}
+
+// Walk visits all stored prefixes in lexicographic (address, length) order.
+// Returning false from fn stops the walk early.
+func (t *Trie[V]) Walk(fn func(netaddr.Prefix, V) bool) {
+	walk(t.root, netaddr.MustPrefixFrom(0, 0), fn)
+}
+
+func walk[V any](n *node[V], at netaddr.Prefix, fn func(netaddr.Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.hasValue && !fn(at, n.value) {
+		return false
+	}
+	lo, hi, ok := at.Split()
+	if !ok {
+		return true
+	}
+	if !walk(n.child[0], lo, fn) {
+		return false
+	}
+	return walk(n.child[1], hi, fn)
+}
+
+// Covered visits all stored prefixes contained in p (including p itself if
+// stored), in lexicographic order. Returning false stops early.
+func (t *Trie[V]) Covered(p netaddr.Prefix, fn func(netaddr.Prefix, V) bool) {
+	n := t.node(p)
+	walk(n, p, fn)
+}
+
+// HasStrictDescendant reports whether any stored prefix is strictly more
+// specific than p (longer and contained in p).
+func (t *Trie[V]) HasStrictDescendant(p netaddr.Prefix) bool {
+	n := t.node(p)
+	if n == nil {
+		return false
+	}
+	return subtreeHasValue(n.child[0]) || subtreeHasValue(n.child[1])
+}
+
+func subtreeHasValue[V any](n *node[V]) bool {
+	if n == nil {
+		return false
+	}
+	if n.hasValue {
+		return true
+	}
+	return subtreeHasValue(n.child[0]) || subtreeHasValue(n.child[1])
+}
+
+// Roots returns the maximal stored prefixes: those not contained in any
+// other stored prefix. In routing terms these are the less-specific
+// "l-prefixes" of the paper. The result is sorted.
+func (t *Trie[V]) Roots() []netaddr.Prefix {
+	var out []netaddr.Prefix
+	var rec func(n *node[V], at netaddr.Prefix)
+	rec = func(n *node[V], at netaddr.Prefix) {
+		if n == nil {
+			return
+		}
+		if n.hasValue {
+			out = append(out, at)
+			return // everything below is covered
+		}
+		lo, hi, ok := at.Split()
+		if !ok {
+			return
+		}
+		rec(n.child[0], lo)
+		rec(n.child[1], hi)
+	}
+	rec(t.root, netaddr.MustPrefixFrom(0, 0))
+	return out
+}
+
+// LessSpecificOnly returns the maximal prefixes of the input set: every
+// prefix contained in another input prefix is dropped. Duplicates collapse.
+// This is the paper's l-prefix view of an announced table. The result is
+// sorted and pairwise disjoint.
+func LessSpecificOnly(prefixes []netaddr.Prefix) []netaddr.Prefix {
+	t := New[struct{}]()
+	for _, p := range prefixes {
+		t.Insert(p, struct{}{})
+	}
+	return t.Roots()
+}
+
+// Deaggregate computes the paper's m-prefix partition (Figure 2): every
+// less-specific prefix that contains announced more-specifics is
+// decomposed into (a) the announced more-specifics themselves and (b) the
+// minimal set of prefixes tiling the remaining space. Prefixes with no
+// announced more-specifics pass through unchanged. Nested more-specifics
+// are decomposed recursively, so the result is a disjoint partition whose
+// union equals the union of the input.
+//
+// The result is sorted by (address, length).
+func Deaggregate(prefixes []netaddr.Prefix) []netaddr.Prefix {
+	t := New[struct{}]()
+	for _, p := range prefixes {
+		t.Insert(p, struct{}{})
+	}
+	var out []netaddr.Prefix
+	var rec func(n *node[struct{}], at netaddr.Prefix, covered bool)
+	rec = func(n *node[struct{}], at netaddr.Prefix, covered bool) {
+		if n == nil {
+			// No announcements below. Emit the whole block if some
+			// ancestor announced it.
+			if covered {
+				out = append(out, at)
+			}
+			return
+		}
+		if n.hasValue {
+			covered = true
+		}
+		if covered && !subtreeHasValue(n.child[0]) && !subtreeHasValue(n.child[1]) {
+			// Announced (or ancestor-covered) block with no more-specifics:
+			// a leaf piece of the partition.
+			out = append(out, at)
+			return
+		}
+		if !covered && !subtreeHasValue(n.child[0]) && !subtreeHasValue(n.child[1]) {
+			return // dead interior path
+		}
+		lo, hi, ok := at.Split()
+		if !ok {
+			if covered {
+				out = append(out, at)
+			}
+			return
+		}
+		rec(n.child[0], lo, covered)
+		rec(n.child[1], hi, covered)
+	}
+	rec(t.root, netaddr.MustPrefixFrom(0, 0), false)
+	return out
+}

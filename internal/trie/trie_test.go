@@ -1,0 +1,366 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+func pfx(s string) netaddr.Prefix { return netaddr.MustParsePrefix(s) }
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := New[int]()
+	if tr.Len() != 0 {
+		t.Fatal("new trie not empty")
+	}
+	if replaced := tr.Insert(pfx("10.0.0.0/8"), 1); replaced {
+		t.Error("first insert reported replace")
+	}
+	if replaced := tr.Insert(pfx("10.0.0.0/8"), 2); !replaced {
+		t.Error("second insert did not report replace")
+	}
+	tr.Insert(pfx("10.0.0.0/16"), 3)
+	tr.Insert(pfx("0.0.0.0/0"), 4)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if v, ok := tr.Get(pfx("10.0.0.0/8")); !ok || v != 2 {
+		t.Errorf("Get(/8) = %d, %v", v, ok)
+	}
+	if _, ok := tr.Get(pfx("10.0.0.0/9")); ok {
+		t.Error("Get(/9) should miss")
+	}
+	if !tr.Delete(pfx("10.0.0.0/8")) || tr.Delete(pfx("10.0.0.0/8")) {
+		t.Error("delete semantics wrong")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len after delete = %d", tr.Len())
+	}
+}
+
+func TestLookupLongestMatch(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(pfx("0.0.0.0/0"), "default")
+	tr.Insert(pfx("10.0.0.0/8"), "l")
+	tr.Insert(pfx("10.16.0.0/12"), "m")
+	tr.Insert(pfx("10.16.32.0/24"), "deep")
+
+	cases := []struct {
+		addr string
+		want string
+	}{
+		{"10.16.32.7", "deep"},
+		{"10.16.33.0", "m"},
+		{"10.200.0.1", "l"},
+		{"192.0.2.1", "default"},
+	}
+	for _, c := range cases {
+		p, v, ok := tr.Lookup(netaddr.MustParseAddr(c.addr))
+		if !ok || v != c.want {
+			t.Errorf("Lookup(%s) = %v,%q,%v; want %q", c.addr, p, v, ok, c.want)
+		}
+	}
+
+	empty := New[string]()
+	if _, _, ok := empty.Lookup(netaddr.MustParseAddr("1.2.3.4")); ok {
+		t.Error("lookup in empty trie should miss")
+	}
+}
+
+func TestLookupReturnsContainingPrefix(t *testing.T) {
+	f := func(v uint32, bitsRaw uint8, probe uint32) bool {
+		bits := int(bitsRaw % 33)
+		p := netaddr.MustPrefixFrom(netaddr.Addr(v), bits)
+		tr := New[int]()
+		tr.Insert(p, 7)
+		a := p.Addr() | (netaddr.Addr(probe) &^ p.Mask()) // force inside p
+		got, val, ok := tr.Lookup(a)
+		return ok && got == p && val == 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupPrefix(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(pfx("10.0.0.0/8"), "l")
+	tr.Insert(pfx("10.16.0.0/12"), "m")
+	p, v, ok := tr.LookupPrefix(pfx("10.16.32.0/24"))
+	if !ok || v != "m" || p != pfx("10.16.0.0/12") {
+		t.Errorf("LookupPrefix = %v, %q, %v", p, v, ok)
+	}
+	p, v, ok = tr.LookupPrefix(pfx("10.16.0.0/12"))
+	if !ok || v != "m" {
+		t.Errorf("LookupPrefix self = %v, %q, %v", p, v, ok)
+	}
+	if _, _, ok := tr.LookupPrefix(pfx("11.0.0.0/8")); ok {
+		t.Error("should miss")
+	}
+}
+
+func TestWalkOrderAndEarlyStop(t *testing.T) {
+	tr := New[int]()
+	in := []string{"10.0.0.0/8", "9.0.0.0/8", "10.0.0.0/9", "10.128.0.0/9", "0.0.0.0/0"}
+	for i, s := range in {
+		tr.Insert(pfx(s), i)
+	}
+	var got []string
+	tr.Walk(func(p netaddr.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"0.0.0.0/0", "9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/9", "10.128.0.0/9"}
+	if len(got) != len(want) {
+		t.Fatalf("Walk visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Walk order %v, want %v", got, want)
+		}
+	}
+	n := 0
+	tr.Walk(func(netaddr.Prefix, int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestCovered(t *testing.T) {
+	tr := New[int]()
+	for i, s := range []string{"10.0.0.0/8", "10.16.0.0/12", "10.16.32.0/24", "11.0.0.0/8"} {
+		tr.Insert(pfx(s), i)
+	}
+	var got []string
+	tr.Covered(pfx("10.16.0.0/12"), func(p netaddr.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	if len(got) != 2 || got[0] != "10.16.0.0/12" || got[1] != "10.16.32.0/24" {
+		t.Errorf("Covered = %v", got)
+	}
+}
+
+func TestHasStrictDescendant(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(pfx("10.0.0.0/8"), 0)
+	tr.Insert(pfx("10.16.0.0/12"), 1)
+	if !tr.HasStrictDescendant(pfx("10.0.0.0/8")) {
+		t.Error("/8 has a /12 below")
+	}
+	if tr.HasStrictDescendant(pfx("10.16.0.0/12")) {
+		t.Error("/12 has nothing below")
+	}
+	if tr.HasStrictDescendant(pfx("11.0.0.0/8")) {
+		t.Error("unrelated prefix")
+	}
+	if !tr.HasStrictDescendant(pfx("0.0.0.0/0")) {
+		t.Error("/0 covers everything stored")
+	}
+}
+
+func TestRootsAndLessSpecificOnly(t *testing.T) {
+	in := []netaddr.Prefix{
+		pfx("10.0.0.0/8"), pfx("10.16.0.0/12"), pfx("10.16.32.0/24"),
+		pfx("192.0.2.0/24"), pfx("192.0.2.0/24"), // duplicate
+		pfx("100.64.0.0/10"),
+	}
+	got := LessSpecificOnly(in)
+	want := []string{"10.0.0.0/8", "100.64.0.0/10", "192.0.2.0/24"}
+	if len(got) != len(want) {
+		t.Fatalf("LessSpecificOnly = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Fatalf("LessSpecificOnly = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeaggregateFigure2(t *testing.T) {
+	// The paper's Figure 2: a /8 containing an announced /12 decomposes
+	// into /9, /10, /11 and two /12s (the announced one and its sibling).
+	in := []netaddr.Prefix{pfx("100.0.0.0/8"), pfx("100.16.0.0/12")}
+	got := Deaggregate(in)
+	want := []string{
+		"100.0.0.0/12",  // sibling of the announced m-prefix
+		"100.16.0.0/12", // the announced m-prefix, intact
+		"100.32.0.0/11",
+		"100.64.0.0/10",
+		"100.128.0.0/9",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Deaggregate = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Fatalf("Deaggregate[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDeaggregatePassThrough(t *testing.T) {
+	in := []netaddr.Prefix{pfx("10.0.0.0/8"), pfx("192.0.2.0/24")}
+	got := Deaggregate(in)
+	if len(got) != 2 || got[0] != in[0] || got[1] != in[1] {
+		t.Errorf("prefixes without more-specifics must pass through: %v", got)
+	}
+}
+
+func TestDeaggregateNested(t *testing.T) {
+	// m-prefix inside m-prefix inside l-prefix: both levels decompose.
+	in := []netaddr.Prefix{pfx("10.0.0.0/8"), pfx("10.0.0.0/12"), pfx("10.0.0.0/16")}
+	got := Deaggregate(in)
+	// Partition property: sorted, disjoint, sums to the /8.
+	var total uint64
+	for i, p := range got {
+		total += p.NumAddresses()
+		if i > 0 && got[i-1].Compare(p) >= 0 {
+			t.Fatalf("not sorted: %v", got)
+		}
+		if i > 0 && got[i-1].Overlaps(p) {
+			t.Fatalf("overlap: %v and %v", got[i-1], p)
+		}
+	}
+	if total != pfx("10.0.0.0/8").NumAddresses() {
+		t.Fatalf("partition covers %d addrs, want %d", total, pfx("10.0.0.0/8").NumAddresses())
+	}
+	// The innermost /16 must survive intact.
+	found := false
+	for _, p := range got {
+		if p == pfx("10.0.0.0/16") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("announced /16 lost in deaggregation")
+	}
+}
+
+func TestDeaggregateStandaloneMoreSpecific(t *testing.T) {
+	// An announced prefix with no covering l-prefix stays as-is; nothing
+	// else is emitted for its siblings.
+	in := []netaddr.Prefix{pfx("203.0.113.0/24")}
+	got := Deaggregate(in)
+	if len(got) != 1 || got[0] != in[0] {
+		t.Errorf("Deaggregate = %v", got)
+	}
+}
+
+// randomPrefixSet builds a plausible announced table: a few short prefixes
+// plus nested more-specifics.
+func randomPrefixSet(rng *rand.Rand, n int) []netaddr.Prefix {
+	ps := make([]netaddr.Prefix, 0, n)
+	for i := 0; i < n; i++ {
+		bits := 4 + rng.Intn(21) // /4../24
+		p := netaddr.MustPrefixFrom(netaddr.Addr(rng.Uint32()), bits)
+		ps = append(ps, p)
+		// Half the time, announce a more-specific inside it too.
+		if rng.Intn(2) == 0 {
+			sub := bits + 1 + rng.Intn(6)
+			if sub > 32 {
+				sub = 32
+			}
+			off := netaddr.Addr(rng.Uint32()) &^ p.Mask()
+			ps = append(ps, netaddr.MustPrefixFrom(p.Addr()|off, sub))
+		}
+	}
+	return ps
+}
+
+func TestDeaggregatePartitionProperty(t *testing.T) {
+	// For random announced sets: the deaggregated result is sorted,
+	// pairwise disjoint, covers exactly the union of the input, and every
+	// announced prefix equals the union of the pieces inside it.
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 50; iter++ {
+		in := randomPrefixSet(rng, 30)
+		out := Deaggregate(in)
+
+		for i := 1; i < len(out); i++ {
+			if out[i-1].Compare(out[i]) >= 0 {
+				t.Fatalf("iter %d: output not strictly sorted", iter)
+			}
+			if out[i-1].Overlaps(out[i]) {
+				t.Fatalf("iter %d: adjacent overlap %v %v", iter, out[i-1], out[i])
+			}
+		}
+
+		// Union size must match: measure via the l-prefix roots.
+		roots := LessSpecificOnly(in)
+		var wantTotal, gotTotal uint64
+		for _, p := range roots {
+			wantTotal += p.NumAddresses()
+		}
+		for _, p := range out {
+			gotTotal += p.NumAddresses()
+		}
+		if wantTotal != gotTotal {
+			t.Fatalf("iter %d: union %d addrs, want %d", iter, gotTotal, wantTotal)
+		}
+
+		// Every piece lies inside some root; every root is fully tiled.
+		rootTrie := New[struct{}]()
+		for _, r := range roots {
+			rootTrie.Insert(r, struct{}{})
+		}
+		for _, p := range out {
+			if _, _, ok := rootTrie.LookupPrefix(p); !ok {
+				t.Fatalf("iter %d: piece %v outside all roots", iter, p)
+			}
+		}
+
+		// Announced more-specifics that are not further subdivided must
+		// appear intact in the partition.
+		outTrie := New[struct{}]()
+		for _, p := range out {
+			outTrie.Insert(p, struct{}{})
+		}
+		inTrie := New[struct{}]()
+		for _, p := range in {
+			inTrie.Insert(p, struct{}{})
+		}
+		for _, p := range in {
+			if !inTrie.HasStrictDescendant(p) {
+				if _, ok := outTrie.Get(p); !ok {
+					t.Fatalf("iter %d: leaf announcement %v missing from partition", iter, p)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkInsertFullTable(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ps := randomPrefixSet(rng, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New[struct{}]()
+		for _, p := range ps {
+			tr.Insert(p, struct{}{})
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[struct{}]()
+	for _, p := range randomPrefixSet(rng, 100000) {
+		tr.Insert(p, struct{}{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(netaddr.Addr(rng.Uint32()))
+	}
+}
+
+func BenchmarkDeaggregate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ps := randomPrefixSet(rng, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Deaggregate(ps)
+	}
+}

@@ -1,0 +1,361 @@
+// Package tass implements the Topology Aware Scanning Strategy (TASS) of
+// Klick, Lau, Wählisch and Roth ("Towards Better Internet Citizenship:
+// Reducing the Footprint of Internet-wide Scans by Topology Aware Prefix
+// Selection", ACM IMC 2016), together with everything needed to use and
+// evaluate it: announced-table handling (pfx2as and MRT inputs), prefix
+// deaggregation, baseline strategies, a ZMap-style scanner engine, and a
+// calibrated Internet simulator for offline evaluation.
+//
+// # The strategy in one paragraph
+//
+// Internet-wide scans mostly probe silence: hitrates of full IPv4 sweeps
+// are typically below two percent. TASS amortizes one full seed scan over
+// months of cheap periodic scans: it counts the seed's responsive
+// addresses per announced prefix, ranks prefixes by host density, and
+// selects the densest prefixes until a chosen fraction φ of all observed
+// hosts is covered. Because hosts churn mostly *within* announced
+// prefixes, the selection stays accurate for months (≈0.3 %/month decay)
+// while scanning a fraction of the address space.
+//
+// # Quick start
+//
+//	table, _ := tass.ReadPfx2as(f)             // CAIDA prefix→AS table
+//	universe := table.Deaggregated()           // m-prefix partition (fig. 2)
+//	seed := tass.NewSnapshot("ftp", 0, addrs)  // month-0 full scan results
+//	sel, _ := tass.Select(seed, universe, tass.Options{Phi: 0.95})
+//	for _, p := range sel.Prefixes() {         // scan these each cycle
+//	    fmt.Println(p)
+//	}
+//
+// See examples/ for runnable end-to-end programs and DESIGN.md for the
+// reproduction map of every table and figure in the paper.
+package tass
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/tass-scan/tass/internal/census"
+	"github.com/tass-scan/tass/internal/churn"
+	"github.com/tass-scan/tass/internal/cluster"
+	"github.com/tass-scan/tass/internal/core"
+	"github.com/tass-scan/tass/internal/mrt"
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/pfx2as"
+	"github.com/tass-scan/tass/internal/rib"
+	"github.com/tass-scan/tass/internal/scan"
+	"github.com/tass-scan/tass/internal/sel6"
+	"github.com/tass-scan/tass/internal/strategy"
+	"github.com/tass-scan/tass/internal/topo"
+	"github.com/tass-scan/tass/internal/trie"
+)
+
+// Core address and prefix types (see netaddr for full method sets).
+type (
+	// Addr is an IPv4 address as a 32-bit integer value.
+	Addr = netaddr.Addr
+	// Prefix is a canonical IPv4 CIDR prefix.
+	Prefix = netaddr.Prefix
+	// AddrRange is an inclusive IPv4 address range.
+	AddrRange = netaddr.AddrRange
+)
+
+// Announced-table types.
+type (
+	// Table is an announced-prefix table (a RIB reduced to prefixes).
+	Table = rib.Table
+	// TableEntry is one announced prefix with its origin.
+	TableEntry = rib.Entry
+	// Partition is a sorted disjoint prefix set: a scanning universe.
+	Partition = rib.Partition
+	// Origin is a pfx2as origin-AS annotation.
+	Origin = pfx2as.Origin
+)
+
+// Scan-data types.
+type (
+	// Snapshot is one full-scan observation (protocol, month, sorted
+	// responsive addresses).
+	Snapshot = census.Snapshot
+	// Series is a monthly snapshot sequence for one protocol.
+	Series = census.Series
+	// DiffResult decomposes the churn between two snapshots.
+	DiffResult = census.DiffResult
+)
+
+// DiffSnapshots compares two scans of one protocol: how many addresses
+// persisted, disappeared and appeared (the §3.3 host-stability view).
+func DiffSnapshots(earlier, later *Snapshot) DiffResult {
+	return census.Diff(earlier, later)
+}
+
+// Selection types (the paper's algorithm).
+type (
+	// Options parameterizes Select: the φ target plus optional density
+	// and size cuts.
+	Options = core.Options
+	// Selection is a TASS scan plan.
+	Selection = core.Selection
+	// PrefixStat is one ranked responsive prefix.
+	PrefixStat = core.PrefixStat
+	// CurvePoint is one point of the ranked density/coverage curves.
+	CurvePoint = core.CurvePoint
+)
+
+// Strategy types for head-to-head evaluation.
+type (
+	// Strategy builds a scan plan from a seed snapshot.
+	Strategy = strategy.Strategy
+	// Plan is a periodic scan with fixed cost.
+	Plan = strategy.Plan
+	// Evaluation is a hitrate-over-time record.
+	Evaluation = strategy.Evaluation
+	// FullScan probes the whole announced space every cycle.
+	FullScan = strategy.Full
+	// HitlistStrategy re-probes exactly the seed's responsive addresses.
+	HitlistStrategy = strategy.Hitlist
+	// TASSStrategy is density-ranked prefix selection.
+	TASSStrategy = strategy.TASS
+	// SampleStrategy is a Heidemann-style /24-block sample.
+	SampleStrategy = strategy.RandomSample
+)
+
+// Simulation types (the offline evaluation substrate).
+type (
+	// Universe is a synthetic announced Internet with host populations.
+	Universe = topo.Universe
+	// UniverseConfig parameterizes universe generation.
+	UniverseConfig = topo.Config
+	// ProtocolProfile holds placement and churn parameters per protocol.
+	ProtocolProfile = topo.ProtocolProfile
+	// ChurnSimulator evolves universe populations month by month.
+	ChurnSimulator = churn.Simulator
+)
+
+// Scanner-engine types.
+type (
+	// Scanner executes scan cycles over a target partition.
+	Scanner = scan.Scanner
+	// ScanConfig parameterizes a Scanner.
+	ScanConfig = scan.Config
+	// ScanReport summarizes a completed scan cycle.
+	ScanReport = scan.Report
+	// ScanResult is one probe outcome.
+	ScanResult = scan.Result
+	// Prober performs probes for the scanner.
+	Prober = scan.Prober
+	// SimProber probes an in-memory responsive set.
+	SimProber = scan.SimProber
+	// TCPProber performs real TCP connect probes with banner grabbing.
+	TCPProber = scan.TCPProber
+)
+
+// NewScanner validates cfg and builds a scanner.
+func NewScanner(cfg ScanConfig) (*Scanner, error) { return scan.New(cfg) }
+
+// NewSimProber builds a simulation prober over a responsive address set.
+func NewSimProber(responsive []Addr, lossRate float64, seed int64) (*SimProber, error) {
+	return scan.NewSimProber(responsive, lossRate, seed)
+}
+
+// ParseExclusions reads a ZMap-style exclusion list (one CIDR or address
+// per line, '#' comments).
+func ParseExclusions(r io.Reader) ([]Prefix, error) { return scan.ParseExclusions(r) }
+
+// ExtractMRT reduces an MRT TABLE_DUMP_V2 RIB stream to an announced
+// table with origin ASes (the CAIDA pfx2as reduction). skipped counts
+// unparseable RIB entries.
+func ExtractMRT(r io.Reader) (t *Table, skipped int, err error) {
+	recs, skipped, err := mrt.ExtractPfx2as(r)
+	if err != nil {
+		return nil, skipped, err
+	}
+	return rib.FromRecords(recs), skipped, nil
+}
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) { return netaddr.ParseAddr(s) }
+
+// ParsePrefix parses CIDR notation with canonical (masked) address bits.
+func ParsePrefix(s string) (Prefix, error) { return netaddr.ParsePrefix(s) }
+
+// ReadPfx2as parses a CAIDA Routeviews prefix-to-AS table into a Table.
+func ReadPfx2as(r io.Reader) (*Table, error) {
+	recs, err := pfx2as.ParseAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return rib.FromRecords(recs), nil
+}
+
+// WritePfx2as serializes a Table in CAIDA pfx2as notation.
+func WritePfx2as(w io.Writer, t *Table) error {
+	return pfx2as.Write(w, t.Records())
+}
+
+// NewTable builds an announced table from raw prefixes (origins unknown).
+func NewTable(prefixes []Prefix) *Table {
+	entries := make([]rib.Entry, len(prefixes))
+	for i, p := range prefixes {
+		entries[i] = rib.Entry{Prefix: p}
+	}
+	return rib.New(entries)
+}
+
+// Deaggregate decomposes announced prefixes into the paper's minimal
+// disjoint m-prefix partition (Figure 2).
+func Deaggregate(prefixes []Prefix) []Prefix { return trie.Deaggregate(prefixes) }
+
+// LessSpecificOnly keeps only the maximal (l-) prefixes of a set.
+func LessSpecificOnly(prefixes []Prefix) []Prefix { return trie.LessSpecificOnly(prefixes) }
+
+// NewPartition validates and builds a scanning universe from disjoint
+// prefixes.
+func NewPartition(prefixes []Prefix) (Partition, error) { return rib.NewPartition(prefixes) }
+
+// NewSnapshot builds a scan snapshot from (unsorted, possibly duplicate)
+// responsive addresses.
+func NewSnapshot(protocol string, month int, addrs []Addr) *Snapshot {
+	return census.NewSnapshot(protocol, month, addrs)
+}
+
+// ReadSnapshot parses a binary snapshot written with Snapshot.WriteTo.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) { return census.ReadSnapshot(r) }
+
+// ReadSeries parses back-to-back snapshots of one protocol.
+func ReadSeries(r io.Reader) (*Series, error) { return census.ReadSeries(r) }
+
+// Select runs TASS prefix selection (the paper's steps 1–4) on a seed
+// snapshot over a scanning universe.
+func Select(seed *Snapshot, universe Partition, opts Options) (*Selection, error) {
+	return core.Select(seed, universe, opts)
+}
+
+// Rank returns every responsive prefix of the seed in density order.
+func Rank(seed *Snapshot, universe Partition) []PrefixStat {
+	return core.Rank(seed, universe)
+}
+
+// Evaluate seeds a strategy with month 0 of the series and measures its
+// hitrate on every month. fullSpace normalizes the cost share (pass the
+// announced address count).
+func Evaluate(s Strategy, series *Series, fullSpace uint64) (Evaluation, error) {
+	return strategy.Evaluate(s, series, fullSpace)
+}
+
+// GenerateUniverse builds a deterministic synthetic Internet for offline
+// evaluation. Use DefaultUniverseConfig or SmallUniverseConfig as a base.
+func GenerateUniverse(cfg UniverseConfig) (*Universe, error) { return topo.Generate(cfg) }
+
+// DefaultUniverseConfig is the paper-scale simulation setup (≈3.7 B
+// allocated addresses, ≈7 M hosts across FTP/HTTP/HTTPS/CWMP).
+func DefaultUniverseConfig(seed int64) UniverseConfig { return topo.DefaultConfig(seed) }
+
+// SmallUniverseConfig is a reduced setup for demos and tests.
+func SmallUniverseConfig(seed int64) UniverseConfig { return topo.SmallConfig(seed) }
+
+// ScaledUniverseConfig shrinks the paper-scale setup to the given scale
+// in (0,1]: the allocated space becomes a proportional number of /8
+// blocks and the host populations scale linearly. Scale 1.0 returns the
+// full paper-scale configuration.
+func ScaledUniverseConfig(seed int64, scale float64) UniverseConfig {
+	if scale >= 1.0 {
+		return topo.DefaultConfig(seed)
+	}
+	cfg := topo.DefaultConfig(seed)
+	blocks := int(scale * 220)
+	if blocks < 1 {
+		blocks = 1
+	}
+	var alloc []Prefix
+	for b := 0; b < blocks; b++ {
+		alloc = append(alloc, netaddr.MustPrefixFrom(netaddr.AddrFrom4(byte(20+b), 0, 0, 0), 8))
+	}
+	cfg.Allocated = alloc
+	cfg.Protocols = topo.DefaultProfiles(scale)
+	// Suppress whole-/8 announcements that would dominate a small world.
+	for l := 0; l <= 12; l++ {
+		cfg.AnnounceProb[l] = 0
+		cfg.HoleProb[l] = 0
+	}
+	return cfg
+}
+
+// DefaultProtocolProfiles returns the four calibrated paper protocols
+// (FTP, HTTP, HTTPS, CWMP) with populations scaled by scale.
+func DefaultProtocolProfiles(scale float64) []ProtocolProfile {
+	return topo.DefaultProfiles(scale)
+}
+
+// MustParsePrefix is ParsePrefix for constants; it panics on error.
+func MustParsePrefix(s string) Prefix { return netaddr.MustParsePrefix(s) }
+
+// MustParseAddr is ParseAddr for constants; it panics on error.
+func MustParseAddr(s string) Addr { return netaddr.MustParseAddr(s) }
+
+// SimulateMonths evolves a universe and returns months+1 monthly
+// snapshot series per protocol (month 0 is the unevolved seed state).
+func SimulateMonths(u *Universe, seed int64, months int) map[string]*Series {
+	return churn.Run(u, seed, months)
+}
+
+// Extension types: the paper's §5 future-work directions.
+type (
+	// Campaign is the full periodic loop: select, scan, reseed every Δt.
+	Campaign = strategy.Campaign
+	// CampaignEval is a simulated campaign's cost/accuracy record.
+	CampaignEval = strategy.CampaignEval
+	// ClusterOptions bounds scan-driven prefix refinement.
+	ClusterOptions = cluster.Options
+
+	// Addr6 is a 128-bit IPv6 address.
+	Addr6 = netaddr.Addr6
+	// Prefix6 is an IPv6 CIDR prefix.
+	Prefix6 = netaddr.Prefix6
+	// Universe6 is a disjoint IPv6 prefix set.
+	Universe6 = sel6.Universe6
+	// Selection6 is an IPv6 TASS scan plan.
+	Selection6 = sel6.Selection6
+	// PrefixStat6 is one ranked responsive IPv6 prefix.
+	PrefixStat6 = sel6.PrefixStat6
+)
+
+// EvaluateCampaign simulates a periodic TASS campaign (selection plus
+// reseeding every Δt months) against a ground-truth series.
+func EvaluateCampaign(c Campaign, series *Series, fullSpace uint64) (CampaignEval, error) {
+	return strategy.EvaluateCampaign(c, series, fullSpace)
+}
+
+// RefinePartition applies Cai-Heidemann-style utilization clustering to
+// a partition: prefixes are recursively bisected around the host
+// concentrations observed in the seed scan (paper §5 future work).
+func RefinePartition(seed *Snapshot, part Partition, opts ClusterOptions) (Partition, error) {
+	return cluster.Refine(seed, part, opts)
+}
+
+// ParseAddr6 parses a textual IPv6 address.
+func ParseAddr6(s string) (Addr6, error) { return netaddr.ParseAddr6(s) }
+
+// ParsePrefix6 parses IPv6 CIDR notation with zero host bits.
+func ParsePrefix6(s string) (Prefix6, error) { return netaddr.ParsePrefix6(s) }
+
+// NewUniverse6 validates and builds an IPv6 scanning universe.
+func NewUniverse6(ps []Prefix6) (Universe6, error) { return sel6.NewUniverse6(ps) }
+
+// Select6 runs the TASS selection blueprint on IPv6 seed observations
+// (passive measurements or hitlist probes — there is no full IPv6 scan).
+func Select6(seeds []Addr6, u Universe6, phi float64) (*Selection6, error) {
+	return sel6.Select6(seeds, u, phi)
+}
+
+// Rank6 ranks responsive IPv6 prefixes by density.
+func Rank6(seeds []Addr6, u Universe6) []PrefixStat6 { return sel6.Rank6(seeds, u) }
+
+// Version is the library version reported by the command-line tools.
+const Version = "1.0.0"
+
+// Describe renders a short human-readable summary of a selection.
+func Describe(sel *Selection) string {
+	return fmt.Sprintf("%d prefixes, %.1f%% host coverage, %d addresses (%.1f%% of universe), %.0f probes/host",
+		sel.K, 100*sel.HostCoverage, sel.Space, 100*sel.SpaceShare, sel.Efficiency())
+}

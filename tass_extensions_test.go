@@ -1,0 +1,198 @@
+package tass_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"github.com/tass-scan/tass"
+	"github.com/tass-scan/tass/internal/mrt"
+	"github.com/tass-scan/tass/internal/pfx2as"
+)
+
+// worldFixture caches one small world for the extension tests.
+var worldFixture *struct {
+	u      *tass.Universe
+	series map[string]*tass.Series
+}
+
+func fixture(t *testing.T) (*tass.Universe, map[string]*tass.Series) {
+	t.Helper()
+	if worldFixture == nil {
+		u, err := tass.GenerateUniverse(tass.SmallUniverseConfig(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		worldFixture = &struct {
+			u      *tass.Universe
+			series map[string]*tass.Series
+		}{u, tass.SimulateMonths(u, 78, 4)}
+	}
+	return worldFixture.u, worldFixture.series
+}
+
+func TestPublicCampaign(t *testing.T) {
+	u, series := fixture(t)
+	ev, err := tass.EvaluateCampaign(tass.Campaign{
+		Universe:    u.More,
+		Opts:        tass.Options{Phi: 0.95},
+		ReseedEvery: 2,
+	}, series["ftp"], u.Less.AddressCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Reseeds != 3 { // months 0, 2, 4
+		t.Fatalf("reseeds %d", ev.Reseeds)
+	}
+	if ev.MeanHitrate < 0.9 || ev.MeanCostShare >= 1 {
+		t.Errorf("campaign: %+v", ev)
+	}
+}
+
+func TestPublicRefinePartition(t *testing.T) {
+	u, series := fixture(t)
+	seed := series["http"].At(0)
+	refined, err := tass.RefinePartition(seed, u.Less, tass.ClusterOptions{Contrast: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.AddressCount() != u.Less.AddressCount() {
+		t.Error("refinement changed covered space")
+	}
+	if refined.Len() < u.Less.Len() {
+		t.Error("refinement lost prefixes")
+	}
+}
+
+func TestPublicRank(t *testing.T) {
+	u, series := fixture(t)
+	seed := series["ftp"].At(0)
+	ranked := tass.Rank(seed, u.More)
+	if len(ranked) == 0 {
+		t.Fatal("empty ranking")
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Density > ranked[i-1].Density {
+			t.Fatal("not density-sorted")
+		}
+	}
+}
+
+func TestPublicScanner(t *testing.T) {
+	u, series := fixture(t)
+	seed := series["ftp"].At(0)
+	sel, err := tass.Select(seed, u.More, tass.Options{Phi: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prober, err := tass.NewSimProber(seed.Addrs, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tass.NewScanner(tass.ScanConfig{
+		Targets: sel.Partition(),
+		Prober:  prober,
+		Workers: 4,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	report, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The simulated scan of the selection must find exactly the seed
+	// hosts inside it.
+	if got, want := len(report.Responsive), seed.CountIn(sel.Partition()); got != want {
+		t.Errorf("scan found %d, ground truth %d", got, want)
+	}
+}
+
+func TestPublicIPv6(t *testing.T) {
+	a, err := tass.ParseAddr6("2001:db8::1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tass.ParsePrefix6("2001:db8::/32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(a) {
+		t.Error("containment")
+	}
+	u, err := tass.NewUniverse6([]tass.Prefix6{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := tass.Rank6([]tass.Addr6{a}, u)
+	if len(ranked) != 1 || ranked[0].Hosts != 1 {
+		t.Fatalf("Rank6: %+v", ranked)
+	}
+	sel, err := tass.Select6([]tass.Addr6{a}, u, 1)
+	if err != nil || sel.K != 1 {
+		t.Fatalf("Select6: %+v, %v", sel, err)
+	}
+}
+
+func TestPublicExtractMRTHappyPath(t *testing.T) {
+	peers := []mrt.Peer{{BGPID: 1, Addr: tass.MustParseAddr("198.51.100.1"), AS: 64500, AS4: true}}
+	routes := []pfx2as.Record{
+		{Prefix: tass.MustParsePrefix("100.0.0.0/8"), Origin: pfx2as.SingleOrigin(3356)},
+	}
+	var buf bytes.Buffer
+	if err := mrt.SynthesizeRIB(&buf, 1, 1, peers, routes); err != nil {
+		t.Fatal(err)
+	}
+	table, skipped, err := tass.ExtractMRT(&buf)
+	if err != nil || skipped != 0 || table.Len() != 1 {
+		t.Fatalf("ExtractMRT: %v, %d, %v", table, skipped, err)
+	}
+	if asn, _ := table.Entries()[0].Origin.Primary(); asn != 3356 {
+		t.Errorf("origin %d", asn)
+	}
+}
+
+func TestPublicNewTableAndVersion(t *testing.T) {
+	tb := tass.NewTable([]tass.Prefix{
+		tass.MustParsePrefix("10.0.0.0/8"),
+		tass.MustParsePrefix("10.16.0.0/12"),
+	})
+	if tb.Len() != 2 || tb.LessSpecifics().Len() != 1 {
+		t.Errorf("NewTable: %d, %d", tb.Len(), tb.LessSpecifics().Len())
+	}
+	if tass.Version == "" {
+		t.Error("empty version")
+	}
+}
+
+func TestPublicDiffSnapshots(t *testing.T) {
+	_, series := fixture(t)
+	s := series["cwmp"]
+	d := tass.DiffSnapshots(s.At(0), s.At(1))
+	if d.Kept+d.Lost != s.At(0).Hosts() {
+		t.Errorf("diff does not partition the earlier snapshot: %+v", d)
+	}
+	// CWMP is the churniest protocol: a month must lose a visible share.
+	if r := d.Retention(); r > 0.9 || r < 0.4 {
+		t.Errorf("cwmp one-month retention %v implausible", r)
+	}
+}
+
+func TestPublicReadSeries(t *testing.T) {
+	_, series := fixture(t)
+	var buf bytes.Buffer
+	if _, err := series["cwmp"].WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tass.ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Protocol != "cwmp" || back.Months() != series["cwmp"].Months() {
+		t.Errorf("series round trip: %s %d", back.Protocol, back.Months())
+	}
+}

@@ -1,0 +1,128 @@
+package tass_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/tass-scan/tass"
+)
+
+// TestPublicAPIEndToEnd drives the full public workflow: universe →
+// simulate → table round trip → selection → evaluation.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	u, err := tass.GenerateUniverse(tass.SmallUniverseConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// pfx2as round trip through the public API.
+	var buf bytes.Buffer
+	if err := tass.WritePfx2as(&buf, u.Table); err != nil {
+		t.Fatal(err)
+	}
+	table, err := tass.ReadPfx2as(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != u.Table.Len() {
+		t.Fatalf("table round trip: %d != %d", table.Len(), u.Table.Len())
+	}
+
+	series := tass.SimulateMonths(u, 6, 3)
+	httpSeries := series["http"]
+	if httpSeries.Months() != 4 {
+		t.Fatalf("months: %d", httpSeries.Months())
+	}
+
+	// Snapshot round trip.
+	buf.Reset()
+	if _, err := httpSeries.At(0).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := tass.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Hosts() != httpSeries.At(0).Hosts() {
+		t.Fatal("snapshot round trip host count")
+	}
+
+	// Selection and evaluation.
+	sel, err := tass.Select(snap, table.Deaggregated(), tass.Options{Phi: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.HostCoverage < 0.95 || sel.SpaceShare >= 1 {
+		t.Fatalf("selection: coverage %v space %v", sel.HostCoverage, sel.SpaceShare)
+	}
+	if !strings.Contains(tass.Describe(sel), "host coverage") {
+		t.Errorf("Describe: %q", tass.Describe(sel))
+	}
+
+	ev, err := tass.Evaluate(
+		tass.TASSStrategy{Universe: table.Deaggregated(), Opts: tass.Options{Phi: 0.95}},
+		httpSeries, table.AnnouncedSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Hitrate) != 4 || ev.Hitrate[0] < 0.95 {
+		t.Fatalf("evaluation: %+v", ev)
+	}
+}
+
+func TestPublicParsersAndDeaggregation(t *testing.T) {
+	a, err := tass.ParseAddr("192.0.2.1")
+	if err != nil || a.String() != "192.0.2.1" {
+		t.Fatalf("ParseAddr: %v %v", a, err)
+	}
+	p, err := tass.ParsePrefix("100.0.0.0/8")
+	if err != nil || p.Bits() != 8 {
+		t.Fatalf("ParsePrefix: %v %v", p, err)
+	}
+	pieces := tass.Deaggregate([]tass.Prefix{
+		tass.MustParsePrefix("100.0.0.0/8"),
+		tass.MustParsePrefix("100.16.0.0/12"),
+	})
+	if len(pieces) != 5 {
+		t.Fatalf("Deaggregate: %v", pieces)
+	}
+	ls := tass.LessSpecificOnly(pieces)
+	if len(ls) != 5 {
+		t.Fatalf("pieces are disjoint, LessSpecificOnly must keep all: %v", ls)
+	}
+	if _, err := tass.NewPartition([]tass.Prefix{
+		tass.MustParsePrefix("10.0.0.0/8"),
+		tass.MustParsePrefix("10.0.0.0/16"),
+	}); err == nil {
+		t.Error("overlapping partition accepted")
+	}
+}
+
+func TestPublicExclusions(t *testing.T) {
+	ex, err := tass.ParseExclusions(strings.NewReader("10.0.0.0/8\n192.0.2.1\n"))
+	if err != nil || len(ex) != 2 {
+		t.Fatalf("ParseExclusions: %v %v", ex, err)
+	}
+}
+
+func TestScaledUniverseConfig(t *testing.T) {
+	small := tass.ScaledUniverseConfig(1, 0.01)
+	if len(small.Allocated) != 2 {
+		t.Errorf("0.01 scale should allocate 2 /8 blocks, got %d", len(small.Allocated))
+	}
+	full := tass.ScaledUniverseConfig(1, 1.0)
+	if full.Allocated != nil {
+		t.Error("full scale should use the real allocated space")
+	}
+	if len(tass.DefaultProtocolProfiles(0.5)) != 4 {
+		t.Error("expected 4 protocol profiles")
+	}
+}
+
+func TestExtractMRTPublic(t *testing.T) {
+	// ExtractMRT on garbage fails cleanly.
+	if _, _, err := tass.ExtractMRT(strings.NewReader("not mrt data at all")); err == nil {
+		t.Error("garbage MRT accepted")
+	}
+}

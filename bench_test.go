@@ -10,6 +10,8 @@ package tass_test
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -98,6 +100,51 @@ func BenchmarkVulnEstimate(b *testing.B) { benchExperiment(b, "vulnestimate") }
 
 // BenchmarkMissed regenerates the missed-host distribution analysis.
 func BenchmarkMissed(b *testing.B) { benchExperiment(b, "missed") }
+
+// BenchmarkRunAll compares the parallel experiment engine against the
+// serial loop: the whole experiment suite on the shared world at
+// increasing worker counts. Output is byte-identical at every count
+// (see experiment.TestRunAllGoldenEquality); only wall-clock changes.
+func BenchmarkRunAll(b *testing.B) {
+	w := world(b)
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			wc := *w
+			wc.Cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.RunAll(context.Background(), &wc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuildWorld measures world construction (universe generation
+// plus churn simulation) at increasing worker counts.
+func BenchmarkBuildWorld(b *testing.B) {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiment.SmallConfig(1)
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.BuildWorld(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkSelect measures one TASS selection on the seed snapshot (the
 // operation a reseeding scanner runs monthly).

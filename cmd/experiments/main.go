@@ -3,17 +3,23 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-scale F] [-months N] [-run id,id,...] [-list]
+//	experiments [-seed N] [-scale F] [-months N] [-workers N] [-run id,id,...] [-list]
 //
 // -scale 1.0 (default) is the paper-scale universe (≈3.7 B allocated
 // addresses, ≈7 M hosts; a run takes tens of seconds). Use -scale 0.01
-// for a quick pass. -list prints the experiment IDs and exits.
+// for a quick pass. -workers bounds the goroutines used for world
+// building and the experiment pool (default: GOMAXPROCS); any worker
+// count produces identical output. -list prints the experiment IDs and
+// exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,11 +28,12 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", 1, "universe seed (churn uses seed+1)")
-		scale  = flag.Float64("scale", 1.0, "universe scale: 1.0 = paper scale")
-		months = flag.Int("months", 6, "churn months (paper: 6 → 7 snapshots)")
-		run    = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		seed    = flag.Int64("seed", 1, "universe seed (churn uses seed+1)")
+		scale   = flag.Float64("scale", 1.0, "universe scale: 1.0 = paper scale")
+		months  = flag.Int("months", 6, "churn months (paper: 6 → 7 snapshots)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines (output is identical at any count)")
+		run     = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -37,10 +44,20 @@ func main() {
 		return
 	}
 
-	cfg := experiment.Config{Seed: *seed, Months: *months, Scale: *scale}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// After the first interrupt, unregister so a second Ctrl-C
+		// terminates immediately instead of waiting for in-flight
+		// experiments to drain.
+		<-ctx.Done()
+		stop()
+	}()
+
+	cfg := experiment.Config{Seed: *seed, Months: *months, Scale: *scale, Workers: *workers}
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "building universe (seed=%d scale=%g months=%d)...\n",
-		*seed, *scale, *months)
+	fmt.Fprintf(os.Stderr, "building universe (seed=%d scale=%g months=%d workers=%d)...\n",
+		*seed, *scale, *months, *workers)
 	w, err := experiment.BuildWorld(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -50,17 +67,20 @@ func main() {
 		time.Since(start).Round(time.Millisecond),
 		w.U.Table.Len(), w.U.Less.Len(), w.U.More.Len())
 
-	ids := experiment.IDs()
+	var ids []string
 	if *run != "" {
-		ids = strings.Split(*run, ",")
-	}
-	for _, id := range ids {
-		res, err := experiment.Run(w, strings.TrimSpace(id))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+		for _, id := range strings.Split(*run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
 		}
+	}
+	// Results stream in report order as they complete; on failure or
+	// Ctrl-C the completed prefix has already been printed.
+	err = experiment.StreamAll(ctx, w, func(res experiment.Result) {
 		fmt.Println(res.String())
+	}, ids...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	scansim -out DIR [-seed N] [-scale F] [-months N]
+//	scansim -out DIR [-seed N] [-scale F] [-months N] [-workers N]
 //
 // DIR receives one <protocol>.census file (back-to-back binary
 // snapshots, see the census package) and announced.pfx2as.
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"github.com/tass-scan/tass"
@@ -23,28 +24,30 @@ import (
 
 func main() {
 	var (
-		out    = flag.String("out", "", "output directory (required)")
-		seed   = flag.Int64("seed", 1, "generation seed (churn uses seed+1)")
-		scale  = flag.Float64("scale", 0.05, "universe scale (1.0 = paper scale)")
-		months = flag.Int("months", 6, "churn months (writes months+1 snapshots)")
+		out     = flag.String("out", "", "output directory (required)")
+		seed    = flag.Int64("seed", 1, "generation seed (churn uses seed+1)")
+		scale   = flag.Float64("scale", 0.05, "universe scale (1.0 = paper scale)")
+		months  = flag.Int("months", 6, "churn months (writes months+1 snapshots)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines (output is identical at any count)")
 	)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "scansim: -out is required")
 		os.Exit(2)
 	}
-	if err := run(*out, *seed, *scale, *months); err != nil {
+	if err := run(*out, *seed, *scale, *months, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "scansim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, seed int64, scale float64, months int) error {
+func run(dir string, seed int64, scale float64, months, workers int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	start := time.Now()
 	cfg := tass.ScaledUniverseConfig(seed, scale)
+	cfg.Workers = workers
 	u, err := tass.GenerateUniverse(cfg)
 	if err != nil {
 		return err
@@ -65,7 +68,7 @@ func run(dir string, seed int64, scale float64, months int) error {
 		return err
 	}
 
-	series := tass.SimulateMonths(u, seed+1, months)
+	series := tass.SimulateMonthsWorkers(u, seed+1, months, workers)
 	for _, name := range u.Protocols() {
 		path := filepath.Join(dir, name+".census")
 		f, err := os.Create(path)

@@ -1,0 +1,3 @@
+module github.com/tass-scan/tass
+
+go 1.24

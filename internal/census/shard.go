@@ -1,0 +1,75 @@
+package census
+
+import (
+	"runtime"
+	"sort"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/par"
+	"github.com/tass-scan/tass/internal/rib"
+)
+
+// CountAddrsSharded counts, for each prefix of p, how many of the sorted
+// addresses it contains, fanning the merge walk out over up to workers
+// goroutines (0 means GOMAXPROCS). The partition is split into
+// contiguous prefix shards; each shard locates its address subrange by
+// binary search and counts independently; outside is recovered as the
+// total minus the per-shard sums. The result is identical to
+// rib.Partition.CountAddrs at any worker count.
+func CountAddrsSharded(addrs []netaddr.Addr, p rib.Partition, workers int) (counts []int, outside int) {
+	n := p.Len()
+	if n == 0 {
+		return make([]int, 0), len(addrs)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Below a few thousand prefixes per shard the spawn overhead beats
+	// the walk itself; fall back to the serial merge.
+	const minShard = 2048
+	if workers > (n+minShard-1)/minShard {
+		workers = (n + minShard - 1) / minShard
+	}
+	if workers <= 1 || len(addrs) == 0 {
+		return p.CountAddrs(addrs)
+	}
+	counts = make([]int, n)
+
+	inside := make([]int, workers)
+	par.ForEach(workers, workers, func(s int) {
+		lo := s * n / workers
+		hi := (s + 1) * n / workers
+		// Address subrange covered by prefixes [lo, hi).
+		first := p.Prefix(lo).First()
+		last := p.Prefix(hi - 1).Last()
+		alo := sort.Search(len(addrs), func(i int) bool { return addrs[i] >= first })
+		ahi := alo + sort.Search(len(addrs)-alo, func(i int) bool { return addrs[alo+i] > last })
+		pi := lo
+		got := 0
+		for _, a := range addrs[alo:ahi] {
+			for pi < hi && p.Prefix(pi).Last() < a {
+				pi++
+			}
+			if pi == hi {
+				break
+			}
+			if a < p.Prefix(pi).First() {
+				continue // gap between shard prefixes
+			}
+			counts[pi]++
+			got++
+		}
+		inside[s] = got
+	})
+	outside = len(addrs)
+	for _, got := range inside {
+		outside -= got
+	}
+	return counts, outside
+}
+
+// CountByPrefixSharded is Snapshot.CountByPrefix with the counting walk
+// sharded over workers goroutines.
+func (s *Snapshot) CountByPrefixSharded(p rib.Partition, workers int) (counts []int, outside int) {
+	return CountAddrsSharded(s.Addrs, p, workers)
+}

@@ -1,0 +1,98 @@
+package census
+
+import (
+	"testing"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
+)
+
+// shardFixture builds a partition large enough to engage the sharded
+// path (thousands of /24s with gaps) and a sorted address set that hits
+// prefixes, gaps and space outside the partition.
+func shardFixture(t testing.TB) (rib.Partition, []netaddr.Addr) {
+	t.Helper()
+	var ps []netaddr.Prefix
+	for i := 0; i < 1<<13; i++ {
+		if i%7 == 3 {
+			continue // leave gaps inside the covered range
+		}
+		base := netaddr.Addr(0x0A000000 + uint32(i)<<8) // 10.x.y.0/24
+		ps = append(ps, netaddr.MustPrefixFrom(base, 24))
+	}
+	part, err := rib.NewPartition(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic pseudo-random addresses: some below, inside (both
+	// covered /24s and gap /24s), and above the partition range.
+	var addrs []netaddr.Addr
+	x := uint64(12345)
+	for i := 0; i < 200000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		addrs = append(addrs, netaddr.Addr(uint32(0x09F00000+(x>>33)%0x00400000)))
+	}
+	SortAddrs(addrs)
+	return part, addrs
+}
+
+func TestCountAddrsShardedMatchesSerial(t *testing.T) {
+	part, addrs := shardFixture(t)
+	wantCounts, wantOutside := part.CountAddrs(addrs)
+	inside := 0
+	for _, c := range wantCounts {
+		inside += c
+	}
+	if inside == 0 || wantOutside == 0 {
+		t.Fatalf("degenerate fixture: %d inside, %d outside", inside, wantOutside)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 4, 8, 64} {
+		counts, outside := CountAddrsSharded(addrs, part, workers)
+		if outside != wantOutside {
+			t.Errorf("workers=%d: outside %d, want %d", workers, outside, wantOutside)
+		}
+		for i := range wantCounts {
+			if counts[i] != wantCounts[i] {
+				t.Fatalf("workers=%d: counts[%d] = %d, want %d", workers, i, counts[i], wantCounts[i])
+			}
+		}
+	}
+}
+
+func TestCountAddrsShardedEdgeCases(t *testing.T) {
+	part, addrs := shardFixture(t)
+	// Empty address set.
+	counts, outside := CountAddrsSharded(nil, part, 8)
+	if outside != 0 || len(counts) != part.Len() {
+		t.Errorf("empty addrs: outside=%d len=%d", outside, len(counts))
+	}
+	// Empty partition: everything is outside.
+	empty := rib.Partition{}
+	counts, outside = CountAddrsSharded(addrs, empty, 8)
+	if len(counts) != 0 || outside != len(addrs) {
+		t.Errorf("empty partition: counts=%d outside=%d, want 0 and %d", len(counts), outside, len(addrs))
+	}
+	// Snapshot method agrees.
+	snap := &Snapshot{Protocol: "t", Addrs: addrs}
+	sc, so := snap.CountByPrefixSharded(part, 4)
+	wc, wo := snap.CountByPrefix(part)
+	if so != wo {
+		t.Errorf("snapshot sharded outside %d, want %d", so, wo)
+	}
+	for i := range wc {
+		if sc[i] != wc[i] {
+			t.Fatalf("snapshot sharded counts[%d] = %d, want %d", i, sc[i], wc[i])
+		}
+	}
+}
+
+func BenchmarkCountAddrsSharded(b *testing.B) {
+	part, addrs := shardFixture(b)
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				CountAddrsSharded(addrs, part, workers)
+			}
+		})
+	}
+}

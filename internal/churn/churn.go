@@ -18,20 +18,27 @@ import (
 	"math/rand"
 
 	"github.com/tass-scan/tass/internal/census"
+	"github.com/tass-scan/tass/internal/par"
 	"github.com/tass-scan/tass/internal/topo"
 )
 
-// Simulator advances the populations of one universe. It owns its RNG;
-// with the same universe and seed the produced series is deterministic.
+// Simulator advances the populations of one universe. Every protocol
+// evolves on its own topo.ProtoSeed RNG stream, so with the same universe
+// and seed the produced series is deterministic and independent of the
+// order (or concurrency) in which populations are stepped.
 type Simulator struct {
 	u     *topo.Universe
-	rng   *rand.Rand
+	rngs  map[string]*rand.Rand
 	month int
 }
 
 // New returns a simulator for u seeded with seed.
 func New(u *topo.Universe, seed int64) *Simulator {
-	return &Simulator{u: u, rng: rand.New(rand.NewSource(seed))}
+	rngs := make(map[string]*rand.Rand, len(u.Pops))
+	for _, name := range u.Protocols() {
+		rngs[name] = rand.New(rand.NewSource(topo.ProtoSeed(seed, name)))
+	}
+	return &Simulator{u: u, rngs: rngs}
 }
 
 // Month returns the number of Step calls so far.
@@ -40,15 +47,17 @@ func (s *Simulator) Month() int { return s.month }
 // Step advances every population by one month.
 func (s *Simulator) Step() {
 	for _, name := range s.u.Protocols() {
-		s.stepPop(s.u.Pops[name])
+		stepPop(s.u, s.u.Pops[name], s.rngs[name])
 	}
 	s.month++
 }
 
-func (s *Simulator) stepPop(pop *topo.Population) {
+// stepPop advances one population by one month. It mutates only pop and
+// rng; the universe is read-only, so distinct populations may be stepped
+// concurrently.
+func stepPop(u *topo.Universe, pop *topo.Population, rng *rand.Rand) {
 	prof := &pop.Profile
 	hosts := pop.Hosts
-	rng := s.rng
 	for i := range hosts {
 		h := &hosts[i]
 		r := rng.Float64()
@@ -57,8 +66,8 @@ func (s *Simulator) stepPop(pop *topo.Population) {
 			// Death with immediate replacement (stationary population).
 			if rng.Float64() < prof.BirthBackground {
 				// Background birth: uniform over the announced space.
-				addr := s.u.RandomAnnouncedAddr(rng)
-				lidx, _ := s.u.LPrefixOf(addr)
+				addr := u.RandomAnnouncedAddr(rng)
+				lidx, _ := u.LPrefixOf(addr)
 				h.Addr = addr
 				h.LIdx = int32(lidx)
 			} else {
@@ -66,7 +75,7 @@ func (s *Simulator) stepPop(pop *topo.Population) {
 				// existing host, placed like an original resident.
 				j := rng.Intn(len(hosts))
 				lidx := int(hosts[j].LIdx)
-				h.Addr = s.u.PlaceHostAddr(rng, lidx, prof)
+				h.Addr = u.PlaceHostAddr(rng, lidx, prof)
 				h.LIdx = int32(lidx)
 			}
 			h.Dynamic = rng.Float64() < prof.DynamicShare
@@ -76,14 +85,14 @@ func (s *Simulator) stepPop(pop *topo.Population) {
 			// that hosted nothing at seed time — new deployments), the
 			// rest uniformly in the announced space.
 			if rng.Float64() < prof.MoveColdShare {
-				if addr, lidx, ok := s.u.RandomColdAddr(rng, pop); ok {
+				if addr, lidx, ok := u.RandomColdAddr(rng, pop); ok {
 					h.Addr = addr
 					h.LIdx = int32(lidx)
 					break
 				}
 			}
-			addr := s.u.RandomAnnouncedAddr(rng)
-			lidx, _ := s.u.LPrefixOf(addr)
+			addr := u.RandomAnnouncedAddr(rng)
+			lidx, _ := u.LPrefixOf(addr)
 			h.Addr = addr
 			h.LIdx = int32(lidx)
 
@@ -95,12 +104,12 @@ func (s *Simulator) stepPop(pop *topo.Population) {
 			// probability MLocality the new lease stays inside the same
 			// m-partition piece; otherwise anywhere in the l-prefix.
 			if rng.Float64() < prof.MLocality {
-				if mi, ok := s.u.More.Find(h.Addr); ok {
-					h.Addr = topo.RandomAddrIn(rng, s.u.More.Prefix(mi))
+				if mi, ok := u.More.Find(h.Addr); ok {
+					h.Addr = topo.RandomAddrIn(rng, u.More.Prefix(mi))
 					break
 				}
 			}
-			h.Addr = topo.RandomAddrIn(rng, s.u.Less.Prefix(int(h.LIdx)))
+			h.Addr = topo.RandomAddrIn(rng, u.Less.Prefix(int(h.LIdx)))
 		}
 	}
 }
@@ -108,30 +117,48 @@ func (s *Simulator) stepPop(pop *topo.Population) {
 // Snapshot captures the current state of one protocol as a census
 // snapshot labeled with the current month.
 func (s *Simulator) Snapshot(protocol string) *census.Snapshot {
-	pop := s.u.Pops[protocol]
+	return snapshot(s.u.Pops[protocol], protocol, s.month)
+}
+
+// snapshot freezes one population as a census snapshot.
+func snapshot(pop *topo.Population, protocol string, month int) *census.Snapshot {
 	return &census.Snapshot{
 		Protocol: protocol,
-		Month:    s.month,
+		Month:    month,
 		Addrs:    pop.Addresses(),
 	}
 }
 
 // Run generates a monthly series of months+1 snapshots per protocol
-// (months 0..months), evolving the universe in place.
+// (months 0..months), evolving the universe in place. It is
+// RunWorkers with a single worker; both produce identical series.
 func Run(u *topo.Universe, seed int64, months int) map[string]*census.Series {
-	sim := New(u, seed)
-	out := make(map[string]*census.Series, len(u.Pops))
-	for _, name := range u.Protocols() {
-		out[name] = &census.Series{Protocol: name}
-	}
-	for m := 0; m <= months; m++ {
-		if m > 0 {
-			sim.Step()
+	return RunWorkers(u, seed, months, 1)
+}
+
+// RunWorkers is Run with the per-protocol evolution fanned out over up
+// to workers goroutines (0 means GOMAXPROCS). Every protocol owns its
+// population and its topo.ProtoSeed RNG stream, so the output is
+// byte-identical at any worker count.
+func RunWorkers(u *topo.Universe, seed int64, months, workers int) map[string]*census.Series {
+	names := u.Protocols()
+	series := make([]*census.Series, len(names))
+	par.ForEach(len(names), workers, func(ni int) {
+		name := names[ni]
+		pop := u.Pops[name]
+		rng := rand.New(rand.NewSource(topo.ProtoSeed(seed, name)))
+		s := &census.Series{Protocol: name}
+		for m := 0; m <= months; m++ {
+			if m > 0 {
+				stepPop(u, pop, rng)
+			}
+			s.Snapshots = append(s.Snapshots, snapshot(pop, name, m))
 		}
-		for _, name := range u.Protocols() {
-			snap := sim.Snapshot(name)
-			out[name].Snapshots = append(out[name].Snapshots, snap)
-		}
+		series[ni] = s
+	})
+	out := make(map[string]*census.Series, len(names))
+	for ni, name := range names {
+		out[name] = series[ni]
 	}
 	return out
 }

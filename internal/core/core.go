@@ -42,7 +42,14 @@ type PrefixStat struct {
 // deterministic. Prefixes with zero hosts are omitted (ρ > 0, as in the
 // paper's Figure 4).
 func Rank(seed *census.Snapshot, part rib.Partition) []PrefixStat {
-	counts, _ := part.CountAddrs(seed.Addrs)
+	return RankWorkers(seed, part, 1)
+}
+
+// RankWorkers is Rank with the per-prefix counting walk sharded over up
+// to workers goroutines (0 means GOMAXPROCS). The ranking is identical
+// to Rank at any worker count.
+func RankWorkers(seed *census.Snapshot, part rib.Partition, workers int) []PrefixStat {
+	counts, _ := census.CountAddrsSharded(seed.Addrs, part, workers)
 	total := 0
 	for _, c := range counts {
 		total += c
@@ -111,12 +118,26 @@ type Selection struct {
 	part rib.Partition // selected prefixes as a partition
 }
 
+// validate rejects out-of-range option values.
+func (o Options) validate() error {
+	if o.Phi <= 0 || o.Phi > 1 {
+		return fmt.Errorf("core: φ must be in (0,1], got %v", o.Phi)
+	}
+	return nil
+}
+
 // Select runs TASS prefix selection (steps 1–4) on a seed snapshot.
 func Select(seed *census.Snapshot, universe rib.Partition, opts Options) (*Selection, error) {
-	if opts.Phi <= 0 || opts.Phi > 1 {
-		return nil, fmt.Errorf("core: φ must be in (0,1], got %v", opts.Phi)
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
-	ranked := Rank(seed, universe)
+	return selectRanked(Rank(seed, universe), universe, opts)
+}
+
+// selectRanked runs selection steps 4–5 on a precomputed ranking. The
+// ranked slice is shared read-only by the returned Selection. Callers
+// have already validated opts.
+func selectRanked(ranked []PrefixStat, universe rib.Partition, opts Options) (*Selection, error) {
 	total := 0
 	for i := range ranked {
 		total += ranked[i].Hosts

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tass-scan/tass/internal/census"
+	"github.com/tass-scan/tass/internal/par"
+	"github.com/tass-scan/tass/internal/rib"
+)
+
+// SelectMany evaluates a grid of selection options against one seed
+// snapshot: the snapshot is ranked once (with the counting walk sharded
+// over the workers), then every Options entry is selected concurrently
+// from the shared ranking. workers bounds the goroutines (0 means
+// GOMAXPROCS). The i-th result equals Select(seed, universe, grid[i])
+// exactly; the first error by grid order wins.
+func SelectMany(seed *census.Snapshot, universe rib.Partition, grid []Options, workers int) ([]*Selection, error) {
+	// Fail fast on invalid options before paying for the ranking.
+	for i, opts := range grid {
+		if err := opts.validate(); err != nil {
+			return nil, fmt.Errorf("core: grid entry %d: %w", i, err)
+		}
+	}
+	ranked := RankWorkers(seed, universe, workers)
+	sels := make([]*Selection, len(grid))
+	errs := make([]error, len(grid))
+	par.ForEach(len(grid), workers, func(i int) {
+		sels[i], errs[i] = selectRanked(ranked, universe, grid[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: grid entry %d (φ=%v): %w", i, grid[i].Phi, err)
+		}
+	}
+	return sels, nil
+}
+
+// SelectPhis is SelectMany over a φ grid with otherwise-default options.
+func SelectPhis(seed *census.Snapshot, universe rib.Partition, phis []float64, workers int) ([]*Selection, error) {
+	grid := make([]Options, len(phis))
+	for i, phi := range phis {
+		grid[i] = Options{Phi: phi}
+	}
+	return SelectMany(seed, universe, grid, workers)
+}

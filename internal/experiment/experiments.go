@@ -28,15 +28,21 @@ func Table1(w *World) (Result, error) {
 		{"less", w.U.Less},
 		{"more", w.U.More},
 	} {
-		for _, phi := range Phis {
+		// One ranking per (universe, protocol), the φ grid selected
+		// concurrently from it.
+		byProto := make(map[string][]*core.Selection, len(w.Protocols()))
+		for _, proto := range w.Protocols() {
+			seed := w.Series[proto].At(0)
+			sels, err := core.SelectPhis(seed, uni.part, Phis, w.Cfg.workers())
+			if err != nil {
+				return Result{}, fmt.Errorf("table1 %s/%s: %w", uni.label, proto, err)
+			}
+			byProto[proto] = sels
+		}
+		for pi, phi := range Phis {
 			row := []string{uni.label, fmt.Sprintf("%.2f", phi)}
 			for _, proto := range w.Protocols() {
-				seed := w.Series[proto].At(0)
-				sel, err := core.Select(seed, uni.part, core.Options{Phi: phi})
-				if err != nil {
-					return Result{}, fmt.Errorf("table1 %s/%s φ=%v: %w", uni.label, proto, phi, err)
-				}
-				row = append(row, fmt.Sprintf("%.3f", sel.SpaceShare))
+				row = append(row, fmt.Sprintf("%.3f", byProto[proto][pi].SpaceShare))
 			}
 			tb.AddRow(row...)
 		}

@@ -206,15 +206,15 @@ func IDs() []string {
 
 // Run executes one experiment by ID.
 func Run(w *World, id string) (Result, error) {
-	for _, r := range runners {
-		if r.id == id {
-			return r.run(w)
-		}
+	run, ok := lookup(id)
+	if !ok {
+		return Result{}, fmt.Errorf("experiment: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
-	return Result{}, fmt.Errorf("experiment: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	return run(w)
 }
 
-// All executes every experiment in report order.
+// All executes every experiment serially in report order. It is the
+// reference path RunAll is golden-tested against.
 func All(w *World) ([]Result, error) {
 	out := make([]Result, 0, len(runners))
 	for _, r := range runners {

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// RunAll executes the given experiments (all of them when ids is empty)
+// on a bounded worker pool sized by w.Cfg.Workers (0 means GOMAXPROCS).
+// Results come back in the requested order and are byte-identical to
+// running the same ids serially: every experiment is a pure function of
+// the (read-only) World, so scheduling cannot change a single digit.
+//
+// Unknown ids fail before any experiment runs. On failure or
+// cancellation no new experiments start, in-flight ones finish, and the
+// returned slice still holds the longest completed prefix of the
+// requested order (so callers can emit partial output); the error is
+// the first failure in id order, or ctx.Err() on cancellation.
+func RunAll(ctx context.Context, w *World, ids ...string) ([]Result, error) {
+	var out []Result
+	err := StreamAll(ctx, w, func(res Result) { out = append(out, res) }, ids...)
+	return out, err
+}
+
+// StreamAll is RunAll with incremental delivery: emit is called with
+// each Result as soon as it and every earlier result in the requested
+// order have completed, so consumers see output stream in report order
+// while later experiments are still running. emit is never called
+// concurrently.
+func StreamAll(ctx context.Context, w *World, emit func(Result), ids ...string) error {
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	runs := make([]func(*World) (Result, error), len(ids))
+	for i, id := range ids {
+		run, ok := lookup(id)
+		if !ok {
+			return fmt.Errorf("experiment: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+		}
+		runs[i] = run
+	}
+
+	budget := w.Cfg.workers()
+	workers := budget
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	// Keep Workers a global bound: experiments that fan out internally
+	// (Table1's φ grid, the sharded counting walk) read Cfg.Workers, so
+	// with `workers` experiments in flight each gets an equal share of
+	// the budget. The share rounds up so a non-dividing budget is not
+	// stranded (transient overshoot < workers goroutines, never the
+	// W² of nesting the full budget). Results are identical at any
+	// split — only scheduling changes.
+	wInner := *w
+	wInner.Cfg.Workers = (budget + workers - 1) / workers
+
+	results := make([]Result, len(ids))
+	errs := make([]error, len(ids))
+	var failed atomic.Bool
+
+	// Completed results are emitted as the contiguous done-prefix of
+	// the requested order advances.
+	var emitMu sync.Mutex
+	done := make([]bool, len(ids))
+	next := 0
+	complete := func(i int) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		done[i] = true
+		for next < len(ids) && done[next] {
+			if emit != nil {
+				emit(results[next])
+			}
+			next++
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := runs[i](&wInner)
+				if err != nil {
+					errs[i] = fmt.Errorf("experiment %s: %w", ids[i], err)
+					failed.Store(true)
+					continue
+				}
+				results[i] = res
+				complete(i)
+			}
+		}()
+	}
+	canceled := false
+dispatch:
+	for i := range runs {
+		if ctx.Err() != nil {
+			canceled = true
+			break
+		}
+		if failed.Load() {
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			canceled = true
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if canceled {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// lookup resolves an experiment id to its runner.
+func lookup(id string) (func(*World) (Result, error), bool) {
+	for _, r := range runners {
+		if r.id == id {
+			return r.run, true
+		}
+	}
+	return nil, false
+}

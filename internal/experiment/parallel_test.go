@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+)
+
+// buildWorldWorkers builds a SmallConfig world with the given worker
+// count.
+func buildWorldWorkers(t *testing.T, seed int64, workers int) *World {
+	t.Helper()
+	cfg := SmallConfig(seed)
+	cfg.Workers = workers
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// assertSameSeries fails unless the two worlds carry byte-identical
+// snapshot series.
+func assertSameSeries(t *testing.T, a, b *World) {
+	t.Helper()
+	for _, proto := range a.Protocols() {
+		sa, sb := a.Series[proto], b.Series[proto]
+		if sa.Months() != sb.Months() {
+			t.Fatalf("%s: %d vs %d months", proto, sa.Months(), sb.Months())
+		}
+		for m := 0; m < sa.Months(); m++ {
+			na, nb := sa.At(m), sb.At(m)
+			if len(na.Addrs) != len(nb.Addrs) {
+				t.Fatalf("%s month %d: %d vs %d hosts", proto, m, len(na.Addrs), len(nb.Addrs))
+			}
+			for i := range na.Addrs {
+				if na.Addrs[i] != nb.Addrs[i] {
+					t.Fatalf("%s month %d addr %d: %v vs %v", proto, m, i, na.Addrs[i], nb.Addrs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunAllGoldenEquality is the determinism contract of the parallel
+// engine: for seeds 1-3, a world built and run with Workers=8 produces
+// byte-identical Results to the sequential Workers=1 path.
+func TestRunAllGoldenEquality(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		wSeq := buildWorldWorkers(t, seed, 1)
+		wPar := buildWorldWorkers(t, seed, 8)
+		assertSameSeries(t, wSeq, wPar)
+
+		golden, err := All(wSeq)
+		if err != nil {
+			t.Fatalf("seed %d: sequential All: %v", seed, err)
+		}
+		got, err := RunAll(context.Background(), wPar)
+		if err != nil {
+			t.Fatalf("seed %d: RunAll: %v", seed, err)
+		}
+		if len(got) != len(golden) {
+			t.Fatalf("seed %d: %d results, want %d", seed, len(got), len(golden))
+		}
+		for i := range golden {
+			if got[i].ID != golden[i].ID {
+				t.Errorf("seed %d result %d: id %q, want %q", seed, i, got[i].ID, golden[i].ID)
+			}
+			if got[i].Text != golden[i].Text {
+				t.Errorf("seed %d %s: parallel output differs from sequential:\n--- sequential\n%s\n--- parallel\n%s",
+					seed, golden[i].ID, golden[i].Text, got[i].Text)
+			}
+		}
+	}
+}
+
+func TestRunAllSubsetKeepsOrder(t *testing.T) {
+	w := world(t)
+	ids := []string{"figure5", "table1", "figure2"}
+	results, err := RunAll(context.Background(), w, ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ids) {
+		t.Fatalf("%d results, want %d", len(results), len(ids))
+	}
+	for i, id := range ids {
+		if results[i].ID != id {
+			t.Errorf("result %d: id %q, want %q", i, results[i].ID, id)
+		}
+	}
+}
+
+func TestStreamAllEmitsInOrder(t *testing.T) {
+	w := world(t)
+	var seen []string
+	err := StreamAll(context.Background(), w, func(res Result) {
+		seen = append(seen, res.ID)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := IDs()
+	if len(seen) != len(ids) {
+		t.Fatalf("emitted %d results, want %d", len(seen), len(ids))
+	}
+	for i, id := range ids {
+		if seen[i] != id {
+			t.Errorf("emit %d: %q, want %q", i, seen[i], id)
+		}
+	}
+}
+
+func TestRunAllUnknownID(t *testing.T) {
+	w := world(t)
+	if _, err := RunAll(context.Background(), w, "table1", "nope"); err == nil {
+		t.Error("unknown id must fail before running anything")
+	}
+}
+
+func TestRunAllCanceledContext(t *testing.T) {
+	w := world(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAll(ctx, w); err != context.Canceled {
+		t.Errorf("RunAll on canceled context: %v, want context.Canceled", err)
+	}
+}

@@ -9,6 +9,7 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/tass-scan/tass/internal/census"
 	"github.com/tass-scan/tass/internal/churn"
@@ -28,6 +29,19 @@ type Config struct {
 	// allocated space and host counts proportionally for tests and
 	// benchmarks.
 	Scale float64
+	// Workers bounds the goroutines used for world building and for
+	// RunAll's experiment pool. Zero means GOMAXPROCS. Any worker count
+	// produces byte-identical results: every parallel path is backed by
+	// per-protocol RNG streams or pure read-only fan-out.
+	Workers int
+}
+
+// workers resolves the effective worker count.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultConfig is the paper-scale setup: full address space, 7 monthly
@@ -82,11 +96,12 @@ func BuildWorld(cfg Config) (*World, error) {
 			tcfg.HoleProb[l] = 0
 		}
 	}
+	tcfg.Workers = cfg.workers()
 	u, err := topo.Generate(tcfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: generating universe: %w", err)
 	}
-	series := churn.Run(u, cfg.Seed+1, cfg.Months)
+	series := churn.RunWorkers(u, cfg.Seed+1, cfg.Months, cfg.workers())
 	return &World{Cfg: cfg, U: u, Series: series}, nil
 }
 

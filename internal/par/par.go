@@ -1,0 +1,49 @@
+// Package par holds the one concurrency primitive the deterministic
+// fan-out paths share: run an indexed job set on a bounded pool.
+// Callers own determinism — results must be written to per-index slots
+// and every RNG must be derived per index, never shared.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines (0 means GOMAXPROCS) and returns when all calls have
+// finished. workers<=1 or n==1 degrades to a plain loop on the calling
+// goroutine.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -18,6 +18,10 @@ type Limiter struct {
 	tokens float64
 	last   time.Time
 	now    func() time.Time // injectable clock for tests
+	// sleep blocks for d or until ctx is canceled. Injectable so Wait's
+	// blocking path is testable without real timers; the default sleeps
+	// on a time.Timer.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // NewLimiter builds a limiter refilling at rate tokens/second with the
@@ -31,7 +35,20 @@ func NewLimiter(rate float64, burst int) (*Limiter, error) {
 		burst:  float64(burst),
 		tokens: float64(burst),
 		now:    time.Now,
+		sleep:  timerSleep,
 	}, nil
+}
+
+// timerSleep is the production sleeper: a real timer racing the context.
+func timerSleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 func (l *Limiter) refill() {
@@ -74,12 +91,8 @@ func (l *Limiter) Wait(ctx context.Context) error {
 		if d < time.Microsecond {
 			d = time.Microsecond
 		}
-		timer := time.NewTimer(d)
-		select {
-		case <-ctx.Done():
-			timer.Stop()
-			return ctx.Err()
-		case <-timer.C:
+		if err := l.sleep(ctx, d); err != nil {
+			return err
 		}
 	}
 }

@@ -1,0 +1,144 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-protected virtual clock shared by the limiter's
+// now() and the injected sleeper, so Wait's blocking path runs entirely
+// on virtual time.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// virtualLimiter builds a limiter whose clock and sleeper both run on a
+// fake clock: every sleep request advances virtual time by the requested
+// duration instead of blocking.
+func virtualLimiter(t *testing.T, rate float64, burst int) (*Limiter, *fakeClock, *atomic.Int64) {
+	t.Helper()
+	lim, err := NewLimiter(rate, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := newFakeClock()
+	var sleeps atomic.Int64
+	lim.now = clock.now
+	lim.sleep = func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sleeps.Add(1)
+		clock.advance(d)
+		return nil
+	}
+	return lim, clock, &sleeps
+}
+
+func TestWaitBlockingPathDeterministic(t *testing.T) {
+	lim, clock, sleeps := virtualLimiter(t, 100, 2)
+	start := clock.now()
+
+	// Burst drains without sleeping.
+	for i := 0; i < 2; i++ {
+		if err := lim.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := sleeps.Load(); n != 0 {
+		t.Fatalf("burst tokens slept %d times", n)
+	}
+
+	// The next token must sleep exactly one refill interval (10ms at
+	// 100/s) of virtual time.
+	if err := lim.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := sleeps.Load(); n != 1 {
+		t.Fatalf("third token slept %d times, want 1", n)
+	}
+	if got := clock.now().Sub(start); got != 10*time.Millisecond {
+		t.Fatalf("virtual time advanced %v, want 10ms", got)
+	}
+}
+
+func TestWaitUnderContention(t *testing.T) {
+	const (
+		rate    = 100.0
+		burst   = 5
+		workers = 8
+		perG    = 5
+	)
+	lim, clock, _ := virtualLimiter(t, rate, burst)
+	start := clock.now()
+
+	var wg sync.WaitGroup
+	var granted atomic.Int64
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := lim.Wait(context.Background()); err != nil {
+					t.Errorf("Wait: %v", err)
+					return
+				}
+				granted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := granted.Load(); got != workers*perG {
+		t.Fatalf("granted %d tokens, want %d", got, workers*perG)
+	}
+	// 40 tokens at 100/s with a 5-token burst needs at least 350ms of
+	// virtual time; concurrent sleepers may overshoot but never undercut.
+	need := time.Duration(float64(workers*perG-burst) / rate * float64(time.Second))
+	if elapsed := clock.now().Sub(start); elapsed < need {
+		t.Fatalf("virtual elapsed %v below the token budget %v", elapsed, need)
+	}
+}
+
+func TestWaitCancellationInBlockingPath(t *testing.T) {
+	lim, _, _ := virtualLimiter(t, 1, 1)
+	if !lim.Allow() {
+		t.Fatal("burst token denied")
+	}
+
+	// The sleeper cancels the context instead of advancing the clock:
+	// Wait must surface context.Canceled without granting a token.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lim.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+	if err := lim.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if lim.Allow() {
+		t.Error("canceled Wait still granted a token")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/par"
 	"github.com/tass-scan/tass/internal/pfx2as"
 	"github.com/tass-scan/tass/internal/rib"
 )
@@ -52,6 +53,32 @@ type Config struct {
 
 	// Protocols lists the host populations to place.
 	Protocols []ProtocolProfile
+
+	// Workers bounds the number of goroutines placing host populations
+	// (one independent RNG stream per protocol, so the result is
+	// identical at any worker count). Zero means GOMAXPROCS.
+	Workers int
+}
+
+// ProtoSeed derives the independent RNG stream seed for one protocol:
+// an FNV-1a hash of the name mixed with the base seed through a
+// splitmix64 finalizer. Each (seed, protocol) pair owns its own stream,
+// so populations can be placed and churned in any order — or
+// concurrently — without changing a single draw.
+func ProtoSeed(seed int64, name string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	x := uint64(seed) ^ h
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
 }
 
 // DefaultReserved returns the IANA special-use prefixes excluded from
@@ -142,6 +169,15 @@ func Generate(cfg Config) (*Universe, error) {
 	}
 	if len(cfg.Protocols) == 0 {
 		return nil, errors.New("topo: no protocol profiles")
+	}
+	// Names key Pops and the per-protocol RNG streams; a duplicate would
+	// alias one population across two concurrent churn workers.
+	names := make(map[string]bool, len(cfg.Protocols))
+	for _, p := range cfg.Protocols {
+		if names[p.Name] {
+			return nil, fmt.Errorf("topo: duplicate protocol name %q", p.Name)
+		}
+		names[p.Name] = true
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -260,15 +296,29 @@ func Generate(cfg Config) (*Universe, error) {
 	}
 	u.buildIndexes()
 
-	// Pass 3: host populations.
-	for pi := range cfg.Protocols {
+	// Pass 3: host populations. Each protocol draws from its own
+	// ProtoSeed stream, so the populations are independent of placement
+	// order and can be built concurrently without changing any draw.
+	pops := make([]*Population, len(cfg.Protocols))
+	errs := make([]error, len(cfg.Protocols))
+	par.ForEach(len(cfg.Protocols), cfg.Workers, func(pi int) {
 		prof := cfg.Protocols[pi]
-		pop, err := placeHosts(rng, u, prof)
+		prng := rand.New(rand.NewSource(ProtoSeed(cfg.Seed, prof.Name)))
+		pop, err := placeHosts(prng, u, prof)
+		if err != nil {
+			errs[pi] = err
+			return
+		}
+		u.buildColdIndex(pop)
+		pops[pi] = pop
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		u.buildColdIndex(pop)
-		u.Pops[prof.Name] = pop
+	}
+	for pi, pop := range pops {
+		u.Pops[cfg.Protocols[pi].Name] = pop
 	}
 	return u, nil
 }

@@ -254,6 +254,12 @@ func TestGenerateErrors(t *testing.T) {
 	if _, err := Generate(cfg); err == nil {
 		t.Error("zero target hosts must fail")
 	}
+	cfg = testConfig(1)
+	dup := cfg.Protocols[0]
+	cfg.Protocols = append(cfg.Protocols, dup)
+	if _, err := Generate(cfg); err == nil {
+		t.Error("duplicate protocol name must fail (would alias one population across churn workers)")
+	}
 }
 
 func TestKindString(t *testing.T) {

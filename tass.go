@@ -299,6 +299,21 @@ func SimulateMonths(u *Universe, seed int64, months int) map[string]*Series {
 	return churn.Run(u, seed, months)
 }
 
+// SimulateMonthsWorkers is SimulateMonths with the per-protocol churn
+// evolution fanned out over up to workers goroutines (0 means
+// GOMAXPROCS). Every protocol evolves on its own RNG stream, so the
+// series are byte-identical at any worker count.
+func SimulateMonthsWorkers(u *Universe, seed int64, months, workers int) map[string]*Series {
+	return churn.RunWorkers(u, seed, months, workers)
+}
+
+// SelectMany evaluates a grid of selection options against one seed,
+// ranking once and selecting each entry concurrently (0 workers means
+// GOMAXPROCS). Entry i equals Select(seed, universe, grid[i]) exactly.
+func SelectMany(seed *Snapshot, universe Partition, grid []Options, workers int) ([]*Selection, error) {
+	return core.SelectMany(seed, universe, grid, workers)
+}
+
 // Extension types: the paper's §5 future-work directions.
 type (
 	// Campaign is the full periodic loop: select, scan, reseed every Δt.

@@ -16,8 +16,11 @@ import (
 	"testing"
 
 	"github.com/tass-scan/tass"
+	"github.com/tass-scan/tass/internal/census"
 	"github.com/tass-scan/tass/internal/core"
 	"github.com/tass-scan/tass/internal/experiment"
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
 	"github.com/tass-scan/tass/internal/scan"
 	"github.com/tass-scan/tass/internal/trie"
 )
@@ -156,6 +159,133 @@ func BenchmarkSelect(b *testing.B) {
 		if _, err := core.Select(seed, w.U.More, core.Options{Phi: 0.95}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// sparseBench is the paper-scale reseed counting shape: a large seed
+// scan (N ≈ 1M responsive addresses), a /18 universe partition, and a
+// small density-head selection (K prefixes, K << N/blocksize). Built
+// once per binary, deterministically.
+var (
+	sparseOnce sync.Once
+	sparseSnap *census.Snapshot
+	sparseUni  rib.Partition
+)
+
+func sparseFixture(b *testing.B) (*census.Snapshot, rib.Partition) {
+	b.Helper()
+	sparseOnce.Do(func() {
+		// 4096 /18 prefixes starting at 16.0.0.0.
+		ps := make([]netaddr.Prefix, 4096)
+		for i := range ps {
+			ps[i] = netaddr.MustPrefixFrom(netaddr.Addr(1<<28+uint32(i)<<14), 18)
+		}
+		var err error
+		sparseUni, err = tass.NewPartition(ps)
+		if err != nil {
+			panic(err)
+		}
+		// ~1M deterministic pseudo-random addresses across the span.
+		addrs := make([]netaddr.Addr, 1<<20)
+		x := uint64(99)
+		for i := range addrs {
+			x = x*6364136223846793005 + 1442695040888963407
+			addrs[i] = netaddr.Addr(1<<28 + uint32((x>>33)%(4096<<14)))
+		}
+		sparseSnap = census.NewSnapshot("bench", 0, addrs)
+	})
+	return sparseSnap, sparseUni
+}
+
+// BenchmarkSparseCount measures counting a sparse selection against a
+// large seed snapshot — the reseed and hitrate-evaluation shape (small
+// K over large N). "merge" is the O(N+K) walk that re-touches every
+// address; "set" is the block-index path behind Snapshot.CountIn
+// (O(K log B) range counts, interior blocks answered from the
+// cumulative index). Sub-benchmarks sweep the selection share of the
+// 4096-prefix universe up to the 5% acceptance shape.
+func BenchmarkSparseCount(b *testing.B) {
+	seed, uni := sparseFixture(b)
+	for _, share := range []struct {
+		name string
+		k    int
+	}{
+		{"K=0.8pct", uni.Len() / 128},
+		{"K=5pct", uni.Len() / 20},
+	} {
+		idx := make([]int, share.k)
+		for i := range idx {
+			idx[i] = (i * uni.Len()) / share.k // spread across the universe
+		}
+		selPart := uni.Subset(idx)
+		b.Run(share.name+"/merge", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				counts, _ := selPart.CountAddrs(seed.Addrs)
+				total := 0
+				for _, c := range counts {
+					total += c
+				}
+				if total == 0 {
+					b.Fatal("empty count")
+				}
+			}
+		})
+		b.Run(share.name+"/set", func(b *testing.B) {
+			seed.Set() // build outside the timer; it is memoized anyway
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if seed.CountIn(selPart) == 0 {
+					b.Fatal("empty count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIntersect measures |a ∩ b| — the hitlist hitrate
+// computation — at the two shapes the adaptive Snapshot.IntersectWith
+// distinguishes: "similar" sizes (adjacent months sharing most hosts,
+// where the element-wise merge wins) and "lopsided" (a small set
+// against a large one, where the galloping block-index intersection
+// skips the large set's unique runs at block granularity).
+func BenchmarkIntersect(b *testing.B) {
+	seed, _ := sparseFixture(b)
+	w := world(b)
+	s0 := w.Series["http"].At(0)
+	s6 := w.Series["http"].At(6)
+	tiny := census.NewSnapshot("tiny", 0, seed.Addrs[len(seed.Addrs)/2:len(seed.Addrs)/2+4096])
+	shapes := []struct {
+		name string
+		a, b *census.Snapshot
+	}{
+		{"similar", s0, s6},
+		{"lopsided", tiny, seed},
+	}
+	for _, sh := range shapes {
+		b.Run(sh.name+"/merge", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if census.IntersectCount(sh.a.Addrs, sh.b.Addrs) == 0 {
+					b.Fatal("empty intersection")
+				}
+			}
+		})
+		b.Run(sh.name+"/set", func(b *testing.B) {
+			sh.a.Set()
+			sh.b.Set()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sh.a.Set().IntersectCount(sh.b.Set()) == 0 {
+					b.Fatal("empty intersection")
+				}
+			}
+		})
+		b.Run(sh.name+"/adaptive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if sh.a.IntersectWith(sh.b) == 0 {
+					b.Fatal("empty intersection")
+				}
+			}
+		})
 	}
 }
 

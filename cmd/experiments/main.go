@@ -3,13 +3,17 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-scale F] [-months N] [-workers N] [-run id,id,...] [-list]
+//	experiments [-seed N] [-scale F] [-months N] [-workers N]
+//	            [-countcache] [-blocksize N] [-run id,id,...] [-list]
 //
 // -scale 1.0 (default) is the paper-scale universe (≈3.7 B allocated
 // addresses, ≈7 M hosts; a run takes tens of seconds). Use -scale 0.01
 // for a quick pass. -workers bounds the goroutines used for world
 // building and the experiment pool (default: GOMAXPROCS); any worker
-// count produces identical output. -list prints the experiment IDs and
+// count produces identical output. -countcache (default true) shares
+// one per-(snapshot, partition) count memo across all experiments and
+// -blocksize tunes the block-indexed address-set layout; neither
+// changes a digit of any result. -list prints the experiment IDs and
 // exits.
 package main
 
@@ -23,19 +27,25 @@ import (
 	"strings"
 	"time"
 
+	"github.com/tass-scan/tass/internal/addrset"
 	"github.com/tass-scan/tass/internal/experiment"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "universe seed (churn uses seed+1)")
-		scale   = flag.Float64("scale", 1.0, "universe scale: 1.0 = paper scale")
-		months  = flag.Int("months", 6, "churn months (paper: 6 → 7 snapshots)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines (output is identical at any count)")
-		run     = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		seed       = flag.Int64("seed", 1, "universe seed (churn uses seed+1)")
+		scale      = flag.Float64("scale", 1.0, "universe scale: 1.0 = paper scale")
+		months     = flag.Int("months", 6, "churn months (paper: 6 → 7 snapshots)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines (output is identical at any count)")
+		run        = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		countcache = flag.Bool("countcache", true, "memoize per-(snapshot,partition) host counts across experiments (output is identical either way)")
+		blocksize  = flag.Int("blocksize", addrset.DefaultBlockSize, "addresses per block in the block-indexed set layout")
 	)
 	flag.Parse()
+	if *blocksize > 0 {
+		addrset.DefaultBlockSize = *blocksize
+	}
 
 	if *list {
 		for _, id := range experiment.IDs() {
@@ -54,7 +64,7 @@ func main() {
 		stop()
 	}()
 
-	cfg := experiment.Config{Seed: *seed, Months: *months, Scale: *scale, Workers: *workers}
+	cfg := experiment.Config{Seed: *seed, Months: *months, Scale: *scale, Workers: *workers, NoCountCache: !*countcache}
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "building universe (seed=%d scale=%g months=%d workers=%d)...\n",
 		*seed, *scale, *months, *workers)
@@ -81,6 +91,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if hits, misses := w.Cache.Stats(); hits+misses > 0 {
+		fmt.Fprintf(os.Stderr, "count cache: %d hits, %d misses\n", hits, misses)
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,467 @@
+// Package addrset provides an immutable, block-indexed sorted IPv4
+// address set: the counting core every TASS operation reduces to.
+//
+// Addresses are delta-encoded (uvarint) into fixed-population blocks; a
+// per-block skip index of [min, max, cumulativeCount] triples makes
+// range counting O(log B + blocksize) instead of the O(N) touch-every-
+// address merge walk, and lets set intersection gallop past runs that
+// cannot match. The layout is the same delta stream the census binary
+// codec uses on the wire, so snapshot loading can decode straight into
+// blocks without materializing an intermediate address slice.
+//
+// A Set is immutable after construction and safe for concurrent use.
+package addrset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// DefaultBlockSize is the per-block address population used when a
+// Builder or FromSorted is given a zero block size. Range counting
+// decodes at most the two boundary blocks per range, so a smaller
+// block cheapens every count; 64 keeps the boundary work near one
+// cache line of varint bytes while the skip index stays under half a
+// byte per address.
+//
+// It may be tuned (e.g. by a CLI flag) before any sets are built; it
+// must not be changed concurrently with set construction.
+var DefaultBlockSize = 64
+
+// Set is an immutable block-indexed sorted set of IPv4 addresses.
+// The zero value is an empty set.
+type Set struct {
+	n     int // total addresses
+	bsize int // addresses per block (last block may hold fewer)
+
+	// Skip index, one entry per block.
+	mins []netaddr.Addr // first address of block i
+	maxs []netaddr.Addr // last address of block i
+	offs []int          // byte offset of block i's delta stream in data
+	cum  []int          // addresses before block i; len = blocks+1, cum[blocks] = n
+
+	// data holds, per block, count(i)-1 uvarint deltas: the block's
+	// first address lives in mins[i], each delta adds to the previous
+	// address. Deltas may be 0 — duplicates are kept (multiset
+	// semantics, matching the merge walk) — so blocks are ascending
+	// but not necessarily strictly.
+	data []byte
+}
+
+// FromSorted builds a Set from an ascending address slice. Duplicates
+// are kept: the set mirrors the multiset counting semantics of the
+// merge walk, so counts agree on any sorted input (census snapshots are
+// duplicate-free anyway). blockSize 0 means DefaultBlockSize. It panics
+// on unsorted input; use a Builder when the input needs validation.
+func FromSorted(addrs []netaddr.Addr, blockSize int) *Set {
+	b := NewBuilder(blockSize, len(addrs))
+	for _, a := range addrs {
+		if err := b.Append(a); err != nil {
+			panic(fmt.Sprintf("addrset: FromSorted: %v", err))
+		}
+	}
+	return b.Finish()
+}
+
+// Len returns the number of addresses in the set.
+func (s *Set) Len() int { return s.n }
+
+// BlockSize returns the per-block address population.
+func (s *Set) BlockSize() int { return s.bsize }
+
+// Blocks returns the number of index blocks.
+func (s *Set) Blocks() int { return len(s.mins) }
+
+// Bytes returns the memory footprint of the compressed payload (the
+// delta stream only, excluding the skip index).
+func (s *Set) Bytes() int { return len(s.data) }
+
+// Min returns the smallest address; ok is false for an empty set.
+func (s *Set) Min() (netaddr.Addr, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	return s.mins[0], true
+}
+
+// Max returns the largest address; ok is false for an empty set.
+func (s *Set) Max() (netaddr.Addr, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	return s.maxs[len(s.maxs)-1], true
+}
+
+// blockLen returns the number of addresses in block bi.
+func (s *Set) blockLen(bi int) int { return s.cum[bi+1] - s.cum[bi] }
+
+// decodeBlock appends the addresses of block bi to buf and returns it.
+// buf is reused across calls when cap allows.
+func (s *Set) decodeBlock(bi int, buf []netaddr.Addr) []netaddr.Addr {
+	buf = buf[:0]
+	v := s.mins[bi]
+	buf = append(buf, v)
+	pos := s.offs[bi]
+	for k := 1; k < s.blockLen(bi); k++ {
+		d, n := binary.Uvarint(s.data[pos:])
+		pos += n
+		v += netaddr.Addr(d)
+		buf = append(buf, v)
+	}
+	return buf
+}
+
+// Walk calls yield for every address in ascending order until yield
+// returns false.
+func (s *Set) Walk(yield func(netaddr.Addr) bool) {
+	for bi := range s.mins {
+		v := s.mins[bi]
+		if !yield(v) {
+			return
+		}
+		pos := s.offs[bi]
+		for k := 1; k < s.blockLen(bi); k++ {
+			d, n := binary.Uvarint(s.data[pos:])
+			pos += n
+			v += netaddr.Addr(d)
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}
+
+// AppendTo appends every address in ascending order to dst and returns
+// the extended slice.
+func (s *Set) AppendTo(dst []netaddr.Addr) []netaddr.Addr {
+	if cap(dst)-len(dst) < s.n {
+		grown := make([]netaddr.Addr, len(dst), len(dst)+s.n)
+		copy(grown, dst)
+		dst = grown
+	}
+	s.Walk(func(a netaddr.Addr) bool {
+		dst = append(dst, a)
+		return true
+	})
+	return dst
+}
+
+// Contains reports whether a is in the set.
+func (s *Set) Contains(a netaddr.Addr) bool {
+	// Rightmost block whose min is <= a.
+	bi := sort.Search(len(s.mins), func(i int) bool { return s.mins[i] > a }) - 1
+	if bi < 0 || a > s.maxs[bi] {
+		return false
+	}
+	v := s.mins[bi]
+	if v == a {
+		return true
+	}
+	pos := s.offs[bi]
+	for k := 1; k < s.blockLen(bi); k++ {
+		d, n := binary.Uvarint(s.data[pos:])
+		pos += n
+		v += netaddr.Addr(d)
+		if v >= a {
+			return v == a
+		}
+	}
+	return false
+}
+
+// CountRange returns the number of set addresses in the inclusive range
+// [lo, hi]. Cost is O(log blocks + blocksize): interior blocks are
+// counted from the cumulative index, only the two boundary blocks are
+// decoded. For many ascending ranges (counting a partition), use a
+// Counter, which replaces the binary search with a galloping hint and
+// caches boundary-block decodes.
+func (s *Set) CountRange(lo, hi netaddr.Addr) int {
+	if s.n == 0 || lo > hi {
+		return 0
+	}
+	c := s.Counter()
+	return c.Count(lo, hi)
+}
+
+// Rank returns the number of set addresses strictly below a.
+func (s *Set) Rank(a netaddr.Addr) int {
+	if s.n == 0 || a == 0 {
+		return 0
+	}
+	c := s.Counter()
+	return c.Count(0, a-1)
+}
+
+// Counter counts ascending address ranges against the set using a
+// moving block hint: ranges must be disjoint and ascending (each
+// Count's lo must be greater than the previous Count's hi). Sorted
+// disjoint partitions produce exactly this pattern. The counter caches the last decoded
+// boundary block, so a full pass over K prefixes decodes each touched
+// block once — total work is O(K log blocksize + touched blocks), never
+// asymptotically worse than the merge walk.
+//
+// A Counter is single-goroutine state; create one per pass.
+type Counter struct {
+	s    *Set
+	hint int            // first candidate block for the next boundary search
+	bufI int            // index of the decoded block in buf, -1 if none
+	buf  []netaddr.Addr // decoded block cache
+}
+
+// Counter returns a fresh range counter positioned at the start of the
+// set.
+func (s *Set) Counter() *Counter {
+	return &Counter{s: s, bufI: -1}
+}
+
+// findBlock returns the first block index >= c.hint whose max is >= a
+// (or > a when strict), galloping forward from the hint and finishing
+// with a binary search inside the galloped window. Returns len(mins)
+// when every remaining block ends below the bound.
+func (c *Counter) findBlock(a netaddr.Addr, strict bool) int {
+	maxs := c.s.maxs
+	nb := len(maxs)
+	above := func(m netaddr.Addr) bool {
+		if strict {
+			return m > a
+		}
+		return m >= a
+	}
+	lo := c.hint
+	if lo >= nb {
+		return nb
+	}
+	if above(maxs[lo]) {
+		return lo
+	}
+	// Gallop: widen [lo, hi] until maxs[hi] clears a or we run off the end.
+	step := 1
+	hi := lo + step
+	for hi < nb && !above(maxs[hi]) {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > nb {
+		hi = nb
+	}
+	// Binary search in (lo, hi]: first index clearing the bound.
+	return lo + 1 + sort.Search(hi-lo-1, func(i int) bool { return above(maxs[lo+1+i]) })
+}
+
+// rank returns the number of set addresses strictly below a (incl ==
+// false) or at most a (incl == true), moving the hint forward. The
+// block search uses the matching strictness so a run of duplicates that
+// spans block boundaries is counted in full: for an inclusive rank,
+// every block whose max equals a lies entirely at or below a and is
+// counted from the cumulative index.
+func (c *Counter) rank(a netaddr.Addr, incl bool) int {
+	s := c.s
+	bi := c.findBlock(a, incl)
+	c.hint = bi
+	if bi == len(s.mins) {
+		return s.n
+	}
+	if a < s.mins[bi] {
+		// Boundary falls in the gap before the block: nothing of it counts.
+		return s.cum[bi]
+	}
+	if c.bufI != bi {
+		c.buf = s.decodeBlock(bi, c.buf)
+		c.bufI = bi
+	}
+	var k int
+	if incl {
+		k = sort.Search(len(c.buf), func(i int) bool { return c.buf[i] > a })
+	} else {
+		k = sort.Search(len(c.buf), func(i int) bool { return c.buf[i] >= a })
+	}
+	return s.cum[bi] + k
+}
+
+// Count returns the number of set addresses in [lo, hi]. lo must be >=
+// the lo of the previous Count on this counter.
+func (c *Counter) Count(lo, hi netaddr.Addr) int {
+	if c.s.n == 0 || lo > hi {
+		return 0
+	}
+	below := c.rank(lo, false)
+	return c.rank(hi, true) - below
+}
+
+// IntersectCount returns |s ∩ t|. Both cursors gallop: a run of one set
+// that lies entirely below the other's current address is skipped at
+// block granularity through the [min, max] index, so sparse overlaps
+// cost far less than the element-by-element merge.
+func (s *Set) IntersectCount(t *Set) int {
+	if s.n == 0 || t.n == 0 {
+		return 0
+	}
+	a := s.iter()
+	b := t.iter()
+	n := 0
+	for a.valid() && b.valid() {
+		switch {
+		case a.v < b.v:
+			a.seek(b.v)
+		case b.v < a.v:
+			b.seek(a.v)
+		default:
+			n++
+			a.next()
+			b.next()
+		}
+	}
+	return n
+}
+
+// iterator streams a Set in ascending order with galloping seek.
+type iterator struct {
+	s   *Set
+	bi  int            // current block
+	k   int            // index within buf
+	v   netaddr.Addr   // current value (valid when bi < blocks)
+	buf []netaddr.Addr // decoded current block
+}
+
+func (s *Set) iter() *iterator {
+	it := &iterator{s: s}
+	if s.n > 0 {
+		it.buf = s.decodeBlock(0, nil)
+		it.v = it.buf[0]
+	} else {
+		it.bi = len(s.mins)
+	}
+	return it
+}
+
+func (it *iterator) valid() bool { return it.bi < len(it.s.mins) }
+
+func (it *iterator) loadBlock(bi int) {
+	it.bi = bi
+	if bi < len(it.s.mins) {
+		it.buf = it.s.decodeBlock(bi, it.buf)
+		it.k = 0
+		it.v = it.buf[0]
+	}
+}
+
+func (it *iterator) next() {
+	it.k++
+	if it.k < len(it.buf) {
+		it.v = it.buf[it.k]
+		return
+	}
+	it.loadBlock(it.bi + 1)
+}
+
+// seek advances the iterator to the first address >= x (x must be >=
+// the current value). It gallops over whole blocks via the max index
+// before decoding the landing block.
+func (it *iterator) seek(x netaddr.Addr) {
+	s := it.s
+	if x <= s.maxs[it.bi] {
+		// Stays in the current block: binary search forward from k.
+		rest := it.buf[it.k:]
+		j := sort.Search(len(rest), func(i int) bool { return rest[i] >= x })
+		it.k += j
+		if it.k < len(it.buf) {
+			it.v = it.buf[it.k]
+			return
+		}
+		it.loadBlock(it.bi + 1)
+		return
+	}
+	// Gallop block index until the block max reaches x.
+	nb := len(s.maxs)
+	lo := it.bi
+	step := 1
+	hi := lo + step
+	for hi < nb && s.maxs[hi] < x {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > nb {
+		hi = nb
+	}
+	bi := lo + 1 + sort.Search(hi-lo-1, func(i int) bool { return s.maxs[lo+1+i] >= x })
+	it.loadBlock(bi)
+	if it.bi == nb {
+		return
+	}
+	j := sort.Search(len(it.buf), func(i int) bool { return it.buf[i] >= x })
+	it.k = j
+	if j < len(it.buf) {
+		it.v = it.buf[j]
+		return
+	}
+	it.loadBlock(it.bi + 1)
+}
+
+// Builder assembles a Set from strictly ascending appends, encoding
+// each address into the block layout as it arrives. It is the streaming
+// half of the census codec fast path: wire deltas go straight into
+// block deltas with no intermediate slice.
+type Builder struct {
+	bsize int
+	set   Set
+	prev  netaddr.Addr
+	inBlk int // addresses in the block under construction
+	buf   [binary.MaxVarintLen64]byte
+}
+
+// NewBuilder returns a Builder. blockSize 0 means DefaultBlockSize;
+// sizeHint, when positive, pre-sizes the index and data buffers.
+func NewBuilder(blockSize, sizeHint int) *Builder {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	b := &Builder{bsize: blockSize}
+	b.set.bsize = blockSize
+	if sizeHint > 0 {
+		blocks := (sizeHint + blockSize - 1) / blockSize
+		b.set.mins = make([]netaddr.Addr, 0, blocks)
+		b.set.maxs = make([]netaddr.Addr, 0, blocks)
+		b.set.offs = make([]int, 0, blocks)
+		b.set.cum = make([]int, 0, blocks+1)
+		// ~1.5 bytes per delta on census-shaped data; grown as needed.
+		b.set.data = make([]byte, 0, sizeHint+sizeHint/2)
+	}
+	return b
+}
+
+// Append adds a to the set. Addresses must arrive in ascending order;
+// duplicates are kept (multiset semantics).
+func (b *Builder) Append(a netaddr.Addr) error {
+	s := &b.set
+	if s.n > 0 && a < b.prev {
+		return fmt.Errorf("addrset: append %v after %v: not ascending", a, b.prev)
+	}
+	if b.inBlk == b.bsize {
+		b.inBlk = 0
+	}
+	if b.inBlk == 0 {
+		s.mins = append(s.mins, a)
+		s.maxs = append(s.maxs, a)
+		s.offs = append(s.offs, len(s.data))
+		s.cum = append(s.cum, s.n)
+	} else {
+		s.data = append(s.data, b.buf[:binary.PutUvarint(b.buf[:], uint64(a-b.prev))]...)
+		s.maxs[len(s.maxs)-1] = a
+	}
+	b.prev = a
+	b.inBlk++
+	s.n++
+	return nil
+}
+
+// Finish seals and returns the set. The Builder must not be used
+// afterwards.
+func (b *Builder) Finish() *Set {
+	b.set.cum = append(b.set.cum, b.set.n)
+	return &b.set
+}

@@ -1,0 +1,265 @@
+package addrset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// randomSorted returns a strictly ascending address slice of roughly n
+// entries drawn from [0, span).
+func randomSorted(rng *rand.Rand, n int, span uint32) []netaddr.Addr {
+	seen := make(map[netaddr.Addr]bool, n)
+	for len(seen) < n {
+		seen[netaddr.Addr(rng.Uint32()%span)] = true
+	}
+	out := make([]netaddr.Addr, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// countRangeRef is the brute-force reference for CountRange.
+func countRangeRef(addrs []netaddr.Addr, lo, hi netaddr.Addr) int {
+	n := 0
+	for _, a := range addrs {
+		if a >= lo && a <= hi {
+			n++
+		}
+	}
+	return n
+}
+
+// intersectRef is the merge-walk reference for IntersectCount.
+func intersectRef(a, b []netaddr.Addr) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+var testBlockSizes = []int{1, 2, 3, 7, 16, 256}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bs := range testBlockSizes {
+		for _, n := range []int{0, 1, 2, 5, 100, 1000} {
+			addrs := randomSorted(rng, n, 1<<30)
+			s := FromSorted(addrs, bs)
+			if s.Len() != len(addrs) {
+				t.Fatalf("bs=%d n=%d: Len = %d", bs, n, s.Len())
+			}
+			got := s.AppendTo(nil)
+			if len(got) != len(addrs) {
+				t.Fatalf("bs=%d n=%d: AppendTo returned %d addrs", bs, n, len(got))
+			}
+			for i := range got {
+				if got[i] != addrs[i] {
+					t.Fatalf("bs=%d n=%d: addr %d = %v, want %v", bs, n, i, got[i], addrs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCountRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, bs := range testBlockSizes {
+		addrs := randomSorted(rng, 500, 1<<16) // dense: lots of block sharing
+		s := FromSorted(addrs, bs)
+		for trial := 0; trial < 500; trial++ {
+			lo := netaddr.Addr(rng.Uint32() % (1 << 16))
+			hi := lo + netaddr.Addr(rng.Uint32()%(1<<14))
+			want := countRangeRef(addrs, lo, hi)
+			if got := s.CountRange(lo, hi); got != want {
+				t.Fatalf("bs=%d: CountRange(%v,%v) = %d, want %d", bs, lo, hi, got, want)
+			}
+		}
+		// Degenerate and boundary ranges.
+		if got := s.CountRange(5, 4); got != 0 {
+			t.Fatalf("bs=%d: inverted range counted %d", bs, got)
+		}
+		if got := s.CountRange(0, ^netaddr.Addr(0)); got != len(addrs) {
+			t.Fatalf("bs=%d: full range = %d, want %d", bs, got, len(addrs))
+		}
+		for _, a := range addrs {
+			if got := s.CountRange(a, a); got != 1 {
+				t.Fatalf("bs=%d: point range at %v = %d", bs, a, got)
+			}
+		}
+	}
+}
+
+func TestCounterAscendingRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, bs := range testBlockSizes {
+		addrs := randomSorted(rng, 800, 1<<20)
+		s := FromSorted(addrs, bs)
+		// Ascending disjoint ranges, the partition-count pattern.
+		c := s.Counter()
+		var lo netaddr.Addr
+		for lo < 1<<20 {
+			width := netaddr.Addr(1 + rng.Uint32()%(1<<12))
+			hi := lo + width
+			want := countRangeRef(addrs, lo, hi)
+			if got := c.Count(lo, hi); got != want {
+				t.Fatalf("bs=%d: Counter.Count(%v,%v) = %d, want %d", bs, lo, hi, got, want)
+			}
+			lo = hi + 1 + netaddr.Addr(rng.Uint32()%(1<<12))
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, bs := range testBlockSizes {
+		addrs := randomSorted(rng, 300, 1<<16)
+		s := FromSorted(addrs, bs)
+		member := make(map[netaddr.Addr]bool, len(addrs))
+		for _, a := range addrs {
+			member[a] = true
+			if !s.Contains(a) {
+				t.Fatalf("bs=%d: Contains(%v) = false for member", bs, a)
+			}
+		}
+		for trial := 0; trial < 1000; trial++ {
+			a := netaddr.Addr(rng.Uint32() % (1 << 17))
+			if s.Contains(a) != member[a] {
+				t.Fatalf("bs=%d: Contains(%v) = %v, want %v", bs, a, !member[a], member[a])
+			}
+		}
+	}
+}
+
+func TestIntersectCountProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shapes := []struct {
+		na, nb int
+		span   uint32
+	}{
+		{0, 100, 1 << 16},   // empty vs non-empty
+		{100, 100, 1 << 12}, // dense overlap
+		{1000, 20, 1 << 20}, // sparse b gallops a
+		{20, 1000, 1 << 20}, // sparse a gallops b
+		{500, 500, 1 << 28}, // little overlap
+	}
+	for _, bs := range testBlockSizes {
+		for _, sh := range shapes {
+			a := randomSorted(rng, sh.na, sh.span)
+			b := randomSorted(rng, sh.nb, sh.span)
+			want := intersectRef(a, b)
+			sa, sb := FromSorted(a, bs), FromSorted(b, bs)
+			if got := sa.IntersectCount(sb); got != want {
+				t.Fatalf("bs=%d shape=%+v: IntersectCount = %d, want %d", bs, sh, got, want)
+			}
+			if got := sb.IntersectCount(sa); got != want {
+				t.Fatalf("bs=%d shape=%+v: reversed IntersectCount = %d, want %d", bs, sh, got, want)
+			}
+			if got := sa.IntersectCount(sa); got != len(a) {
+				t.Fatalf("bs=%d: self-intersect = %d, want %d", bs, got, len(a))
+			}
+		}
+	}
+}
+
+func TestRankAndMinMax(t *testing.T) {
+	addrs := []netaddr.Addr{10, 20, 30, 40, 50}
+	s := FromSorted(addrs, 2)
+	for i, a := range addrs {
+		if got := s.Rank(a); got != i {
+			t.Fatalf("Rank(%v) = %d, want %d", a, got, i)
+		}
+		if got := s.Rank(a + 1); got != i+1 {
+			t.Fatalf("Rank(%v) = %d, want %d", a+1, got, i+1)
+		}
+	}
+	if got := s.Rank(0); got != 0 {
+		t.Fatalf("Rank(0) = %d", got)
+	}
+	if mn, ok := s.Min(); !ok || mn != 10 {
+		t.Fatalf("Min = %v, %v", mn, ok)
+	}
+	if mx, ok := s.Max(); !ok || mx != 50 {
+		t.Fatalf("Max = %v, %v", mx, ok)
+	}
+	var empty Set
+	if _, ok := empty.Min(); ok {
+		t.Fatal("empty Min ok")
+	}
+	if got := empty.CountRange(0, ^netaddr.Addr(0)); got != 0 {
+		t.Fatalf("empty CountRange = %d", got)
+	}
+	if got := empty.IntersectCount(s); got != 0 {
+		t.Fatalf("empty IntersectCount = %d", got)
+	}
+}
+
+func TestBuilderRejectsDescending(t *testing.T) {
+	b := NewBuilder(0, 0)
+	if err := b.Append(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(4); err == nil {
+		t.Fatal("descending accepted")
+	}
+	if err := b.Append(6); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Finish()
+	if s.Len() != 2 || !s.Contains(5) || !s.Contains(6) {
+		t.Fatalf("builder set wrong: len=%d", s.Len())
+	}
+}
+
+func TestDuplicatesMultisetSemantics(t *testing.T) {
+	// The merge walk counts duplicate addresses twice; the set mirrors
+	// that so both paths agree on any sorted input.
+	addrs := []netaddr.Addr{3, 5, 5, 5, 9, 9, 20}
+	for _, bs := range testBlockSizes {
+		s := FromSorted(addrs, bs)
+		if s.Len() != len(addrs) {
+			t.Fatalf("bs=%d: Len = %d, want %d", bs, s.Len(), len(addrs))
+		}
+		if got := s.CountRange(5, 9); got != 5 {
+			t.Fatalf("bs=%d: CountRange(5,9) = %d, want 5", bs, got)
+		}
+		if got := s.Rank(5); got != 1 {
+			t.Fatalf("bs=%d: Rank(5) = %d, want 1", bs, got)
+		}
+		if !s.Contains(5) || s.Contains(4) {
+			t.Fatalf("bs=%d: Contains wrong", bs)
+		}
+		round := s.AppendTo(nil)
+		for i := range round {
+			if round[i] != addrs[i] {
+				t.Fatalf("bs=%d: round trip %v", bs, round)
+			}
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	s := FromSorted([]netaddr.Addr{1, 2, 3, 4, 5}, 2)
+	var got []netaddr.Addr
+	s.Walk(func(a netaddr.Addr) bool {
+		got = append(got, a)
+		return len(got) < 3
+	})
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("Walk stopped at %v", got)
+	}
+}

@@ -1,0 +1,97 @@
+package census
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
+)
+
+// CountCache memoizes per-prefix host counts by (snapshot, partition)
+// identity. The phi-grid and the multi-figure experiment engine rank
+// the same seed snapshot over the same universe again and again; with a
+// shared cache each (snapshot, partition) pair is counted exactly once,
+// concurrent requests for the same pair block on a single computation,
+// and every later request is a map lookup.
+//
+// Identity is pointer identity: the *Snapshot and the backing array of
+// the partition's prefix slice. Both are immutable by contract, so the
+// cached counts can never go stale. A nil *CountCache is valid and
+// simply computes every request (no memoization), which keeps call
+// sites free of conditionals.
+type CountCache struct {
+	mu sync.Mutex
+	m  map[countKey]*countEntry
+
+	hits, misses atomic.Int64
+}
+
+// countKey identifies a (snapshot, partition) pair. Partitions are
+// value types; their identity is the backing array of the prefix slice
+// plus its length (Subset and the trie builders always allocate fresh
+// arrays).
+type countKey struct {
+	snap *Snapshot
+	part *netaddr.Prefix
+	n    int
+}
+
+type countEntry struct {
+	once    sync.Once
+	counts  []int
+	outside int
+}
+
+// NewCountCache returns an empty cache.
+func NewCountCache() *CountCache {
+	return &CountCache{m: make(map[countKey]*countEntry)}
+}
+
+func partKey(p rib.Partition) *netaddr.Prefix {
+	ps := p.Prefixes()
+	if len(ps) == 0 {
+		return nil
+	}
+	return &ps[0]
+}
+
+// Counts returns, for each partition prefix, how many of the snapshot's
+// addresses it contains, plus the number of addresses outside the
+// partition. The first request for a pair computes via the sharded
+// merge walk (workers as in CountAddrsSharded; 0 means GOMAXPROCS);
+// subsequent requests return the memoized slice.
+//
+// The returned slice is shared across callers and must be treated as
+// read-only.
+func (c *CountCache) Counts(snap *Snapshot, p rib.Partition, workers int) (counts []int, outside int) {
+	if c == nil {
+		return CountAddrsSharded(snap.Addrs, p, workers)
+	}
+	key := countKey{snap: snap, part: partKey(p), n: p.Len()}
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &countEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() {
+		e.counts, e.outside = CountAddrsSharded(snap.Addrs, p, workers)
+	})
+	return e.counts, e.outside
+}
+
+// Stats reports cache traffic: hits is the number of Counts calls that
+// found an existing entry, misses the number that created one.
+func (c *CountCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

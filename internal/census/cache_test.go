@@ -1,0 +1,114 @@
+package census
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/rib"
+)
+
+func TestCountCacheMatchesDirect(t *testing.T) {
+	part, addrs := shardFixture(t)
+	snap := NewSnapshot("t", 0, addrs)
+	want, wantOutside := part.CountAddrs(snap.Addrs)
+
+	cache := NewCountCache()
+	for round := 0; round < 3; round++ {
+		got, outside := cache.Counts(snap, part, 4)
+		if outside != wantOutside {
+			t.Fatalf("round %d: outside = %d, want %d", round, outside, wantOutside)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: counts[%d] = %d, want %d", round, i, got[i], want[i])
+			}
+		}
+	}
+	if hits, misses := cache.Stats(); hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 2/1", hits, misses)
+	}
+}
+
+func TestCountCacheKeysByIdentity(t *testing.T) {
+	part, addrs := shardFixture(t)
+	snapA := NewSnapshot("a", 0, addrs)
+	snapB := NewSnapshot("b", 0, addrs[:len(addrs)/2])
+	sub := part.Subset([]int{0, 1, 2})
+
+	cache := NewCountCache()
+	cache.Counts(snapA, part, 1)
+	cache.Counts(snapA, sub, 1)  // different partition: new entry
+	cache.Counts(snapB, part, 1) // different snapshot: new entry
+	cache.Counts(snapA, part, 1) // repeat: hit
+	if hits, misses := cache.Stats(); hits != 1 || misses != 3 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/3", hits, misses)
+	}
+
+	// The cached result for the subset must be the subset's counts, not
+	// the full partition's.
+	got, _ := cache.Counts(snapA, sub, 1)
+	want, _ := sub.CountAddrs(snapA.Addrs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("subset counts[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCountCacheNilComputes(t *testing.T) {
+	part, addrs := shardFixture(t)
+	snap := NewSnapshot("t", 0, addrs)
+	var cache *CountCache
+	got, outside := cache.Counts(snap, part, 2)
+	want, wantOutside := part.CountAddrs(snap.Addrs)
+	if outside != wantOutside {
+		t.Fatalf("nil cache outside = %d, want %d", outside, wantOutside)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nil cache counts[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if hits, misses := cache.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("nil cache stats = %d/%d", hits, misses)
+	}
+}
+
+// TestCountCacheConcurrent hammers one (snapshot, partition) pair from
+// many goroutines: the count must be computed once and every caller
+// must see identical results (the race detector guards the rest).
+func TestCountCacheConcurrent(t *testing.T) {
+	part, addrs := shardFixture(t)
+	snap := NewSnapshot("t", 0, addrs)
+	cache := NewCountCache()
+	want, _ := part.CountAddrs(snap.Addrs)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _ := cache.Counts(snap, part, 2)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("concurrent counts[%d] = %d, want %d", i, got[i], want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if hits, misses := cache.Stats(); misses != 1 || hits != 15 {
+		t.Fatalf("stats = %d hits / %d misses, want 15/1", hits, misses)
+	}
+}
+
+func TestCountCacheEmptyPartition(t *testing.T) {
+	_, addrs := shardFixture(t)
+	snap := NewSnapshot("t", 0, addrs)
+	cache := NewCountCache()
+	counts, outside := cache.Counts(snap, rib.Partition{}, 1)
+	if len(counts) != 0 || outside != len(snap.Addrs) {
+		t.Fatalf("empty partition: counts=%d outside=%d, want 0 and %d", len(counts), outside, len(snap.Addrs))
+	}
+}

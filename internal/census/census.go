@@ -15,17 +15,39 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
+	"github.com/tass-scan/tass/internal/addrset"
 	"github.com/tass-scan/tass/internal/netaddr"
 	"github.com/tass-scan/tass/internal/rib"
 )
 
 // Snapshot is one full-scan observation: every responsive address for one
 // protocol in one measurement month. Addrs is sorted and duplicate-free.
+//
+// Snapshots are handled by pointer (the lazily built set view carries a
+// lock); use NewSnapshot or a &Snapshot{...} literal.
 type Snapshot struct {
 	Protocol string
 	Month    int
 	Addrs    []netaddr.Addr
+
+	setMu sync.Mutex
+	set   *addrset.Set // memoized block-indexed view of Addrs
+}
+
+// Set returns the block-indexed view of the snapshot's address set,
+// building it on first use and memoizing it. Snapshots parsed by
+// ReadSnapshot arrive with the view prebuilt (the codec decodes the
+// wire delta stream straight into blocks). The returned set is
+// immutable and safe for concurrent use.
+func (s *Snapshot) Set() *addrset.Set {
+	s.setMu.Lock()
+	defer s.setMu.Unlock()
+	if s.set == nil {
+		s.set = addrset.FromSorted(s.Addrs, 0)
+	}
+	return s.set
 }
 
 // NewSnapshot builds a snapshot from addrs, copying, sorting and
@@ -56,19 +78,74 @@ func (s *Snapshot) Contains(a netaddr.Addr) bool {
 
 // CountByPrefix counts responsive addresses per partition prefix. The
 // second result is the number of addresses outside the partition.
+// Sparse partitions (few prefixes relative to the address count) are
+// answered from the block index via per-prefix range counts; dense ones
+// fall back to the merge walk, which wins when most addresses land in
+// some prefix anyway (see DESIGN.md on the crossover).
 func (s *Snapshot) CountByPrefix(p rib.Partition) (counts []int, outside int) {
+	if sparseFor(p.Len(), len(s.Addrs)) {
+		return p.CountAddrsSet(s.Set())
+	}
 	return p.CountAddrs(s.Addrs)
 }
 
+// sparseFor reports whether the K-prefix/N-address shape favors the
+// block-index range counts over the O(N+K) merge walk. A range count
+// pays up to two boundary-block decodes per prefix (2·K·blocksize
+// varints, each a few times the cost of the merge walk's compare), so
+// the index only wins once that worst case sits clearly below N. The
+// factor 8 is conservative: near the boundary both paths are within a
+// small constant of each other either way (see DESIGN.md).
+func sparseFor(prefixes, addrs int) bool {
+	return prefixes*8*addrset.DefaultBlockSize < addrs
+}
+
 // CountIn returns how many of the snapshot's addresses fall inside the
-// partition (e.g. a TASS selection).
+// partition (e.g. a TASS selection). Neither path materializes the
+// per-prefix count slice. Sparse selections — the reseed and hitrate
+// shape: small K over large N — sum per-prefix range counts off the
+// block index, two index lookups per prefix, O(K log B) instead of
+// O(N+K); dense selections keep the merge walk, summing inline.
 func (s *Snapshot) CountIn(p rib.Partition) int {
-	counts, _ := p.CountAddrs(s.Addrs)
 	total := 0
-	for _, c := range counts {
-		total += c
+	if sparseFor(p.Len(), len(s.Addrs)) {
+		ctr := s.Set().Counter()
+		for i := 0; i < p.Len(); i++ {
+			pr := p.Prefix(i)
+			total += ctr.Count(pr.First(), pr.Last())
+		}
+		return total
+	}
+	i := 0
+	for _, a := range s.Addrs {
+		for i < p.Len() && p.Prefix(i).Last() < a {
+			i++
+		}
+		if i == p.Len() {
+			break
+		}
+		if a >= p.Prefix(i).First() {
+			total++
+		}
 	}
 	return total
+}
+
+// IntersectWith returns |s ∩ t|. Lopsided pairs (one snapshot far
+// smaller than the other) use the galloping block-index intersection,
+// which skips the large set's unique runs at block granularity;
+// similar-sized pairs keep the element-wise merge, which wins when
+// neither cursor can skip far (snapshots of adjacent months share most
+// hosts).
+func (s *Snapshot) IntersectWith(t *Snapshot) int {
+	small, large := s, t
+	if small.Hosts() > large.Hosts() {
+		small, large = large, small
+	}
+	if small.Hosts()*16 < large.Hosts() {
+		return small.Set().IntersectCount(large.Set())
+	}
+	return IntersectCount(s.Addrs, t.Addrs)
 }
 
 // IntersectCount returns |a ∩ b| for two sorted address sets.
@@ -189,9 +266,20 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if count > 1<<32 {
 		return nil, fmt.Errorf("%w: impossible host count %d", ErrFormat, count)
 	}
-	addrs := make([]netaddr.Addr, count)
+	// The count is attacker-controlled until the deltas actually decode:
+	// cap the up-front allocation and grow while decoding, so a 9-byte
+	// stream declaring 2^32 hosts cannot demand gigabytes.
+	capHint := int(count)
+	if capHint > maxAddrPrealloc {
+		capHint = maxAddrPrealloc
+	}
+	addrs := make([]netaddr.Addr, 0, capHint)
+	// The wire format is the same ascending delta stream the block
+	// layout stores, so the set view is encoded directly as the varints
+	// decode — no intermediate pass over a materialized slice.
+	sb := addrset.NewBuilder(0, capHint)
 	prev := uint64(0)
-	for i := range addrs {
+	for i := 0; i < int(count); i++ {
 		d, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("census: address %d: %w", i, err)
@@ -206,11 +294,18 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		if v > 0xFFFFFFFF {
 			return nil, fmt.Errorf("%w: address overflow", ErrFormat)
 		}
-		addrs[i] = netaddr.Addr(v)
+		addrs = append(addrs, netaddr.Addr(v))
+		if err := sb.Append(netaddr.Addr(v)); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
 		prev = v
 	}
-	return &Snapshot{Protocol: string(proto), Month: int(month), Addrs: addrs}, nil
+	return &Snapshot{Protocol: string(proto), Month: int(month), Addrs: addrs, set: sb.Finish()}, nil
 }
+
+// maxAddrPrealloc caps the address-slice allocation made before any
+// delta of the stream has decoded (1 MiB worth of addresses).
+const maxAddrPrealloc = 1 << 18
 
 // Series is the monthly snapshot sequence for one protocol, ordered by
 // month.

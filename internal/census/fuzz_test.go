@@ -1,0 +1,85 @@
+package census
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// encodeSnapshot is a test helper returning the wire bytes of a snapshot.
+func encodeSnapshot(t testing.TB, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSnapshotCodec feeds arbitrary bytes to the snapshot reader. Any
+// stream the reader accepts must satisfy the Snapshot invariants
+// (strictly ascending addresses, consistent set view) and survive a
+// write/read round trip unchanged; any stream it rejects must fail with
+// an error, never a panic or a pathological allocation.
+func FuzzSnapshotCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("TASSCNS\x01"))
+	f.Add(encodeSnapshot(f, NewSnapshot("ftp", 3, nil)))
+	f.Add(encodeSnapshot(f, NewSnapshot("http", 0, []netaddr.Addr{1, 2, 3, 500, 1 << 30, 0xFFFFFFFF})))
+	// Declared count far beyond the bytes that follow (the 32 GiB
+	// pre-allocation shape before the cap).
+	f.Add(append([]byte("TASSCNS\x01"), 0x01, 'x', 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F, 0x01))
+	// Zero delta (duplicate address on the wire).
+	f.Add(append([]byte("TASSCNS\x01"), 0x01, 'x', 0x00, 0x02, 0x05, 0x00))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		for i := 1; i < len(snap.Addrs); i++ {
+			if snap.Addrs[i] <= snap.Addrs[i-1] {
+				t.Fatalf("accepted non-ascending addrs at %d: %v <= %v", i, snap.Addrs[i], snap.Addrs[i-1])
+			}
+		}
+		set := snap.Set()
+		if set.Len() != len(snap.Addrs) {
+			t.Fatalf("set view has %d addrs, slice has %d", set.Len(), len(snap.Addrs))
+		}
+		round := set.AppendTo(nil)
+		for i := range round {
+			if round[i] != snap.Addrs[i] {
+				t.Fatalf("set view addr %d = %v, want %v", i, round[i], snap.Addrs[i])
+			}
+		}
+		// Round trip: what we accepted must re-encode and re-read equal.
+		again, err := ReadSnapshot(bytes.NewReader(encodeSnapshot(t, snap)))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if again.Protocol != snap.Protocol || again.Month != snap.Month || len(again.Addrs) != len(snap.Addrs) {
+			t.Fatalf("round trip changed header: %+v vs %+v", again, snap)
+		}
+		for i := range snap.Addrs {
+			if again.Addrs[i] != snap.Addrs[i] {
+				t.Fatalf("round trip changed addr %d", i)
+			}
+		}
+	})
+}
+
+// TestReadSnapshotHugeCountCheapFailure is the satellite regression: a
+// tiny stream declaring 2^32 hosts must fail during decoding without
+// first allocating a 32 GiB slice.
+func TestReadSnapshotHugeCountCheapFailure(t *testing.T) {
+	stream := append([]byte("TASSCNS\x01"),
+		0x01, 'x', // protocol "x"
+		0x00,                         // month 0
+		0xFF, 0xFF, 0xFF, 0xFF, 0x0F, // count = 0xFFFFFFFF
+		0x01, // one delta, then EOF
+	)
+	if _, err := ReadSnapshot(bytes.NewReader(stream)); err == nil {
+		t.Fatal("truncated huge-count stream accepted")
+	}
+}

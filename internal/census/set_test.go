@@ -1,0 +1,103 @@
+package census
+
+import (
+	"testing"
+)
+
+// TestCountInMatchesMergeWalk checks the set-backed CountIn against the
+// merge walk on full and sparse partitions.
+func TestCountInMatchesMergeWalk(t *testing.T) {
+	part, addrs := shardFixture(t)
+	snap := NewSnapshot("t", 0, addrs)
+
+	for _, tc := range []struct {
+		name    string
+		indexes []int
+	}{
+		{"single", []int{0}},
+		{"sparse", sparseIndexes(part.Len(), 50)},
+		{"half", sparseIndexes(part.Len(), 2)},
+		{"full", sparseIndexes(part.Len(), 1)},
+	} {
+		sub := part.Subset(tc.indexes)
+		counts, _ := sub.CountAddrs(snap.Addrs)
+		want := 0
+		for _, c := range counts {
+			want += c
+		}
+		if got := snap.CountIn(sub); got != want {
+			t.Fatalf("%s: CountIn = %d, merge walk = %d", tc.name, got, want)
+		}
+	}
+}
+
+// sparseIndexes returns every stride-th index below n.
+func sparseIndexes(n, stride int) []int {
+	var out []int
+	for i := 0; i < n; i += stride {
+		out = append(out, i)
+	}
+	return out
+}
+
+// TestCountByPrefixSparsePathMatches forces both CountByPrefix paths
+// (block-index range counts vs merge walk) and checks they agree.
+func TestCountByPrefixSparsePathMatches(t *testing.T) {
+	part, addrs := shardFixture(t)
+	snap := NewSnapshot("t", 0, addrs)
+
+	// The sparse subset takes the range-count path (few prefixes, many
+	// addresses); compare it against the merge walk directly.
+	sub := part.Subset(sparseIndexes(part.Len(), 100))
+	if !sparseFor(sub.Len(), len(snap.Addrs)) {
+		t.Fatalf("fixture not sparse: %d prefixes over %d addrs", sub.Len(), len(snap.Addrs))
+	}
+	gotCounts, gotOutside := snap.CountByPrefix(sub)
+	wantCounts, wantOutside := sub.CountAddrs(snap.Addrs)
+	if gotOutside != wantOutside {
+		t.Fatalf("outside = %d, want %d", gotOutside, wantOutside)
+	}
+	for i := range wantCounts {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatalf("counts[%d] = %d, want %d", i, gotCounts[i], wantCounts[i])
+		}
+	}
+}
+
+// TestSetViewMemoized checks that the snapshot's set view is built once
+// and matches the address slice.
+func TestSetViewMemoized(t *testing.T) {
+	_, addrs := shardFixture(t)
+	snap := NewSnapshot("t", 0, addrs)
+	s1 := snap.Set()
+	s2 := snap.Set()
+	if s1 != s2 {
+		t.Fatal("Set() rebuilt the view")
+	}
+	if s1.Len() != len(snap.Addrs) {
+		t.Fatalf("set Len = %d, want %d", s1.Len(), len(snap.Addrs))
+	}
+}
+
+// TestIntersectCountSetMatchesMerge compares the galloping set
+// intersection against the merge-walk IntersectCount on snapshot pairs,
+// and checks IntersectWith agrees on both sides of its size heuristic.
+func TestIntersectCountSetMatchesMerge(t *testing.T) {
+	_, addrs := shardFixture(t)
+	a := NewSnapshot("a", 0, addrs)
+	similar := NewSnapshot("b", 0, addrs[:2*len(addrs)/3])
+	tiny := NewSnapshot("c", 0, addrs[len(addrs)/2:len(addrs)/2+900])
+
+	for _, b := range []*Snapshot{similar, tiny} {
+		want := IntersectCount(a.Addrs, b.Addrs)
+		if got := a.Set().IntersectCount(b.Set()); got != want {
+			t.Fatalf("set IntersectCount = %d, merge = %d", got, want)
+		}
+		if got := a.IntersectWith(b); got != want {
+			t.Fatalf("IntersectWith = %d, merge = %d", got, want)
+		}
+		if got := b.IntersectWith(a); got != want {
+			t.Fatalf("reversed IntersectWith = %d, merge = %d", got, want)
+		}
+	}
+}

@@ -49,7 +49,16 @@ func Rank(seed *census.Snapshot, part rib.Partition) []PrefixStat {
 // to workers goroutines (0 means GOMAXPROCS). The ranking is identical
 // to Rank at any worker count.
 func RankWorkers(seed *census.Snapshot, part rib.Partition, workers int) []PrefixStat {
-	counts, _ := census.CountAddrsSharded(seed.Addrs, part, workers)
+	return RankCached(seed, part, workers, nil)
+}
+
+// RankCached is RankWorkers with the per-prefix counts memoized in
+// cache by (seed, part) identity: the first ranking of a pair pays for
+// the counting walk, every later one reuses the counts. A nil cache
+// computes every call. The ranking is byte-identical with or without a
+// cache at any worker count.
+func RankCached(seed *census.Snapshot, part rib.Partition, workers int, cache *census.CountCache) []PrefixStat {
+	counts, _ := cache.Counts(seed, part, workers)
 	total := 0
 	for _, c := range counts {
 		total += c
@@ -128,10 +137,18 @@ func (o Options) validate() error {
 
 // Select runs TASS prefix selection (steps 1–4) on a seed snapshot.
 func Select(seed *census.Snapshot, universe rib.Partition, opts Options) (*Selection, error) {
+	return SelectCached(seed, universe, opts, 1, nil)
+}
+
+// SelectCached is Select with the counting walk sharded over workers
+// goroutines (0 means GOMAXPROCS) and the per-prefix counts memoized in
+// cache (nil computes every call). The selection is identical to Select
+// at any worker count, cached or not.
+func SelectCached(seed *census.Snapshot, universe rib.Partition, opts Options, workers int, cache *census.CountCache) (*Selection, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	return selectRanked(Rank(seed, universe), universe, opts)
+	return selectRanked(RankCached(seed, universe, workers, cache), universe, opts)
 }
 
 // selectRanked runs selection steps 4–5 on a precomputed ranking. The
@@ -200,11 +217,16 @@ func (s *Selection) Prefixes() []netaddr.Prefix {
 // the seed month: Space / covered hosts. Lower is better; a full scan's
 // efficiency is partition space / N.
 func (s *Selection) Efficiency() float64 {
-	covered := float64(s.HostCoverage) * float64(s.SeedHosts)
+	// Sum the selected hosts exactly: the float round-trip
+	// HostCoverage*SeedHosts drifts for large N.
+	covered := 0
+	for i := 0; i < s.K; i++ {
+		covered += s.Ranked[i].Hosts
+	}
 	if covered == 0 {
 		return 0
 	}
-	return float64(s.Space) / covered
+	return float64(s.Space) / float64(covered)
 }
 
 // Hitrate evaluates the plan against a later full-scan snapshot: the

@@ -15,13 +15,20 @@ import (
 // GOMAXPROCS). The i-th result equals Select(seed, universe, grid[i])
 // exactly; the first error by grid order wins.
 func SelectMany(seed *census.Snapshot, universe rib.Partition, grid []Options, workers int) ([]*Selection, error) {
+	return SelectManyCached(seed, universe, grid, workers, nil)
+}
+
+// SelectManyCached is SelectMany with the counting walk memoized in
+// cache by (seed, universe) identity (nil computes every call). Results
+// are identical to SelectMany.
+func SelectManyCached(seed *census.Snapshot, universe rib.Partition, grid []Options, workers int, cache *census.CountCache) ([]*Selection, error) {
 	// Fail fast on invalid options before paying for the ranking.
 	for i, opts := range grid {
 		if err := opts.validate(); err != nil {
 			return nil, fmt.Errorf("core: grid entry %d: %w", i, err)
 		}
 	}
-	ranked := RankWorkers(seed, universe, workers)
+	ranked := RankCached(seed, universe, workers, cache)
 	sels := make([]*Selection, len(grid))
 	errs := make([]error, len(grid))
 	par.ForEach(len(grid), workers, func(i int) {
@@ -37,9 +44,15 @@ func SelectMany(seed *census.Snapshot, universe rib.Partition, grid []Options, w
 
 // SelectPhis is SelectMany over a φ grid with otherwise-default options.
 func SelectPhis(seed *census.Snapshot, universe rib.Partition, phis []float64, workers int) ([]*Selection, error) {
+	return SelectPhisCached(seed, universe, phis, workers, nil)
+}
+
+// SelectPhisCached is SelectPhis with the counting walk memoized in
+// cache (nil computes every call).
+func SelectPhisCached(seed *census.Snapshot, universe rib.Partition, phis []float64, workers int, cache *census.CountCache) ([]*Selection, error) {
 	grid := make([]Options, len(phis))
 	for i, phi := range phis {
 		grid[i] = Options{Phi: phi}
 	}
-	return SelectMany(seed, universe, grid, workers)
+	return SelectManyCached(seed, universe, grid, workers, cache)
 }

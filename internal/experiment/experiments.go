@@ -33,7 +33,7 @@ func Table1(w *World) (Result, error) {
 		byProto := make(map[string][]*core.Selection, len(w.Protocols()))
 		for _, proto := range w.Protocols() {
 			seed := w.Series[proto].At(0)
-			sels, err := core.SelectPhis(seed, uni.part, Phis, w.Cfg.workers())
+			sels, err := w.SelectPhis(seed, uni.part, Phis)
 			if err != nil {
 				return Result{}, fmt.Errorf("table1 %s/%s: %w", uni.label, proto, err)
 			}
@@ -175,7 +175,7 @@ func Figure4(w *World) (Result, error) {
 				continue
 			}
 			seed := w.Series[proto].At(0)
-			ranked := core.Rank(seed, uni.part)
+			ranked := w.Rank(seed, uni.part)
 			curve := core.CoverageCurve(ranked, uni.part.AddressCount(), 16)
 			var tb stats.Table
 			tb.AddRow("rank", "density", "hostCov", "spaceCov")
@@ -247,11 +247,8 @@ func Figure6(w *World) (Result, error) {
 			{"m", w.U.More},
 		} {
 			for _, proto := range w.Protocols() {
-				s := strategy.TASS{
-					Universe: uni.part,
-					Opts:     core.Options{Phi: phi},
-					Label:    fmt.Sprintf("%s-%s", proto, uni.label),
-				}
+				s := w.TASS(uni.part, core.Options{Phi: phi},
+					fmt.Sprintf("%s-%s", proto, uni.label))
 				ev, err := strategy.Evaluate(s, w.Series[proto], w.U.Less.AddressCount())
 				if err != nil {
 					return Result{}, fmt.Errorf("figure6 φ=%v %s/%s: %w", phi, uni.label, proto, err)

@@ -21,11 +21,11 @@ func SectionStats(w *World) (Result, error) {
 	seed := w.Series["ftp"].At(0)
 	part := w.U.Less
 
-	sel1, err := core.Select(seed, part, core.Options{Phi: 1})
+	sel1, err := w.Select(seed, part, core.Options{Phi: 1})
 	if err != nil {
 		return Result{}, err
 	}
-	sel95, err := core.Select(seed, part, core.Options{Phi: 0.95})
+	sel95, err := w.Select(seed, part, core.Options{Phi: 0.95})
 	if err != nil {
 		return Result{}, err
 	}
@@ -33,7 +33,7 @@ func SectionStats(w *World) (Result, error) {
 	if head < 1 {
 		head = 1
 	}
-	selHead, err := core.Select(seed, part, core.Options{Phi: 1, MaxPrefixes: head})
+	selHead, err := w.Select(seed, part, core.Options{Phi: 1, MaxPrefixes: head})
 	if err != nil {
 		return Result{}, err
 	}
@@ -71,7 +71,7 @@ func Headline(w *World) (Result, error) {
 	series := w.Series["ftp"]
 	last := w.Cfg.Months
 	for _, phi := range []float64{1, 0.95} {
-		s := strategy.TASS{Universe: w.U.More, Opts: core.Options{Phi: phi}}
+		s := w.TASS(w.U.More, core.Options{Phi: phi}, "")
 		ev, err := strategy.Evaluate(s, series, w.U.Less.AddressCount())
 		if err != nil {
 			return Result{}, err
@@ -100,7 +100,7 @@ func Efficiency(w *World) (Result, error) {
 		seed := series.At(0)
 		fullEff := float64(w.U.Less.AddressCount()) / float64(seed.Hosts())
 		for _, phi := range []float64{1, 0.99, 0.95} {
-			sel, err := core.Select(seed, w.U.More, core.Options{Phi: phi})
+			sel, err := w.Select(seed, w.U.More, core.Options{Phi: phi})
 			if err != nil {
 				return Result{}, err
 			}
@@ -133,7 +133,7 @@ func AblationRanking(w *World) (Result, error) {
 	tb.AddRow("protocol", "density", "host-count", "random")
 	for _, proto := range w.Protocols() {
 		seed := w.Series[proto].At(0)
-		ranked := core.Rank(seed, w.U.Less)
+		ranked := w.Rank(seed, w.U.Less)
 		total := 0
 		for i := range ranked {
 			total += ranked[i].Hosts

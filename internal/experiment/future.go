@@ -40,7 +40,7 @@ func Clustering(w *World) (Result, error) {
 			{"m", w.U.More},
 			{"clustered", refined},
 		} {
-			sel, err := core.Select(seed, uni.part, core.Options{Phi: 0.95})
+			sel, err := w.Select(seed, uni.part, core.Options{Phi: 0.95})
 			if err != nil {
 				return Result{}, err
 			}
@@ -104,7 +104,7 @@ func VulnEstimate(w *World) (Result, error) {
 	var tb stats.Table
 	tb.AddRow("placement", "φ", "space", "true", "estimate", "error")
 	seed := w.Series["http"].At(0)
-	ranked := core.Rank(seed, w.U.More)
+	ranked := w.Rank(seed, w.U.More)
 
 	// Deterministic vulnerability marking per address.
 	marked := func(a uint64, bias float64, density float64) bool {
@@ -143,7 +143,7 @@ func VulnEstimate(w *World) (Result, error) {
 			}
 		}
 		for _, phi := range []float64{0.5, 0.95} {
-			sel, err := core.Select(seed, w.U.More, core.Options{Phi: phi})
+			sel, err := w.Select(seed, w.U.More, core.Options{Phi: phi})
 			if err != nil {
 				return Result{}, err
 			}
@@ -184,7 +184,7 @@ func Missed(w *World) (Result, error) {
 	var out string
 	series := w.Series["ftp"]
 	seed := series.At(0)
-	sel, err := core.Select(seed, w.U.More, core.Options{Phi: 0.95})
+	sel, err := w.Select(seed, w.U.More, core.Options{Phi: 0.95})
 	if err != nil {
 		return Result{}, err
 	}

@@ -13,7 +13,10 @@ import (
 
 	"github.com/tass-scan/tass/internal/census"
 	"github.com/tass-scan/tass/internal/churn"
+	"github.com/tass-scan/tass/internal/core"
 	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
+	"github.com/tass-scan/tass/internal/strategy"
 	"github.com/tass-scan/tass/internal/topo"
 )
 
@@ -34,6 +37,11 @@ type Config struct {
 	// produces byte-identical results: every parallel path is backed by
 	// per-protocol RNG streams or pure read-only fan-out.
 	Workers int
+	// NoCountCache disables the shared per-(snapshot, partition) count
+	// cache. The cache never changes a digit of any result (golden
+	// tested); the switch exists for benchmarking the uncached path and
+	// for the -countcache=false CLI flag.
+	NoCountCache bool
 }
 
 // workers resolves the effective worker count.
@@ -61,6 +69,36 @@ type World struct {
 	Cfg    Config
 	U      *topo.Universe
 	Series map[string]*census.Series
+
+	// Cache memoizes per-(snapshot, partition) host counts across every
+	// experiment sharing the world: the phi grid and the figures all
+	// rank the same seeds over the same two universes, so each pair is
+	// counted exactly once per run. Nil when Cfg.NoCountCache is set —
+	// a nil cache computes every request, so call sites need no checks.
+	Cache *census.CountCache
+}
+
+// Rank ranks the seed over part, sharing the world's count cache and
+// worker budget.
+func (w *World) Rank(seed *census.Snapshot, part rib.Partition) []core.PrefixStat {
+	return core.RankCached(seed, part, w.Cfg.workers(), w.Cache)
+}
+
+// Select runs a TASS selection, sharing the world's count cache and
+// worker budget.
+func (w *World) Select(seed *census.Snapshot, part rib.Partition, opts core.Options) (*core.Selection, error) {
+	return core.SelectCached(seed, part, opts, w.Cfg.workers(), w.Cache)
+}
+
+// SelectPhis selects a φ grid, sharing the world's count cache and
+// worker budget.
+func (w *World) SelectPhis(seed *census.Snapshot, part rib.Partition, phis []float64) ([]*core.Selection, error) {
+	return core.SelectPhisCached(seed, part, phis, w.Cfg.workers(), w.Cache)
+}
+
+// TASS builds the TASS strategy wired to the world's cache and workers.
+func (w *World) TASS(part rib.Partition, opts core.Options, label string) strategy.TASS {
+	return strategy.TASS{Universe: part, Opts: opts, Label: label, Workers: w.Cfg.workers(), Cache: w.Cache}
 }
 
 // BuildWorld generates the universe and simulates the monthly series.
@@ -102,7 +140,11 @@ func BuildWorld(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("experiment: generating universe: %w", err)
 	}
 	series := churn.RunWorkers(u, cfg.Seed+1, cfg.Months, cfg.workers())
-	return &World{Cfg: cfg, U: u, Series: series}, nil
+	w := &World{Cfg: cfg, U: u, Series: series}
+	if !cfg.NoCountCache {
+		w.Cache = census.NewCountCache()
+	}
+	return w, nil
 }
 
 // Protocols returns the protocol names in canonical order.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"github.com/tass-scan/tass/internal/addrset"
 	"github.com/tass-scan/tass/internal/netaddr"
 	"github.com/tass-scan/tass/internal/pfx2as"
 )
@@ -171,6 +172,54 @@ func TestCountAddrsAgainstFind(t *testing.T) {
 	for i := range counts {
 		if counts[i] != wantCounts[i] {
 			t.Fatalf("counts[%d] = %d, want %d", i, counts[i], wantCounts[i])
+		}
+	}
+}
+
+// TestCountAddrsSetMatchesMergeWalk property-tests the block-index
+// range-count path against the merge walk on random partitions and
+// address sets (dense overlaps, gaps, outside addresses, duplicates).
+func TestCountAddrsSetMatchesMergeWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		var ps []netaddr.Prefix
+		cursor := uint64(rng.Intn(1 << 20))
+		for cursor < 1<<32 && len(ps) < 150 {
+			bits := 8 + rng.Intn(17)
+			size := uint64(1) << (32 - uint(bits))
+			cursor = (cursor + size - 1) / size * size
+			if cursor+size > 1<<32 {
+				break
+			}
+			if rng.Intn(4) > 0 {
+				ps = append(ps, netaddr.MustPrefixFrom(netaddr.Addr(cursor), bits))
+			}
+			cursor += size * uint64(1+rng.Intn(3))
+		}
+		part, err := NewPartition(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs := make([]netaddr.Addr, 2000)
+		for i := range addrs {
+			addrs[i] = netaddr.Addr(rng.Uint32())
+		}
+		addrs[10] = addrs[11] // keep a duplicate in play
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+		for _, bs := range []int{1, 16, 256} {
+			set := addrset.FromSorted(addrs, bs)
+			gotCounts, gotOutside := part.CountAddrsSet(set)
+			wantCounts, wantOutside := part.CountAddrs(addrs)
+			if gotOutside != wantOutside {
+				t.Fatalf("trial %d bs=%d: outside = %d, want %d", trial, bs, gotOutside, wantOutside)
+			}
+			for i := range wantCounts {
+				if gotCounts[i] != wantCounts[i] {
+					t.Fatalf("trial %d bs=%d: counts[%d] = %d, want %d (prefix %v)",
+						trial, bs, i, gotCounts[i], wantCounts[i], part.Prefix(i))
+				}
+			}
 		}
 	}
 }

@@ -21,6 +21,13 @@ type Campaign struct {
 	// selection rebuilt) every ReseedEvery months. 0 means never reseed
 	// after the initial full scan.
 	ReseedEvery int
+	// Workers bounds the counting-walk goroutines per reseed (0 means
+	// a single worker, matching plain core.Select); results are
+	// identical at any count.
+	Workers int
+	// Cache, when non-nil, memoizes per-(snapshot, universe) counts
+	// across reseeds and across campaigns sharing the series.
+	Cache *census.CountCache
 }
 
 // CampaignEval is the outcome of simulating a campaign against a
@@ -53,8 +60,12 @@ func EvaluateCampaign(c Campaign, series *census.Series, fullSpace uint64) (Camp
 	for m := 0; m < series.Months(); m++ {
 		reseed := m == 0 || (c.ReseedEvery > 0 && m%c.ReseedEvery == 0)
 		if reseed {
+			workers := c.Workers
+			if workers <= 0 {
+				workers = 1
+			}
 			var err error
-			sel, err = core.Select(series.At(m), c.Universe, c.Opts)
+			sel, err = core.SelectCached(series.At(m), c.Universe, c.Opts, workers, c.Cache)
 			if err != nil {
 				return CampaignEval{}, fmt.Errorf("strategy: reseed at month %d: %w", m, err)
 			}

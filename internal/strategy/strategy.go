@@ -85,15 +85,15 @@ func (Hitlist) Plan(seed *census.Snapshot) (Plan, error) {
 	if seed.Hosts() == 0 {
 		return nil, fmt.Errorf("strategy: hitlist seed is empty")
 	}
-	return hitlistPlan{addrs: seed.Addrs}, nil
+	return hitlistPlan{seed: seed}, nil
 }
 
-type hitlistPlan struct{ addrs []netaddr.Addr }
+type hitlistPlan struct{ seed *census.Snapshot }
 
-func (p hitlistPlan) Cost() uint64 { return uint64(len(p.addrs)) }
+func (p hitlistPlan) Cost() uint64 { return uint64(p.seed.Hosts()) }
 
 func (p hitlistPlan) Found(snap *census.Snapshot) int {
-	return census.IntersectCount(p.addrs, snap.Addrs)
+	return p.seed.IntersectWith(snap)
 }
 
 // ---- TASS ----
@@ -108,6 +108,13 @@ type TASS struct {
 	Opts core.Options
 	// Label distinguishes variants in reports ("tass-l φ=0.95", ...).
 	Label string
+	// Workers bounds the counting-walk goroutines (0 means a single
+	// worker, matching plain core.Select). Results are identical at
+	// any count.
+	Workers int
+	// Cache, when non-nil, memoizes per-(snapshot, universe) counts so
+	// repeated selections over the same seed rank without re-counting.
+	Cache *census.CountCache
 }
 
 // Name implements Strategy.
@@ -130,7 +137,11 @@ func (t TASS) Plan(seed *census.Snapshot) (Plan, error) {
 // Select exposes the full TASS selection (with ranking metadata), not
 // just the Plan facade.
 func (t TASS) Select(seed *census.Snapshot) (*core.Selection, error) {
-	return core.Select(seed, t.Universe, t.Opts)
+	workers := t.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	return core.SelectCached(seed, t.Universe, t.Opts, workers, t.Cache)
 }
 
 // ---- Heidemann-style random /24 sample ----

@@ -1,0 +1,47 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite and record the perf trajectory.
+#
+# Emits BENCH_<YYYY-MM-DD>.json in the repo root (or $1 if given): one
+# JSON object per benchmark with name, iterations and ns/op, plus host
+# metadata for comparing runs. Keep the JSON files out of git or check
+# them in deliberately; EXPERIMENTS.md quotes the headline numbers.
+#
+# Usage: scripts/bench.sh [outfile]
+#   BENCH=<regex>   benchmarks to run (default: the counting/selection core)
+#   BENCHTIME=<n>   -benchtime value (default: go test's heuristic)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date +%Y-%m-%d).json}"
+bench="${BENCH:-BenchmarkSparseCount|BenchmarkIntersect|BenchmarkSelect$|BenchmarkRunAll$|BenchmarkAblationCounting}"
+benchtime="${BENCHTIME:-}"
+
+args="-run=^$ -bench=$bench -count=1"
+if [ -n "$benchtime" ]; then
+    args="$args -benchtime=$benchtime"
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# shellcheck disable=SC2086 # args are intentionally word-split
+go test $args . | tee "$tmp"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "goos": "%s",\n' "$(go env GOOS)"
+    printf '  "goarch": "%s",\n' "$(go env GOARCH)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "benchmarks": [\n'
+    awk '$1 ~ /^Benchmark/ && $4 == "ns/op" {
+        if (n++) printf ",\n"
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3
+    }
+    END { printf "\n" }' "$tmp"
+    printf '  ]\n'
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out" >&2

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/tass-scan/tass/internal/addrset"
 	"github.com/tass-scan/tass/internal/census"
 	"github.com/tass-scan/tass/internal/churn"
 	"github.com/tass-scan/tass/internal/cluster"
@@ -81,7 +82,32 @@ type (
 	Series = census.Series
 	// DiffResult decomposes the churn between two snapshots.
 	DiffResult = census.DiffResult
+	// AddrSet is the immutable block-indexed sorted address set behind
+	// Snapshot.Set(): sub-linear range counts, galloping intersection.
+	AddrSet = addrset.Set
+	// CountCache memoizes per-(snapshot, partition) host counts by
+	// identity; share one across repeated selections of the same seeds.
+	CountCache = census.CountCache
 )
+
+// NewCountCache returns an empty count cache (see SelectCached).
+func NewCountCache() *CountCache { return census.NewCountCache() }
+
+// NewAddrSet builds a block-indexed set from ascending addresses.
+// blockSize 0 uses the package default.
+func NewAddrSet(addrs []Addr, blockSize int) *AddrSet {
+	return addrset.FromSorted(addrs, blockSize)
+}
+
+// SetAddrSetBlockSize tunes the default per-block address population of
+// every subsequently built AddrSet (e.g. from a CLI flag, before any
+// snapshots are loaded). It is not safe to call concurrently with set
+// construction.
+func SetAddrSetBlockSize(n int) {
+	if n > 0 {
+		addrset.DefaultBlockSize = n
+	}
+}
 
 // DiffSnapshots compares two scans of one protocol: how many addresses
 // persisted, disappeared and appeared (the §3.3 host-stability view).
@@ -229,6 +255,13 @@ func ReadSeries(r io.Reader) (*Series, error) { return census.ReadSeries(r) }
 // snapshot over a scanning universe.
 func Select(seed *Snapshot, universe Partition, opts Options) (*Selection, error) {
 	return core.Select(seed, universe, opts)
+}
+
+// SelectCached is Select with the counting walk sharded over workers
+// goroutines (0 means GOMAXPROCS) and the per-prefix counts memoized in
+// cache (nil computes every call). Results are identical to Select.
+func SelectCached(seed *Snapshot, universe Partition, opts Options, workers int, cache *CountCache) (*Selection, error) {
+	return core.SelectCached(seed, universe, opts, workers, cache)
 }
 
 // Rank returns every responsive prefix of the seed in density order.

@@ -118,6 +118,7 @@ func BenchmarkRunAll(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			wc := *w
 			wc.Cfg.Workers = workers
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := experiment.RunAll(context.Background(), &wc); err != nil {
@@ -129,16 +130,19 @@ func BenchmarkRunAll(b *testing.B) {
 }
 
 // BenchmarkBuildWorld measures world construction (universe generation
-// plus churn simulation) at increasing worker counts.
+// plus striped churn simulation and snapshot extraction) at increasing
+// worker counts. allocs/op keeps the extraction-arena work visible:
+// the serial wall this PR removed must not silently regrow.
 func BenchmarkBuildWorld(b *testing.B) {
-	counts := []int{1}
-	if n := runtime.GOMAXPROCS(0); n > 1 {
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
 		counts = append(counts, n)
 	}
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			cfg := experiment.SmallConfig(1)
 			cfg.Workers = workers
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := experiment.BuildWorld(cfg); err != nil {
@@ -146,6 +150,47 @@ func BenchmarkBuildWorld(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkChurnStep measures one month of striped churn over every
+// population of a reduced-scale universe — the per-host hot loop the
+// stripe substreams parallelize.
+func BenchmarkChurnStep(b *testing.B) {
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			u, err := tass.GenerateUniverse(tass.ScaledUniverseConfig(1, 0.01))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim := tass.NewChurnSimulator(u, 2)
+			sim.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkRank measures the density ranking of one seed snapshot over
+// the m-partition with a warm count cache: what remains is the
+// key-packed sort plus stat construction.
+func BenchmarkRank(b *testing.B) {
+	w := world(b)
+	seed := w.Series["http"].At(0)
+	w.Rank(seed, w.U.More) // warm the count cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(w.Rank(seed, w.U.More)) == 0 {
+			b.Fatal("empty ranking")
+		}
 	}
 }
 

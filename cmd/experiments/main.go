@@ -4,17 +4,20 @@
 // Usage:
 //
 //	experiments [-seed N] [-scale F] [-months N] [-workers N]
-//	            [-countcache] [-blocksize N] [-run id,id,...] [-list]
+//	            [-countcache] [-blocksize N] [-prebuildsets]
+//	            [-cpuprofile F] [-memprofile F] [-run id,id,...] [-list]
 //
 // -scale 1.0 (default) is the paper-scale universe (≈3.7 B allocated
 // addresses, ≈7 M hosts; a run takes tens of seconds). Use -scale 0.01
 // for a quick pass. -workers bounds the goroutines used for world
-// building and the experiment pool (default: GOMAXPROCS); any worker
-// count produces identical output. -countcache (default true) shares
-// one per-(snapshot, partition) count memo across all experiments and
-// -blocksize tunes the block-indexed address-set layout; neither
-// changes a digit of any result. -list prints the experiment IDs and
-// exits.
+// building (striped churn included) and the experiment pool (default:
+// GOMAXPROCS); any worker count produces identical output. -countcache
+// (default true) shares one per-(snapshot, partition) count memo
+// across all experiments, -blocksize tunes the block-indexed
+// address-set layout, and -prebuildsets builds snapshot set indexes
+// eagerly during world building; none of them changes a digit of any
+// result. -cpuprofile/-memprofile record runtime/pprof profiles for
+// hot-path work. -list prints the experiment IDs and exits.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 
 	"github.com/tass-scan/tass/internal/addrset"
 	"github.com/tass-scan/tass/internal/experiment"
+	"github.com/tass-scan/tass/internal/prof"
 )
 
 func main() {
@@ -41,11 +45,27 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		countcache = flag.Bool("countcache", true, "memoize per-(snapshot,partition) host counts across experiments (output is identical either way)")
 		blocksize  = flag.Int("blocksize", addrset.DefaultBlockSize, "addresses per block in the block-indexed set layout")
+		prebuild   = flag.Bool("prebuildsets", false, "build snapshot set indexes eagerly during world building (output is identical either way)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	if *blocksize > 0 {
 		addrset.DefaultBlockSize = *blocksize
 	}
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	// os.Exit skips defers, so every exit path below must flush the
+	// profile explicitly — failing runs are exactly the ones profiled.
+	fail := func(err error) {
+		stopCPU()
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopCPU()
 
 	if *list {
 		for _, id := range experiment.IDs() {
@@ -64,14 +84,13 @@ func main() {
 		stop()
 	}()
 
-	cfg := experiment.Config{Seed: *seed, Months: *months, Scale: *scale, Workers: *workers, NoCountCache: !*countcache}
+	cfg := experiment.Config{Seed: *seed, Months: *months, Scale: *scale, Workers: *workers, NoCountCache: !*countcache, PrebuildSets: *prebuild}
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "building universe (seed=%d scale=%g months=%d workers=%d)...\n",
 		*seed, *scale, *months, *workers)
 	w, err := experiment.BuildWorld(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "world ready in %v: %d announced prefixes, %d l-prefixes, %d m-pieces\n",
 		time.Since(start).Round(time.Millisecond),
@@ -89,11 +108,13 @@ func main() {
 		fmt.Println(res.String())
 	}, ids...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if hits, misses := w.Cache.Stats(); hits+misses > 0 {
 		fmt.Fprintf(os.Stderr, "count cache: %d hits, %d misses\n", hits, misses)
+	}
+	if err := prof.WriteHeap(*memprofile); err != nil {
+		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -20,22 +20,36 @@ import (
 	"time"
 
 	"github.com/tass-scan/tass"
+	"github.com/tass-scan/tass/internal/prof"
 )
 
 func main() {
 	var (
-		out     = flag.String("out", "", "output directory (required)")
-		seed    = flag.Int64("seed", 1, "generation seed (churn uses seed+1)")
-		scale   = flag.Float64("scale", 0.05, "universe scale (1.0 = paper scale)")
-		months  = flag.Int("months", 6, "churn months (writes months+1 snapshots)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines (output is identical at any count)")
+		out        = flag.String("out", "", "output directory (required)")
+		seed       = flag.Int64("seed", 1, "generation seed (churn uses seed+1)")
+		scale      = flag.Float64("scale", 0.05, "universe scale (1.0 = paper scale)")
+		months     = flag.Int("months", 6, "churn months (writes months+1 snapshots)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines (output is identical at any count)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "scansim: -out is required")
 		os.Exit(2)
 	}
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scansim:", err)
+		os.Exit(1)
+	}
 	if err := run(*out, *seed, *scale, *months, *workers); err != nil {
+		stopCPU()
+		fmt.Fprintln(os.Stderr, "scansim:", err)
+		os.Exit(1)
+	}
+	stopCPU()
+	if err := prof.WriteHeap(*memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "scansim:", err)
 		os.Exit(1)
 	}

@@ -67,6 +67,23 @@ func NewSnapshot(protocol string, month int, addrs []netaddr.Addr) *Snapshot {
 	return &Snapshot{Protocol: protocol, Month: month, Addrs: cp[:w]}
 }
 
+// NewSnapshotSorted wraps an already sorted, duplicate-free address
+// slice without copying; the snapshot takes ownership of addrs. When
+// prebuildSet is true the block-indexed Set() view is built eagerly
+// (one sequential encode pass) instead of lazily on first use, so
+// snapshots handed straight to concurrent counting never contend on
+// the lazy-build lock. It is the zero-copy fast path behind the churn
+// extraction arena; callers must uphold the ordering invariant
+// (violations surface as a panic from the set builder or as wrong
+// counts downstream).
+func NewSnapshotSorted(protocol string, month int, addrs []netaddr.Addr, prebuildSet bool) *Snapshot {
+	s := &Snapshot{Protocol: protocol, Month: month, Addrs: addrs}
+	if prebuildSet {
+		s.set = addrset.FromSorted(addrs, 0)
+	}
+	return s
+}
+
 // Hosts returns the number of responsive addresses.
 func (s *Snapshot) Hosts() int { return len(s.Addrs) }
 

@@ -27,18 +27,17 @@ func CountAddrsSharded(addrs []netaddr.Addr, p rib.Partition, workers int) (coun
 	// Below a few thousand prefixes per shard the spawn overhead beats
 	// the walk itself; fall back to the serial merge.
 	const minShard = 2048
-	if workers > (n+minShard-1)/minShard {
-		workers = (n + minShard - 1) / minShard
+	shard := (n + workers - 1) / workers
+	if shard < minShard {
+		shard = minShard
 	}
-	if workers <= 1 || len(addrs) == 0 {
+	if shard >= n || len(addrs) == 0 {
 		return p.CountAddrs(addrs)
 	}
 	counts = make([]int, n)
 
-	inside := make([]int, workers)
-	par.ForEach(workers, workers, func(s int) {
-		lo := s * n / workers
-		hi := (s + 1) * n / workers
+	inside := make([]int, (n+shard-1)/shard)
+	par.ForEachChunk(n, workers, shard, func(lo, hi int) {
 		// Address subrange covered by prefixes [lo, hi).
 		first := p.Prefix(lo).First()
 		last := p.Prefix(hi - 1).Last()
@@ -59,7 +58,7 @@ func CountAddrsSharded(addrs []netaddr.Addr, p rib.Partition, workers int) (coun
 			counts[pi]++
 			got++
 		}
-		inside[s] = got
+		inside[lo/shard] = got
 	})
 	outside = len(addrs)
 	for _, got := range inside {

@@ -11,25 +11,56 @@ func SortAddrs(addrs []netaddr.Addr) {
 		insertionSort(addrs)
 		return
 	}
-	buf := make([]netaddr.Addr, len(addrs))
-	src, dst := addrs, buf
-	for shift := uint(0); shift < 32; shift += 8 {
-		var counts [256]int
-		for _, a := range src {
-			counts[(a>>shift)&0xFF]++
+	SortAddrsScratch(addrs, make([]netaddr.Addr, len(addrs)))
+}
+
+// SortAddrsScratch is SortAddrs with a caller-owned scratch buffer of
+// at least len(addrs), for callers that sort many sets of similar size
+// (the monthly snapshot extraction loop) and want to pay the buffer
+// allocation once. On return addrs is sorted; the scratch contents are
+// unspecified.
+//
+// All four byte histograms are gathered in one pass, and permutation
+// passes whose byte is constant across the input are skipped entirely —
+// on a reduced-scale universe confined to a few /8s that removes a
+// quarter to half of the data movement.
+func SortAddrsScratch(addrs, scratch []netaddr.Addr) {
+	if len(addrs) < 64 {
+		insertionSort(addrs)
+		return
+	}
+	if len(scratch) < len(addrs) {
+		panic("census: SortAddrsScratch: scratch smaller than input")
+	}
+	var counts [4][256]int
+	for _, a := range addrs {
+		counts[0][a&0xFF]++
+		counts[1][(a>>8)&0xFF]++
+		counts[2][(a>>16)&0xFF]++
+		counts[3][a>>24]++
+	}
+	src, dst := addrs, scratch[:len(addrs)]
+	for pass := 0; pass < 4; pass++ {
+		shift := uint(pass * 8)
+		c := &counts[pass]
+		// A pass whose byte is constant is the identity permutation.
+		if c[(src[0]>>shift)&0xFF] == len(src) {
+			continue
 		}
 		sum := 0
-		for i := range counts {
-			counts[i], sum = sum, sum+counts[i]
+		for i := range c {
+			c[i], sum = sum, sum+c[i]
 		}
 		for _, a := range src {
 			b := (a >> shift) & 0xFF
-			dst[counts[b]] = a
-			counts[b]++
+			dst[c[b]] = a
+			c[b]++
 		}
 		src, dst = dst, src
 	}
-	// Four passes: the result is back in the original slice (src==addrs).
+	if &src[0] != &addrs[0] {
+		copy(addrs, src)
+	}
 }
 
 func insertionSort(addrs []netaddr.Addr) {

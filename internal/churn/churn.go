@@ -12,33 +12,71 @@
 //  3. Re-homing: a small share of hosts moves to an unrelated announced
 //     address (provider change), the dominant cause of the slow
 //     0.3–0.7 %/month decay of TASS accuracy.
+//
+// # Striped determinism
+//
+// Every population is partitioned into DefaultStripes contiguous host
+// stripes, and every (protocol, stripe, month) triple owns its own RNG
+// substream derived with topo.MixSeed from the protocol's
+// topo.ProtoSeed lane. Stripes mutate only their own hosts and read
+// shared state that is frozen for the month (the universe, and the
+// start-of-month donor index for mass-proportional births), so they
+// are order-independent: the simulated series is a pure function of
+// (universe, seed, months) and byte-identical at every worker count.
+// The stripe count and substream derivation are part of that
+// determinism contract and must not change.
 package churn
 
 import (
-	"math/rand"
+	"runtime"
 
 	"github.com/tass-scan/tass/internal/census"
+	"github.com/tass-scan/tass/internal/netaddr"
 	"github.com/tass-scan/tass/internal/par"
 	"github.com/tass-scan/tass/internal/topo"
 )
 
-// Simulator advances the populations of one universe. Every protocol
-// evolves on its own topo.ProtoSeed RNG stream, so with the same universe
-// and seed the produced series is deterministic and independent of the
-// order (or concurrency) in which populations are stepped.
+// DefaultStripes is the fixed number of RNG substreams each population
+// is split into per month. It is deliberately independent of the
+// worker count (so results never depend on -workers) and a good deal
+// larger than any realistic core count (so the intra-protocol fan-out
+// keeps every core busy even when one protocol dominates the month).
+const DefaultStripes = 64
+
+// RunConfig parameterizes a simulation run beyond the universe and
+// seed. The zero value is a serial run producing lazily-indexed
+// snapshots.
+type RunConfig struct {
+	// Workers bounds the goroutines used across protocols and stripes
+	// (0 means GOMAXPROCS). Any value produces byte-identical series.
+	Workers int
+	// PrebuildSets builds each snapshot's block-indexed Set() view
+	// eagerly during extraction instead of lazily on first use. The
+	// series is byte-identical either way; prebuilding front-loads the
+	// encode pass, which pays off when most snapshots are counted
+	// through the set index afterwards (paper-scale experiment runs).
+	PrebuildSets bool
+}
+
+// Simulator advances the populations of one universe in place. Every
+// (protocol, stripe, month) triple evolves on its own derived RNG
+// substream, so with the same universe and seed the produced series is
+// deterministic and independent of the order (or concurrency) in which
+// populations and stripes are stepped.
 type Simulator struct {
-	u     *topo.Universe
-	rngs  map[string]*rand.Rand
-	month int
+	// Workers bounds the goroutines used per Step (0 means GOMAXPROCS).
+	// The evolution is byte-identical at any value.
+	Workers int
+
+	u      *topo.Universe
+	seed   int64
+	month  int
+	frozen []int32 // reusable start-of-month donor index
 }
 
 // New returns a simulator for u seeded with seed.
 func New(u *topo.Universe, seed int64) *Simulator {
-	rngs := make(map[string]*rand.Rand, len(u.Pops))
-	for _, name := range u.Protocols() {
-		rngs[name] = rand.New(rand.NewSource(topo.ProtoSeed(seed, name)))
-	}
-	return &Simulator{u: u, rngs: rngs}
+	return &Simulator{u: u, seed: seed}
 }
 
 // Month returns the number of Step calls so far.
@@ -46,23 +84,70 @@ func (s *Simulator) Month() int { return s.month }
 
 // Step advances every population by one month.
 func (s *Simulator) Step() {
-	for _, name := range s.u.Protocols() {
-		stepPop(s.u, s.u.Pops[name], s.rngs[name])
-	}
 	s.month++
+	for _, name := range s.u.Protocols() {
+		pop := s.u.Pops[name]
+		s.frozen = freezeDonors(pop, s.frozen)
+		stepPop(s.u, pop, topo.ProtoSeed(s.seed, name), s.month, s.Workers, s.frozen)
+	}
 }
 
-// stepPop advances one population by one month. It mutates only pop and
-// rng; the universe is read-only, so distinct populations may be stepped
-// concurrently.
-func stepPop(u *topo.Universe, pop *topo.Population, rng *rand.Rand) {
-	prof := &pop.Profile
+// Snapshot captures the current state of one protocol as a census
+// snapshot labeled with the current month. Each call uses its own
+// scratch, so concurrent Snapshot calls are safe (Step is not).
+func (s *Simulator) Snapshot(protocol string) *census.Snapshot {
+	var ex extractor
+	return ex.snapshot(s.u.Pops[protocol], protocol, s.month, false)
+}
+
+// freezeDonors records the start-of-month l-prefix index of every host
+// into buf (grown as needed) and returns it. Mass-proportional births
+// sample donors from this frozen view, never from mid-month mutated
+// hosts, so the birth distribution is identical no matter which stripes
+// have already stepped.
+func freezeDonors(pop *topo.Population, buf []int32) []int32 {
 	hosts := pop.Hosts
+	if cap(buf) < len(hosts) {
+		buf = make([]int32, len(hosts))
+	}
+	buf = buf[:len(hosts)]
+	for i := range hosts {
+		buf[i] = hosts[i].LIdx
+	}
+	return buf
+}
+
+// stepPop advances one population by one month, fanning the host walk
+// out over DefaultStripes substreams on up to workers goroutines. It
+// mutates only pop; the universe and the frozen donor index are
+// read-only, and each stripe writes only its own host range, so
+// distinct populations and stripes may be stepped concurrently.
+func stepPop(u *topo.Universe, pop *topo.Population, protoSeed int64, month, workers int, donors []int32) {
+	hosts := pop.Hosts
+	n := len(hosts)
+	if n == 0 {
+		return
+	}
+	chunk := (n + DefaultStripes - 1) / DefaultStripes
+	par.ForEachChunk(n, workers, chunk, func(lo, hi int) {
+		stripe := lo / chunk
+		rng := topo.NewRNG(topo.MixSeed(protoSeed, uint64(stripe), uint64(month)))
+		stepHosts(u, pop, hosts[lo:hi], donors, rng)
+	})
+}
+
+// stepHosts walks one stripe of hosts on its own substream.
+func stepHosts(u *topo.Universe, pop *topo.Population, hosts []topo.Host, donors []int32, rng *topo.RNG) {
+	prof := &pop.Profile
+	// Hoist the two branch thresholds every host compares against; the
+	// rest of the profile is only read on the rare churn branches.
+	deathRate := prof.DeathRate
+	moveEnd := prof.DeathRate + prof.MoveRate
 	for i := range hosts {
 		h := &hosts[i]
 		r := rng.Float64()
 		switch {
-		case r < prof.DeathRate:
+		case r < deathRate:
 			// Death with immediate replacement (stationary population).
 			if rng.Float64() < prof.BirthBackground {
 				// Background birth: uniform over the announced space.
@@ -71,16 +156,16 @@ func stepPop(u *topo.Universe, pop *topo.Population, rng *rand.Rand) {
 				h.Addr = addr
 				h.LIdx = int32(lidx)
 			} else {
-				// Mass-proportional birth: same prefix as a random
-				// existing host, placed like an original resident.
-				j := rng.Intn(len(hosts))
-				lidx := int(hosts[j].LIdx)
+				// Mass-proportional birth: same prefix as a random host
+				// of the frozen start-of-month population, placed like
+				// an original resident.
+				lidx := int(donors[rng.Intn(len(donors))])
 				h.Addr = u.PlaceHostAddr(rng, lidx, prof)
 				h.LIdx = int32(lidx)
 			}
 			h.Dynamic = rng.Float64() < prof.DynamicShare
 
-		case r < prof.DeathRate+prof.MoveRate:
+		case r < moveEnd:
 			// Re-homing. A share of movers lands in cold space (prefixes
 			// that hosted nothing at seed time — new deployments), the
 			// rest uniformly in the announced space.
@@ -114,45 +199,110 @@ func stepPop(u *topo.Universe, pop *topo.Population, rng *rand.Rand) {
 	}
 }
 
-// Snapshot captures the current state of one protocol as a census
-// snapshot labeled with the current month.
-func (s *Simulator) Snapshot(protocol string) *census.Snapshot {
-	return snapshot(s.u.Pops[protocol], protocol, s.month)
+// extractor holds the per-protocol snapshot-extraction arena reused
+// across months: the gather buffer addresses are collected and sorted
+// in, the radix-sort scratch, and (for the incremental path) the
+// previous month's state. Only the final deduplicated address slice of
+// each snapshot is freshly allocated — it has to outlive the month —
+// and it is exactly sized, so extraction does one tight allocation per
+// snapshot instead of two full-population ones plus the sort's.
+type extractor struct {
+	gather  []netaddr.Addr
+	scratch []netaddr.Addr
 }
 
-// snapshot freezes one population as a census snapshot.
-func snapshot(pop *topo.Population, protocol string, month int) *census.Snapshot {
-	return &census.Snapshot{
-		Protocol: protocol,
-		Month:    month,
-		Addrs:    pop.Addresses(),
+// snapshot freezes one population as a census snapshot: exactly what a
+// full scan at this instant would report (sorted, de-duplicated — two
+// hosts on one address answer as one). Every call re-sorts the full
+// population: an incremental diff-and-merge against the previous month
+// was tried and measured slower — the branchless LSD radix re-sort
+// beats sorting the ~25 % changed minority plus a branchy (and
+// mispredict-heavy) merge walk over all N.
+func (e *extractor) snapshot(pop *topo.Population, protocol string, month int, prebuildSet bool) *census.Snapshot {
+	hosts := pop.Hosts
+	n := len(hosts)
+	if cap(e.gather) < n {
+		e.gather = make([]netaddr.Addr, n)
+		e.scratch = make([]netaddr.Addr, n)
 	}
+	buf := e.gather[:n]
+	for i := range hosts {
+		buf[i] = hosts[i].Addr
+	}
+	census.SortAddrsScratch(buf, e.scratch[:n])
+	return dedupAlloc(buf, protocol, month, prebuildSet)
+}
+
+// dedupAlloc copies the sorted multiset buf into an exactly-sized,
+// duplicate-free fresh slice (buf is left untouched) and wraps it as a
+// snapshot.
+func dedupAlloc(buf []netaddr.Addr, protocol string, month int, prebuildSet bool) *census.Snapshot {
+	w := 0
+	for i, a := range buf {
+		if i > 0 && buf[i-1] == a {
+			continue
+		}
+		w++
+	}
+	out := make([]netaddr.Addr, 0, w)
+	for i, a := range buf {
+		if i > 0 && buf[i-1] == a {
+			continue
+		}
+		out = append(out, a)
+	}
+	return census.NewSnapshotSorted(protocol, month, out, prebuildSet)
 }
 
 // Run generates a monthly series of months+1 snapshots per protocol
-// (months 0..months), evolving the universe in place. It is
-// RunWorkers with a single worker; both produce identical series.
+// (months 0..months), evolving the universe in place. It is RunSim
+// with a single worker; every configuration produces identical series.
 func Run(u *topo.Universe, seed int64, months int) map[string]*census.Series {
-	return RunWorkers(u, seed, months, 1)
+	return RunSim(u, seed, months, RunConfig{Workers: 1})
 }
 
-// RunWorkers is Run with the per-protocol evolution fanned out over up
-// to workers goroutines (0 means GOMAXPROCS). Every protocol owns its
-// population and its topo.ProtoSeed RNG stream, so the output is
-// byte-identical at any worker count.
+// RunWorkers is Run with the evolution fanned out over up to workers
+// goroutines (0 means GOMAXPROCS).
 func RunWorkers(u *topo.Universe, seed int64, months, workers int) map[string]*census.Series {
+	return RunSim(u, seed, months, RunConfig{Workers: workers})
+}
+
+// RunSim generates a monthly series of months+1 snapshots per protocol
+// (months 0..months), evolving the universe in place. The worker
+// budget is split between a per-protocol fan-out and the per-stripe
+// fan-out inside each protocol, so single-protocol universes still
+// scale; the output is byte-identical at any RunConfig.Workers.
+func RunSim(u *topo.Universe, seed int64, months int, cfg RunConfig) map[string]*census.Series {
 	names := u.Protocols()
+	if len(names) == 0 {
+		return map[string]*census.Series{}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outer := workers
+	if outer > len(names) {
+		outer = len(names)
+	}
+	// Round the inner share up so a non-dividing budget is not stranded
+	// (transient overshoot < outer goroutines).
+	inner := (workers + outer - 1) / outer
+
 	series := make([]*census.Series, len(names))
-	par.ForEach(len(names), workers, func(ni int) {
+	par.ForEach(len(names), outer, func(ni int) {
 		name := names[ni]
 		pop := u.Pops[name]
-		rng := rand.New(rand.NewSource(topo.ProtoSeed(seed, name)))
+		protoSeed := topo.ProtoSeed(seed, name)
+		var ex extractor
+		var frozen []int32
 		s := &census.Series{Protocol: name}
 		for m := 0; m <= months; m++ {
 			if m > 0 {
-				stepPop(u, pop, rng)
+				frozen = freezeDonors(pop, frozen)
+				stepPop(u, pop, protoSeed, m, inner, frozen)
 			}
-			s.Snapshots = append(s.Snapshots, snapshot(pop, name, m))
+			s.Snapshots = append(s.Snapshots, ex.snapshot(pop, name, m, cfg.PrebuildSets))
 		}
 		series[ni] = s
 	})

@@ -145,3 +145,97 @@ func BenchmarkStep(b *testing.B) {
 		sim.Step()
 	}
 }
+
+// TestStripedGoldenEquality is the stripe determinism contract: the
+// full monthly series is byte-identical across worker counts 1/2/8
+// (and the GOMAXPROCS default), for several seeds, with and without
+// eager set prebuilding. Stripes are derived per (protocol, stripe,
+// month), so scheduling cannot change a single draw.
+func TestStripedGoldenEquality(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		ref := RunSim(testUniverse(t, seed), seed+10, 3, RunConfig{Workers: 1})
+		for _, cfg := range []RunConfig{
+			{Workers: 2},
+			{Workers: 8},
+			{Workers: 0},
+			{Workers: 8, PrebuildSets: true},
+		} {
+			got := RunSim(testUniverse(t, seed), seed+10, 3, cfg)
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d %+v: %d protocols, want %d", seed, cfg, len(got), len(ref))
+			}
+			for name, rs := range ref {
+				gs := got[name]
+				if gs.Months() != rs.Months() {
+					t.Fatalf("seed %d %+v %s: months %d vs %d", seed, cfg, name, gs.Months(), rs.Months())
+				}
+				for m := 0; m < rs.Months(); m++ {
+					ga, ra := gs.At(m).Addrs, rs.At(m).Addrs
+					if len(ga) != len(ra) {
+						t.Fatalf("seed %d %+v %s month %d: %d vs %d addrs", seed, cfg, name, m, len(ga), len(ra))
+					}
+					for i := range ra {
+						if ga[i] != ra[i] {
+							t.Fatalf("seed %d %+v %s month %d: addr %d differs (%v vs %v)",
+								seed, cfg, name, m, i, ga[i], ra[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSimulatorMatchesRunSim pins the Simulator step/snapshot API to
+// the RunSim series: both must walk the same substream schedule.
+func TestSimulatorMatchesRunSim(t *testing.T) {
+	ref := RunSim(testUniverse(t, 31), 77, 2, RunConfig{Workers: 4})
+	sim := New(testUniverse(t, 31), 77)
+	sim.Workers = 3
+	for m := 0; m <= 2; m++ {
+		if m > 0 {
+			sim.Step()
+		}
+		for name, rs := range ref {
+			got := sim.Snapshot(name)
+			want := rs.At(m)
+			if got.Hosts() != want.Hosts() {
+				t.Fatalf("%s month %d: %d vs %d hosts", name, m, got.Hosts(), want.Hosts())
+			}
+			for i := range want.Addrs {
+				if got.Addrs[i] != want.Addrs[i] {
+					t.Fatalf("%s month %d: addr %d differs", name, m, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPrebuiltSetMatchesLazy checks that a prebuilt snapshot set view
+// answers exactly like the lazily built one.
+func TestPrebuiltSetMatchesLazy(t *testing.T) {
+	u := testUniverse(t, 32)
+	series := RunSim(u, 5, 1, RunConfig{Workers: 2, PrebuildSets: true})
+	for name, s := range series {
+		for m := 0; m < s.Months(); m++ {
+			snap := s.At(m)
+			rebuilt := census.NewSnapshot(snap.Protocol, snap.Month, snap.Addrs)
+			if got, want := snap.CountIn(u.Less), rebuilt.CountIn(u.Less); got != want {
+				t.Fatalf("%s month %d: prebuilt CountIn %d, lazy %d", name, m, got, want)
+			}
+			if got, want := snap.Set().Len(), rebuilt.Set().Len(); got != want {
+				t.Fatalf("%s month %d: set len %d vs %d", name, m, got, want)
+			}
+		}
+	}
+}
+
+// TestRunSimEmptyUniverse guards the degenerate no-protocols case: an
+// empty map, not a worker-split division by zero.
+func TestRunSimEmptyUniverse(t *testing.T) {
+	u := testUniverse(t, 50)
+	u.Cfg.Protocols = nil
+	if got := RunSim(u, 1, 1, RunConfig{}); len(got) != 0 {
+		t.Fatalf("want empty series map, got %d entries", len(got))
+	}
+}

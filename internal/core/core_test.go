@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -273,5 +274,68 @@ func TestCoverageCurve(t *testing.T) {
 	}
 	if CoverageCurve(nil, 1, 0) != nil {
 		t.Error("empty ranking must give empty curve")
+	}
+}
+
+// TestRankPackedMatchesComparator pins the key-packed slices.Sort in
+// RankCached to the comparator ordering it replaced: random partitions
+// of mixed prefix lengths, with host counts rigged to produce every tie
+// shape — equal density at equal length (prefix-order tie), and equal
+// density at different lengths (host-count tie).
+func TestRankPackedMatchesComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var ps []netaddr.Prefix
+		var addrs []netaddr.Addr
+		base := netaddr.Addr(uint32(10) << 24)
+		for i := 0; i < 40; i++ {
+			bits := 20 + rng.Intn(13) // /20 .. /32
+			p := netaddr.MustPrefixFrom(base, bits)
+			// Align up to the prefix size, then advance past it.
+			size := p.NumAddresses()
+			first := (uint64(base) + size - 1) / size * size
+			if first+size > 1<<32 {
+				break
+			}
+			p = netaddr.MustPrefixFrom(netaddr.Addr(first), bits)
+			base = netaddr.Addr(first + size)
+			ps = append(ps, p)
+			// Host counts biased toward small powers of two so that
+			// c<<len collides across prefixes frequently.
+			c := 1 << rng.Intn(4)
+			if c > int(size) {
+				c = int(size)
+			}
+			if rng.Intn(5) == 0 {
+				c = 0
+			}
+			for k := 0; k < c; k++ {
+				addrs = append(addrs, p.First()+netaddr.Addr(k))
+			}
+		}
+		part, err := rib.NewPartition(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := census.NewSnapshot("x", 0, addrs)
+		got := Rank(seed, part)
+
+		// Reference: the pre-packing comparator ordering.
+		want := append([]PrefixStat(nil), got...)
+		sort.SliceStable(want, func(a, b int) bool {
+			sa, sb := &want[a], &want[b]
+			if sa.Density != sb.Density {
+				return sa.Density > sb.Density
+			}
+			if sa.Hosts != sb.Hosts {
+				return sa.Hosts > sb.Hosts
+			}
+			return sa.Prefix.Compare(sb.Prefix) < 0
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: got %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
 	}
 }

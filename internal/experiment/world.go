@@ -42,6 +42,12 @@ type Config struct {
 	// tested); the switch exists for benchmarking the uncached path and
 	// for the -countcache=false CLI flag.
 	NoCountCache bool
+	// PrebuildSets builds every snapshot's block-indexed Set() view
+	// eagerly during churn extraction instead of lazily on first count.
+	// Results are byte-identical either way; prebuilding front-loads
+	// the encode pass into the parallel world build, which pays off at
+	// paper scale where most snapshots are counted through the index.
+	PrebuildSets bool
 }
 
 // workers resolves the effective worker count.
@@ -139,7 +145,10 @@ func BuildWorld(cfg Config) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiment: generating universe: %w", err)
 	}
-	series := churn.RunWorkers(u, cfg.Seed+1, cfg.Months, cfg.workers())
+	series := churn.RunSim(u, cfg.Seed+1, cfg.Months, churn.RunConfig{
+		Workers:      cfg.workers(),
+		PrebuildSets: cfg.PrebuildSets,
+	})
 	w := &World{Cfg: cfg, U: u, Series: series}
 	if !cfg.NoCountCache {
 		w.Cache = census.NewCountCache()

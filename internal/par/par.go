@@ -47,3 +47,31 @@ func ForEach(n, workers int, fn func(i int)) {
 	}
 	wg.Wait()
 }
+
+// ForEachChunk runs fn(lo, hi) for every chunk-sized index range
+// [lo, hi) partitioning [0, n) — lo = k*chunk, hi = min(lo+chunk, n) —
+// on at most workers goroutines (0 means GOMAXPROCS). Every index in
+// [0, n) belongs to exactly one chunk, chunk boundaries depend only on
+// (n, chunk), and workers only changes which goroutine claims which
+// chunk — never the chunks themselves. Use it instead of ForEach when
+// the per-index work is so small that the per-index atomic.Add becomes
+// measurable contention: the pool pays one atomic per chunk instead of
+// one per index. workers<=1 degrades to a plain loop on the calling
+// goroutine.
+func ForEachChunk(n, workers, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	chunks := (n + chunk - 1) / chunk
+	ForEach(chunks, workers, func(k int) {
+		lo := k * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}

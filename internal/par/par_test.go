@@ -1,0 +1,57 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			hits := make([]atomic.Int32, n)
+			ForEach(n, workers, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachChunkPartitions is the striping property test: the chunk
+// ranges partition [0, n) exactly — every index in exactly one chunk —
+// and the ranges depend only on (n, chunk), never on workers.
+func TestForEachChunkPartitions(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		for _, n := range []int{0, 1, 7, 63, 64, 65, 1000} {
+			for _, chunk := range []int{-1, 0, 1, 7, 64, 2000} {
+				hits := make([]atomic.Int32, n)
+				ForEachChunk(n, workers, chunk, func(lo, hi int) {
+					if lo >= hi {
+						t.Errorf("empty chunk [%d,%d)", lo, hi)
+					}
+					c := chunk
+					if c <= 0 {
+						c = 1
+					}
+					if lo%c != 0 {
+						t.Errorf("chunk=%d: lo %d not aligned", chunk, lo)
+					}
+					if hi-lo > c {
+						t.Errorf("chunk=%d: range [%d,%d) too wide", chunk, lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						hits[i].Add(1)
+					}
+				})
+				for i := range hits {
+					if got := hits[i].Load(); got != 1 {
+						t.Fatalf("workers=%d n=%d chunk=%d: index %d visited %d times",
+							workers, n, chunk, i, got)
+					}
+				}
+			}
+		}
+	}
+}

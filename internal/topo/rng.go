@@ -1,0 +1,96 @@
+package topo
+
+import "math/bits"
+
+// Rand is the draw interface the universe sampling helpers need. Both
+// math/rand.Rand (used during generation, where the draw schedule is
+// frozen by the seed format) and the churn package's stripe streams
+// (topo.RNG) satisfy it.
+type Rand interface {
+	Float64() float64
+	Intn(n int) int
+	Int63() int64
+	Int63n(n int64) int64
+}
+
+// RNG is a splitmix64 stream: the fixed-algorithm generator behind the
+// striped churn substreams. It exists because math/rand pays an
+// interface call into its Source on every draw, which is measurable in
+// the per-host churn loop; splitmix64 is a single add plus three
+// xor-shift-multiplies, inlines fully, and passes BigCrush.
+//
+// The algorithm is part of the determinism contract: a (seed, scale,
+// months) triple must reproduce byte-identical series across releases,
+// so the constants and draw derivations below must never change.
+type RNG struct {
+	s uint64
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{s: uint64(seed)}
+}
+
+// Uint64 returns the next 64 uniform bits.
+func (r *RNG) Uint64() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	x := r.s
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uint64n returns a uniform draw in [0, n). It uses the widening-
+// multiply reduction (Lemire) without the rejection loop: the residual
+// bias is below 2^-64+lg(n), invisible to any simulation statistic,
+// and the draw stays branch-free and inlineable.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	hi, _ := bits.Mul64(r.Uint64(), n)
+	return hi
+}
+
+// Intn returns a uniform draw in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("topo: RNG.Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63 returns 63 uniform bits as a non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Int63n returns a uniform draw in [0, n). n must be positive.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("topo: RNG.Int63n called with n <= 0")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// MixSeed derives an independent substream seed from a base seed and
+// two lane indexes (e.g. stripe and month) through the splitmix64
+// finalizer — the same construction ProtoSeed uses for protocol lanes.
+// Distinct (base, a, b) triples yield decorrelated streams, so work
+// split across lanes is a pure function of the lane coordinates, never
+// of scheduling.
+func MixSeed(base int64, a, b uint64) int64 {
+	x := uint64(base) ^ (a * 0xA24BAED4963EE407) ^ (b * 0x9FB21C651E98DF25)
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}

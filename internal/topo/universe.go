@@ -14,7 +14,6 @@ package topo
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"github.com/tass-scan/tass/internal/census"
@@ -131,7 +130,7 @@ func (u *Universe) Protocols() []string {
 }
 
 // RandomAnnouncedAddr draws an address uniformly from the announced space.
-func (u *Universe) RandomAnnouncedAddr(rng *rand.Rand) netaddr.Addr {
+func (u *Universe) RandomAnnouncedAddr(rng Rand) netaddr.Addr {
 	target := uint64(rng.Int63n(int64(u.Less.AddressCount())))
 	i := sort.Search(len(u.lessCum), func(i int) bool { return u.lessCum[i] > target })
 	p := u.Less.Prefix(i)
@@ -150,7 +149,7 @@ func (u *Universe) LPrefixOf(a netaddr.Addr) (int, bool) { return u.Less.Find(a)
 // probability prof.MClusterWeight the host lands in one of the announced
 // more-specifics of the prefix (if any), otherwise anywhere in the
 // l-prefix.
-func (u *Universe) PlaceHostAddr(rng *rand.Rand, lidx int, prof *ProtocolProfile) netaddr.Addr {
+func (u *Universe) PlaceHostAddr(rng Rand, lidx int, prof *ProtocolProfile) netaddr.Addr {
 	lp := u.Less.Prefix(lidx)
 	children := u.mChildren[lidx]
 	if len(children) > 0 && rng.Float64() < prof.MClusterWeight {
@@ -161,7 +160,7 @@ func (u *Universe) PlaceHostAddr(rng *rand.Rand, lidx int, prof *ProtocolProfile
 }
 
 // RandomAddrIn draws an address uniformly from p.
-func RandomAddrIn(rng *rand.Rand, p netaddr.Prefix) netaddr.Addr {
+func RandomAddrIn(rng Rand, p netaddr.Prefix) netaddr.Addr {
 	return p.First() + netaddr.Addr(uint64(rng.Int63())%p.NumAddresses())
 }
 
@@ -172,7 +171,7 @@ func (u *Universe) MChildren(lidx int) []netaddr.Prefix { return u.mChildren[lid
 // space (l-prefixes with no host at generation time) and returns it with
 // its l-prefix index. ok is false when the population has no cold space;
 // callers should fall back to RandomAnnouncedAddr.
-func (u *Universe) RandomColdAddr(rng *rand.Rand, pop *Population) (netaddr.Addr, int, bool) {
+func (u *Universe) RandomColdAddr(rng Rand, pop *Population) (netaddr.Addr, int, bool) {
 	if len(pop.cold) == 0 {
 		return 0, 0, false
 	}

@@ -18,12 +18,38 @@ import (
 type Trie[V any] struct {
 	root *node[V]
 	size int
+
+	// slab hands out nodes from doubling arena blocks instead of one
+	// heap object per trie level: building a full announced table
+	// touches hundreds of thousands of interior nodes, and the
+	// per-node mallocs dominated the allocation profile of universe
+	// generation. Nodes are never freed individually (Delete only
+	// clears values), so arena blocks — kept alive by the node
+	// pointers themselves — are safe.
+	slab []node[V]
 }
 
 type node[V any] struct {
 	child    [2]*node[V]
 	value    V
 	hasValue bool
+}
+
+// newNode hands out the next node from the current arena block,
+// growing the block geometrically (256 → 64 K nodes) when exhausted.
+func (t *Trie[V]) newNode() *node[V] {
+	if len(t.slab) == cap(t.slab) {
+		c := 2 * cap(t.slab)
+		if c == 0 {
+			c = 256
+		}
+		if c > 1<<16 {
+			c = 1 << 16
+		}
+		t.slab = make([]node[V], 0, c)
+	}
+	t.slab = t.slab[:len(t.slab)+1]
+	return &t.slab[len(t.slab)-1]
 }
 
 // New returns an empty trie. Equivalent to new(Trie[V]).
@@ -36,13 +62,13 @@ func (t *Trie[V]) Len() int { return t.size }
 // It reports whether a previous value was replaced.
 func (t *Trie[V]) Insert(p netaddr.Prefix, value V) (replaced bool) {
 	if t.root == nil {
-		t.root = &node[V]{}
+		t.root = t.newNode()
 	}
 	n := t.root
 	for i := 0; i < p.Bits(); i++ {
 		b := p.Bit(i)
 		if n.child[b] == nil {
-			n.child[b] = &node[V]{}
+			n.child[b] = t.newNode()
 		}
 		n = n.child[b]
 	}

@@ -3,24 +3,76 @@
 #
 # Emits BENCH_<YYYY-MM-DD>.json in the repo root (or $1 if given): one
 # JSON object per benchmark with name, iterations and ns/op, plus host
-# metadata for comparing runs. Keep the JSON files out of git or check
-# them in deliberately; EXPERIMENTS.md quotes the headline numbers.
+# metadata for comparing runs. If a previous BENCH_*.json exists, a
+# report-only delta table against the most recent one is printed after
+# the run (it never fails the build). Keep the JSON files out of git or
+# check them in deliberately; EXPERIMENTS.md quotes the headline
+# numbers.
 #
 # Usage: scripts/bench.sh [outfile]
+#        scripts/bench.sh -compare OLD.json NEW.json
 #   BENCH=<regex>   benchmarks to run (default: the counting/selection core)
 #   BENCHTIME=<n>   -benchtime value (default: go test's heuristic)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_$(date +%Y-%m-%d).json}"
-bench="${BENCH:-BenchmarkSparseCount|BenchmarkIntersect|BenchmarkSelect$|BenchmarkRunAll$|BenchmarkAblationCounting}"
+# compare OLD NEW: print a delta table of ns/op, report-only.
+compare() {
+    awk '
+        FNR == 1 { fi++ }
+        /"name":/ {
+            split($0, q, "\"")
+            name = q[4]
+            if (match($0, /"ns_per_op": *[0-9.eE+-]+/)) {
+                val = substr($0, RSTART, RLENGTH)
+                sub(/.*: */, "", val)
+                if (fi == 1) { old[name] = val }
+                else if (!(name in new)) { new[name] = val; order[n++] = name }
+            }
+        }
+        END {
+            printf "%-45s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+            for (i = 0; i < n; i++) {
+                name = order[i]
+                if (name in old) {
+                    d = (new[name] - old[name]) / old[name] * 100
+                    printf "%-45s %14.0f %14.0f %+8.1f%%\n", name, old[name], new[name], d
+                } else {
+                    printf "%-45s %14s %14.0f %9s\n", name, "-", new[name], "(new)"
+                }
+            }
+        }' "$1" "$2"
+}
+
+if [ "${1:-}" = "-compare" ]; then
+    compare "$2" "$3"
+    exit 0
+fi
+
+# Default output name; never clobber an existing record (same-day
+# re-runs get a numeric suffix so the previous record stays diffable).
+if [ -n "${1:-}" ]; then
+    out="$1"
+else
+    out="BENCH_$(date +%Y-%m-%d).json"
+    n=2
+    while [ -e "$out" ]; do
+        out="BENCH_$(date +%Y-%m-%d).$n.json"
+        n=$((n + 1))
+    done
+fi
+bench="${BENCH:-BenchmarkSparseCount|BenchmarkIntersect|BenchmarkSelect$|BenchmarkRank$|BenchmarkRunAll$|BenchmarkBuildWorld$|BenchmarkChurnStep$|BenchmarkAblationCounting}"
 benchtime="${BENCHTIME:-}"
 
 args="-run=^$ -bench=$bench -count=1"
 if [ -n "$benchtime" ]; then
     args="$args -benchtime=$benchtime"
 fi
+
+# The most recent previous record (by mtime — lexicographic order
+# misorders same-day suffixed records), for the post-run delta table.
+prev=$(ls -1t BENCH_*.json 2>/dev/null | grep -Fxv "$out" | head -n 1 || true)
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -45,3 +97,9 @@ go test $args . | tee "$tmp"
 } > "$out"
 
 echo "wrote $out" >&2
+
+if [ -n "$prev" ]; then
+    echo "" >&2
+    echo "delta vs $prev (report-only):" >&2
+    compare "$prev" "$out" >&2
+fi

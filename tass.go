@@ -332,12 +332,20 @@ func SimulateMonths(u *Universe, seed int64, months int) map[string]*Series {
 	return churn.Run(u, seed, months)
 }
 
-// SimulateMonthsWorkers is SimulateMonths with the per-protocol churn
-// evolution fanned out over up to workers goroutines (0 means
-// GOMAXPROCS). Every protocol evolves on its own RNG stream, so the
-// series are byte-identical at any worker count.
+// SimulateMonthsWorkers is SimulateMonths with the churn evolution
+// fanned out over up to workers goroutines (0 means GOMAXPROCS).
+// Every (protocol, stripe, month) triple evolves on its own derived
+// RNG substream, so the series are byte-identical at any worker count.
 func SimulateMonthsWorkers(u *Universe, seed int64, months, workers int) map[string]*Series {
 	return churn.RunWorkers(u, seed, months, workers)
+}
+
+// NewChurnSimulator returns a month-by-month churn simulator for u
+// seeded with seed; set its Workers field to fan each Step out over
+// the population stripes (the evolution is byte-identical at any
+// worker count).
+func NewChurnSimulator(u *Universe, seed int64) *ChurnSimulator {
+	return churn.New(u, seed)
 }
 
 // SelectMany evaluates a grid of selection options against one seed,

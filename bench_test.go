@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
@@ -401,38 +402,132 @@ func BenchmarkAblationLinearSweep(b *testing.B) {
 	_ = idx
 }
 
-// BenchmarkScanCycle measures a complete simulated scan cycle of a TASS
-// plan (selection + permuted probing of the selected space).
-func BenchmarkScanCycle(b *testing.B) {
+// noopProber answers every probe instantly with "closed": the scan-cycle
+// benchmarks then measure the engine itself — permutation stepping,
+// index→address mapping, accounting, result merging — not the prober.
+type noopProber struct{}
+
+func (noopProber) Probe(_ context.Context, addr netaddr.Addr) (scan.Result, error) {
+	return scan.Result{Addr: addr}, nil
+}
+
+// scanCycleTargets is the shared scan plan of the cycle benchmarks: the
+// φ=0.7 FTP selection of the reduced-scale world.
+func scanCycleTargets(b *testing.B) rib.Partition {
 	w := world(b)
 	seed := w.Series["ftp"].At(0)
 	sel, err := core.Select(seed, w.U.More, core.Options{Phi: 0.7})
 	if err != nil {
 		b.Fatal(err)
 	}
-	prober, err := scan.NewSimProber(seed.Addrs, 0.01, 3)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s, err := scan.New(scan.Config{
-			Targets: sel.Partition(),
-			Prober:  prober,
-			Workers: 8,
-			Seed:    int64(i),
+	return sel.Partition()
+}
+
+// BenchmarkScanCycle measures a complete scan cycle of a TASS plan on
+// the sharded engine at increasing worker counts, against the
+// channel-fed baseline it replaced (one feeder goroutine walking the
+// permutation, handing every address to workers through a channel,
+// mutex-guarded report). The sharded engine gives each worker a private
+// slice of the permutation cycle, so throughput scales with workers;
+// the baseline is bound by the feeder and the channel handoff.
+func BenchmarkScanCycle(b *testing.B) {
+	targets := scanCycleTargets(b)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := scan.New(scan.Config{
+					Targets: targets,
+					Prober:  noopProber{},
+					Workers: workers,
+					Seed:    int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				report, err := s.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.Probed != targets.AddressCount() {
+					b.Fatalf("probed %d of %d", report.Probed, targets.AddressCount())
+				}
+			}
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		report, err := s.Run(context.Background())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if report.Probed == 0 {
-			b.Fatal("empty scan")
-		}
 	}
+	b.Run("baseline-channel/workers=8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			probed, err := channelFedCycle(targets, noopProber{}, 8, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if probed != targets.AddressCount() {
+				b.Fatalf("probed %d of %d", probed, targets.AddressCount())
+			}
+		}
+	})
+}
+
+// channelFedCycle reproduces the pre-sharding engine for the baseline
+// benchmark: a single feeder goroutine walks the sequential permutation
+// and pushes every address through a channel to the worker pool, with a
+// mutex around the shared report state.
+func channelFedCycle(targets rib.Partition, prober scan.Prober, workers int, seed int64) (uint64, error) {
+	perm, err := scan.NewPermutation(targets.AddressCount(), seed)
+	if err != nil {
+		return 0, err
+	}
+	cum := make([]uint64, targets.Len())
+	var c uint64
+	for i := 0; i < targets.Len(); i++ {
+		c += targets.Prefix(i).NumAddresses()
+		cum[i] = c
+	}
+	addrAt := func(idx uint64) netaddr.Addr {
+		i := sort.Search(len(cum), func(i int) bool { return cum[i] > idx })
+		p := targets.Prefix(i)
+		off := idx
+		if i > 0 {
+			off -= cum[i-1]
+		}
+		return p.First() + netaddr.Addr(off)
+	}
+
+	ch := make(chan netaddr.Addr, workers*2)
+	var mu sync.Mutex
+	var responsive []netaddr.Addr
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for addr := range ch {
+				res, err := prober.Probe(context.Background(), addr)
+				if err != nil {
+					continue
+				}
+				if res.Open {
+					mu.Lock()
+					responsive = append(responsive, res.Addr)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	var probed uint64
+	for {
+		idx, ok := perm.Next()
+		if !ok {
+			break
+		}
+		ch <- addrAt(idx)
+		probed++
+	}
+	close(ch)
+	wg.Wait()
+	_ = responsive
+	return probed, nil
 }
 
 // BenchmarkGenerateUniverse measures synthetic-Internet generation at the

@@ -1,23 +1,32 @@
-// Command tass computes TASS prefix selections from scan results.
+// Command tass computes TASS prefix selections from scan results and
+// drives the probing engine itself.
 //
 // Usage:
 //
 //	tass select -pfx2as TABLE -addrs ADDRS [-phi 0.95] [-universe more]
 //	tass rank   -pfx2as TABLE -addrs ADDRS [-top 20]
 //	tass stats  -pfx2as TABLE
+//	tass scan   -targets PREFIXES (-sim ADDRS | -port N) [flags]
 //
 // TABLE is a CAIDA Routeviews pfx2as file; ADDRS is a text file with one
 // responsive IPv4 address per line ('#' comments allowed). "select"
 // prints the prefixes to scan each cycle, "rank" the densest prefixes,
-// "stats" the aggregation structure of the table.
+// "stats" the aggregation structure of the table. "scan" runs the
+// sharded scan engine over a prefix list: one checkpointable cycle
+// (-checkpoint resumes an interrupted run; -shard/-shards split the
+// cycle across machines), or a feedback campaign (-cycles N) that
+// re-selects from each cycle's results and scans the tightened plan.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"github.com/tass-scan/tass"
 )
@@ -37,6 +46,8 @@ func main() {
 		err = runStats(os.Args[2:])
 	case "diff":
 		err = runDiff(os.Args[2:])
+	case "scan":
+		err = runScan(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -56,7 +67,10 @@ func usage() {
   tass select -pfx2as TABLE -addrs ADDRS [-phi F] [-universe less|more] [-min-density F]
   tass rank   -pfx2as TABLE -addrs ADDRS [-universe less|more] [-top N]
   tass stats  -pfx2as TABLE
-  tass diff   -a ADDRS -b ADDRS`)
+  tass diff   -a ADDRS -b ADDRS
+  tass scan   -targets PREFIXES (-sim ADDRS | -port N) [-cycles N] [-phi F]
+              [-rate F] [-burst N] [-workers N] [-shard I -shards N]
+              [-checkpoint FILE] [-exclude FILE] [-seed N] [-max N] [-loss F]`)
 }
 
 func loadTable(path string) (*tass.Table, error) {
@@ -202,6 +216,190 @@ func runDiff(args []string) error {
 	fmt.Printf("new:       %d\n", d.New)
 	fmt.Printf("retention: %.3f\n", d.Retention())
 	return nil
+}
+
+// runScan drives the probing engine: a single sharded, checkpointable
+// scan cycle, or a multi-cycle feedback campaign (scan → select → scan
+// the tightened plan). Responsive addresses go to stdout, one per line,
+// ready for `tass select -addrs`.
+func runScan(args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	targetsPath := fs.String("targets", "", "prefixes to scan, one CIDR per line (required)")
+	simPath := fs.String("sim", "", "simulate against this responsive-address file instead of real probes")
+	loss := fs.Float64("loss", 0, "simulated probe loss rate in [0,1) (with -sim)")
+	port := fs.Int("port", 0, "TCP connect port for real probes (careful: scan only networks you own)")
+	cycles := fs.Int("cycles", 1, "feedback cycles: >1 re-selects from each cycle's results")
+	phi := fs.Float64("phi", 0.95, "host coverage target φ for re-selection (with -cycles > 1)")
+	rate := fs.Float64("rate", 0, "probes per second (0 = unlimited)")
+	burst := fs.Int("burst", 0, "rate limiter burst (default 64)")
+	workers := fs.Int("workers", 0, "concurrent probe workers (default 16)")
+	shard := fs.Int("shard", 0, "this instance's shard index (with -shards)")
+	shards := fs.Int("shards", 1, "total shard count across scanner instances")
+	checkpointPath := fs.String("checkpoint", "", "resume from this cursor file if it exists; write it on interruption")
+	excludePath := fs.String("exclude", "", "ZMap-style exclusion file")
+	seed := fs.Int64("seed", 1, "permutation seed (all shards of one scan must agree)")
+	max := fs.Uint64("max", 0, "stop after this many probes (sampling mode)")
+	fs.Parse(args)
+
+	if *targetsPath == "" {
+		return fmt.Errorf("scan: -targets is required")
+	}
+	if (*simPath == "") == (*port == 0) {
+		return fmt.Errorf("scan: exactly one of -sim and -port is required")
+	}
+	if *checkpointPath != "" && *cycles > 1 {
+		return fmt.Errorf("scan: -checkpoint applies to single cycles only (selection state is not checkpointed)")
+	}
+	if *cycles > 1 && *shards > 1 {
+		return fmt.Errorf("scan: -shards applies to single cycles only (a sharded campaign would re-select from partial scan results; merge shard outputs and re-select instead)")
+	}
+	if *cycles > 1 && *max > 0 {
+		return fmt.Errorf("scan: -max applies to single cycles only (campaign cycles scan their full plan)")
+	}
+
+	prefixes, err := loadPrefixFile(*targetsPath)
+	if err != nil {
+		return err
+	}
+	targets, err := tass.NewPartition(prefixes)
+	if err != nil {
+		return err
+	}
+	var prober tass.Prober
+	if *simPath != "" {
+		snap, err := loadAddrs(*simPath)
+		if err != nil {
+			return err
+		}
+		prober, err = tass.NewSimProber(snap.Addrs, *loss, *seed)
+		if err != nil {
+			return err
+		}
+	} else {
+		prober = &tass.TCPProber{Port: *port, Timeout: 2 * time.Second}
+	}
+	var exclude []tass.Prefix
+	if *excludePath != "" {
+		if exclude, err = loadPrefixFile(*excludePath); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *cycles > 1 {
+		c := &tass.ScanCampaign{
+			Universe: targets,
+			Prober:   prober,
+			Opts:     tass.Options{Phi: *phi},
+			Rate:     *rate,
+			Burst:    *burst,
+			Workers:  *workers,
+			Seed:     *seed,
+			Exclude:  exclude,
+			Cache:    tass.NewCountCache(),
+		}
+		done, err := c.Run(ctx, *cycles)
+		for _, cy := range done {
+			fmt.Fprintf(os.Stderr, "# cycle %d: %d prefixes, %d probed, %d responsive, hitrate %.4f, cost share %.3f\n",
+				cy.Index, cy.Plan.Len(), cy.Report.Probed, cy.Snapshot.Hosts(),
+				cy.Report.Hitrate(), cy.CostShare(targets))
+		}
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(os.Stdout)
+		last := done[len(done)-1]
+		for _, a := range last.Snapshot.Addrs {
+			fmt.Fprintln(w, a)
+		}
+		return w.Flush()
+	}
+
+	scanner, err := tass.NewScanner(tass.ScanConfig{
+		Targets:   targets,
+		Prober:    prober,
+		Rate:      *rate,
+		Burst:     *burst,
+		Workers:   *workers,
+		Seed:      *seed,
+		Shard:     *shard,
+		Shards:    *shards,
+		Exclude:   exclude,
+		MaxProbes: *max,
+	})
+	if err != nil {
+		return err
+	}
+	if *checkpointPath != "" {
+		if f, err := os.Open(*checkpointPath); err == nil {
+			cp, err := tass.ReadScanCheckpoint(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			if err := scanner.Resume(cp); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "# resuming from %s\n", *checkpointPath)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	report, runErr := scanner.Run(ctx)
+	if report != nil {
+		fmt.Fprintf(os.Stderr, "# %d probed, %d excluded, %d errors, %d responsive, hitrate %.4f, %v elapsed\n",
+			report.Probed, report.Excluded, report.Errors, len(report.Responsive),
+			report.Hitrate(), report.Elapsed.Round(time.Millisecond))
+		w := bufio.NewWriter(os.Stdout)
+		for _, a := range report.Responsive {
+			fmt.Fprintln(w, a)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	if runErr == nil && *checkpointPath != "" {
+		// A completed cycle invalidates the cursor: leaving the file
+		// behind would make the next run of the same command silently
+		// resume mid-cycle and skip the front of the target space.
+		if err := os.Remove(*checkpointPath); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if runErr != nil && *checkpointPath != "" {
+		if cp := scanner.Checkpoint(); cp != nil {
+			f, err := os.Create(*checkpointPath)
+			if err != nil {
+				return err
+			}
+			if err := tass.WriteScanCheckpoint(f, cp); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "# interrupted: cursor saved to %s; rerun the same command to resume\n", *checkpointPath)
+		}
+	}
+	return runErr
+}
+
+// loadPrefixFile parses one CIDR prefix (or bare address) per line, with
+// '#' comments — the same grammar as ZMap exclusion files.
+func loadPrefixFile(path string) ([]tass.Prefix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ps, err := tass.ParseExclusions(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ps, nil
 }
 
 func runStats(args []string) error {

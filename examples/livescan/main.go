@@ -1,11 +1,13 @@
 // Livescan: run the real scanner engine end to end on the loopback
-// network — actual TCP sockets, permutation targeting, rate limiting and
-// banner grabbing — then feed the results into TASS selection.
+// network — actual TCP sockets, sharded permutation targeting, rate
+// limiting and banner grabbing — then close the paper's loop with a
+// feedback campaign: the first cycle's results seed a TASS selection,
+// and the second cycle scans only the selected (dense) blocks.
 //
 // The program starts a handful of listeners on 127.0.0.0/28 addresses,
-// scans that /28 with the TCP prober, prints the scan report, and shows
-// the prefix ranking a follow-up selection would use. It touches nothing
-// outside the loopback interface.
+// scans that /28 with the TCP prober, prints each cycle's report, and
+// shows how the campaign tightened the plan. It touches nothing outside
+// the loopback interface.
 //
 //	go run ./examples/livescan
 package main
@@ -22,8 +24,9 @@ import (
 
 func main() {
 	// 1. Local "Internet": FTP-style listeners on a few loopback
-	//    addresses. (On Linux every 127.0.0.0/8 address is bound to lo.)
-	liveHosts := []string{"127.0.0.1", "127.0.0.3", "127.0.0.4", "127.0.0.9"}
+	//    addresses, clustered so TASS has density structure to find.
+	//    (On Linux every 127.0.0.0/8 address is bound to lo.)
+	liveHosts := []string{"127.0.0.1", "127.0.0.2", "127.0.0.3", "127.0.0.9"}
 	port := 0
 	var listeners []net.Listener
 	for _, host := range liveHosts {
@@ -44,39 +47,9 @@ func main() {
 	}
 	fmt.Printf("started %d listeners on port %d\n", len(listeners), port)
 
-	// 2. Scan 127.0.0.0/28 with the real engine: permuted order, rate
-	//    limited, concurrent workers, banner grab.
-	targets, err := tass.NewPartition([]tass.Prefix{tass.MustParsePrefix("127.0.0.0/28")})
-	if err != nil {
-		log.Fatal(err)
-	}
-	scanner, err := tass.NewScanner(tass.ScanConfig{
-		Targets: targets,
-		Prober:  &tass.TCPProber{Port: port, Timeout: 500 * time.Millisecond, BannerBytes: 64},
-		Rate:    64, // probes per second: deliberately gentle
-		Workers: 8,
-		Seed:    time.Now().UnixNano(),
-		OnResult: func(r tass.ScanResult) {
-			if r.Open {
-				fmt.Printf("  open %-12v rtt=%-8v banner=%q\n", r.Addr, r.RTT.Round(time.Microsecond), r.Banner)
-			}
-		},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	report, err := scanner.Run(ctx)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nscan report: %d probed, %d responsive, hitrate %.1f%%, %v elapsed\n",
-		report.Probed, len(report.Responsive), 100*report.Hitrate(), report.Elapsed.Round(time.Millisecond))
-
-	// 3. Feed the scan into TASS: rank /30 blocks of the loopback range
-	//    by density, exactly as a real campaign would rank announced
-	//    prefixes.
+	// 2. The scanning universe: /30 blocks of 127.0.0.0/28, the stand-in
+	//    for announced prefixes. Three of the four listeners live in the
+	//    first block — the density skew TASS exploits.
 	blocks := []tass.Prefix{
 		tass.MustParsePrefix("127.0.0.0/30"),
 		tass.MustParsePrefix("127.0.0.4/30"),
@@ -87,12 +60,41 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	seed := tass.NewSnapshot("ftp", 0, report.Responsive)
-	sel, err := tass.Select(seed, universe, tass.Options{Phi: 0.75})
+
+	// 3. The feedback campaign: cycle 0 scans the whole universe with
+	//    the real engine (permuted order, rate limited, concurrent
+	//    workers, banner grab); its results seed a φ=0.75 selection;
+	//    cycle 1 scans only the selected dense blocks.
+	campaign := &tass.ScanCampaign{
+		Universe: universe,
+		Prober:   &tass.TCPProber{Port: port, Timeout: 500 * time.Millisecond, BannerBytes: 64},
+		Opts:     tass.Options{Phi: 0.75},
+		Rate:     64, // probes per second: deliberately gentle
+		Workers:  4,
+		Seed:     time.Now().UnixNano(),
+		OnResult: func(r tass.ScanResult) {
+			if r.Open {
+				fmt.Printf("  open %-12v rtt=%-8v banner=%q\n", r.Addr, r.RTT.Round(time.Microsecond), r.Banner)
+			}
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cycles, err := campaign.Run(ctx, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nTASS on the scan result (φ=0.75 over /30 blocks): %s\n", tass.Describe(sel))
+	for _, cy := range cycles {
+		fmt.Printf("\ncycle %d: %d prefixes, %d probed, %d responsive, hitrate %.1f%%, cost %.0f%% of universe, %v elapsed\n",
+			cy.Index, cy.Plan.Len(), cy.Report.Probed, cy.Snapshot.Hosts(),
+			100*cy.Report.Hitrate(), 100*cy.CostShare(universe),
+			cy.Report.Elapsed.Round(time.Millisecond))
+	}
+
+	// 4. The selection the campaign derived from the live scan — what a
+	//    periodic re-scan would keep probing.
+	sel := cycles[0].Selection
+	fmt.Printf("\nTASS on cycle 0's scan (φ=0.75 over /30 blocks): %s\n", tass.Describe(sel))
 	for i, st := range sel.Ranked {
 		mark := " "
 		if i < sel.K {
@@ -100,7 +102,7 @@ func main() {
 		}
 		fmt.Printf("  %s %-14v %d hosts, density %.2f\n", mark, st.Prefix, st.Hosts, st.Density)
 	}
-	fmt.Println("\n(*) selected for the periodic re-scan.")
+	fmt.Println("\n(*) selected: cycle 1 probed exactly these blocks.")
 }
 
 func serveFTPBanner(ln net.Listener) {

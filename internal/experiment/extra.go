@@ -191,6 +191,7 @@ var runners = []struct {
 	{"ablation-ranking", AblationRanking},
 	{"clustering", Clustering},
 	{"reseed", Reseed},
+	{"scanloop", ScanLoop},
 	{"vulnestimate", VulnEstimate},
 	{"missed", Missed},
 }

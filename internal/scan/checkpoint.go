@@ -1,0 +1,100 @@
+package scan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Checkpoint is the serialized cursor state of an interrupted scan
+// cycle: one consumed-position count per worker shard. Together with the
+// scan configuration (N, Seed, Shard/Shards, Workers) it pins down the
+// exact set of addresses already visited, so a resumed cycle probes each
+// remaining address exactly once and re-probes none. The format is plain
+// JSON: small (one integer per worker) and inspectable.
+type Checkpoint struct {
+	// N is the permutation size (the target partition's address count).
+	N uint64 `json:"n"`
+	// Seed is the permutation seed.
+	Seed int64 `json:"seed"`
+	// Shard and Shards identify this instance's slice of the cycle.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Workers is the worker count the cursors were taken under; a resume
+	// must use the same count (the sub-shard layout depends on it).
+	Workers int `json:"workers"`
+	// Consumed[w] is how many cycle positions worker w's shard visited.
+	Consumed []uint64 `json:"consumed"`
+}
+
+// validate checks that the checkpoint matches the scanner configuration
+// it is being resumed under.
+func (c *Checkpoint) validate(cfg Config, n uint64) error {
+	switch {
+	case c.N != n:
+		return fmt.Errorf("scan: checkpoint for %d addresses, scanner has %d", c.N, n)
+	case c.Seed != cfg.Seed:
+		return fmt.Errorf("scan: checkpoint seed %d, scanner seed %d", c.Seed, cfg.Seed)
+	case c.Shard != cfg.Shard || c.Shards != cfg.Shards:
+		return fmt.Errorf("scan: checkpoint is shard %d/%d, scanner is %d/%d",
+			c.Shard, c.Shards, cfg.Shard, cfg.Shards)
+	case c.Workers != cfg.Workers || len(c.Consumed) != cfg.Workers:
+		return fmt.Errorf("scan: checkpoint has %d worker cursors, scanner has %d workers",
+			len(c.Consumed), cfg.Workers)
+	}
+	return nil
+}
+
+// Checkpoint captures the per-shard cursors of the most recent Run. Call
+// it after Run returns (typically with a context error) to persist where
+// the cycle stopped; hand the result to Resume on a fresh or existing
+// scanner with the same configuration to continue. Before any Run it
+// returns nil.
+func (s *Scanner) Checkpoint() *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shards == nil {
+		return nil
+	}
+	cp := &Checkpoint{
+		N:        s.cfg.Targets.AddressCount(),
+		Seed:     s.cfg.Seed,
+		Shard:    s.cfg.Shard,
+		Shards:   s.cfg.Shards,
+		Workers:  s.cfg.Workers,
+		Consumed: make([]uint64, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		cp.Consumed[i] = sh.Consumed()
+	}
+	return cp
+}
+
+// Resume arms the scanner to continue an interrupted cycle: the next Run
+// fast-forwards every worker shard past the checkpointed cursor before
+// probing. The checkpoint must match the scanner's configuration
+// (validated when Run starts).
+func (s *Scanner) Resume(cp *Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("scan: nil checkpoint")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resume = cp
+	return nil
+}
+
+// WriteCheckpoint serializes a checkpoint as JSON.
+func WriteCheckpoint(w io.Writer, cp *Checkpoint) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(cp)
+}
+
+// ReadCheckpoint parses a checkpoint written by WriteCheckpoint.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("scan: reading checkpoint: %w", err)
+	}
+	return &cp, nil
+}

@@ -75,24 +75,40 @@ func (l *Limiter) Allow() bool {
 }
 
 // Wait blocks until a token is available or the context is canceled.
+//
+// Waiters are serialized by reservation, not by sleep-and-retry: a
+// blocked waiter takes its token immediately — driving the bucket
+// negative — and sleeps exactly once, until the refill covers its debt.
+// Concurrent waiters therefore reserve strictly later slots and wake one
+// at a time in reservation order; there is no thundering herd of workers
+// waking together to fight over a single refilled token. A canceled wait
+// returns its reserved token to the bucket.
 func (l *Limiter) Wait(ctx context.Context) error {
-	for {
-		l.mu.Lock()
-		l.refill()
-		if l.tokens >= 1 {
-			l.tokens--
-			l.mu.Unlock()
-			return nil
-		}
-		need := (1 - l.tokens) / l.rate
+	l.mu.Lock()
+	l.refill()
+	l.tokens--
+	if l.tokens >= 0 {
 		l.mu.Unlock()
-
-		d := time.Duration(need * float64(time.Second))
-		if d < time.Microsecond {
-			d = time.Microsecond
-		}
-		if err := l.sleep(ctx, d); err != nil {
-			return err
-		}
+		return nil
 	}
+	// The bucket is in debt: this waiter's token arrives once the refill
+	// has produced -tokens more, i.e. after -tokens/rate seconds.
+	need := -l.tokens / l.rate
+	l.mu.Unlock()
+
+	d := time.Duration(need * float64(time.Second))
+	if d < time.Microsecond {
+		d = time.Microsecond
+	}
+	if err := l.sleep(ctx, d); err != nil {
+		// Return the reservation so later waiters shift earlier.
+		l.mu.Lock()
+		l.tokens++
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		l.mu.Unlock()
+		return err
+	}
+	return nil
 }

@@ -3,6 +3,7 @@ package scan
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -118,6 +119,70 @@ func TestWaitUnderContention(t *testing.T) {
 	need := time.Duration(float64(workers*perG-burst) / rate * float64(time.Second))
 	if elapsed := clock.now().Sub(start); elapsed < need {
 		t.Fatalf("virtual elapsed %v below the token budget %v", elapsed, need)
+	}
+}
+
+// TestWaitSingleWakeupAtContention is the thundering-herd regression
+// test: 8 workers all block on an empty bucket *before* any time
+// passes, forced by a gate in the injected sleeper. Under the old
+// sleep-and-retry loop every worker computed the same refill delay,
+// woke simultaneously, and fought over one token — losers slept again,
+// so the total sleep count exceeded the worker count. Reservation
+// serialization gives each waiter exactly one sleep, with strictly
+// later slots: sleep durations must be exactly {1, 2, …, 8} refill
+// intervals, one per worker.
+func TestWaitSingleWakeupAtContention(t *testing.T) {
+	const workers = 8
+	lim, err := NewLimiter(100, 1) // refill interval 10ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := newFakeClock()
+	lim.now = clock.now
+
+	var mu sync.Mutex
+	var durations []time.Duration
+	gate := make(chan struct{})
+	lim.sleep = func(ctx context.Context, d time.Duration) error {
+		mu.Lock()
+		durations = append(durations, d)
+		ready := len(durations) == workers
+		mu.Unlock()
+		if ready {
+			close(gate) // all workers asleep: release everyone
+		}
+		<-gate
+		clock.advance(d)
+		return nil
+	}
+
+	if !lim.Allow() {
+		t.Fatal("burst token denied")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := lim.Wait(context.Background()); err != nil {
+				t.Errorf("Wait: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(durations) != workers {
+		t.Fatalf("%d sleeps for %d blocked workers, want exactly one each", len(durations), workers)
+	}
+	// Each successive waiter reserved the next 10ms slot: the duration
+	// multiset is exactly {10ms, 20ms, …, 80ms} — a herd would have
+	// computed identical delays.
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	for i, d := range durations {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if d != want {
+			t.Errorf("sleep %d lasted %v, want %v", i, d, want)
+		}
 	}
 }
 

@@ -84,6 +84,97 @@ func (pm *Permutation) Reset() {
 	pm.emits = 0
 }
 
+// Shard is a disjoint slice of a permutation cycle, the ZMap sharding
+// scheme: the full cycle visits the group elements first·g^0, first·g^1,
+// …, first·g^(p-2); shard i of n owns the cycle positions ≡ i (mod n),
+// so it starts at first·g^i and strides by g^n. The union of the n
+// shards is exactly the sequential permutation (as a set), shards share
+// no state, and each can run on its own goroutine — or its own machine.
+type Shard struct {
+	p, n      uint64 // modulus and target count (copied from the parent)
+	stride    uint64 // g^shards mod p
+	cur, prev uint64 // current and previous group element (prev backs rewind)
+	remaining uint64 // cycle positions left to visit
+	total     uint64 // cycle positions this shard owns in a full cycle
+	index     int    // shard index i
+	shards    int    // shard count n
+}
+
+// Shard returns slice i of n of the permutation cycle. Shards are
+// independent of the parent's Next/Reset state; the parent can hand out
+// all n shards up front. i must be in [0, n).
+func (pm *Permutation) Shard(i, n int) (*Shard, error) {
+	if n <= 0 || i < 0 || i >= n {
+		return nil, fmt.Errorf("scan: shard %d of %d out of range", i, n)
+	}
+	// Cycle positions are 0..p-2; shard i owns positions i, i+n, i+2n, …
+	cycle := pm.p - 1
+	var total uint64
+	if uint64(i) < cycle {
+		total = (cycle - uint64(i) + uint64(n) - 1) / uint64(n)
+	}
+	return &Shard{
+		p:         pm.p,
+		n:         pm.n,
+		stride:    powmod(pm.g, uint64(n), pm.p),
+		cur:       mulmod(pm.first, powmod(pm.g, uint64(i), pm.p), pm.p),
+		remaining: total,
+		total:     total,
+		index:     i,
+		shards:    n,
+	}, nil
+}
+
+// Next returns the shard's next permutation index; ok is false once the
+// shard's slice of the cycle is exhausted.
+func (s *Shard) Next() (idx uint64, ok bool) {
+	for s.remaining > 0 {
+		v := s.cur
+		s.prev = v
+		s.cur = mulmod(s.cur, s.stride, s.p)
+		s.remaining--
+		if v-1 < s.n {
+			return v - 1, true
+		}
+	}
+	return 0, false
+}
+
+// rewind un-consumes the most recently emitted index so a resumed cycle
+// revisits it: the scanner calls it when an address was drawn from the
+// shard but not probed (rate-limit wait aborted, probe budget exhausted).
+// Only the last emission can be rewound.
+func (s *Shard) rewind() {
+	if s.prev == 0 {
+		return
+	}
+	s.cur = s.prev
+	s.prev = 0
+	s.remaining++
+}
+
+// Consumed returns how many cycle positions the shard has visited; it is
+// the shard's checkpoint cursor.
+func (s *Shard) Consumed() uint64 { return s.total - s.remaining }
+
+// Skip fast-forwards the shard past the first k cycle positions (the
+// resume path: k is a Consumed value from a checkpoint). Skipping costs
+// one modular exponentiation, not k iterations.
+func (s *Shard) Skip(k uint64) error {
+	if s.remaining != s.total {
+		return fmt.Errorf("scan: shard %d/%d: Skip on a partially consumed shard", s.index, s.shards)
+	}
+	if k > s.total {
+		return fmt.Errorf("scan: shard %d/%d: skip %d exceeds %d positions",
+			s.index, s.shards, k, s.total)
+	}
+	// k positions ahead of the shard start is k·shards ahead on the cycle.
+	s.cur = mulmod(s.cur, powmod(s.stride, k, s.p), s.p)
+	s.prev = 0
+	s.remaining = s.total - k
+	return nil
+}
+
 // mulmod computes a*b mod m without overflow via a 128-bit product.
 func mulmod(a, b, m uint64) uint64 {
 	hi, lo := bits.Mul64(a%m, b%m)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -333,6 +334,116 @@ func TestScannerErrorAccounting(t *testing.T) {
 	}
 }
 
+// ctxProber models a real network prober: handed a dead context it
+// fails, as any socket operation would. It cancels the run after n
+// successful probes.
+type ctxProber struct {
+	n      *int
+	limit  int
+	cancel context.CancelFunc
+}
+
+func (p ctxProber) Probe(ctx context.Context, addr netaddr.Addr) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{Addr: addr}, err
+	}
+	*p.n++
+	if *p.n == p.limit {
+		p.cancel()
+	}
+	return Result{Addr: addr}, nil
+}
+
+// TestScannerCancelNoSpuriousErrors is the cancellation-accounting
+// regression test: once the run error is set, no further target may be
+// probed with a dead context. The channel-fed engine kept probing every
+// enqueued target after cancellation, inflating Report.Errors by up to
+// Workers*2 spurious failures; the sharded engine stops each worker at
+// its next draw, so a canceled run reports Errors == 0.
+func TestScannerCancelNoSpuriousErrors(t *testing.T) {
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/24")})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	s, err := New(Config{
+		Targets: part,
+		Prober:  ctxProber{n: &n, limit: 40, cancel: cancel},
+		Workers: 1, // single worker: the stop is observed deterministically
+		Seed:    9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := s.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run returned %v", err)
+	}
+	if report.Errors != 0 {
+		t.Errorf("canceled run reported %d spurious errors", report.Errors)
+	}
+	if report.Probed != 40 {
+		t.Errorf("probed %d targets, want exactly 40 (none after cancellation)", report.Probed)
+	}
+}
+
+// TestScannerPreCanceledRunProbesNothing: a context canceled before Run
+// must not transmit a single probe, even with burst tokens available.
+func TestScannerPreCanceledRunProbesNothing(t *testing.T) {
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/24")})
+	prober, _ := NewSimProber(nil, 0, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := New(Config{Targets: part, Prober: prober, Workers: 4, Seed: 1, Rate: 1000, Burst: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := s.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled run returned %v", err)
+	}
+	if report.Probed != 0 || report.Errors != 0 {
+		t.Errorf("pre-canceled run probed %d, errored %d; want 0, 0", report.Probed, report.Errors)
+	}
+}
+
+// TestScannerExclusionsConsumeNothing proves excluded targets consume
+// neither rate tokens nor the Probed counter: with every non-excluded
+// target covered by the burst, the limiter never sleeps.
+func TestScannerExclusionsConsumeNothing(t *testing.T) {
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/26")}) // 64 addrs
+	prober, _ := NewSimProber(nil, 0, 1)
+	s, err := New(Config{
+		Targets: part,
+		Prober:  prober,
+		Workers: 2,
+		Seed:    4,
+		Rate:    1, // one token per second: any excess token use would sleep
+		Burst:   16,
+		Exclude: []netaddr.Prefix{pfx("10.0.0.16/28"), pfx("10.0.0.32/27")}, // 48 of 64
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := newFakeClock()
+	var sleeps atomic.Int64
+	s.limiter.now = clock.now
+	s.limiter.sleep = func(ctx context.Context, d time.Duration) error {
+		sleeps.Add(1)
+		clock.advance(d)
+		return nil
+	}
+	report, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Excluded != 48 || report.Probed != 16 {
+		t.Fatalf("excluded %d probed %d, want 48 and 16", report.Excluded, report.Probed)
+	}
+	if n := sleeps.Load(); n != 0 {
+		t.Errorf("limiter slept %d times: excluded targets consumed rate tokens", n)
+	}
+}
+
 func TestScannerOnResultCallback(t *testing.T) {
 	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/28")})
 	prober, _ := NewSimProber([]netaddr.Addr{netaddr.MustParseAddr("10.0.0.3")}, 0, 1)
@@ -487,6 +598,64 @@ func TestParseExclusions(t *testing.T) {
 	if _, err := ParseExclusions(strings.NewReader("not-a-prefix")); err == nil {
 		t.Error("garbage accepted")
 	}
+}
+
+func TestParseExclusionsEdgeCases(t *testing.T) {
+	t.Run("comment-only and blank lines", func(t *testing.T) {
+		got, err := ParseExclusions(strings.NewReader("# only comments\n\n   \n#another\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Errorf("comment-only input produced %v", got)
+		}
+	})
+	t.Run("bare addresses become /32", func(t *testing.T) {
+		got, err := ParseExclusions(strings.NewReader("192.0.2.7\n  10.1.2.3  \n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"192.0.2.7/32", "10.1.2.3/32"}
+		if len(got) != len(want) {
+			t.Fatalf("got %v", got)
+		}
+		for i, w := range want {
+			if got[i].String() != w {
+				t.Errorf("exclusion %d = %v, want %s", i, got[i], w)
+			}
+		}
+	})
+	t.Run("CRLF line endings", func(t *testing.T) {
+		got, err := ParseExclusions(strings.NewReader("10.0.0.0/8\r\n192.0.2.1\r\n# comment\r\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"10.0.0.0/8", "192.0.2.1/32"}
+		if len(got) != len(want) {
+			t.Fatalf("got %v", got)
+		}
+		for i, w := range want {
+			if got[i].String() != w {
+				t.Errorf("exclusion %d = %v, want %s", i, got[i], w)
+			}
+		}
+	})
+	t.Run("invalid CIDR reports its line number", func(t *testing.T) {
+		input := "# header\n10.0.0.0/8\n\n10.0.0.0/33\n"
+		_, err := ParseExclusions(strings.NewReader(input))
+		if err == nil {
+			t.Fatal("invalid CIDR accepted")
+		}
+		if !strings.Contains(err.Error(), "line 4") {
+			t.Errorf("error %q does not name line 4", err)
+		}
+	})
+	t.Run("empty input", func(t *testing.T) {
+		got, err := ParseExclusions(strings.NewReader(""))
+		if err != nil || len(got) != 0 {
+			t.Errorf("empty input: %v, %v", got, err)
+		}
+	})
 }
 
 func TestRateLimitedScanDuration(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tass-scan/tass/internal/netaddr"
@@ -30,6 +31,14 @@ type Config struct {
 	Workers int
 	// Seed drives the target permutation.
 	Seed int64
+	// Shard and Shards split the permutation cycle across scanner
+	// instances, ZMap-style: an instance configured as shard i of n
+	// probes exactly the cycle positions ≡ i (mod n), so n instances (on
+	// one machine or many) cover the target space exactly once with no
+	// coordination beyond agreeing on (Seed, Shards). Defaults to the
+	// whole cycle (Shard 0 of 1). Within an instance, its shard is
+	// subdivided again so every worker owns a private slice.
+	Shard, Shards int
 	// Exclude lists prefixes never to probe (operator blocklist).
 	Exclude []netaddr.Prefix
 	// MaxProbes, when positive, stops the scan after that many probes
@@ -65,11 +74,22 @@ func (r *Report) Hitrate() float64 {
 }
 
 // Scanner executes scan cycles over a fixed target set.
+//
+// Run gives every worker a private shard of the target permutation
+// (Permutation.Shard), so there is no feeder goroutine and no channel
+// handoff: each worker iterates, probes and buffers results locally, and
+// the per-worker buffers are merged once at the end. Counter updates are
+// atomic; nothing on the per-probe path takes a lock beyond the optional
+// rate limiter.
 type Scanner struct {
 	cfg     Config
 	cum     []uint64 // cumulative target sizes for index→address mapping
 	exclude *trie.Trie[struct{}]
 	limiter *Limiter
+
+	mu     sync.Mutex
+	shards []*Shard    // worker shards of the most recent Run
+	resume *Checkpoint // pending cursor state for the next Run
 }
 
 // New validates the configuration and builds a Scanner.
@@ -85,6 +105,12 @@ func New(cfg Config) (*Scanner, error) {
 	}
 	if cfg.Burst <= 0 {
 		cfg.Burst = 64
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+		return nil, fmt.Errorf("scan: shard %d of %d out of range", cfg.Shard, cfg.Shards)
 	}
 	s := &Scanner{cfg: cfg}
 	s.cum = make([]uint64, cfg.Targets.Len())
@@ -109,97 +135,176 @@ func New(cfg Config) (*Scanner, error) {
 	return s, nil
 }
 
-// addrAt maps a permutation index to the target address space.
+// addrAt maps a permutation index to the target address space. It runs
+// once per probe on every worker, so the binary search is hand-rolled:
+// sort.Search's closure call costs more than the whole loop here.
 func (s *Scanner) addrAt(idx uint64) netaddr.Addr {
-	i := sort.Search(len(s.cum), func(i int) bool { return s.cum[i] > idx })
-	p := s.cfg.Targets.Prefix(i)
+	cum := s.cum
+	lo, hi := 0, len(cum) // first i with cum[i] > idx
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cum[mid] > idx {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	p := s.cfg.Targets.Prefix(lo)
 	off := idx
-	if i > 0 {
-		off -= s.cum[i-1]
+	if lo > 0 {
+		off -= cum[lo-1]
 	}
 	return p.First() + netaddr.Addr(off)
 }
 
-// Run executes one full scan cycle: every target address is probed
-// exactly once, in permuted order, honoring rate limit, exclusions and
-// context cancellation.
+// Run executes one scan cycle: every target address owned by the
+// configured shard is probed exactly once, in permuted order, honoring
+// rate limit, exclusions and context cancellation. A canceled run stops
+// probing immediately — addresses not yet probed are left for a resumed
+// cycle (see Checkpoint) and never probed with a dead context.
 func (s *Scanner) Run(ctx context.Context) (*Report, error) {
 	perm, err := NewPermutation(s.cfg.Targets.AddressCount(), s.cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	report := &Report{}
+	workers := s.cfg.Workers
+	// Worker w owns global shard (Shard + w·Shards) of (Shards·Workers):
+	// sub-sharding composes, so the union over this instance's workers is
+	// exactly the instance's top-level shard of the cycle.
+	shards := make([]*Shard, workers)
+	for w := 0; w < workers; w++ {
+		sh, err := perm.Shard(s.cfg.Shard+w*s.cfg.Shards, s.cfg.Shards*workers)
+		if err != nil {
+			return nil, err
+		}
+		shards[w] = sh
+	}
+	s.mu.Lock()
+	if cp := s.resume; cp != nil {
+		s.resume = nil
+		s.mu.Unlock()
+		if err := cp.validate(s.cfg, perm.N()); err != nil {
+			return nil, err
+		}
+		for w := range shards {
+			if err := shards[w].Skip(cp.Consumed[w]); err != nil {
+				return nil, err
+			}
+		}
+		s.mu.Lock()
+	}
+	s.shards = shards
+	s.mu.Unlock()
 
-	targets := make(chan netaddr.Addr, s.cfg.Workers*2)
-	var mu sync.Mutex // guards report.Responsive / Errors
+	start := time.Now()
+	var (
+		probed, excluded, errors atomic.Uint64
+		stop                     atomic.Bool // set on the first run error
+		errOnce                  sync.Once
+		runErr                   error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { runErr = err })
+		stop.Store(true)
+	}
+
+	responsive := make([][]netaddr.Addr, workers)
 	var wg sync.WaitGroup
-	for w := 0; w < s.cfg.Workers; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for addr := range targets {
+			sh := shards[w]
+			var local []netaddr.Addr
+			// Per-worker tallies, flushed into the shared atomics once at
+			// exit: the per-probe path touches no shared cache line. Only
+			// the MaxProbes budget needs a live shared counter.
+			var nProbed, nExcluded, nErrors uint64
+			for !stop.Load() {
+				idx, ok := sh.Next()
+				if !ok {
+					break
+				}
+				addr := s.addrAt(idx)
+				if s.exclude != nil {
+					if _, _, hit := s.exclude.Lookup(addr); hit {
+						// Exclusion hits consume neither a rate token nor
+						// a probe: only transmitted probes are accounted.
+						nExcluded++
+						continue
+					}
+				}
+				if err := ctx.Err(); err != nil {
+					sh.rewind() // drawn but not probed
+					fail(err)
+					break
+				}
+				if s.limiter != nil {
+					if err := s.limiter.Wait(ctx); err != nil {
+						sh.rewind()
+						fail(err)
+						break
+					}
+				}
+				if s.cfg.MaxProbes > 0 && !reserveProbe(&probed, s.cfg.MaxProbes) {
+					sh.rewind()
+					break
+				}
 				res, err := s.cfg.Prober.Probe(ctx, addr)
+				if s.cfg.MaxProbes == 0 {
+					nProbed++
+				}
 				if err != nil {
-					mu.Lock()
-					report.Errors++
-					mu.Unlock()
+					nErrors++
 					continue
 				}
 				if s.cfg.OnResult != nil {
 					s.cfg.OnResult(res)
 				}
 				if res.Open {
-					mu.Lock()
-					report.Responsive = append(report.Responsive, res.Addr)
-					mu.Unlock()
+					local = append(local, res.Addr)
 				}
 			}
-		}()
+			probed.Add(nProbed)
+			excluded.Add(nExcluded)
+			errors.Add(nErrors)
+			responsive[w] = local
+		}(w)
 	}
-
-	var runErr error
-feed:
-	for {
-		idx, ok := perm.Next()
-		if !ok {
-			break
-		}
-		addr := s.addrAt(idx)
-		if s.exclude != nil {
-			if _, _, hit := s.exclude.Lookup(addr); hit {
-				report.Excluded++
-				continue
-			}
-		}
-		if s.limiter != nil {
-			if err := s.limiter.Wait(ctx); err != nil {
-				runErr = err
-				break feed
-			}
-		} else if ctx.Err() != nil {
-			runErr = ctx.Err()
-			break feed
-		}
-		select {
-		case targets <- addr:
-			report.Probed++
-		case <-ctx.Done():
-			runErr = ctx.Err()
-			break feed
-		}
-		if s.cfg.MaxProbes > 0 && report.Probed >= s.cfg.MaxProbes {
-			break feed
-		}
-	}
-	close(targets)
 	wg.Wait()
 
+	report := &Report{
+		Probed:   probed.Load(),
+		Excluded: excluded.Load(),
+		Errors:   errors.Load(),
+	}
+	total := 0
+	for _, buf := range responsive {
+		total += len(buf)
+	}
+	report.Responsive = make([]netaddr.Addr, 0, total)
+	for _, buf := range responsive {
+		report.Responsive = append(report.Responsive, buf...)
+	}
 	sort.Slice(report.Responsive, func(i, j int) bool {
 		return report.Responsive[i] < report.Responsive[j]
 	})
 	report.Elapsed = time.Since(start)
 	return report, runErr
+}
+
+// reserveProbe claims one probe slot under the max budget; it reports
+// false once the budget is spent, without ever overshooting.
+func reserveProbe(probed *atomic.Uint64, max uint64) bool {
+	for {
+		cur := probed.Load()
+		if cur >= max {
+			return false
+		}
+		if probed.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
 }
 
 // ParseExclusions reads a ZMap-style exclusion file: one CIDR prefix or

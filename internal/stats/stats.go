@@ -86,16 +86,20 @@ func LinearFit(xs, ys []float64) (slope, intercept float64) {
 
 // Histogram counts values into the given bucket boundaries: result[i]
 // counts xs in [bounds[i], bounds[i+1]); the final bucket is open-ended.
+// Values below bounds[0] fall outside every bucket and are dropped.
 func Histogram(xs []float64, bounds []float64) []int {
 	out := make([]int, len(bounds))
 	for _, x := range xs {
+		// idx is the first bound > x, so x belongs to bucket idx-1; an
+		// idx of 0 means x sits below the first bound.
 		idx := sort.SearchFloat64s(bounds, x)
-		if idx > 0 && (idx == len(bounds) || bounds[idx] != x) {
-			idx--
+		if idx < len(bounds) && bounds[idx] == x {
+			idx++
 		}
-		if idx < len(out) {
-			out[idx]++
+		if idx == 0 {
+			continue
 		}
+		out[idx-1]++
 	}
 	return out
 }

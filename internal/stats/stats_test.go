@@ -63,11 +63,53 @@ func TestLinearFit(t *testing.T) {
 func TestHistogram(t *testing.T) {
 	bounds := []float64{0, 10, 20}
 	got := Histogram([]float64{0, 5, 10, 15, 25, -1}, bounds)
-	// [0,10): 0,5 → 2; [10,20): 10,15 → 2; [20,∞): 25 → 1; -1 dropped...
-	// SearchFloat64s(-1) = 0 and bounds[0] != -1 → idx stays 0? It lands
-	// in bucket 0 by construction.
-	if got[1] != 2 || got[2] != 1 {
-		t.Errorf("Histogram = %v", got)
+	// [0,10): 0,5 → 2; [10,20): 10,15 → 2; [20,∞): 25 → 1; -1 below
+	// bounds[0] is dropped.
+	want := []int{2, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Histogram = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestHistogramBoundaries is the regression test for the documented
+// [bounds[i], bounds[i+1]) semantics: values below bounds[0] must be
+// dropped, not folded into the first bucket, and every boundary value
+// belongs to the bucket it opens.
+func TestHistogramBoundaries(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	cases := []struct {
+		x    float64
+		want []int
+	}{
+		{0.999, []int{0, 0, 0}}, // below the first bound: dropped
+		{-5, []int{0, 0, 0}},
+		{1, []int{1, 0, 0}}, // exactly on a bound: opens that bucket
+		{1.5, []int{1, 0, 0}},
+		{2, []int{0, 1, 0}},
+		{3.999, []int{0, 1, 0}},
+		{4, []int{0, 0, 1}},
+		{1e9, []int{0, 0, 1}}, // final bucket is open-ended
+	}
+	for _, c := range cases {
+		got := Histogram([]float64{c.x}, bounds)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("Histogram(%v) = %v, want %v", c.x, got, c.want)
+				break
+			}
+		}
+	}
+	// A mixed batch sums the per-value placements; total counted = total
+	// values minus the below-range ones.
+	got := Histogram([]float64{-1, 0, 1, 2, 3, 4, 5}, bounds)
+	total := 0
+	for _, c := range got {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("mixed batch counted %d values (%v), want 5 (two below range)", total, got)
 	}
 }
 

@@ -62,7 +62,7 @@ else
         n=$((n + 1))
     done
 fi
-bench="${BENCH:-BenchmarkSparseCount|BenchmarkIntersect|BenchmarkSelect$|BenchmarkRank$|BenchmarkRunAll$|BenchmarkBuildWorld$|BenchmarkChurnStep$|BenchmarkAblationCounting}"
+bench="${BENCH:-BenchmarkSparseCount|BenchmarkIntersect|BenchmarkSelect$|BenchmarkRank$|BenchmarkRunAll$|BenchmarkBuildWorld$|BenchmarkChurnStep$|BenchmarkScanCycle|BenchmarkAblationCounting}"
 benchtime="${BENCHTIME:-}"
 
 args="-run=^$ -bench=$bench -count=1"

@@ -174,6 +174,17 @@ type (
 	SimProber = scan.SimProber
 	// TCPProber performs real TCP connect probes with banner grabbing.
 	TCPProber = scan.TCPProber
+	// ScanCampaign runs the live feedback loop: scan, convert the results
+	// into a census snapshot, re-select, and scan the tightened plan.
+	ScanCampaign = scan.Campaign
+	// ScanCycle is one completed scan-and-reselect campaign iteration.
+	ScanCycle = scan.Cycle
+	// ScanCheckpoint is the serialized cursor state of an interrupted
+	// scan cycle (see Scanner.Checkpoint / Scanner.Resume).
+	ScanCheckpoint = scan.Checkpoint
+	// ScanShard is one worker's (or machine's) disjoint slice of a scan
+	// permutation cycle.
+	ScanShard = scan.Shard
 )
 
 // NewScanner validates cfg and builds a scanner.
@@ -187,6 +198,12 @@ func NewSimProber(responsive []Addr, lossRate float64, seed int64) (*SimProber, 
 // ParseExclusions reads a ZMap-style exclusion list (one CIDR or address
 // per line, '#' comments).
 func ParseExclusions(r io.Reader) ([]Prefix, error) { return scan.ParseExclusions(r) }
+
+// ReadScanCheckpoint parses a checkpoint written by WriteScanCheckpoint.
+func ReadScanCheckpoint(r io.Reader) (*ScanCheckpoint, error) { return scan.ReadCheckpoint(r) }
+
+// WriteScanCheckpoint serializes an interrupted cycle's cursor state.
+func WriteScanCheckpoint(w io.Writer, cp *ScanCheckpoint) error { return scan.WriteCheckpoint(w, cp) }
 
 // ExtractMRT reduces an MRT TABLE_DUMP_V2 RIB stream to an announced
 // table with origin ASes (the CAIDA pfx2as reduction). skipped counts

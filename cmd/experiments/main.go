@@ -4,7 +4,8 @@
 // Usage:
 //
 //	experiments [-seed N] [-scale F] [-months N] [-workers N]
-//	            [-countcache] [-blocksize N] [-prebuildsets]
+//	            [-countcache] [-countcachecap N] [-blocksize N]
+//	            [-prebuildsets] [-incremental]
 //	            [-cpuprofile F] [-memprofile F] [-run id,id,...] [-list]
 //
 // -scale 1.0 (default) is the paper-scale universe (≈3.7 B allocated
@@ -44,6 +45,8 @@ func main() {
 		run        = flag.String("run", "", "comma-separated experiment ids (default: all)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		countcache = flag.Bool("countcache", true, "memoize per-(snapshot,partition) host counts across experiments (output is identical either way)")
+		cachecap   = flag.Int("countcachecap", 0, "LRU entry cap of the count cache: 0 = default bound, negative = unbounded")
+		increment  = flag.Bool("incremental", false, "build the monthly series through the churn-native delta pipeline and reseed campaigns incrementally (output is identical either way)")
 		blocksize  = flag.Int("blocksize", addrset.DefaultBlockSize, "addresses per block in the block-indexed set layout")
 		prebuild   = flag.Bool("prebuildsets", false, "build snapshot set indexes eagerly during world building (output is identical either way)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -84,7 +87,11 @@ func main() {
 		stop()
 	}()
 
-	cfg := experiment.Config{Seed: *seed, Months: *months, Scale: *scale, Workers: *workers, NoCountCache: !*countcache, PrebuildSets: *prebuild}
+	cfg := experiment.Config{
+		Seed: *seed, Months: *months, Scale: *scale, Workers: *workers,
+		NoCountCache: !*countcache, CountCacheCap: *cachecap,
+		PrebuildSets: *prebuild, Incremental: *increment,
+	}
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "building universe (seed=%d scale=%g months=%d workers=%d)...\n",
 		*seed, *scale, *months, *workers)

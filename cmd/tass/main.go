@@ -69,8 +69,9 @@ func usage() {
   tass stats  -pfx2as TABLE
   tass diff   -a ADDRS -b ADDRS
   tass scan   -targets PREFIXES (-sim ADDRS | -port N) [-cycles N] [-phi F]
-              [-rate F] [-burst N] [-workers N] [-shard I -shards N]
-              [-checkpoint FILE] [-exclude FILE] [-seed N] [-max N] [-loss F]`)
+              [-incremental] [-rate F] [-burst N] [-workers N]
+              [-shard I -shards N] [-checkpoint FILE] [-exclude FILE]
+              [-seed N] [-max N] [-loss F]`)
 }
 
 func loadTable(path string) (*tass.Table, error) {
@@ -230,6 +231,7 @@ func runScan(args []string) error {
 	port := fs.Int("port", 0, "TCP connect port for real probes (careful: scan only networks you own)")
 	cycles := fs.Int("cycles", 1, "feedback cycles: >1 re-selects from each cycle's results")
 	phi := fs.Float64("phi", 0.95, "host coverage target φ for re-selection (with -cycles > 1)")
+	incremental := fs.Bool("incremental", false, "re-select by applying each cycle's scan-result delta to a maintained ranking (with -cycles > 1; plans are identical either way)")
 	rate := fs.Float64("rate", 0, "probes per second (0 = unlimited)")
 	burst := fs.Int("burst", 0, "rate limiter burst (default 64)")
 	workers := fs.Int("workers", 0, "concurrent probe workers (default 16)")
@@ -255,6 +257,9 @@ func runScan(args []string) error {
 	}
 	if *cycles > 1 && *max > 0 {
 		return fmt.Errorf("scan: -max applies to single cycles only (campaign cycles scan their full plan)")
+	}
+	if *incremental && *cycles <= 1 {
+		return fmt.Errorf("scan: -incremental applies to campaigns (-cycles > 1); a single cycle has no prior ranking to repair")
 	}
 
 	prefixes, err := loadPrefixFile(*targetsPath)
@@ -290,15 +295,16 @@ func runScan(args []string) error {
 
 	if *cycles > 1 {
 		c := &tass.ScanCampaign{
-			Universe: targets,
-			Prober:   prober,
-			Opts:     tass.Options{Phi: *phi},
-			Rate:     *rate,
-			Burst:    *burst,
-			Workers:  *workers,
-			Seed:     *seed,
-			Exclude:  exclude,
-			Cache:    tass.NewCountCache(),
+			Universe:    targets,
+			Prober:      prober,
+			Opts:        tass.Options{Phi: *phi},
+			Rate:        *rate,
+			Burst:       *burst,
+			Workers:     *workers,
+			Seed:        *seed,
+			Exclude:     exclude,
+			Cache:       tass.NewCountCache(),
+			Incremental: *incremental,
 		}
 		done, err := c.Run(ctx, *cycles)
 		for _, cy := range done {

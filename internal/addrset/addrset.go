@@ -49,6 +49,28 @@ type Set struct {
 	// semantics, matching the merge walk) — so blocks are ascending
 	// but not necessarily strictly.
 	data []byte
+
+	// mods is the copy-on-write delta overlay: per-block delta streams
+	// that override the contiguous data payload. A set freshly built by
+	// a Builder has no overlay; ApplyDelta produces sets whose touched
+	// blocks live here while untouched blocks keep sharing the parent's
+	// data. Compact flattens the overlay back into one contiguous
+	// payload (see delta.go for the policy).
+	mods map[int][]byte
+}
+
+// blockStream returns block bi's delta stream: the overlay slice when
+// the block has been rewritten by ApplyDelta, the shared contiguous
+// payload otherwise. The stream holds blockLen(bi)-1 uvarint deltas
+// (possibly followed by other blocks' bytes — decoders count, they do
+// not measure).
+func (s *Set) blockStream(bi int) []byte {
+	if s.mods != nil {
+		if b, ok := s.mods[bi]; ok {
+			return b
+		}
+	}
+	return s.data[s.offs[bi]:]
 }
 
 // FromSorted builds a Set from an ascending address slice. Duplicates
@@ -76,8 +98,17 @@ func (s *Set) BlockSize() int { return s.bsize }
 func (s *Set) Blocks() int { return len(s.mins) }
 
 // Bytes returns the memory footprint of the compressed payload (the
-// delta stream only, excluding the skip index).
-func (s *Set) Bytes() int { return len(s.data) }
+// delta stream plus any copy-on-write overlay, excluding the skip
+// index). For a set produced by ApplyDelta the contiguous payload is
+// shared with its parent, so summing Bytes across a delta chain counts
+// the shared bytes repeatedly.
+func (s *Set) Bytes() int {
+	n := len(s.data)
+	for _, stream := range s.mods {
+		n += len(stream)
+	}
+	return n
+}
 
 // Min returns the smallest address; ok is false for an empty set.
 func (s *Set) Min() (netaddr.Addr, bool) {
@@ -104,9 +135,10 @@ func (s *Set) decodeBlock(bi int, buf []netaddr.Addr) []netaddr.Addr {
 	buf = buf[:0]
 	v := s.mins[bi]
 	buf = append(buf, v)
-	pos := s.offs[bi]
+	stream := s.blockStream(bi)
+	pos := 0
 	for k := 1; k < s.blockLen(bi); k++ {
-		d, n := binary.Uvarint(s.data[pos:])
+		d, n := binary.Uvarint(stream[pos:])
 		pos += n
 		v += netaddr.Addr(d)
 		buf = append(buf, v)
@@ -122,9 +154,10 @@ func (s *Set) Walk(yield func(netaddr.Addr) bool) {
 		if !yield(v) {
 			return
 		}
-		pos := s.offs[bi]
+		stream := s.blockStream(bi)
+		pos := 0
 		for k := 1; k < s.blockLen(bi); k++ {
-			d, n := binary.Uvarint(s.data[pos:])
+			d, n := binary.Uvarint(stream[pos:])
 			pos += n
 			v += netaddr.Addr(d)
 			if !yield(v) {
@@ -160,9 +193,10 @@ func (s *Set) Contains(a netaddr.Addr) bool {
 	if v == a {
 		return true
 	}
-	pos := s.offs[bi]
+	stream := s.blockStream(bi)
+	pos := 0
 	for k := 1; k < s.blockLen(bi); k++ {
-		d, n := binary.Uvarint(s.data[pos:])
+		d, n := binary.Uvarint(stream[pos:])
 		pos += n
 		v += netaddr.Addr(d)
 		if v >= a {

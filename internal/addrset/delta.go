@@ -1,0 +1,234 @@
+package addrset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// ApplyDelta returns the set with the born addresses inserted and the
+// died addresses removed. Both inputs must be strictly ascending; every
+// born address must be absent from the set and every died address
+// present (the census snapshot shape — duplicate-free deltas over a
+// duplicate-free set).
+//
+// The result is a copy-on-write overlay over the receiver: only blocks
+// the delta touches are decoded and re-encoded (into the mods overlay,
+// split back to the block size when a block outgrows it), untouched
+// blocks keep sharing the receiver's payload bytes and overlay entries.
+// The skip index is rebuilt partially — entries before the first
+// touched block are block-copied, the cumulative prefix sum is
+// recomputed only from that block on. Cost is O(touched blocks ·
+// blocksize + blocks) rather than O(n). When the overlay has grown past
+// half the block count the result is compacted (flattened into one
+// contiguous payload) before being returned, so chains of monthly
+// deltas stay within a constant factor of a freshly built set.
+//
+// The receiver is not modified and remains valid; with an empty delta
+// it is returned unchanged.
+func (s *Set) ApplyDelta(born, died []netaddr.Addr) (*Set, error) {
+	if err := checkStrictAscending(born, "born"); err != nil {
+		return nil, err
+	}
+	if err := checkStrictAscending(died, "died"); err != nil {
+		return nil, err
+	}
+	if len(born) == 0 && len(died) == 0 {
+		return s, nil
+	}
+	if s.n == 0 {
+		if len(died) > 0 {
+			return nil, fmt.Errorf("addrset: delta died %v not in set", died[0])
+		}
+		return FromSorted(born, s.bsize), nil
+	}
+
+	nb := len(s.mins)
+	out := &Set{bsize: s.bsize, data: s.data}
+
+	// Partial index rebuild: blocks strictly before the first touched
+	// one carry over verbatim — same indices, same streams, same
+	// cumulative counts — so their index entries are block-copied and
+	// the prefix sum is only recomputed from the first touched block on.
+	first := nb
+	if len(died) > 0 {
+		if bi := blockOf(s, died[0]); bi < first {
+			first = bi
+		}
+	}
+	if len(born) > 0 {
+		if bi := blockOf(s, born[0]); bi < first {
+			first = bi
+		}
+	}
+	grow := (len(born) + s.bsize - 1) / s.bsize
+	out.mins = make([]netaddr.Addr, first, nb+grow)
+	out.maxs = make([]netaddr.Addr, first, nb+grow)
+	out.offs = make([]int, first, nb+grow)
+	out.cum = make([]int, first+1, nb+grow+1)
+	copy(out.mins, s.mins[:first])
+	copy(out.maxs, s.maxs[:first])
+	copy(out.offs, s.offs[:first])
+	copy(out.cum, s.cum[:first+1])
+	out.n = s.cum[first]
+	out.mods = make(map[int][]byte, len(s.mods)+min(len(born)+len(died), nb-first))
+	for bi, stream := range s.mods {
+		if bi < first {
+			out.mods[bi] = stream
+		}
+	}
+
+	b, d := 0, 0
+	var dec, merged []netaddr.Addr
+	for bi := first; bi < nb; bi++ {
+		// Born addresses destined for this block: everything below the
+		// next block's min (the last block takes all the rest). Died
+		// addresses inside this block: everything at or below its max.
+		bornHi := len(born)
+		if bi+1 < nb {
+			m := s.mins[bi+1]
+			bornHi = b + sort.Search(len(born)-b, func(i int) bool { return born[b+i] >= m })
+		}
+		mx := s.maxs[bi]
+		diedHi := d + sort.Search(len(died)-d, func(i int) bool { return died[d+i] > mx })
+		if b == bornHi && d == diedHi {
+			out.appendCarried(s, bi)
+			continue
+		}
+		dec = s.decodeBlock(bi, dec)
+		var err error
+		merged, err = mergeDelta(merged[:0], dec, born[b:bornHi], died[d:diedHi])
+		if err != nil {
+			return nil, err
+		}
+		b, d = bornHi, diedHi
+		out.appendEncoded(merged)
+	}
+	if d < len(died) {
+		return nil, fmt.Errorf("addrset: delta died %v not in set", died[d])
+	}
+
+	// Compaction policy: once the overlay covers more than half the
+	// blocks, most lookups pay the map indirection and the shared
+	// payload is mostly dead weight; flatten back to one contiguous
+	// stream. Amortized over the >blocks/2 block rewrites that got us
+	// here, the O(n) rebuild keeps ApplyDelta chains linear in churn.
+	if len(out.mods)*2 > len(out.mins) {
+		return out.Compact(), nil
+	}
+	return out, nil
+}
+
+// Compact flattens the copy-on-write overlay into a freshly encoded
+// contiguous set (fixed-population blocks, no overlay). Sets without an
+// overlay are returned unchanged.
+func (s *Set) Compact() *Set {
+	if len(s.mods) == 0 {
+		return s
+	}
+	b := NewBuilder(s.bsize, s.n)
+	s.Walk(func(a netaddr.Addr) bool {
+		// Walk yields ascending addresses, the only Append error.
+		_ = b.Append(a)
+		return true
+	})
+	return b.Finish()
+}
+
+// Overlay reports the size of the copy-on-write overlay: how many
+// blocks have been rewritten by ApplyDelta since the last compaction.
+func (s *Set) Overlay() int { return len(s.mods) }
+
+// blockOf returns the index of the rightmost block whose min is <= a
+// (0 when a precedes every block): the block a lives in if present, or
+// the block an insertion of a would rewrite.
+func blockOf(s *Set, a netaddr.Addr) int {
+	bi := sort.Search(len(s.mins), func(i int) bool { return s.mins[i] > a }) - 1
+	if bi < 0 {
+		return 0
+	}
+	return bi
+}
+
+// appendCarried copies block bi of parent — index entry, stream
+// (overlay or contiguous), population — as the receiver's next block.
+func (o *Set) appendCarried(parent *Set, bi int) {
+	newBi := len(o.mins)
+	o.mins = append(o.mins, parent.mins[bi])
+	o.maxs = append(o.maxs, parent.maxs[bi])
+	o.offs = append(o.offs, parent.offs[bi])
+	if parent.mods != nil {
+		if stream, ok := parent.mods[bi]; ok {
+			o.mods[newBi] = stream
+		}
+	}
+	cnt := parent.blockLen(bi)
+	o.n += cnt
+	o.cum = append(o.cum, o.n)
+}
+
+// appendEncoded re-encodes a merged block's addresses into the overlay,
+// splitting back to the block size when the merge outgrew it. Empty
+// merges (every address died) emit no block at all.
+func (o *Set) appendEncoded(addrs []netaddr.Addr) {
+	var buf [binary.MaxVarintLen64]byte
+	for len(addrs) > 0 {
+		n := min(o.bsize, len(addrs))
+		blk := addrs[:n]
+		addrs = addrs[n:]
+		stream := make([]byte, 0, 2*n)
+		prev := blk[0]
+		for _, a := range blk[1:] {
+			stream = append(stream, buf[:binary.PutUvarint(buf[:], uint64(a-prev))]...)
+			prev = a
+		}
+		newBi := len(o.mins)
+		o.mins = append(o.mins, blk[0])
+		o.maxs = append(o.maxs, blk[n-1])
+		o.offs = append(o.offs, 0) // unused: the stream lives in mods
+		o.mods[newBi] = stream
+		o.n += n
+		o.cum = append(o.cum, o.n)
+	}
+}
+
+// mergeDelta merges base with born and removes died, appending to dst.
+// All three inputs are ascending; born and died are confined to base's
+// block range by the caller.
+func mergeDelta(dst, base, born, died []netaddr.Addr) ([]netaddr.Addr, error) {
+	b, d := 0, 0
+	for _, a := range base {
+		if d < len(died) && died[d] < a {
+			return nil, fmt.Errorf("addrset: delta died %v not in set", died[d])
+		}
+		if d < len(died) && died[d] == a {
+			d++
+			continue
+		}
+		for b < len(born) && born[b] < a {
+			dst = append(dst, born[b])
+			b++
+		}
+		if b < len(born) && born[b] == a {
+			return nil, fmt.Errorf("addrset: delta born %v already in set", born[b])
+		}
+		dst = append(dst, a)
+	}
+	if d < len(died) {
+		return nil, fmt.Errorf("addrset: delta died %v not in set", died[d])
+	}
+	return append(dst, born[b:]...), nil
+}
+
+// checkStrictAscending validates a delta side: strictly ascending,
+// duplicate-free.
+func checkStrictAscending(addrs []netaddr.Addr, side string) error {
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i] <= addrs[i-1] {
+			return fmt.Errorf("addrset: delta %s not strictly ascending at %v", side, addrs[i])
+		}
+	}
+	return nil
+}

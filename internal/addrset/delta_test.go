@@ -1,0 +1,200 @@
+package addrset
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// applyReference computes the expected result of ApplyDelta on plain
+// sorted slices.
+func applyReference(base, born, died []netaddr.Addr) []netaddr.Addr {
+	out := make([]netaddr.Addr, 0, len(base)+len(born))
+	d := 0
+	for _, a := range base {
+		if d < len(died) && died[d] == a {
+			d++
+			continue
+		}
+		out = append(out, a)
+	}
+	out = append(out, born...)
+	slices.Sort(out)
+	return out
+}
+
+// randomDelta draws a delta from base: each address dies with
+// probability pDie, and pBorn*len(base) fresh addresses (absent from
+// base) are born.
+func randomDelta(rng *rand.Rand, base []netaddr.Addr, pDie, pBorn float64, span uint32) (born, died []netaddr.Addr) {
+	present := make(map[netaddr.Addr]bool, len(base))
+	for _, a := range base {
+		present[a] = true
+	}
+	for _, a := range base {
+		if rng.Float64() < pDie {
+			died = append(died, a)
+		}
+	}
+	want := int(pBorn * float64(len(base)))
+	seen := make(map[netaddr.Addr]bool)
+	for len(born) < want {
+		a := netaddr.Addr(rng.Uint32() % span)
+		if present[a] || seen[a] {
+			continue
+		}
+		seen[a] = true
+		born = append(born, a)
+	}
+	slices.Sort(born)
+	return born, died
+}
+
+func randomBase(rng *rand.Rand, n int, span uint32) []netaddr.Addr {
+	seen := make(map[netaddr.Addr]bool, n)
+	out := make([]netaddr.Addr, 0, n)
+	for len(out) < n {
+		a := netaddr.Addr(rng.Uint32() % span)
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		out = append(out, a)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// checkEqualSets verifies a set matches a sorted reference slice in
+// contents, counts and random-range counting.
+func checkEqualSets(t *testing.T, rng *rand.Rand, s *Set, want []netaddr.Addr) {
+	t.Helper()
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+	}
+	got := s.AppendTo(nil)
+	if !slices.Equal(got, want) {
+		t.Fatalf("contents diverge: got %d addrs, want %d", len(got), len(want))
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := netaddr.Addr(rng.Uint32())
+		hi := lo + netaddr.Addr(rng.Uint32()%(1<<24))
+		if hi < lo {
+			hi = ^netaddr.Addr(0)
+		}
+		wantN := 0
+		for _, a := range want {
+			if a >= lo && a <= hi {
+				wantN++
+			}
+		}
+		if gotN := s.CountRange(lo, hi); gotN != wantN {
+			t.Fatalf("CountRange(%v, %v) = %d, want %d", lo, hi, gotN, wantN)
+		}
+	}
+}
+
+func TestApplyDeltaMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		base := randomBase(rng, 50+rng.Intn(2000), 1<<26)
+		s := FromSorted(base, 32)
+		born, died := randomDelta(rng, base, 0.1, 0.1, 1<<26)
+		next, err := s.ApplyDelta(born, died)
+		if err != nil {
+			t.Fatalf("trial %d: ApplyDelta: %v", trial, err)
+		}
+		checkEqualSets(t, rng, next, applyReference(base, born, died))
+		// The parent must be untouched by the copy-on-write apply.
+		checkEqualSets(t, rng, s, base)
+	}
+}
+
+func TestApplyDeltaChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := randomBase(rng, 3000, 1<<24)
+	s := FromSorted(base, 64)
+	cur := base
+	compacted := false
+	for month := 0; month < 12; month++ {
+		born, died := randomDelta(rng, cur, 0.05, 0.05, 1<<24)
+		next, err := s.ApplyDelta(born, died)
+		if err != nil {
+			t.Fatalf("month %d: %v", month, err)
+		}
+		cur = applyReference(cur, born, died)
+		checkEqualSets(t, rng, next, cur)
+		if next.Overlay()*2 > next.Blocks() {
+			t.Fatalf("month %d: overlay %d of %d blocks survived past the compaction threshold", month, next.Overlay(), next.Blocks())
+		}
+		if next.Overlay() == 0 && len(born)+len(died) > 0 {
+			compacted = true
+		}
+		s = next
+	}
+	if !compacted {
+		t.Fatal("a 12-month churn chain never hit the compaction threshold")
+	}
+}
+
+func TestApplyDeltaEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := randomBase(rng, 500, 1<<20)
+	s := FromSorted(base, 16)
+
+	// Empty delta: the very same set comes back.
+	same, err := s.ApplyDelta(nil, nil)
+	if err != nil || same != s {
+		t.Fatalf("empty delta: got (%p, %v), want the receiver back", same, err)
+	}
+
+	// Full churn: everything dies, a disjoint population is born.
+	reborn := make([]netaddr.Addr, len(base))
+	for i, a := range base {
+		reborn[i] = a + 1<<20
+	}
+	next, err := s.ApplyDelta(reborn, base)
+	if err != nil {
+		t.Fatalf("full churn: %v", err)
+	}
+	checkEqualSets(t, rng, next, reborn)
+
+	// Everything dies, nothing is born.
+	empty, err := s.ApplyDelta(nil, base)
+	if err != nil {
+		t.Fatalf("all died: %v", err)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("all died: %d addresses remain", empty.Len())
+	}
+
+	// Applying onto an empty set.
+	fromEmpty, err := (&Set{bsize: 16}).ApplyDelta(base, nil)
+	if err != nil {
+		t.Fatalf("empty base: %v", err)
+	}
+	checkEqualSets(t, rng, fromEmpty, base)
+}
+
+func TestApplyDeltaRejectsBadInput(t *testing.T) {
+	base := []netaddr.Addr{10, 20, 30, 40}
+	s := FromSorted(base, 2)
+	cases := []struct {
+		name       string
+		born, died []netaddr.Addr
+	}{
+		{"died absent (gap)", nil, []netaddr.Addr{25}},
+		{"died absent (below)", nil, []netaddr.Addr{5}},
+		{"died absent (above)", nil, []netaddr.Addr{50}},
+		{"born present", []netaddr.Addr{20}, nil},
+		{"born unsorted", []netaddr.Addr{7, 5}, nil},
+		{"died duplicate", nil, []netaddr.Addr{20, 20}},
+	}
+	for _, tc := range cases {
+		if _, err := s.ApplyDelta(tc.born, tc.died); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

@@ -8,44 +8,84 @@ import (
 	"github.com/tass-scan/tass/internal/rib"
 )
 
-// CountCache memoizes per-prefix host counts by (snapshot, partition)
-// identity. The phi-grid and the multi-figure experiment engine rank
-// the same seed snapshot over the same universe again and again; with a
-// shared cache each (snapshot, partition) pair is counted exactly once,
+// CountCache memoizes per-prefix host counts by (snapshot, generation,
+// partition) identity. The phi-grid and the multi-figure experiment
+// engine rank the same seed snapshot over the same universe again and
+// again; with a shared cache each pair is counted exactly once,
 // concurrent requests for the same pair block on a single computation,
 // and every later request is a map lookup.
 //
 // Identity is pointer identity: the *Snapshot and the backing array of
-// the partition's prefix slice. Both are immutable by contract, so the
-// cached counts can never go stale. A nil *CountCache is valid and
-// simply computes every request (no memoization), which keeps call
-// sites free of conditionals.
+// the partition's prefix slice, plus the snapshot's mutation
+// generation. Snapshots and partitions are immutable by contract except
+// through Snapshot.Apply, which bumps the generation — so cached counts
+// can never go stale. A nil *CountCache is valid and simply computes
+// every request (no memoization), which keeps call sites free of
+// conditionals.
+//
+// The cache is bounded: once it holds more than its entry cap the
+// least-recently-used entry is evicted, so a long-running campaign that
+// feeds a fresh snapshot into every cycle cannot grow it without limit.
+// Eviction only ever costs a recomputation, never correctness.
 type CountCache struct {
-	mu sync.Mutex
-	m  map[countKey]*countEntry
+	mu         sync.Mutex
+	m          map[countKey]*countEntry
+	cap        int
+	head, tail *countEntry // LRU list: head is most recently used
 
 	hits, misses atomic.Int64
 }
 
-// countKey identifies a (snapshot, partition) pair. Partitions are
-// value types; their identity is the backing array of the prefix slice
-// plus its length (Subset and the trie builders always allocate fresh
-// arrays).
+// DefaultCountCacheEntries is the entry cap of NewCountCache. Each
+// entry holds one int per partition prefix, so the default bounds the
+// cache near cap × partition-size ints.
+const DefaultCountCacheEntries = 4096
+
+// countKey identifies a (snapshot, generation, partition) triple.
+// Partitions are value types; their identity is the backing array of
+// the prefix slice plus its length (Subset and the trie builders always
+// allocate fresh arrays).
 type countKey struct {
 	snap *Snapshot
+	gen  uint64
 	part *netaddr.Prefix
 	n    int
 }
 
 type countEntry struct {
-	once    sync.Once
-	counts  []int
-	outside int
+	key        countKey
+	prev, next *countEntry
+	once       sync.Once
+	counts     []int
+	outside    int
 }
 
-// NewCountCache returns an empty cache.
-func NewCountCache() *CountCache {
-	return &CountCache{m: make(map[countKey]*countEntry)}
+// NewCountCache returns an empty cache bounded at
+// DefaultCountCacheEntries entries.
+func NewCountCache() *CountCache { return NewCountCacheCap(DefaultCountCacheEntries) }
+
+// NewCountCacheCap returns an empty cache evicting least-recently-used
+// entries beyond maxEntries; maxEntries <= 0 means unbounded.
+func NewCountCacheCap(maxEntries int) *CountCache {
+	return &CountCache{m: make(map[countKey]*countEntry), cap: maxEntries}
+}
+
+// Cap returns the entry cap (0 means unbounded).
+func (c *CountCache) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return c.cap
+}
+
+// Len returns the number of resident entries.
+func (c *CountCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
 }
 
 func partKey(p rib.Partition) *netaddr.Prefix {
@@ -54,6 +94,33 @@ func partKey(p rib.Partition) *netaddr.Prefix {
 		return nil
 	}
 	return &ps[0]
+}
+
+// unlink removes e from the LRU list. Callers hold c.mu.
+func (c *CountCache) unlink(e *countEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry. Callers hold c.mu.
+func (c *CountCache) pushFront(e *countEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
 }
 
 // Counts returns, for each partition prefix, how many of the snapshot's
@@ -68,12 +135,23 @@ func (c *CountCache) Counts(snap *Snapshot, p rib.Partition, workers int) (count
 	if c == nil {
 		return CountAddrsSharded(snap.Addrs, p, workers)
 	}
-	key := countKey{snap: snap, part: partKey(p), n: p.Len()}
+	key := countKey{snap: snap, gen: snap.Generation(), part: partKey(p), n: p.Len()}
 	c.mu.Lock()
 	e, ok := c.m[key]
-	if !ok {
-		e = &countEntry{}
+	if ok {
+		if c.head != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
+	} else {
+		e = &countEntry{key: key}
 		c.m[key] = e
+		c.pushFront(e)
+		if c.cap > 0 && len(c.m) > c.cap {
+			evict := c.tail
+			c.unlink(evict)
+			delete(c.m, evict.key)
+		}
 	}
 	c.mu.Unlock()
 	if ok {
@@ -88,7 +166,8 @@ func (c *CountCache) Counts(snap *Snapshot, p rib.Partition, workers int) (count
 }
 
 // Stats reports cache traffic: hits is the number of Counts calls that
-// found an existing entry, misses the number that created one.
+// found an existing entry, misses the number that created one
+// (including entries later evicted).
 func (c *CountCache) Stats() (hits, misses int64) {
 	if c == nil {
 		return 0, 0

@@ -16,6 +16,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/tass-scan/tass/internal/addrset"
 	"github.com/tass-scan/tass/internal/netaddr"
@@ -34,7 +35,22 @@ type Snapshot struct {
 
 	setMu sync.Mutex
 	set   *addrset.Set // memoized block-indexed view of Addrs
+
+	// gen counts in-place mutations (Apply): identity-keyed caches
+	// include it so counts memoized before a mutation are never served
+	// afterwards. Snapshots that are never mutated stay at generation
+	// 0. Atomic rather than setMu-guarded: cache lookups read it on
+	// every hit and must not serialize behind a concurrent first-time
+	// Set() build.
+	gen atomic.Uint64
 }
+
+// Generation returns the snapshot's mutation generation: 0 for a
+// freshly built snapshot, incremented by every in-place Apply. Caches
+// keyed by snapshot identity must key on (pointer, generation) so an
+// in-place delta application invalidates exactly the mutated
+// snapshot's entries.
+func (s *Snapshot) Generation() uint64 { return s.gen.Load() }
 
 // Set returns the block-indexed view of the snapshot's address set,
 // building it on first use and memoizing it. Snapshots parsed by

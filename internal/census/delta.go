@@ -1,0 +1,337 @@
+package census
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/tass-scan/tass/internal/addrset"
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// Delta is the churn between two snapshots of one protocol as sorted
+// address runs: the representation that makes a month (or a scan cycle)
+// cost O(changed addresses) instead of O(universe). Born lists the
+// addresses responsive only in the later snapshot, Died those
+// responsive only in the earlier one; both are strictly ascending and
+// disjoint. ApplyDelta(from, d) reconstructs the later snapshot
+// exactly, so a series can be stored and shipped as one full snapshot
+// plus a delta per month.
+type Delta struct {
+	Protocol           string
+	FromMonth, ToMonth int
+	Born, Died         []netaddr.Addr
+}
+
+// Changed returns the total number of changed addresses.
+func (d *Delta) Changed() int { return len(d.Born) + len(d.Died) }
+
+// Result summarizes the delta as the §3.3 churn decomposition,
+// relative to the earlier snapshot's host count.
+func (d *Delta) Result(fromHosts int) DiffResult {
+	return DiffResult{Kept: fromHosts - len(d.Died), Lost: len(d.Died), New: len(d.Born)}
+}
+
+// Diff returns the delta from s to later: the born/died address runs a
+// single merge walk over both snapshots produces. Both snapshots must
+// belong to one protocol.
+func (s *Snapshot) Diff(later *Snapshot) *Delta {
+	d := &Delta{Protocol: s.Protocol, FromMonth: s.Month, ToMonth: later.Month}
+	a, b := s.Addrs, later.Addrs
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			d.Died = append(d.Died, a[i])
+			i++
+		case a[i] > b[j]:
+			d.Born = append(d.Born, b[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	d.Died = append(d.Died, a[i:]...)
+	d.Born = append(d.Born, b[j:]...)
+	return d
+}
+
+// ApplyDelta reconstructs the later snapshot from an earlier one and
+// the delta between them: ApplyDelta(a, a.Diff(b)) equals b exactly.
+// The address slice is rebuilt by one merge pass; when the earlier
+// snapshot's block-indexed set view has already been built and the
+// delta is sparse relative to the block count, the new view is derived
+// by the copy-on-write overlay apply (O(changed blocks)) instead of
+// being re-encoded from scratch on first use.
+//
+// It errors when the delta does not fit the snapshot: protocol or month
+// mismatch, a born address already present, or a died address missing.
+func ApplyDelta(from *Snapshot, d *Delta) (*Snapshot, error) {
+	addrs, set, err := applyDelta(from, d)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{Protocol: from.Protocol, Month: d.ToMonth, Addrs: addrs, set: set}, nil
+}
+
+// Apply is ApplyDelta in place: the receiver becomes the later
+// snapshot and its generation counter advances, so count caches keyed
+// by (snapshot, generation) stop serving the pre-mutation counts. The
+// old address slice is released, not overwritten — callers that kept a
+// reference keep consistent data. Apply must not race with readers of
+// the snapshot.
+func (s *Snapshot) Apply(d *Delta) error {
+	addrs, set, err := applyDelta(s, d)
+	if err != nil {
+		return err
+	}
+	s.setMu.Lock()
+	s.Month = d.ToMonth
+	s.Addrs = addrs
+	s.set = set
+	s.gen.Add(1)
+	s.setMu.Unlock()
+	return nil
+}
+
+func applyDelta(from *Snapshot, d *Delta) ([]netaddr.Addr, *addrset.Set, error) {
+	if d.Protocol != from.Protocol {
+		return nil, nil, fmt.Errorf("census: delta protocol %q does not match snapshot %q", d.Protocol, from.Protocol)
+	}
+	if d.FromMonth != from.Month {
+		return nil, nil, fmt.Errorf("census: delta from month %d does not match snapshot month %d", d.FromMonth, from.Month)
+	}
+	// A hand-assembled out-of-order run would otherwise merge into a
+	// silently unsorted snapshot; the check costs O(changed), like the
+	// merge itself.
+	for _, run := range [2][]netaddr.Addr{d.Born, d.Died} {
+		for i := 1; i < len(run); i++ {
+			if run[i] <= run[i-1] {
+				return nil, nil, fmt.Errorf("%w: delta run not strictly ascending at %v", ErrFormat, run[i])
+			}
+		}
+	}
+	// Merge by delta events, not by base elements: the unchanged runs
+	// between consecutive born/died addresses — almost everything, at
+	// realistic churn — are block-copied, so the merge costs
+	// O(changed · log n) searches plus one pass of memmove instead of a
+	// branch per address.
+	capHint := len(from.Addrs) + len(d.Born) - len(d.Died)
+	if capHint < 0 {
+		// More died addresses than the snapshot holds: the merge below
+		// reports exactly which one is missing; the hint just must not
+		// make make() panic first.
+		capHint = 0
+	}
+	addrs := make([]netaddr.Addr, 0, capHint)
+	base, born, died := from.Addrs, d.Born, d.Died
+	i, b, dd := 0, 0, 0
+	for b < len(born) || dd < len(died) {
+		var e netaddr.Addr
+		takeBorn := false
+		if b < len(born) && (dd == len(died) || born[b] < died[dd]) {
+			e = born[b]
+			takeBorn = true
+		} else {
+			e = died[dd]
+		}
+		p := netaddr.SeekAddrs(base, i, e)
+		addrs = append(addrs, base[i:p]...)
+		i = p
+		if takeBorn {
+			if i < len(base) && base[i] == e {
+				return nil, nil, fmt.Errorf("census: delta born %v already in snapshot", e)
+			}
+			addrs = append(addrs, e)
+			b++
+		} else {
+			if i == len(base) || base[i] != e {
+				return nil, nil, fmt.Errorf("census: delta died %v not in snapshot", e)
+			}
+			i++
+			dd++
+		}
+	}
+	addrs = append(addrs, base[i:]...)
+
+	// Carry the block-indexed view over only when it exists and the
+	// delta is sparse enough that the overlay apply beats rebuilding
+	// lazily: a delta touching most blocks would pay decode+re-encode
+	// of nearly everything just to hit the compaction threshold.
+	from.setMu.Lock()
+	prevSet := from.set
+	from.setMu.Unlock()
+	if prevSet != nil && d.Changed() < prevSet.Blocks()/2 {
+		set, err := prevSet.ApplyDelta(d.Born, d.Died)
+		if err != nil {
+			return nil, nil, fmt.Errorf("census: %w", err)
+		}
+		return addrs, set, nil
+	}
+	return addrs, nil, nil
+}
+
+// Binary delta format, sharing the snapshot codec's conventions:
+//
+//	magic   [8]byte  "TASSDLT\x01"
+//	proto   uvarint length + bytes
+//	from    uvarint
+//	to      uvarint
+//	born    uvarint count, then count uvarints (first absolute, then deltas >= 1)
+//	died    uvarint count, then count uvarints (first absolute, then deltas >= 1)
+var deltaMagic = [8]byte{'T', 'A', 'S', 'S', 'D', 'L', 'T', 1}
+
+// WriteTo serializes the delta. It implements io.WriterTo.
+func (d *Delta) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	write := func(b []byte) error {
+		m, err := bw.Write(b)
+		n += int64(m)
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		return write(buf[:binary.PutUvarint(buf[:], v)])
+	}
+	if err := write(deltaMagic[:]); err != nil {
+		return n, err
+	}
+	if err := putUvarint(uint64(len(d.Protocol))); err != nil {
+		return n, err
+	}
+	if err := write([]byte(d.Protocol)); err != nil {
+		return n, err
+	}
+	if err := putUvarint(uint64(d.FromMonth)); err != nil {
+		return n, err
+	}
+	if err := putUvarint(uint64(d.ToMonth)); err != nil {
+		return n, err
+	}
+	for _, run := range [][]netaddr.Addr{d.Born, d.Died} {
+		if err := putUvarint(uint64(len(run))); err != nil {
+			return n, err
+		}
+		prev := uint64(0)
+		for i, a := range run {
+			v := uint64(a)
+			if i > 0 {
+				if v <= prev {
+					return n, fmt.Errorf("%w: delta addresses not strictly ascending", ErrFormat)
+				}
+				if err := putUvarint(v - prev); err != nil {
+					return n, err
+				}
+			} else if err := putUvarint(v); err != nil {
+				return n, err
+			}
+			prev = v
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadDelta parses one delta from r. When r is already a *bufio.Reader
+// it is used directly, so back-to-back records in one stream are not
+// disturbed by read-ahead.
+func ReadDelta(r io.Reader) (*Delta, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("census: reading delta magic: %w", err)
+	}
+	if got != deltaMagic {
+		return nil, fmt.Errorf("%w: bad delta magic %q", ErrFormat, got[:])
+	}
+	protoLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("census: %w", err)
+	}
+	if protoLen > 255 {
+		return nil, fmt.Errorf("%w: protocol name length %d", ErrFormat, protoLen)
+	}
+	proto := make([]byte, protoLen)
+	if _, err := io.ReadFull(br, proto); err != nil {
+		return nil, fmt.Errorf("census: %w", err)
+	}
+	from, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("census: %w", err)
+	}
+	to, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("census: %w", err)
+	}
+	d := &Delta{Protocol: string(proto), FromMonth: int(from), ToMonth: int(to)}
+	for side := 0; side < 2; side++ {
+		run, err := readAddrRun(br)
+		if err != nil {
+			return nil, err
+		}
+		if side == 0 {
+			d.Born = run
+		} else {
+			d.Died = run
+		}
+	}
+	// Born and died must be disjoint: check with one merge pass so a
+	// parsed delta upholds the same invariants a Diff-produced one does.
+	i, j := 0, 0
+	for i < len(d.Born) && j < len(d.Died) {
+		switch {
+		case d.Born[i] < d.Died[j]:
+			i++
+		case d.Born[i] > d.Died[j]:
+			j++
+		default:
+			return nil, fmt.Errorf("%w: address %v both born and died", ErrFormat, d.Born[i])
+		}
+	}
+	return d, nil
+}
+
+// readAddrRun decodes one length-prefixed strictly-ascending address
+// run, with the same attacker-controlled-count allocation cap as the
+// snapshot codec.
+func readAddrRun(br *bufio.Reader) ([]netaddr.Addr, error) {
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("census: %w", err)
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("%w: impossible address count %d", ErrFormat, count)
+	}
+	capHint := int(count)
+	if capHint > maxAddrPrealloc {
+		capHint = maxAddrPrealloc
+	}
+	addrs := make([]netaddr.Addr, 0, capHint)
+	prev := uint64(0)
+	for i := 0; i < int(count); i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("census: delta address %d: %w", i, err)
+		}
+		if i > 0 {
+			if v == 0 {
+				return nil, fmt.Errorf("%w: zero delta", ErrFormat)
+			}
+			v += prev
+		}
+		if v > 0xFFFFFFFF {
+			return nil, fmt.Errorf("%w: address overflow", ErrFormat)
+		}
+		addrs = append(addrs, netaddr.Addr(v))
+		prev = v
+	}
+	return addrs, nil
+}

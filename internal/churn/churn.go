@@ -56,6 +56,13 @@ type RunConfig struct {
 	// encode pass, which pays off when most snapshots are counted
 	// through the set index afterwards (paper-scale experiment runs).
 	PrebuildSets bool
+	// Incremental derives every post-seed snapshot from its
+	// predecessor through a native census.Delta emitted by the churn
+	// step itself (see delta.go), instead of re-extracting and
+	// re-sorting the full population each month. The series is
+	// byte-identical either way; the incremental path wins when the
+	// monthly churn is a small share of the population.
+	Incremental bool
 }
 
 // Simulator advances the populations of one universe in place. Every
@@ -72,6 +79,10 @@ type Simulator struct {
 	seed   int64
 	month  int
 	frozen []int32 // reusable start-of-month donor index
+
+	trackers map[string]*tracker   // per-protocol refcounts for StepDeltas
+	recs     [][]addrChange        // reusable per-stripe change records
+	ex       map[string]*extractor // per-protocol arenas for ExtractSnapshot
 }
 
 // New returns a simulator for u seeded with seed.
@@ -82,13 +93,16 @@ func New(u *topo.Universe, seed int64) *Simulator {
 // Month returns the number of Step calls so far.
 func (s *Simulator) Month() int { return s.month }
 
-// Step advances every population by one month.
+// Step advances every population by one month. It does not record
+// address changes, so any delta trackers built by StepDeltas are
+// discarded — the next StepDeltas re-indexes the populations.
 func (s *Simulator) Step() {
+	s.trackers = nil
 	s.month++
 	for _, name := range s.u.Protocols() {
 		pop := s.u.Pops[name]
 		s.frozen = freezeDonors(pop, s.frozen)
-		stepPop(s.u, pop, topo.ProtoSeed(s.seed, name), s.month, s.Workers, s.frozen)
+		stepPop(s.u, pop, topo.ProtoSeed(s.seed, name), s.month, s.Workers, s.frozen, nil)
 	}
 }
 
@@ -121,8 +135,12 @@ func freezeDonors(pop *topo.Population, buf []int32) []int32 {
 // out over DefaultStripes substreams on up to workers goroutines. It
 // mutates only pop; the universe and the frozen donor index are
 // read-only, and each stripe writes only its own host range, so
-// distinct populations and stripes may be stepped concurrently.
-func stepPop(u *topo.Universe, pop *topo.Population, protoSeed int64, month, workers int, donors []int32) {
+// distinct populations and stripes may be stepped concurrently. When
+// recs is non-nil it must hold one slot per stripe; each stripe
+// appends its (old, new) address changes to its own slot, so recording
+// never synchronizes and the recorded set is independent of the worker
+// count.
+func stepPop(u *topo.Universe, pop *topo.Population, protoSeed int64, month, workers int, donors []int32, recs [][]addrChange) {
 	hosts := pop.Hosts
 	n := len(hosts)
 	if n == 0 {
@@ -132,12 +150,19 @@ func stepPop(u *topo.Universe, pop *topo.Population, protoSeed int64, month, wor
 	par.ForEachChunk(n, workers, chunk, func(lo, hi int) {
 		stripe := lo / chunk
 		rng := topo.NewRNG(topo.MixSeed(protoSeed, uint64(stripe), uint64(month)))
-		stepHosts(u, pop, hosts[lo:hi], donors, rng)
+		var rec *[]addrChange
+		if recs != nil {
+			rec = &recs[stripe]
+		}
+		stepHosts(u, pop, hosts[lo:hi], donors, rng, rec)
 	})
 }
 
-// stepHosts walks one stripe of hosts on its own substream.
-func stepHosts(u *topo.Universe, pop *topo.Population, hosts []topo.Host, donors []int32, rng *topo.RNG) {
+// stepHosts walks one stripe of hosts on its own substream, appending
+// every host's address change to rec when recording is on. The RNG
+// schedule is identical with and without recording — delta emission
+// must never change the simulated series.
+func stepHosts(u *topo.Universe, pop *topo.Population, hosts []topo.Host, donors []int32, rng *topo.RNG, rec *[]addrChange) {
 	prof := &pop.Profile
 	// Hoist the two branch thresholds every host compares against; the
 	// rest of the profile is only read on the rare churn branches.
@@ -145,6 +170,7 @@ func stepHosts(u *topo.Universe, pop *topo.Population, hosts []topo.Host, donors
 	moveEnd := prof.DeathRate + prof.MoveRate
 	for i := range hosts {
 		h := &hosts[i]
+		old := h.Addr
 		r := rng.Float64()
 		switch {
 		case r < deathRate:
@@ -195,6 +221,9 @@ func stepHosts(u *topo.Universe, pop *topo.Population, hosts []topo.Host, donors
 				}
 			}
 			h.Addr = topo.RandomAddrIn(rng, u.Less.Prefix(int(h.LIdx)))
+		}
+		if rec != nil && h.Addr != old {
+			*rec = append(*rec, addrChange{from: old, to: h.Addr})
 		}
 	}
 }
@@ -271,11 +300,26 @@ func RunWorkers(u *topo.Universe, seed int64, months, workers int) map[string]*c
 // (months 0..months), evolving the universe in place. The worker
 // budget is split between a per-protocol fan-out and the per-stripe
 // fan-out inside each protocol, so single-protocol universes still
-// scale; the output is byte-identical at any RunConfig.Workers.
+// scale; the output is byte-identical at any RunConfig.Workers and
+// with or without RunConfig.Incremental.
 func RunSim(u *topo.Universe, seed int64, months int, cfg RunConfig) map[string]*census.Series {
+	series, _ := runSim(u, seed, months, cfg)
+	return series
+}
+
+// RunSimDeltas is RunSim on the incremental path, additionally
+// returning the native per-month deltas: deltas[name][m-1] carries the
+// churn from month m-1 to month m, and applying it to series month m-1
+// reproduces month m exactly.
+func RunSimDeltas(u *topo.Universe, seed int64, months int, cfg RunConfig) (map[string]*census.Series, map[string][]*census.Delta) {
+	cfg.Incremental = true
+	return runSim(u, seed, months, cfg)
+}
+
+func runSim(u *topo.Universe, seed int64, months int, cfg RunConfig) (map[string]*census.Series, map[string][]*census.Delta) {
 	names := u.Protocols()
 	if len(names) == 0 {
-		return map[string]*census.Series{}
+		return map[string]*census.Series{}, map[string][]*census.Delta{}
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -290,25 +334,51 @@ func RunSim(u *topo.Universe, seed int64, months int, cfg RunConfig) map[string]
 	inner := (workers + outer - 1) / outer
 
 	series := make([]*census.Series, len(names))
+	deltas := make([][]*census.Delta, len(names))
 	par.ForEach(len(names), outer, func(ni int) {
 		name := names[ni]
 		pop := u.Pops[name]
 		protoSeed := topo.ProtoSeed(seed, name)
-		var ex extractor
 		var frozen []int32
 		s := &census.Series{Protocol: name}
-		for m := 0; m <= months; m++ {
-			if m > 0 {
+		if cfg.Incremental {
+			var ex extractor
+			snap := ex.snapshot(pop, name, 0, cfg.PrebuildSets)
+			s.Snapshots = append(s.Snapshots, snap)
+			trk := newTracker(pop, snap)
+			recs := make([][]addrChange, DefaultStripes)
+			for m := 1; m <= months; m++ {
 				frozen = freezeDonors(pop, frozen)
-				stepPop(u, pop, protoSeed, m, inner, frozen)
+				for i := range recs {
+					recs[i] = recs[i][:0]
+				}
+				stepPop(u, pop, protoSeed, m, inner, frozen, recs)
+				d, next := trk.delta(name, m-1, recs)
+				if cfg.PrebuildSets {
+					next.Set()
+				}
+				s.Snapshots = append(s.Snapshots, next)
+				deltas[ni] = append(deltas[ni], d)
 			}
-			s.Snapshots = append(s.Snapshots, ex.snapshot(pop, name, m, cfg.PrebuildSets))
+		} else {
+			var ex extractor
+			for m := 0; m <= months; m++ {
+				if m > 0 {
+					frozen = freezeDonors(pop, frozen)
+					stepPop(u, pop, protoSeed, m, inner, frozen, nil)
+				}
+				s.Snapshots = append(s.Snapshots, ex.snapshot(pop, name, m, cfg.PrebuildSets))
+			}
 		}
 		series[ni] = s
 	})
 	out := make(map[string]*census.Series, len(names))
+	dout := make(map[string][]*census.Delta, len(names))
 	for ni, name := range names {
 		out[name] = series[ni]
+		if cfg.Incremental {
+			dout[name] = deltas[ni]
+		}
 	}
-	return out
+	return out, dout
 }

@@ -1,0 +1,83 @@
+package churn
+
+import (
+	"slices"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/census"
+)
+
+// TestIncrementalGoldenEquality is the delta-pipeline half of the
+// stripe determinism contract: the incremental path (native deltas,
+// snapshots derived by ApplyDelta) produces a series byte-identical to
+// the full re-extract path, for seeds 1–3 and workers 1/2/8.
+func TestIncrementalGoldenEquality(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		ref := RunSim(testUniverse(t, seed), seed+10, 3, RunConfig{Workers: 1})
+		for _, workers := range []int{1, 2, 8} {
+			got, deltas := RunSimDeltas(testUniverse(t, seed), seed+10, 3, RunConfig{Workers: workers})
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d workers %d: %d protocols, want %d", seed, workers, len(got), len(ref))
+			}
+			for name, rs := range ref {
+				gs := got[name]
+				if gs.Months() != rs.Months() {
+					t.Fatalf("seed %d workers %d %s: months %d vs %d", seed, workers, name, gs.Months(), rs.Months())
+				}
+				for m := 0; m < rs.Months(); m++ {
+					if !slices.Equal(gs.At(m).Addrs, rs.At(m).Addrs) {
+						t.Fatalf("seed %d workers %d %s month %d: incremental series diverged",
+							seed, workers, name, m)
+					}
+				}
+				// The emitted deltas must equal the merge-walk diff of the
+				// reference snapshots.
+				if len(deltas[name]) != rs.Months()-1 {
+					t.Fatalf("seed %d workers %d %s: %d deltas for %d months",
+						seed, workers, name, len(deltas[name]), rs.Months())
+				}
+				for m, d := range deltas[name] {
+					want := rs.At(m).Diff(rs.At(m + 1))
+					if !slices.Equal(d.Born, want.Born) || !slices.Equal(d.Died, want.Died) {
+						t.Fatalf("seed %d workers %d %s month %d->%d: native delta diverges from Diff",
+							seed, workers, name, m, m+1)
+					}
+					if d.FromMonth != m || d.ToMonth != m+1 || d.Protocol != name {
+						t.Fatalf("delta header %+v", d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStepDeltasMatchesStep pins the Simulator-level API: StepDeltas
+// advances the world exactly like Step and its deltas connect the
+// snapshots of consecutive months.
+func TestStepDeltasMatchesStep(t *testing.T) {
+	ref := New(testUniverse(t, 41), 7)
+	inc := New(testUniverse(t, 41), 7)
+	inc.Workers = 4
+	prev := map[string]*census.Snapshot{}
+	for _, name := range ref.u.Protocols() {
+		prev[name] = inc.ExtractSnapshot(name)
+	}
+	for m := 1; m <= 3; m++ {
+		ref.Step()
+		deltas := inc.StepDeltas()
+		for _, name := range ref.u.Protocols() {
+			want := ref.Snapshot(name)
+			next, err := census.ApplyDelta(prev[name], deltas[name])
+			if err != nil {
+				t.Fatalf("month %d %s: %v", m, name, err)
+			}
+			if !slices.Equal(next.Addrs, want.Addrs) {
+				t.Fatalf("month %d %s: delta-derived snapshot diverges from Step", m, name)
+			}
+			if got := inc.ExtractSnapshot(name); !slices.Equal(got.Addrs, want.Addrs) {
+				t.Fatalf("month %d %s: ExtractSnapshot diverges from Snapshot", m, name)
+			}
+			prev[name] = next
+		}
+	}
+}

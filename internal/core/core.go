@@ -97,14 +97,14 @@ func RankCached(seed *census.Snapshot, part rib.Partition, workers int, cache *c
 				packed = false
 				continue
 			}
-			keys = append(keys, (^v&(1<<33-1))<<31|uint64(l)<<25|uint64(len(stats)-1))
+			keys = append(keys, packKey(v, l, len(stats)-1))
 		}
 	}
 	if packed {
 		slices.Sort(keys)
 		out := make([]PrefixStat, len(stats))
 		for j, k := range keys {
-			out[j] = stats[k&(1<<25-1)]
+			out[j] = stats[keyIndex(k)]
 		}
 		return out
 	}
@@ -183,6 +183,20 @@ func SelectCached(seed *census.Snapshot, universe rib.Partition, opts Options, w
 	return selectRanked(RankCached(seed, universe, workers, cache), universe, opts)
 }
 
+// packKey packs one responsive prefix into the uint64 ranking key: the
+// density integer v = hosts<<len inverted (so ascending key order is
+// descending density), the prefix length (equal v with a longer prefix
+// means fewer hosts, ranked later), and a 25-bit tiebreak index that
+// must be monotone in partition order. Both the batch sort in
+// RankCached and the incremental repair in Ranker sort these same keys,
+// which is what makes the two paths byte-identical.
+func packKey(v uint64, bits uint, idx int) uint64 {
+	return (^v&(1<<33-1))<<31 | uint64(bits)<<25 | uint64(idx)
+}
+
+// keyIndex recovers the tiebreak index of a packed ranking key.
+func keyIndex(k uint64) int { return int(k & (1<<25 - 1)) }
+
 // selectRanked runs selection steps 4–5 on a precomputed ranking. The
 // ranked slice is shared read-only by the returned Selection. Callers
 // have already validated opts.
@@ -191,6 +205,14 @@ func selectRanked(ranked []PrefixStat, universe rib.Partition, opts Options) (*S
 	for i := range ranked {
 		total += ranked[i].Hosts
 	}
+	return selectRankedTotal(ranked, total, universe, opts)
+}
+
+// selectionHead walks the top of the ranking — it stops at the
+// smallest k reaching φ (or a MinDensity/MaxPrefixes cut), never
+// touching the tail — and fills everything of the Selection except the
+// derived partition, which callers build on their own fast path.
+func selectionHead(ranked []PrefixStat, total int, universe rib.Partition, opts Options) (*Selection, error) {
 	if total == 0 {
 		return nil, fmt.Errorf("core: seed snapshot has no hosts inside the universe")
 	}
@@ -218,7 +240,16 @@ func selectRanked(ranked []PrefixStat, universe rib.Partition, opts Options) (*S
 	if s := universe.AddressCount(); s > 0 {
 		sel.SpaceShare = float64(sel.Space) / float64(s)
 	}
+	return sel, nil
+}
 
+// selectRankedTotal is selectRanked for callers that already maintain
+// the seed-host total: the O(ranked) re-sum is skipped.
+func selectRankedTotal(ranked []PrefixStat, total int, universe rib.Partition, opts Options) (*Selection, error) {
+	sel, err := selectionHead(ranked, total, universe, opts)
+	if err != nil {
+		return nil, err
+	}
 	ps := make([]netaddr.Prefix, sel.K)
 	for i := 0; i < sel.K; i++ {
 		ps[i] = ranked[i].Prefix

@@ -70,6 +70,11 @@ func Reseed(w *World) (Result, error) {
 			Universe:    w.U.More,
 			Opts:        core.Options{Phi: 0.95},
 			ReseedEvery: dt,
+			// On an incrementally built world the campaign reseeds off
+			// the delta-repaired ranking; the rows are byte-identical
+			// either way (golden tested).
+			Incremental: w.Cfg.Incremental,
+			Deltas:      w.Deltas["ftp"],
 		}, series, w.U.Less.AddressCount())
 		if err != nil {
 			return Result{}, err

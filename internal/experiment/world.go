@@ -48,6 +48,16 @@ type Config struct {
 	// the encode pass into the parallel world build, which pays off at
 	// paper scale where most snapshots are counted through the index.
 	PrebuildSets bool
+	// Incremental builds the monthly series through the churn-native
+	// delta pipeline (every post-seed snapshot derived from its
+	// predecessor by ApplyDelta) and keeps the per-month deltas on the
+	// World, so campaign experiments can reseed incrementally. Every
+	// result is byte-identical either way (golden tested).
+	Incremental bool
+	// CountCacheCap overrides the count cache's LRU entry cap: 0 keeps
+	// the default bound, negative makes it unbounded. Ignored when
+	// NoCountCache is set.
+	CountCacheCap int
 }
 
 // workers resolves the effective worker count.
@@ -75,6 +85,11 @@ type World struct {
 	Cfg    Config
 	U      *topo.Universe
 	Series map[string]*census.Series
+
+	// Deltas holds the native per-month churn deltas when the world was
+	// built incrementally: Deltas[proto][m] carries month m -> m+1.
+	// Nil on the full-rebuild path.
+	Deltas map[string][]*census.Delta
 
 	// Cache memoizes per-(snapshot, partition) host counts across every
 	// experiment sharing the world: the phi grid and the figures all
@@ -145,15 +160,36 @@ func BuildWorld(cfg Config) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiment: generating universe: %w", err)
 	}
-	series := churn.RunSim(u, cfg.Seed+1, cfg.Months, churn.RunConfig{
+	rcfg := churn.RunConfig{
 		Workers:      cfg.workers(),
 		PrebuildSets: cfg.PrebuildSets,
-	})
-	w := &World{Cfg: cfg, U: u, Series: series}
+		Incremental:  cfg.Incremental,
+	}
+	w := &World{Cfg: cfg, U: u}
+	if cfg.Incremental {
+		w.Series, w.Deltas = churn.RunSimDeltas(u, cfg.Seed+1, cfg.Months, rcfg)
+	} else {
+		w.Series = churn.RunSim(u, cfg.Seed+1, cfg.Months, rcfg)
+	}
 	if !cfg.NoCountCache {
-		w.Cache = census.NewCountCache()
+		switch {
+		case cfg.CountCacheCap > 0:
+			w.Cache = census.NewCountCacheCap(cfg.CountCacheCap)
+		case cfg.CountCacheCap < 0:
+			w.Cache = census.NewCountCacheCap(0)
+		default:
+			w.Cache = census.NewCountCache()
+		}
 	}
 	return w, nil
+}
+
+// NewRanker seeds an incremental ranker for seed over part, sharing
+// the world's count cache and worker budget. Advance it with the
+// world's Deltas (or Snapshot.Diff) and it selects byte-identically to
+// w.Select on the evolved snapshot.
+func (w *World) NewRanker(seed *census.Snapshot, part rib.Partition) (*core.Ranker, error) {
+	return core.NewRanker(seed, part, w.Cfg.workers(), w.Cache)
 }
 
 // Protocols returns the protocol names in canonical order.

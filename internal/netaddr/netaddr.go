@@ -15,6 +15,7 @@ package netaddr
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 )
@@ -263,9 +264,72 @@ func (p Prefix) Compare(q Prefix) int {
 	return 0
 }
 
-// SortPrefixes sorts ps in Compare order in place.
+// SeekAddrs returns the first index at or after from whose address is
+// >= target, galloping forward before the binary search. For cursors
+// that advance through a sorted slice in many small steps (delta
+// merges, sorted-run mapping) the gallop costs O(log gap) instead of
+// O(log n) per seek.
+func SeekAddrs(addrs []Addr, from int, target Addr) int {
+	n := len(addrs)
+	// Short forward scan first: delta cursors mostly advance a few
+	// dozen elements, where a sequential (prefetched) compare loop
+	// beats the gallop's scattered probes.
+	lim := from + 32
+	if lim > n {
+		lim = n
+	}
+	for ; from < lim; from++ {
+		if addrs[from] >= target {
+			return from
+		}
+	}
+	if from >= n || addrs[from] >= target {
+		return from
+	}
+	// Gallop keeping addrs[lo] < target; stop once hi clears the target.
+	step := 1
+	lo := from
+	hi := from + 1
+	for hi < n && addrs[hi] < target {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > n {
+		hi = n
+	}
+	// Plain binary search in (lo, hi]: cheaper than sort.Search on this
+	// many-small-seeks hot path.
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if addrs[mid] < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// SortPrefixes sorts ps in Compare order in place. Compare order is
+// (address, length) lexicographic, so a prefix packs losslessly into
+// the uint64 addr<<8|bits and the sort runs on integer keys — no
+// comparator calls, no reflection swaps — which matters on the
+// selection hot path (every Select sorts its K chosen prefixes into a
+// partition). Small inputs skip the key buffer.
 func SortPrefixes(ps []Prefix) {
-	sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 })
+	if len(ps) < 32 {
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 })
+		return
+	}
+	keys := make([]uint64, len(ps))
+	for i, p := range ps {
+		keys[i] = uint64(p.addr)<<8 | uint64(p.bits)
+	}
+	slices.Sort(keys)
+	for i, k := range keys {
+		ps[i] = Prefix{addr: Addr(k >> 8), bits: uint8(k)}
+	}
 }
 
 // SummarizeRange returns the minimal list of prefixes that exactly covers

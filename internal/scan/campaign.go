@@ -51,6 +51,14 @@ type Campaign struct {
 	// Cache, when non-nil, memoizes the per-(snapshot, partition) counts
 	// behind each re-selection.
 	Cache *census.CountCache
+	// Incremental re-selects by applying each cycle's scan-result delta
+	// (previous cycle's snapshot diffed against this cycle's) to a
+	// maintained ranking instead of re-counting the whole snapshot over
+	// the universe every cycle. Selections — and therefore every later
+	// cycle's plan — are byte-identical to the full recompute (golden
+	// tested); the steady-state reseed cost becomes proportional to the
+	// cycle-over-cycle churn.
+	Incremental bool
 	// Protocol names the snapshots built from scan results (default
 	// "scan").
 	Protocol string
@@ -103,6 +111,10 @@ func (c *Campaign) Run(ctx context.Context, cycles int) ([]Cycle, error) {
 		plan = c.Universe
 	}
 	var out []Cycle
+	var (
+		ranker   *core.Ranker
+		prevSnap *census.Snapshot
+	)
 	for i := 0; i < cycles; i++ {
 		prober := c.Prober
 		if c.ProberAt != nil {
@@ -126,10 +138,30 @@ func (c *Campaign) Run(ctx context.Context, cycles int) ([]Cycle, error) {
 			return out, fmt.Errorf("scan: campaign cycle %d: %w", i, err)
 		}
 		snap := census.NewSnapshot(protocol, i, report.Responsive)
-		sel, err := core.SelectCached(snap, c.Universe, c.Opts, workers, c.Cache)
+		var sel *core.Selection
+		switch {
+		case c.Incremental && ranker == nil:
+			// First cycle (or a universe too large for the packed
+			// ranking, which falls through to the full path below):
+			// count once, keep the ranking.
+			ranker, err = core.NewRanker(snap, c.Universe, workers, c.Cache)
+			if err == nil {
+				sel, err = ranker.Select(c.Opts)
+			} else {
+				sel, err = core.SelectCached(snap, c.Universe, c.Opts, workers, c.Cache)
+			}
+		case c.Incremental:
+			// Steady state: the scan-result delta repairs the ranking.
+			if err = ranker.Apply(prevSnap.Diff(snap)); err == nil {
+				sel, err = ranker.Select(c.Opts)
+			}
+		default:
+			sel, err = core.SelectCached(snap, c.Universe, c.Opts, workers, c.Cache)
+		}
 		if err != nil {
 			return out, fmt.Errorf("scan: campaign cycle %d selection: %w", i, err)
 		}
+		prevSnap = snap
 		out = append(out, Cycle{
 			Index:     i,
 			Plan:      plan,

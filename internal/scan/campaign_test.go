@@ -139,6 +139,76 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestCampaignIncrementalGoldenEquality: an incremental campaign
+// (ranking repaired by each cycle's scan-result delta) produces cycle
+// outputs byte-identical to the full per-cycle recompute — snapshots,
+// complete rankings and plans — including under probe loss, which makes
+// every cycle's responsive set churn.
+func TestCampaignIncrementalGoldenEquality(t *testing.T) {
+	uni, live := campaignFixture(t)
+	run := func(incremental bool, loss float64, workers int) []Cycle {
+		prober, err := NewSimProber(live, loss, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &Campaign{
+			Universe:    uni,
+			Prober:      prober,
+			Opts:        core.Options{Phi: 0.9},
+			Workers:     workers,
+			Seed:        23,
+			Cache:       census.NewCountCache(),
+			Incremental: incremental,
+		}
+		cycles, err := c.Run(context.Background(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	for _, loss := range []float64{0, 0.25} {
+		for _, workers := range []int{1, 2, 8} {
+			full := run(false, loss, workers)
+			inc := run(true, loss, workers)
+			for i := range full {
+				f, g := full[i], inc[i]
+				if len(f.Snapshot.Addrs) != len(g.Snapshot.Addrs) {
+					t.Fatalf("loss=%v workers=%d cycle %d: %d vs %d hosts", loss, workers, i,
+						len(g.Snapshot.Addrs), len(f.Snapshot.Addrs))
+				}
+				for j := range f.Snapshot.Addrs {
+					if f.Snapshot.Addrs[j] != g.Snapshot.Addrs[j] {
+						t.Fatalf("loss=%v workers=%d cycle %d: snapshot addr %d differs", loss, workers, i, j)
+					}
+				}
+				fs, gs := f.Selection, g.Selection
+				if fs.K != gs.K || fs.SeedHosts != gs.SeedHosts || fs.Space != gs.Space ||
+					fs.HostCoverage != gs.HostCoverage || fs.SpaceShare != gs.SpaceShare {
+					t.Fatalf("loss=%v workers=%d cycle %d: selection header diverged", loss, workers, i)
+				}
+				if len(fs.Ranked) != len(gs.Ranked) {
+					t.Fatalf("loss=%v workers=%d cycle %d: ranking length %d vs %d",
+						loss, workers, i, len(gs.Ranked), len(fs.Ranked))
+				}
+				for j := range fs.Ranked {
+					if fs.Ranked[j] != gs.Ranked[j] {
+						t.Fatalf("loss=%v workers=%d cycle %d: rank %d diverged", loss, workers, i, j)
+					}
+				}
+				fp, gp := f.Plan.Prefixes(), g.Plan.Prefixes()
+				if len(fp) != len(gp) {
+					t.Fatalf("loss=%v workers=%d cycle %d: plan sizes diverge", loss, workers, i)
+				}
+				for j := range fp {
+					if fp[j] != gp[j] {
+						t.Fatalf("loss=%v workers=%d cycle %d: plan prefix %d diverged", loss, workers, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestCampaignProberAt steps the prober per cycle (the churning-truth
 // hook the experiment uses).
 func TestCampaignProberAt(t *testing.T) {

@@ -66,6 +66,47 @@ func TestCampaignReseedRestoresAccuracy(t *testing.T) {
 	}
 }
 
+// TestCampaignIncrementalGoldenEquality: the delta-driven campaign
+// (ranker repaired per month, reseeds off the repaired ranking) and the
+// full per-reseed recompute produce bit-identical evaluations — with
+// per-month diffs derived on the fly and with supplied native deltas.
+func TestCampaignIncrementalGoldenEquality(t *testing.T) {
+	u, series := smallWorld(t, 53)
+	for _, proto := range []string{"http", "cwmp"} {
+		s := series[proto]
+		var native []*census.Delta
+		for m := 1; m < s.Months(); m++ {
+			native = append(native, s.At(m-1).Diff(s.At(m)))
+		}
+		for _, dt := range []int{0, 1, 2, 3} {
+			base := Campaign{Universe: u.More, Opts: core.Options{Phi: 0.95}, ReseedEvery: dt}
+			want, err := EvaluateCampaign(base, s, u.Less.AddressCount())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range []Campaign{
+				{Universe: u.More, Opts: base.Opts, ReseedEvery: dt, Incremental: true},
+				{Universe: u.More, Opts: base.Opts, ReseedEvery: dt, Incremental: true, Deltas: native},
+				{Universe: u.More, Opts: base.Opts, ReseedEvery: dt, Incremental: true, Workers: 8, Cache: census.NewCountCache()},
+			} {
+				got, err := EvaluateCampaign(c, s, u.Less.AddressCount())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Reseeds != want.Reseeds || got.MeanHitrate != want.MeanHitrate ||
+					got.MeanCostShare != want.MeanCostShare {
+					t.Fatalf("%s Δt=%d: incremental eval diverged: %+v vs %+v", proto, dt, got, want)
+				}
+				for m := range want.Hitrate {
+					if got.Hitrate[m] != want.Hitrate[m] || got.CostShare[m] != want.CostShare[m] {
+						t.Fatalf("%s Δt=%d month %d: hitrate/cost diverged", proto, dt, m)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestCampaignErrors(t *testing.T) {
 	u, series := smallWorld(t, 53)
 	if _, err := EvaluateCampaign(Campaign{Universe: u.More, Opts: core.Options{Phi: 0.95}},

@@ -82,6 +82,9 @@ type (
 	Series = census.Series
 	// DiffResult decomposes the churn between two snapshots.
 	DiffResult = census.DiffResult
+	// Delta is the churn between two snapshots as sorted born/died
+	// address runs: the unit of the incremental selection pipeline.
+	Delta = census.Delta
 	// AddrSet is the immutable block-indexed sorted address set behind
 	// Snapshot.Set(): sub-linear range counts, galloping intersection.
 	AddrSet = addrset.Set
@@ -90,8 +93,14 @@ type (
 	CountCache = census.CountCache
 )
 
-// NewCountCache returns an empty count cache (see SelectCached).
+// NewCountCache returns an empty count cache (see SelectCached),
+// LRU-bounded at a generous default entry cap.
 func NewCountCache() *CountCache { return census.NewCountCache() }
+
+// NewCountCacheCap returns a count cache evicting least-recently-used
+// entries beyond maxEntries (<= 0 means unbounded) — size it to the
+// working set of a long-running campaign.
+func NewCountCacheCap(maxEntries int) *CountCache { return census.NewCountCacheCap(maxEntries) }
 
 // NewAddrSet builds a block-indexed set from ascending addresses.
 // blockSize 0 uses the package default.
@@ -115,6 +124,23 @@ func DiffSnapshots(earlier, later *Snapshot) DiffResult {
 	return census.Diff(earlier, later)
 }
 
+// DeltaOf returns the full churn between two snapshots as sorted
+// born/died runs; ApplyDelta(earlier, DeltaOf(earlier, later)) equals
+// later exactly. (Equivalent to earlier.Diff(later).)
+func DeltaOf(earlier, later *Snapshot) *Delta { return earlier.Diff(later) }
+
+// ApplyDelta reconstructs a later snapshot from an earlier one plus
+// the delta between them, reusing the earlier snapshot's block index
+// through a copy-on-write overlay when the delta is sparse. Use
+// Snapshot.Apply for the in-place variant (it advances the snapshot's
+// generation so count caches invalidate precisely).
+func ApplyDelta(earlier *Snapshot, d *Delta) (*Snapshot, error) {
+	return census.ApplyDelta(earlier, d)
+}
+
+// ReadDelta parses a binary delta written with Delta.WriteTo.
+func ReadDelta(r io.Reader) (*Delta, error) { return census.ReadDelta(r) }
+
 // Selection types (the paper's algorithm).
 type (
 	// Options parameterizes Select: the φ target plus optional density
@@ -126,7 +152,20 @@ type (
 	PrefixStat = core.PrefixStat
 	// CurvePoint is one point of the ranked density/coverage curves.
 	CurvePoint = core.CurvePoint
+	// IncrementalSelector maintains a TASS ranking across deltas:
+	// seed it once, Apply a Delta per month or scan cycle, and Select
+	// byte-identically to a full recompute at churn-proportional cost.
+	IncrementalSelector = core.Ranker
 )
+
+// NewIncrementalSelector counts seed over universe once (sharded over
+// workers goroutines, memoized in cache — both as in SelectCached) and
+// returns the selector that keeps that ranking current under deltas.
+// It errors for universes of 2^25 prefixes or more; fall back to
+// SelectCached there.
+func NewIncrementalSelector(seed *Snapshot, universe Partition, workers int, cache *CountCache) (*IncrementalSelector, error) {
+	return core.NewRanker(seed, universe, workers, cache)
+}
 
 // Strategy types for head-to-head evaluation.
 type (
@@ -355,6 +394,25 @@ func SimulateMonths(u *Universe, seed int64, months int) map[string]*Series {
 // RNG substream, so the series are byte-identical at any worker count.
 func SimulateMonthsWorkers(u *Universe, seed int64, months, workers int) map[string]*Series {
 	return churn.RunWorkers(u, seed, months, workers)
+}
+
+// SimConfig parameterizes SimulateSeries beyond the universe and seed:
+// worker budget, eager set prebuilding, and the incremental
+// (delta-derived) snapshot pipeline. Every configuration produces
+// byte-identical series.
+type SimConfig = churn.RunConfig
+
+// SimulateSeries is SimulateMonths under an explicit SimConfig.
+func SimulateSeries(u *Universe, seed int64, months int, cfg SimConfig) map[string]*Series {
+	return churn.RunSim(u, seed, months, cfg)
+}
+
+// SimulateSeriesDeltas simulates on the incremental pipeline and also
+// returns the native per-month deltas: deltas[proto][m] carries month
+// m -> m+1, and applying it to the month-m snapshot reproduces month
+// m+1 exactly.
+func SimulateSeriesDeltas(u *Universe, seed int64, months int, cfg SimConfig) (map[string]*Series, map[string][]*Delta) {
+	return churn.RunSimDeltas(u, seed, months, cfg)
 }
 
 // NewChurnSimulator returns a month-by-month churn simulator for u

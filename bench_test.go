@@ -208,6 +208,59 @@ func BenchmarkSelect(b *testing.B) {
 	}
 }
 
+// v6Fixture is the IPv6 selection shape: an announced universe of 8K
+// mixed-length prefixes and ~256K hitlist-style seed observations.
+// Built once per binary, deterministically.
+var (
+	v6Once  sync.Once
+	v6Seeds []netaddr.Addr6
+	v6Uni   tass.Universe6
+)
+
+func v6Fixture(b *testing.B) ([]netaddr.Addr6, tass.Universe6) {
+	b.Helper()
+	v6Once.Do(func() {
+		ps := make([]netaddr.Prefix6, 8192)
+		x := uint64(7)
+		for i := range ps {
+			x = x*6364136223846793005 + 1442695040888963407
+			bits := 32 + int(x>>60) // /32../47
+			ps[i] = netaddr.MustPfxFrom(netaddr.Addr6{Hi: 0x2000_0000_0000_0000 + uint64(i)<<40}, bits)
+		}
+		var err error
+		v6Uni, err = tass.NewUniverse6(ps)
+		if err != nil {
+			panic(err)
+		}
+		addrs := make([]netaddr.Addr6, 1<<18)
+		for i := range addrs {
+			x = x*6364136223846793005 + 1442695040888963407
+			base := ps[(x>>43)%8192].Addr()
+			addrs[i] = netaddr.Addr6{Hi: base.Hi | x&0xFF, Lo: x >> 20 & 0x3FF}
+		}
+		v6Seeds = addrs
+	})
+	return v6Seeds, v6Uni
+}
+
+// BenchmarkSelect6 measures one IPv6 TASS selection — the snapshot
+// build (sort + dedup of the seed observations), the per-prefix count,
+// and the generic rank/select — over the v6 fixture.
+func BenchmarkSelect6(b *testing.B) {
+	seeds, uni := v6Fixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel, err := tass.Select6(seeds, uni, 0.95)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sel.K == 0 {
+			b.Fatal("empty selection")
+		}
+	}
+}
+
 // sparseBench is the paper-scale reseed counting shape: a large seed
 // scan (N ≈ 1M responsive addresses), a /18 universe partition, and a
 // small density-head selection (K prefixes, K << N/blocksize). Built

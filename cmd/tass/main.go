@@ -4,6 +4,7 @@
 // Usage:
 //
 //	tass select -pfx2as TABLE -addrs ADDRS [-phi 0.95] [-universe more]
+//	tass select -6 -prefixes CIDRS -addrs ADDRS [-phi 0.95]
 //	tass rank   -pfx2as TABLE -addrs ADDRS [-top 20]
 //	tass stats  -pfx2as TABLE
 //	tass scan   -targets PREFIXES (-sim ADDRS | -port N) [flags]
@@ -16,6 +17,11 @@
 // (-checkpoint resumes an interrupted run; -shard/-shards split the
 // cycle across machines), or a feedback campaign (-cycles N) that
 // re-selects from each cycle's results and scans the tightened plan.
+//
+// With -6, "select" runs the same engine over IPv6: the universe is an
+// announced-prefix list (covered more-specifics are collapsed) and the
+// addresses are passive observations or hitlist probes, since there is
+// no full IPv6 scan to seed from.
 package main
 
 import (
@@ -65,6 +71,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tass select -pfx2as TABLE -addrs ADDRS [-phi F] [-universe less|more] [-min-density F]
+  tass select -6 -prefixes CIDRS -addrs ADDRS [-phi F]
   tass rank   -pfx2as TABLE -addrs ADDRS [-universe less|more] [-top N]
   tass stats  -pfx2as TABLE
   tass diff   -a ADDRS -b ADDRS
@@ -84,12 +91,60 @@ func loadTable(path string) (*tass.Table, error) {
 }
 
 func loadAddrs(path string) (*tass.Snapshot, error) {
-	f, err := os.Open(path)
+	var addrs []tass.Addr
+	err := eachLine(path, func(line int, text string) error {
+		a, err := tass.ParseAddr(text)
+		if err != nil {
+			return fmt.Errorf("%s line %d: %w", path, line, err)
+		}
+		addrs = append(addrs, a)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	return tass.NewSnapshot("scan", 0, addrs), nil
+}
+
+// loadAddrs6 reads IPv6 seed observations, one address per line with
+// '#' comments, as produced by passive collection or hitlist probing.
+func loadAddrs6(path string) ([]tass.Addr6, error) {
+	var addrs []tass.Addr6
+	err := eachLine(path, func(line int, text string) error {
+		a, err := tass.ParseAddr6(text)
+		if err != nil {
+			return fmt.Errorf("%s line %d: %w", path, line, err)
+		}
+		addrs = append(addrs, a)
+		return nil
+	})
+	return addrs, err
+}
+
+// loadPrefixes6 reads an announced IPv6 table, one CIDR per line with
+// '#' comments. Covered more-specifics are allowed; the universe build
+// collapses them.
+func loadPrefixes6(path string) ([]tass.Prefix6, error) {
+	var ps []tass.Prefix6
+	err := eachLine(path, func(line int, text string) error {
+		p, err := tass.ParsePrefix6(text)
+		if err != nil {
+			return fmt.Errorf("%s line %d: %w", path, line, err)
+		}
+		ps = append(ps, p)
+		return nil
+	})
+	return ps, err
+}
+
+// eachLine calls fn for every non-empty line of a text file, with '#'
+// comments stripped.
+func eachLine(path string, fn func(line int, text string) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
 	defer f.Close()
-	var addrs []tass.Addr
 	sc := bufio.NewScanner(f)
 	line := 0
 	for sc.Scan() {
@@ -101,16 +156,11 @@ func loadAddrs(path string) (*tass.Snapshot, error) {
 		if text == "" {
 			continue
 		}
-		a, err := tass.ParseAddr(text)
-		if err != nil {
-			return nil, fmt.Errorf("%s line %d: %w", path, line, err)
+		if err := fn(line, text); err != nil {
+			return err
 		}
-		addrs = append(addrs, a)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return tass.NewSnapshot("scan", 0, addrs), nil
+	return sc.Err()
 }
 
 func universeOf(t *tass.Table, which string) (tass.Partition, error) {
@@ -125,12 +175,17 @@ func universeOf(t *tass.Table, which string) (tass.Partition, error) {
 
 func runSelect(args []string) error {
 	fs := flag.NewFlagSet("select", flag.ExitOnError)
-	tablePath := fs.String("pfx2as", "", "CAIDA pfx2as table (required)")
+	tablePath := fs.String("pfx2as", "", "CAIDA pfx2as table (required for IPv4)")
 	addrsPath := fs.String("addrs", "", "responsive addresses, one per line (required)")
 	phi := fs.Float64("phi", 0.95, "host coverage target φ in (0,1]")
 	universe := fs.String("universe", "more", "prefix universe: less or more")
 	minDensity := fs.Float64("min-density", 0, "stop below this density (0 = off)")
+	six := fs.Bool("6", false, "IPv6 mode: select over an announced-prefix universe")
+	prefixesPath := fs.String("prefixes", "", "announced IPv6 prefixes, one CIDR per line (required with -6)")
 	fs.Parse(args)
+	if *six {
+		return runSelect6(*prefixesPath, *addrsPath, *phi)
+	}
 	if *tablePath == "" || *addrsPath == "" {
 		return fmt.Errorf("select: -pfx2as and -addrs are required")
 	}
@@ -153,6 +208,38 @@ func runSelect(args []string) error {
 	fmt.Fprintf(os.Stderr, "# %s\n", tass.Describe(sel))
 	w := bufio.NewWriter(os.Stdout)
 	for _, p := range sel.Partition().Prefixes() {
+		fmt.Fprintln(w, p)
+	}
+	return w.Flush()
+}
+
+// runSelect6 is the IPv6 half of "tass select": the universe comes
+// from an announced-prefix list instead of a pfx2as table (covered
+// more-specifics are collapsed, the l-prefix view), the seeds from
+// passive observations or hitlist probes rather than a full scan.
+func runSelect6(prefixesPath, addrsPath string, phi float64) error {
+	if prefixesPath == "" || addrsPath == "" {
+		return fmt.Errorf("select -6: -prefixes and -addrs are required")
+	}
+	announced, err := loadPrefixes6(prefixesPath)
+	if err != nil {
+		return err
+	}
+	u, err := tass.NewUniverse6FromAnnounced(announced)
+	if err != nil {
+		return err
+	}
+	seeds, err := loadAddrs6(addrsPath)
+	if err != nil {
+		return err
+	}
+	sel, err := tass.Select6(seeds, u, phi)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# %s\n", tass.Describe6(sel))
+	w := bufio.NewWriter(os.Stdout)
+	for _, p := range sel.Prefixes() {
 		fmt.Fprintln(w, p)
 	}
 	return w.Flush()

@@ -1,13 +1,20 @@
-// Package addrset provides an immutable, block-indexed sorted IPv4
-// address set: the counting core every TASS operation reduces to.
+// Package addrset provides an immutable, block-indexed sorted address
+// set: the counting core every TASS operation reduces to. It is generic
+// over the address family (SetOf); Set is the IPv4 instantiation.
 //
-// Addresses are delta-encoded (uvarint) into fixed-population blocks; a
-// per-block skip index of [min, max, cumulativeCount] triples makes
-// range counting O(log B + blocksize) instead of the O(N) touch-every-
-// address merge walk, and lets set intersection gallop past runs that
-// cannot match. The layout is the same delta stream the census binary
-// codec uses on the wire, so snapshot loading can decode straight into
-// blocks without materializing an intermediate address slice.
+// Addresses are delta-encoded (LEB128 uvarint) into fixed-population
+// blocks; a per-block skip index of [min, max, cumulativeCount] triples
+// makes range counting O(log B + blocksize) instead of the O(N) touch-
+// every-address merge walk, and lets set intersection gallop past runs
+// that cannot match. The layout is the same delta stream the census
+// binary codec uses on the wire, so snapshot loading can decode straight
+// into blocks without materializing an intermediate address slice.
+//
+// Families up to 64 bits encode deltas with encoding/binary's uvarint;
+// the 128-bit family extends the same LEB128 scheme to at most 19 bytes
+// per delta (netaddr.AppendKeyUvarint), so the byte layout of IPv4 sets
+// is unchanged by the generalization and IPv6 gaps wider than 2^64 —
+// routine when a set spans distant /32s — still round-trip exactly.
 //
 // A Set is immutable after construction and safe for concurrent use.
 package addrset
@@ -31,17 +38,17 @@ import (
 // must not be changed concurrently with set construction.
 var DefaultBlockSize = 64
 
-// Set is an immutable block-indexed sorted set of IPv4 addresses.
-// The zero value is an empty set.
-type Set struct {
+// SetOf is an immutable block-indexed sorted set of addresses of
+// family A. The zero value is an empty set.
+type SetOf[A netaddr.Key[A]] struct {
 	n     int // total addresses
 	bsize int // addresses per block (last block may hold fewer)
 
 	// Skip index, one entry per block.
-	mins []netaddr.Addr // first address of block i
-	maxs []netaddr.Addr // last address of block i
-	offs []int          // byte offset of block i's delta stream in data
-	cum  []int          // addresses before block i; len = blocks+1, cum[blocks] = n
+	mins []A   // first address of block i
+	maxs []A   // last address of block i
+	offs []int // byte offset of block i's delta stream in data
+	cum  []int // addresses before block i; len = blocks+1, cum[blocks] = n
 
 	// data holds, per block, count(i)-1 uvarint deltas: the block's
 	// first address lives in mins[i], each delta adds to the previous
@@ -59,12 +66,28 @@ type Set struct {
 	mods map[int][]byte
 }
 
+// Set is the IPv4 instantiation of SetOf.
+type Set = SetOf[netaddr.Addr]
+
+// narrow reports whether the family fits 64 bits, which selects the
+// encoding/binary uvarint fast paths over the 128-bit LEB128 codec.
+func narrow[A netaddr.Key[A]]() bool {
+	var z A
+	return z.Width() <= 64
+}
+
+// lo64 returns the low half of a; only meaningful for narrow families.
+func lo64[A netaddr.Key[A]](a A) uint64 {
+	_, lo := a.Halves()
+	return lo
+}
+
 // blockStream returns block bi's delta stream: the overlay slice when
 // the block has been rewritten by ApplyDelta, the shared contiguous
 // payload otherwise. The stream holds blockLen(bi)-1 uvarint deltas
 // (possibly followed by other blocks' bytes — decoders count, they do
 // not measure).
-func (s *Set) blockStream(bi int) []byte {
+func (s *SetOf[A]) blockStream(bi int) []byte {
 	if s.mods != nil {
 		if b, ok := s.mods[bi]; ok {
 			return b
@@ -78,8 +101,8 @@ func (s *Set) blockStream(bi int) []byte {
 // merge walk, so counts agree on any sorted input (census snapshots are
 // duplicate-free anyway). blockSize 0 means DefaultBlockSize. It panics
 // on unsorted input; use a Builder when the input needs validation.
-func FromSorted(addrs []netaddr.Addr, blockSize int) *Set {
-	b := NewBuilder(blockSize, len(addrs))
+func FromSorted[A netaddr.Key[A]](addrs []A, blockSize int) *SetOf[A] {
+	b := NewBuilderOf[A](blockSize, len(addrs))
 	for _, a := range addrs {
 		if err := b.Append(a); err != nil {
 			panic(fmt.Sprintf("addrset: FromSorted: %v", err))
@@ -89,20 +112,20 @@ func FromSorted(addrs []netaddr.Addr, blockSize int) *Set {
 }
 
 // Len returns the number of addresses in the set.
-func (s *Set) Len() int { return s.n }
+func (s *SetOf[A]) Len() int { return s.n }
 
 // BlockSize returns the per-block address population.
-func (s *Set) BlockSize() int { return s.bsize }
+func (s *SetOf[A]) BlockSize() int { return s.bsize }
 
 // Blocks returns the number of index blocks.
-func (s *Set) Blocks() int { return len(s.mins) }
+func (s *SetOf[A]) Blocks() int { return len(s.mins) }
 
 // Bytes returns the memory footprint of the compressed payload (the
 // delta stream plus any copy-on-write overlay, excluding the skip
 // index). For a set produced by ApplyDelta the contiguous payload is
 // shared with its parent, so summing Bytes across a delta chain counts
 // the shared bytes repeatedly.
-func (s *Set) Bytes() int {
+func (s *SetOf[A]) Bytes() int {
 	n := len(s.data)
 	for _, stream := range s.mods {
 		n += len(stream)
@@ -111,36 +134,50 @@ func (s *Set) Bytes() int {
 }
 
 // Min returns the smallest address; ok is false for an empty set.
-func (s *Set) Min() (netaddr.Addr, bool) {
+func (s *SetOf[A]) Min() (A, bool) {
 	if s.n == 0 {
-		return 0, false
+		var z A
+		return z, false
 	}
 	return s.mins[0], true
 }
 
 // Max returns the largest address; ok is false for an empty set.
-func (s *Set) Max() (netaddr.Addr, bool) {
+func (s *SetOf[A]) Max() (A, bool) {
 	if s.n == 0 {
-		return 0, false
+		var z A
+		return z, false
 	}
 	return s.maxs[len(s.maxs)-1], true
 }
 
 // blockLen returns the number of addresses in block bi.
-func (s *Set) blockLen(bi int) int { return s.cum[bi+1] - s.cum[bi] }
+func (s *SetOf[A]) blockLen(bi int) int { return s.cum[bi+1] - s.cum[bi] }
 
 // decodeBlock appends the addresses of block bi to buf and returns it.
 // buf is reused across calls when cap allows.
-func (s *Set) decodeBlock(bi int, buf []netaddr.Addr) []netaddr.Addr {
+func (s *SetOf[A]) decodeBlock(bi int, buf []A) []A {
 	buf = buf[:0]
 	v := s.mins[bi]
 	buf = append(buf, v)
 	stream := s.blockStream(bi)
 	pos := 0
+	if narrow[A]() {
+		// Fast path: 64-bit accumulation, one widening per element.
+		var z A
+		lo := lo64(v)
+		for k := 1; k < s.blockLen(bi); k++ {
+			d, n := binary.Uvarint(stream[pos:])
+			pos += n
+			lo += d
+			buf = append(buf, z.FromHalves(0, lo))
+		}
+		return buf
+	}
 	for k := 1; k < s.blockLen(bi); k++ {
-		d, n := binary.Uvarint(stream[pos:])
+		d, n := netaddr.DecodeKeyUvarint[A](stream[pos:])
 		pos += n
-		v += netaddr.Addr(d)
+		v = netaddr.KeyAdd(v, d)
 		buf = append(buf, v)
 	}
 	return buf
@@ -148,7 +185,7 @@ func (s *Set) decodeBlock(bi int, buf []netaddr.Addr) []netaddr.Addr {
 
 // Walk calls yield for every address in ascending order until yield
 // returns false.
-func (s *Set) Walk(yield func(netaddr.Addr) bool) {
+func (s *SetOf[A]) Walk(yield func(A) bool) {
 	for bi := range s.mins {
 		v := s.mins[bi]
 		if !yield(v) {
@@ -157,9 +194,9 @@ func (s *Set) Walk(yield func(netaddr.Addr) bool) {
 		stream := s.blockStream(bi)
 		pos := 0
 		for k := 1; k < s.blockLen(bi); k++ {
-			d, n := binary.Uvarint(stream[pos:])
+			d, n := netaddr.DecodeKeyUvarint[A](stream[pos:])
 			pos += n
-			v += netaddr.Addr(d)
+			v = netaddr.KeyAdd(v, d)
 			if !yield(v) {
 				return
 			}
@@ -169,13 +206,13 @@ func (s *Set) Walk(yield func(netaddr.Addr) bool) {
 
 // AppendTo appends every address in ascending order to dst and returns
 // the extended slice.
-func (s *Set) AppendTo(dst []netaddr.Addr) []netaddr.Addr {
+func (s *SetOf[A]) AppendTo(dst []A) []A {
 	if cap(dst)-len(dst) < s.n {
-		grown := make([]netaddr.Addr, len(dst), len(dst)+s.n)
+		grown := make([]A, len(dst), len(dst)+s.n)
 		copy(grown, dst)
 		dst = grown
 	}
-	s.Walk(func(a netaddr.Addr) bool {
+	s.Walk(func(a A) bool {
 		dst = append(dst, a)
 		return true
 	})
@@ -183,10 +220,10 @@ func (s *Set) AppendTo(dst []netaddr.Addr) []netaddr.Addr {
 }
 
 // Contains reports whether a is in the set.
-func (s *Set) Contains(a netaddr.Addr) bool {
+func (s *SetOf[A]) Contains(a A) bool {
 	// Rightmost block whose min is <= a.
-	bi := sort.Search(len(s.mins), func(i int) bool { return s.mins[i] > a }) - 1
-	if bi < 0 || a > s.maxs[bi] {
+	bi := sort.Search(len(s.mins), func(i int) bool { return s.mins[i].Compare(a) > 0 }) - 1
+	if bi < 0 || a.Compare(s.maxs[bi]) > 0 {
 		return false
 	}
 	v := s.mins[bi]
@@ -196,10 +233,10 @@ func (s *Set) Contains(a netaddr.Addr) bool {
 	stream := s.blockStream(bi)
 	pos := 0
 	for k := 1; k < s.blockLen(bi); k++ {
-		d, n := binary.Uvarint(stream[pos:])
+		d, n := netaddr.DecodeKeyUvarint[A](stream[pos:])
 		pos += n
-		v += netaddr.Addr(d)
-		if v >= a {
+		v = netaddr.KeyAdd(v, d)
+		if v.Compare(a) >= 0 {
 			return v == a
 		}
 	}
@@ -212,8 +249,8 @@ func (s *Set) Contains(a netaddr.Addr) bool {
 // decoded. For many ascending ranges (counting a partition), use a
 // Counter, which replaces the binary search with a galloping hint and
 // caches boundary-block decodes.
-func (s *Set) CountRange(lo, hi netaddr.Addr) int {
-	if s.n == 0 || lo > hi {
+func (s *SetOf[A]) CountRange(lo, hi A) int {
+	if s.n == 0 || lo.Compare(hi) > 0 {
 		return 0
 	}
 	c := s.Counter()
@@ -221,15 +258,16 @@ func (s *Set) CountRange(lo, hi netaddr.Addr) int {
 }
 
 // Rank returns the number of set addresses strictly below a.
-func (s *Set) Rank(a netaddr.Addr) int {
-	if s.n == 0 || a == 0 {
+func (s *SetOf[A]) Rank(a A) int {
+	var z A
+	if s.n == 0 || a == z {
 		return 0
 	}
 	c := s.Counter()
-	return c.Count(0, a-1)
+	return c.Count(z, netaddr.KeyDec(a))
 }
 
-// Counter counts ascending address ranges against the set using a
+// CounterOf counts ascending address ranges against the set using a
 // moving block hint: ranges must be disjoint and ascending (each
 // Count's lo must be greater than the previous Count's hi). Sorted
 // disjoint partitions produce exactly this pattern. The counter caches the last decoded
@@ -238,31 +276,34 @@ func (s *Set) Rank(a netaddr.Addr) int {
 // asymptotically worse than the merge walk.
 //
 // A Counter is single-goroutine state; create one per pass.
-type Counter struct {
-	s    *Set
-	hint int            // first candidate block for the next boundary search
-	bufI int            // index of the decoded block in buf, -1 if none
-	buf  []netaddr.Addr // decoded block cache
+type CounterOf[A netaddr.Key[A]] struct {
+	s    *SetOf[A]
+	hint int // first candidate block for the next boundary search
+	bufI int // index of the decoded block in buf, -1 if none
+	buf  []A // decoded block cache
 }
+
+// Counter is the IPv4 instantiation of CounterOf.
+type Counter = CounterOf[netaddr.Addr]
 
 // Counter returns a fresh range counter positioned at the start of the
 // set.
-func (s *Set) Counter() *Counter {
-	return &Counter{s: s, bufI: -1}
+func (s *SetOf[A]) Counter() *CounterOf[A] {
+	return &CounterOf[A]{s: s, bufI: -1}
 }
 
 // findBlock returns the first block index >= c.hint whose max is >= a
 // (or > a when strict), galloping forward from the hint and finishing
 // with a binary search inside the galloped window. Returns len(mins)
 // when every remaining block ends below the bound.
-func (c *Counter) findBlock(a netaddr.Addr, strict bool) int {
+func (c *CounterOf[A]) findBlock(a A, strict bool) int {
 	maxs := c.s.maxs
 	nb := len(maxs)
-	above := func(m netaddr.Addr) bool {
+	above := func(m A) bool {
 		if strict {
-			return m > a
+			return m.Compare(a) > 0
 		}
-		return m >= a
+		return m.Compare(a) >= 0
 	}
 	lo := c.hint
 	if lo >= nb {
@@ -292,14 +333,14 @@ func (c *Counter) findBlock(a netaddr.Addr, strict bool) int {
 // spans block boundaries is counted in full: for an inclusive rank,
 // every block whose max equals a lies entirely at or below a and is
 // counted from the cumulative index.
-func (c *Counter) rank(a netaddr.Addr, incl bool) int {
+func (c *CounterOf[A]) rank(a A, incl bool) int {
 	s := c.s
 	bi := c.findBlock(a, incl)
 	c.hint = bi
 	if bi == len(s.mins) {
 		return s.n
 	}
-	if a < s.mins[bi] {
+	if a.Compare(s.mins[bi]) < 0 {
 		// Boundary falls in the gap before the block: nothing of it counts.
 		return s.cum[bi]
 	}
@@ -309,17 +350,17 @@ func (c *Counter) rank(a netaddr.Addr, incl bool) int {
 	}
 	var k int
 	if incl {
-		k = sort.Search(len(c.buf), func(i int) bool { return c.buf[i] > a })
+		k = sort.Search(len(c.buf), func(i int) bool { return c.buf[i].Compare(a) > 0 })
 	} else {
-		k = sort.Search(len(c.buf), func(i int) bool { return c.buf[i] >= a })
+		k = sort.Search(len(c.buf), func(i int) bool { return c.buf[i].Compare(a) >= 0 })
 	}
 	return s.cum[bi] + k
 }
 
 // Count returns the number of set addresses in [lo, hi]. lo must be >=
 // the lo of the previous Count on this counter.
-func (c *Counter) Count(lo, hi netaddr.Addr) int {
-	if c.s.n == 0 || lo > hi {
+func (c *CounterOf[A]) Count(lo, hi A) int {
+	if c.s.n == 0 || lo.Compare(hi) > 0 {
 		return 0
 	}
 	below := c.rank(lo, false)
@@ -330,7 +371,7 @@ func (c *Counter) Count(lo, hi netaddr.Addr) int {
 // that lies entirely below the other's current address is skipped at
 // block granularity through the [min, max] index, so sparse overlaps
 // cost far less than the element-by-element merge.
-func (s *Set) IntersectCount(t *Set) int {
+func (s *SetOf[A]) IntersectCount(t *SetOf[A]) int {
 	if s.n == 0 || t.n == 0 {
 		return 0
 	}
@@ -338,10 +379,10 @@ func (s *Set) IntersectCount(t *Set) int {
 	b := t.iter()
 	n := 0
 	for a.valid() && b.valid() {
-		switch {
-		case a.v < b.v:
+		switch c := a.v.Compare(b.v); {
+		case c < 0:
 			a.seek(b.v)
-		case b.v < a.v:
+		case c > 0:
 			b.seek(a.v)
 		default:
 			n++
@@ -353,16 +394,16 @@ func (s *Set) IntersectCount(t *Set) int {
 }
 
 // iterator streams a Set in ascending order with galloping seek.
-type iterator struct {
-	s   *Set
-	bi  int            // current block
-	k   int            // index within buf
-	v   netaddr.Addr   // current value (valid when bi < blocks)
-	buf []netaddr.Addr // decoded current block
+type iterator[A netaddr.Key[A]] struct {
+	s   *SetOf[A]
+	bi  int // current block
+	k   int // index within buf
+	v   A   // current value (valid when bi < blocks)
+	buf []A // decoded current block
 }
 
-func (s *Set) iter() *iterator {
-	it := &iterator{s: s}
+func (s *SetOf[A]) iter() *iterator[A] {
+	it := &iterator[A]{s: s}
 	if s.n > 0 {
 		it.buf = s.decodeBlock(0, nil)
 		it.v = it.buf[0]
@@ -372,9 +413,9 @@ func (s *Set) iter() *iterator {
 	return it
 }
 
-func (it *iterator) valid() bool { return it.bi < len(it.s.mins) }
+func (it *iterator[A]) valid() bool { return it.bi < len(it.s.mins) }
 
-func (it *iterator) loadBlock(bi int) {
+func (it *iterator[A]) loadBlock(bi int) {
 	it.bi = bi
 	if bi < len(it.s.mins) {
 		it.buf = it.s.decodeBlock(bi, it.buf)
@@ -383,7 +424,7 @@ func (it *iterator) loadBlock(bi int) {
 	}
 }
 
-func (it *iterator) next() {
+func (it *iterator[A]) next() {
 	it.k++
 	if it.k < len(it.buf) {
 		it.v = it.buf[it.k]
@@ -395,12 +436,12 @@ func (it *iterator) next() {
 // seek advances the iterator to the first address >= x (x must be >=
 // the current value). It gallops over whole blocks via the max index
 // before decoding the landing block.
-func (it *iterator) seek(x netaddr.Addr) {
+func (it *iterator[A]) seek(x A) {
 	s := it.s
-	if x <= s.maxs[it.bi] {
+	if x.Compare(s.maxs[it.bi]) <= 0 {
 		// Stays in the current block: binary search forward from k.
 		rest := it.buf[it.k:]
-		j := sort.Search(len(rest), func(i int) bool { return rest[i] >= x })
+		j := sort.Search(len(rest), func(i int) bool { return rest[i].Compare(x) >= 0 })
 		it.k += j
 		if it.k < len(it.buf) {
 			it.v = it.buf[it.k]
@@ -414,7 +455,7 @@ func (it *iterator) seek(x netaddr.Addr) {
 	lo := it.bi
 	step := 1
 	hi := lo + step
-	for hi < nb && s.maxs[hi] < x {
+	for hi < nb && s.maxs[hi].Compare(x) < 0 {
 		lo = hi
 		step <<= 1
 		hi = lo + step
@@ -422,12 +463,12 @@ func (it *iterator) seek(x netaddr.Addr) {
 	if hi > nb {
 		hi = nb
 	}
-	bi := lo + 1 + sort.Search(hi-lo-1, func(i int) bool { return s.maxs[lo+1+i] >= x })
+	bi := lo + 1 + sort.Search(hi-lo-1, func(i int) bool { return s.maxs[lo+1+i].Compare(x) >= 0 })
 	it.loadBlock(bi)
 	if it.bi == nb {
 		return
 	}
-	j := sort.Search(len(it.buf), func(i int) bool { return it.buf[i] >= x })
+	j := sort.Search(len(it.buf), func(i int) bool { return it.buf[i].Compare(x) >= 0 })
 	it.k = j
 	if j < len(it.buf) {
 		it.v = it.buf[j]
@@ -436,30 +477,42 @@ func (it *iterator) seek(x netaddr.Addr) {
 	it.loadBlock(it.bi + 1)
 }
 
-// Builder assembles a Set from strictly ascending appends, encoding
-// each address into the block layout as it arrives. It is the streaming
+// BuilderOf assembles a Set from ascending appends, encoding each
+// address into the block layout as it arrives. It is the streaming
 // half of the census codec fast path: wire deltas go straight into
 // block deltas with no intermediate slice.
-type Builder struct {
+type BuilderOf[A netaddr.Key[A]] struct {
 	bsize int
-	set   Set
-	prev  netaddr.Addr
-	inBlk int // addresses in the block under construction
-	buf   [binary.MaxVarintLen64]byte
+	set   SetOf[A]
+	prev  A
+	inBlk int      // addresses in the block under construction
+	buf   [19]byte // max LEB128 length of a 128-bit delta
 }
 
-// NewBuilder returns a Builder. blockSize 0 means DefaultBlockSize;
-// sizeHint, when positive, pre-sizes the index and data buffers.
+// Builder is the IPv4 instantiation of BuilderOf.
+type Builder = BuilderOf[netaddr.Addr]
+
+// NewBuilder returns an IPv4 Builder. blockSize 0 means
+// DefaultBlockSize; sizeHint, when positive, pre-sizes the index and
+// data buffers. It exists alongside NewBuilderOf because the family
+// cannot be inferred from integer arguments.
 func NewBuilder(blockSize, sizeHint int) *Builder {
+	return NewBuilderOf[netaddr.Addr](blockSize, sizeHint)
+}
+
+// NewBuilderOf returns a Builder for any address family. blockSize 0
+// means DefaultBlockSize; sizeHint, when positive, pre-sizes the index
+// and data buffers.
+func NewBuilderOf[A netaddr.Key[A]](blockSize, sizeHint int) *BuilderOf[A] {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
-	b := &Builder{bsize: blockSize}
+	b := &BuilderOf[A]{bsize: blockSize}
 	b.set.bsize = blockSize
 	if sizeHint > 0 {
 		blocks := (sizeHint + blockSize - 1) / blockSize
-		b.set.mins = make([]netaddr.Addr, 0, blocks)
-		b.set.maxs = make([]netaddr.Addr, 0, blocks)
+		b.set.mins = make([]A, 0, blocks)
+		b.set.maxs = make([]A, 0, blocks)
 		b.set.offs = make([]int, 0, blocks)
 		b.set.cum = make([]int, 0, blocks+1)
 		// ~1.5 bytes per delta on census-shaped data; grown as needed.
@@ -470,9 +523,9 @@ func NewBuilder(blockSize, sizeHint int) *Builder {
 
 // Append adds a to the set. Addresses must arrive in ascending order;
 // duplicates are kept (multiset semantics).
-func (b *Builder) Append(a netaddr.Addr) error {
+func (b *BuilderOf[A]) Append(a A) error {
 	s := &b.set
-	if s.n > 0 && a < b.prev {
+	if s.n > 0 && a.Compare(b.prev) < 0 {
 		return fmt.Errorf("addrset: append %v after %v: not ascending", a, b.prev)
 	}
 	if b.inBlk == b.bsize {
@@ -484,7 +537,13 @@ func (b *Builder) Append(a netaddr.Addr) error {
 		s.offs = append(s.offs, len(s.data))
 		s.cum = append(s.cum, s.n)
 	} else {
-		s.data = append(s.data, b.buf[:binary.PutUvarint(b.buf[:], uint64(a-b.prev))]...)
+		if narrow[A]() {
+			// Ascending appends keep the gap in the low half.
+			gap := lo64(a) - lo64(b.prev)
+			s.data = append(s.data, b.buf[:binary.PutUvarint(b.buf[:], gap)]...)
+		} else {
+			s.data = netaddr.AppendKeyUvarint(s.data, netaddr.KeySub(a, b.prev))
+		}
 		s.maxs[len(s.maxs)-1] = a
 	}
 	b.prev = a
@@ -495,7 +554,7 @@ func (b *Builder) Append(a netaddr.Addr) error {
 
 // Finish seals and returns the set. The Builder must not be used
 // afterwards.
-func (b *Builder) Finish() *Set {
+func (b *BuilderOf[A]) Finish() *SetOf[A] {
 	b.set.cum = append(b.set.cum, b.set.n)
 	return &b.set
 }

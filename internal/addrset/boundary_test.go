@@ -1,0 +1,87 @@
+package addrset
+
+import (
+	"testing"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// Sets whose last member is the very top of the address space stress
+// the delta coding (no address after it), Rank's a-1 step, and the
+// counter's inclusive upper bound. Both families are pinned here.
+
+func TestSetAtTopOfSpaceV4(t *testing.T) {
+	max := netaddr.KeyMax[netaddr.Addr]()
+	addrs := []netaddr.Addr{0, 7, 1 << 20, max - 1, max}
+	s := FromSorted(addrs, 2) // tiny blocks: max sits on a block boundary path
+	if !s.Contains(max) {
+		t.Error("Contains(max) = false")
+	}
+	if got, ok := s.Max(); !ok || got != max {
+		t.Errorf("Max() = %v, %v", got, ok)
+	}
+	if got := s.CountRange(max, max); got != 1 {
+		t.Errorf("CountRange(max, max) = %d", got)
+	}
+	if got := s.CountRange(0, max); got != len(addrs) {
+		t.Errorf("CountRange(0, max) = %d, want %d", got, len(addrs))
+	}
+	if got := s.CountRange(max-1, max); got != 2 {
+		t.Errorf("CountRange(max-1, max) = %d", got)
+	}
+	if got := s.Rank(max); got != len(addrs)-1 {
+		t.Errorf("Rank(max) = %d, want %d", got, len(addrs)-1)
+	}
+	// A set without max must not report it.
+	s2 := FromSorted(addrs[:4], 2)
+	if s2.Contains(max) {
+		t.Error("Contains(max) = true on a set without it")
+	}
+	if got := s2.CountRange(max, max); got != 0 {
+		t.Errorf("CountRange(max, max) = %d on a set without it", got)
+	}
+}
+
+func TestSetAtTopOfSpaceV6(t *testing.T) {
+	max := netaddr.KeyMax[netaddr.Addr6]()
+	addrs := []netaddr.Addr6{
+		{},
+		{Hi: 1},
+		{Hi: 1, Lo: ^uint64(0)}, // Lo all-ones mid-set: carry in the delta decode
+		{Hi: ^uint64(0)},
+		max,
+	}
+	s := FromSorted(addrs, 2)
+	if !s.Contains(max) {
+		t.Error("Contains(max6) = false")
+	}
+	if got := s.CountRange(max, max); got != 1 {
+		t.Errorf("CountRange(max6, max6) = %d", got)
+	}
+	var zero netaddr.Addr6
+	if got := s.CountRange(zero, max); got != len(addrs) {
+		t.Errorf("CountRange(0, max6) = %d, want %d", got, len(addrs))
+	}
+	if got := s.Rank(max); got != len(addrs)-1 {
+		t.Errorf("Rank(max6) = %d", got)
+	}
+}
+
+func TestCounterPartitionEndingAtTop(t *testing.T) {
+	// An ascending Counter pass whose final range is [240.0.0.0,
+	// 255.255.255.255] — the class-E tail a real partition of the full
+	// IPv4 space ends with.
+	max := netaddr.KeyMax[netaddr.Addr]()
+	addrs := []netaddr.Addr{10, 1 << 28, 0xF000_0001, max}
+	s := FromSorted(addrs, 0)
+	c := s.Counter()
+	if got := c.Count(0, 1<<28-1); got != 1 {
+		t.Errorf("first range = %d", got)
+	}
+	if got := c.Count(1<<28, 0xEFFF_FFFF); got != 1 {
+		t.Errorf("middle range = %d", got)
+	}
+	if got := c.Count(0xF000_0000, max); got != 2 {
+		t.Errorf("top range = %d, want 2", got)
+	}
+}

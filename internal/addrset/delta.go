@@ -1,7 +1,6 @@
 package addrset
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -28,7 +27,7 @@ import (
 //
 // The receiver is not modified and remains valid; with an empty delta
 // it is returned unchanged.
-func (s *Set) ApplyDelta(born, died []netaddr.Addr) (*Set, error) {
+func (s *SetOf[A]) ApplyDelta(born, died []A) (*SetOf[A], error) {
 	if err := checkStrictAscending(born, "born"); err != nil {
 		return nil, err
 	}
@@ -46,7 +45,7 @@ func (s *Set) ApplyDelta(born, died []netaddr.Addr) (*Set, error) {
 	}
 
 	nb := len(s.mins)
-	out := &Set{bsize: s.bsize, data: s.data}
+	out := &SetOf[A]{bsize: s.bsize, data: s.data}
 
 	// Partial index rebuild: blocks strictly before the first touched
 	// one carry over verbatim — same indices, same streams, same
@@ -64,8 +63,8 @@ func (s *Set) ApplyDelta(born, died []netaddr.Addr) (*Set, error) {
 		}
 	}
 	grow := (len(born) + s.bsize - 1) / s.bsize
-	out.mins = make([]netaddr.Addr, first, nb+grow)
-	out.maxs = make([]netaddr.Addr, first, nb+grow)
+	out.mins = make([]A, first, nb+grow)
+	out.maxs = make([]A, first, nb+grow)
 	out.offs = make([]int, first, nb+grow)
 	out.cum = make([]int, first+1, nb+grow+1)
 	copy(out.mins, s.mins[:first])
@@ -81,7 +80,7 @@ func (s *Set) ApplyDelta(born, died []netaddr.Addr) (*Set, error) {
 	}
 
 	b, d := 0, 0
-	var dec, merged []netaddr.Addr
+	var dec, merged []A
 	for bi := first; bi < nb; bi++ {
 		// Born addresses destined for this block: everything below the
 		// next block's min (the last block takes all the rest). Died
@@ -89,10 +88,10 @@ func (s *Set) ApplyDelta(born, died []netaddr.Addr) (*Set, error) {
 		bornHi := len(born)
 		if bi+1 < nb {
 			m := s.mins[bi+1]
-			bornHi = b + sort.Search(len(born)-b, func(i int) bool { return born[b+i] >= m })
+			bornHi = b + sort.Search(len(born)-b, func(i int) bool { return born[b+i].Compare(m) >= 0 })
 		}
 		mx := s.maxs[bi]
-		diedHi := d + sort.Search(len(died)-d, func(i int) bool { return died[d+i] > mx })
+		diedHi := d + sort.Search(len(died)-d, func(i int) bool { return died[d+i].Compare(mx) > 0 })
 		if b == bornHi && d == diedHi {
 			out.appendCarried(s, bi)
 			continue
@@ -124,12 +123,12 @@ func (s *Set) ApplyDelta(born, died []netaddr.Addr) (*Set, error) {
 // Compact flattens the copy-on-write overlay into a freshly encoded
 // contiguous set (fixed-population blocks, no overlay). Sets without an
 // overlay are returned unchanged.
-func (s *Set) Compact() *Set {
+func (s *SetOf[A]) Compact() *SetOf[A] {
 	if len(s.mods) == 0 {
 		return s
 	}
-	b := NewBuilder(s.bsize, s.n)
-	s.Walk(func(a netaddr.Addr) bool {
+	b := NewBuilderOf[A](s.bsize, s.n)
+	s.Walk(func(a A) bool {
 		// Walk yields ascending addresses, the only Append error.
 		_ = b.Append(a)
 		return true
@@ -139,13 +138,13 @@ func (s *Set) Compact() *Set {
 
 // Overlay reports the size of the copy-on-write overlay: how many
 // blocks have been rewritten by ApplyDelta since the last compaction.
-func (s *Set) Overlay() int { return len(s.mods) }
+func (s *SetOf[A]) Overlay() int { return len(s.mods) }
 
 // blockOf returns the index of the rightmost block whose min is <= a
 // (0 when a precedes every block): the block a lives in if present, or
 // the block an insertion of a would rewrite.
-func blockOf(s *Set, a netaddr.Addr) int {
-	bi := sort.Search(len(s.mins), func(i int) bool { return s.mins[i] > a }) - 1
+func blockOf[A netaddr.Key[A]](s *SetOf[A], a A) int {
+	bi := sort.Search(len(s.mins), func(i int) bool { return s.mins[i].Compare(a) > 0 }) - 1
 	if bi < 0 {
 		return 0
 	}
@@ -154,7 +153,7 @@ func blockOf(s *Set, a netaddr.Addr) int {
 
 // appendCarried copies block bi of parent — index entry, stream
 // (overlay or contiguous), population — as the receiver's next block.
-func (o *Set) appendCarried(parent *Set, bi int) {
+func (o *SetOf[A]) appendCarried(parent *SetOf[A], bi int) {
 	newBi := len(o.mins)
 	o.mins = append(o.mins, parent.mins[bi])
 	o.maxs = append(o.maxs, parent.maxs[bi])
@@ -172,8 +171,7 @@ func (o *Set) appendCarried(parent *Set, bi int) {
 // appendEncoded re-encodes a merged block's addresses into the overlay,
 // splitting back to the block size when the merge outgrew it. Empty
 // merges (every address died) emit no block at all.
-func (o *Set) appendEncoded(addrs []netaddr.Addr) {
-	var buf [binary.MaxVarintLen64]byte
+func (o *SetOf[A]) appendEncoded(addrs []A) {
 	for len(addrs) > 0 {
 		n := min(o.bsize, len(addrs))
 		blk := addrs[:n]
@@ -181,7 +179,7 @@ func (o *Set) appendEncoded(addrs []netaddr.Addr) {
 		stream := make([]byte, 0, 2*n)
 		prev := blk[0]
 		for _, a := range blk[1:] {
-			stream = append(stream, buf[:binary.PutUvarint(buf[:], uint64(a-prev))]...)
+			stream = netaddr.AppendKeyUvarint(stream, netaddr.KeySub(a, prev))
 			prev = a
 		}
 		newBi := len(o.mins)
@@ -197,17 +195,17 @@ func (o *Set) appendEncoded(addrs []netaddr.Addr) {
 // mergeDelta merges base with born and removes died, appending to dst.
 // All three inputs are ascending; born and died are confined to base's
 // block range by the caller.
-func mergeDelta(dst, base, born, died []netaddr.Addr) ([]netaddr.Addr, error) {
+func mergeDelta[A netaddr.Key[A]](dst, base, born, died []A) ([]A, error) {
 	b, d := 0, 0
 	for _, a := range base {
-		if d < len(died) && died[d] < a {
+		if d < len(died) && died[d].Compare(a) < 0 {
 			return nil, fmt.Errorf("addrset: delta died %v not in set", died[d])
 		}
 		if d < len(died) && died[d] == a {
 			d++
 			continue
 		}
-		for b < len(born) && born[b] < a {
+		for b < len(born) && born[b].Compare(a) < 0 {
 			dst = append(dst, born[b])
 			b++
 		}
@@ -224,9 +222,9 @@ func mergeDelta(dst, base, born, died []netaddr.Addr) ([]netaddr.Addr, error) {
 
 // checkStrictAscending validates a delta side: strictly ascending,
 // duplicate-free.
-func checkStrictAscending(addrs []netaddr.Addr, side string) error {
+func checkStrictAscending[A netaddr.Key[A]](addrs []A, side string) error {
 	for i := 1; i < len(addrs); i++ {
-		if addrs[i] <= addrs[i-1] {
+		if addrs[i].Compare(addrs[i-1]) <= 0 {
 			return fmt.Errorf("addrset: delta %s not strictly ascending at %v", side, addrs[i])
 		}
 	}

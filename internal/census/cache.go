@@ -8,18 +8,18 @@ import (
 	"github.com/tass-scan/tass/internal/rib"
 )
 
-// CountCache memoizes per-prefix host counts by (snapshot, generation,
-// partition) identity. The phi-grid and the multi-figure experiment
-// engine rank the same seed snapshot over the same universe again and
-// again; with a shared cache each pair is counted exactly once,
-// concurrent requests for the same pair block on a single computation,
-// and every later request is a map lookup.
+// CountCacheOf memoizes per-prefix host counts by (snapshot,
+// generation, partition) identity. The phi-grid and the multi-figure
+// experiment engine rank the same seed snapshot over the same universe
+// again and again; with a shared cache each pair is counted exactly
+// once, concurrent requests for the same pair block on a single
+// computation, and every later request is a map lookup.
 //
-// Identity is pointer identity: the *Snapshot and the backing array of
-// the partition's prefix slice, plus the snapshot's mutation
+// Identity is pointer identity: the *SnapshotOf and the backing array
+// of the partition's prefix slice, plus the snapshot's mutation
 // generation. Snapshots and partitions are immutable by contract except
 // through Snapshot.Apply, which bumps the generation — so cached counts
-// can never go stale. A nil *CountCache is valid and simply computes
+// can never go stale. A nil *CountCacheOf is valid and simply computes
 // every request (no memoization), which keeps call sites free of
 // conditionals.
 //
@@ -27,14 +27,17 @@ import (
 // least-recently-used entry is evicted, so a long-running campaign that
 // feeds a fresh snapshot into every cycle cannot grow it without limit.
 // Eviction only ever costs a recomputation, never correctness.
-type CountCache struct {
+type CountCacheOf[A netaddr.Key[A]] struct {
 	mu         sync.Mutex
-	m          map[countKey]*countEntry
+	m          map[countKey[A]]*countEntry[A]
 	cap        int
-	head, tail *countEntry // LRU list: head is most recently used
+	head, tail *countEntry[A] // LRU list: head is most recently used
 
 	hits, misses atomic.Int64
 }
+
+// CountCache is the IPv4 instantiation of CountCacheOf.
+type CountCache = CountCacheOf[netaddr.Addr]
 
 // DefaultCountCacheEntries is the entry cap of NewCountCache. Each
 // entry holds one int per partition prefix, so the default bounds the
@@ -45,33 +48,45 @@ const DefaultCountCacheEntries = 4096
 // Partitions are value types; their identity is the backing array of
 // the prefix slice plus its length (Subset and the trie builders always
 // allocate fresh arrays).
-type countKey struct {
-	snap *Snapshot
+type countKey[A netaddr.Key[A]] struct {
+	snap *SnapshotOf[A]
 	gen  uint64
-	part *netaddr.Prefix
+	part *netaddr.Pfx[A]
 	n    int
 }
 
-type countEntry struct {
-	key        countKey
-	prev, next *countEntry
+type countEntry[A netaddr.Key[A]] struct {
+	key        countKey[A]
+	prev, next *countEntry[A]
 	once       sync.Once
 	counts     []int
 	outside    int
 }
 
-// NewCountCache returns an empty cache bounded at
+// NewCountCache returns an empty IPv4 cache bounded at
 // DefaultCountCacheEntries entries.
 func NewCountCache() *CountCache { return NewCountCacheCap(DefaultCountCacheEntries) }
 
-// NewCountCacheCap returns an empty cache evicting least-recently-used
-// entries beyond maxEntries; maxEntries <= 0 means unbounded.
+// NewCountCacheOf returns an empty cache for any address family,
+// bounded at DefaultCountCacheEntries entries.
+func NewCountCacheOf[A netaddr.Key[A]]() *CountCacheOf[A] {
+	return NewCountCacheCapOf[A](DefaultCountCacheEntries)
+}
+
+// NewCountCacheCap returns an empty IPv4 cache evicting
+// least-recently-used entries beyond maxEntries; maxEntries <= 0 means
+// unbounded.
 func NewCountCacheCap(maxEntries int) *CountCache {
-	return &CountCache{m: make(map[countKey]*countEntry), cap: maxEntries}
+	return NewCountCacheCapOf[netaddr.Addr](maxEntries)
+}
+
+// NewCountCacheCapOf is NewCountCacheCap for any address family.
+func NewCountCacheCapOf[A netaddr.Key[A]](maxEntries int) *CountCacheOf[A] {
+	return &CountCacheOf[A]{m: make(map[countKey[A]]*countEntry[A]), cap: maxEntries}
 }
 
 // Cap returns the entry cap (0 means unbounded).
-func (c *CountCache) Cap() int {
+func (c *CountCacheOf[A]) Cap() int {
 	if c == nil {
 		return 0
 	}
@@ -79,7 +94,7 @@ func (c *CountCache) Cap() int {
 }
 
 // Len returns the number of resident entries.
-func (c *CountCache) Len() int {
+func (c *CountCacheOf[A]) Len() int {
 	if c == nil {
 		return 0
 	}
@@ -88,7 +103,7 @@ func (c *CountCache) Len() int {
 	return len(c.m)
 }
 
-func partKey(p rib.Partition) *netaddr.Prefix {
+func partKey[A netaddr.Key[A]](p rib.PartOf[A]) *netaddr.Pfx[A] {
 	ps := p.Prefixes()
 	if len(ps) == 0 {
 		return nil
@@ -97,7 +112,7 @@ func partKey(p rib.Partition) *netaddr.Prefix {
 }
 
 // unlink removes e from the LRU list. Callers hold c.mu.
-func (c *CountCache) unlink(e *countEntry) {
+func (c *CountCacheOf[A]) unlink(e *countEntry[A]) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
@@ -112,7 +127,7 @@ func (c *CountCache) unlink(e *countEntry) {
 }
 
 // pushFront makes e the most recently used entry. Callers hold c.mu.
-func (c *CountCache) pushFront(e *countEntry) {
+func (c *CountCacheOf[A]) pushFront(e *countEntry[A]) {
 	e.next = c.head
 	if c.head != nil {
 		c.head.prev = e
@@ -131,11 +146,11 @@ func (c *CountCache) pushFront(e *countEntry) {
 //
 // The returned slice is shared across callers and must be treated as
 // read-only.
-func (c *CountCache) Counts(snap *Snapshot, p rib.Partition, workers int) (counts []int, outside int) {
+func (c *CountCacheOf[A]) Counts(snap *SnapshotOf[A], p rib.PartOf[A], workers int) (counts []int, outside int) {
 	if c == nil {
-		return CountAddrsSharded(snap.Addrs, p, workers)
+		return countShardedFamily(snap.Addrs, p, workers)
 	}
-	key := countKey{snap: snap, gen: snap.Generation(), part: partKey(p), n: p.Len()}
+	key := countKey[A]{snap: snap, gen: snap.Generation(), part: partKey(p), n: p.Len()}
 	c.mu.Lock()
 	e, ok := c.m[key]
 	if ok {
@@ -144,7 +159,7 @@ func (c *CountCache) Counts(snap *Snapshot, p rib.Partition, workers int) (count
 			c.pushFront(e)
 		}
 	} else {
-		e = &countEntry{key: key}
+		e = &countEntry[A]{key: key}
 		c.m[key] = e
 		c.pushFront(e)
 		if c.cap > 0 && len(c.m) > c.cap {
@@ -160,7 +175,7 @@ func (c *CountCache) Counts(snap *Snapshot, p rib.Partition, workers int) (count
 		c.misses.Add(1)
 	}
 	e.once.Do(func() {
-		e.counts, e.outside = CountAddrsSharded(snap.Addrs, p, workers)
+		e.counts, e.outside = countShardedFamily(snap.Addrs, p, workers)
 	})
 	return e.counts, e.outside
 }
@@ -168,7 +183,7 @@ func (c *CountCache) Counts(snap *Snapshot, p rib.Partition, workers int) (count
 // Stats reports cache traffic: hits is the number of Counts calls that
 // found an existing entry, misses the number that created one
 // (including entries later evicted).
-func (c *CountCache) Stats() (hits, misses int64) {
+func (c *CountCacheOf[A]) Stats() (hits, misses int64) {
 	if c == nil {
 		return 0, 0
 	}

@@ -1,11 +1,16 @@
 // Package census stores full-scan observations: for each protocol and
-// month, the sorted set of responsive IPv4 addresses. It plays the role of
+// month, the sorted set of responsive addresses. It plays the role of
 // the censys.io snapshot archive in the paper — the ground truth that
 // selection strategies are seeded from and evaluated against.
 //
-// Snapshots serialize to a compact binary format (varint delta coding of
-// the sorted address set, typically ~1.5 bytes/host) so that a six-month,
-// four-protocol series fits comfortably on disk and loads in milliseconds.
+// Snapshots are generic over the address family (SnapshotOf); Snapshot
+// is the IPv4 instantiation. They serialize to a compact binary format
+// (varint delta coding of the sorted address set, typically ~1.5
+// bytes/host for IPv4) so that a six-month, four-protocol series fits
+// comfortably on disk and loads in milliseconds. The wire format is
+// family-tagged through the magic ("TASSCNS" for IPv4, "TASSCN6" for
+// IPv6), so a reader can never silently decode a snapshot of the wrong
+// family; the IPv4 byte layout is unchanged from the pre-generic codec.
 package census
 
 import (
@@ -23,18 +28,19 @@ import (
 	"github.com/tass-scan/tass/internal/rib"
 )
 
-// Snapshot is one full-scan observation: every responsive address for one
-// protocol in one measurement month. Addrs is sorted and duplicate-free.
+// SnapshotOf is one full-scan observation: every responsive address for
+// one protocol in one measurement month. Addrs is sorted and
+// duplicate-free.
 //
 // Snapshots are handled by pointer (the lazily built set view carries a
 // lock); use NewSnapshot or a &Snapshot{...} literal.
-type Snapshot struct {
+type SnapshotOf[A netaddr.Key[A]] struct {
 	Protocol string
 	Month    int
-	Addrs    []netaddr.Addr
+	Addrs    []A
 
 	setMu sync.Mutex
-	set   *addrset.Set // memoized block-indexed view of Addrs
+	set   *addrset.SetOf[A] // memoized block-indexed view of Addrs
 
 	// gen counts in-place mutations (Apply): identity-keyed caches
 	// include it so counts memoized before a mutation are never served
@@ -45,19 +51,22 @@ type Snapshot struct {
 	gen atomic.Uint64
 }
 
+// Snapshot is the IPv4 instantiation of SnapshotOf.
+type Snapshot = SnapshotOf[netaddr.Addr]
+
 // Generation returns the snapshot's mutation generation: 0 for a
 // freshly built snapshot, incremented by every in-place Apply. Caches
 // keyed by snapshot identity must key on (pointer, generation) so an
 // in-place delta application invalidates exactly the mutated
 // snapshot's entries.
-func (s *Snapshot) Generation() uint64 { return s.gen.Load() }
+func (s *SnapshotOf[A]) Generation() uint64 { return s.gen.Load() }
 
 // Set returns the block-indexed view of the snapshot's address set,
 // building it on first use and memoizing it. Snapshots parsed by
 // ReadSnapshot arrive with the view prebuilt (the codec decodes the
 // wire delta stream straight into blocks). The returned set is
 // immutable and safe for concurrent use.
-func (s *Snapshot) Set() *addrset.Set {
+func (s *SnapshotOf[A]) Set() *addrset.SetOf[A] {
 	s.setMu.Lock()
 	defer s.setMu.Unlock()
 	if s.set == nil {
@@ -66,12 +75,30 @@ func (s *Snapshot) Set() *addrset.Set {
 	return s.set
 }
 
-// NewSnapshot builds a snapshot from addrs, copying, sorting and
-// de-duplicating the input.
+// sortFamily sorts an address slice ascending, routing IPv4 to the
+// radix SortAddrs (the dominant cost of snapshot construction) and
+// other families to the comparator sort.
+func sortFamily[A netaddr.Key[A]](addrs []A) {
+	if v4, ok := any(addrs).([]netaddr.Addr); ok {
+		SortAddrs(v4)
+		return
+	}
+	netaddr.SortKeys(addrs)
+}
+
+// NewSnapshot builds an IPv4 snapshot from addrs, copying, sorting and
+// de-duplicating the input. It stays concrete so untyped nil inputs
+// keep compiling; NewSnapshotOf is the family-generic constructor.
 func NewSnapshot(protocol string, month int, addrs []netaddr.Addr) *Snapshot {
-	cp := make([]netaddr.Addr, len(addrs))
+	return NewSnapshotOf(protocol, month, addrs)
+}
+
+// NewSnapshotOf builds a snapshot from addrs of any family, copying,
+// sorting and de-duplicating the input.
+func NewSnapshotOf[A netaddr.Key[A]](protocol string, month int, addrs []A) *SnapshotOf[A] {
+	cp := make([]A, len(addrs))
 	copy(cp, addrs)
-	SortAddrs(cp)
+	sortFamily(cp)
 	w := 0
 	for i, a := range cp {
 		if i > 0 && cp[w-1] == a {
@@ -80,7 +107,7 @@ func NewSnapshot(protocol string, month int, addrs []netaddr.Addr) *Snapshot {
 		cp[w] = a
 		w++
 	}
-	return &Snapshot{Protocol: protocol, Month: month, Addrs: cp[:w]}
+	return &SnapshotOf[A]{Protocol: protocol, Month: month, Addrs: cp[:w]}
 }
 
 // NewSnapshotSorted wraps an already sorted, duplicate-free address
@@ -92,8 +119,8 @@ func NewSnapshot(protocol string, month int, addrs []netaddr.Addr) *Snapshot {
 // extraction arena; callers must uphold the ordering invariant
 // (violations surface as a panic from the set builder or as wrong
 // counts downstream).
-func NewSnapshotSorted(protocol string, month int, addrs []netaddr.Addr, prebuildSet bool) *Snapshot {
-	s := &Snapshot{Protocol: protocol, Month: month, Addrs: addrs}
+func NewSnapshotSorted[A netaddr.Key[A]](protocol string, month int, addrs []A, prebuildSet bool) *SnapshotOf[A] {
+	s := &SnapshotOf[A]{Protocol: protocol, Month: month, Addrs: addrs}
 	if prebuildSet {
 		s.set = addrset.FromSorted(addrs, 0)
 	}
@@ -101,11 +128,11 @@ func NewSnapshotSorted(protocol string, month int, addrs []netaddr.Addr, prebuil
 }
 
 // Hosts returns the number of responsive addresses.
-func (s *Snapshot) Hosts() int { return len(s.Addrs) }
+func (s *SnapshotOf[A]) Hosts() int { return len(s.Addrs) }
 
 // Contains reports whether a responded in this snapshot.
-func (s *Snapshot) Contains(a netaddr.Addr) bool {
-	i := sort.Search(len(s.Addrs), func(i int) bool { return s.Addrs[i] >= a })
+func (s *SnapshotOf[A]) Contains(a A) bool {
+	i := sort.Search(len(s.Addrs), func(i int) bool { return s.Addrs[i].Compare(a) >= 0 })
 	return i < len(s.Addrs) && s.Addrs[i] == a
 }
 
@@ -115,7 +142,7 @@ func (s *Snapshot) Contains(a netaddr.Addr) bool {
 // answered from the block index via per-prefix range counts; dense ones
 // fall back to the merge walk, which wins when most addresses land in
 // some prefix anyway (see DESIGN.md on the crossover).
-func (s *Snapshot) CountByPrefix(p rib.Partition) (counts []int, outside int) {
+func (s *SnapshotOf[A]) CountByPrefix(p rib.PartOf[A]) (counts []int, outside int) {
 	if sparseFor(p.Len(), len(s.Addrs)) {
 		return p.CountAddrsSet(s.Set())
 	}
@@ -139,25 +166,48 @@ func sparseFor(prefixes, addrs int) bool {
 // shape: small K over large N — sum per-prefix range counts off the
 // block index, two index lookups per prefix, O(K log B) instead of
 // O(N+K); dense selections keep the merge walk, summing inline.
-func (s *Snapshot) CountIn(p rib.Partition) int {
+func (s *SnapshotOf[A]) CountIn(p rib.PartOf[A]) int {
 	total := 0
 	if sparseFor(p.Len(), len(s.Addrs)) {
 		ctr := s.Set().Counter()
 		for i := 0; i < p.Len(); i++ {
-			pr := p.Prefix(i)
-			total += ctr.Count(pr.First(), pr.Last())
+			total += ctr.Count(p.FirstAt(i), p.LastAt(i))
 		}
 		return total
 	}
+	if s4, ok := any(s).(*Snapshot); ok {
+		return countIn32(s4, any(p).(rib.Partition))
+	}
 	i := 0
 	for _, a := range s.Addrs {
-		for i < p.Len() && p.Prefix(i).Last() < a {
+		for i < p.Len() && p.LastAt(i).Compare(a) < 0 {
 			i++
 		}
 		if i == p.Len() {
 			break
 		}
-		if a >= p.Prefix(i).First() {
+		if a.Compare(p.FirstAt(i)) >= 0 {
+			total++
+		}
+	}
+	return total
+}
+
+// countIn32 is the concrete IPv4 merge walk behind CountIn: it touches
+// every snapshot address, so the inner compares must stay direct uint32
+// operations rather than dictionary calls.
+func countIn32(s *Snapshot, p rib.Partition) int {
+	total := 0
+	i := 0
+	n := p.Len()
+	for _, a := range s.Addrs {
+		for i < n && p.LastAt(i) < a {
+			i++
+		}
+		if i == n {
+			break
+		}
+		if a >= p.FirstAt(i) {
 			total++
 		}
 	}
@@ -170,7 +220,7 @@ func (s *Snapshot) CountIn(p rib.Partition) int {
 // similar-sized pairs keep the element-wise merge, which wins when
 // neither cursor can skip far (snapshots of adjacent months share most
 // hosts).
-func (s *Snapshot) IntersectWith(t *Snapshot) int {
+func (s *SnapshotOf[A]) IntersectWith(t *SnapshotOf[A]) int {
 	small, large := s, t
 	if small.Hosts() > large.Hosts() {
 		small, large = large, small
@@ -182,7 +232,27 @@ func (s *Snapshot) IntersectWith(t *Snapshot) int {
 }
 
 // IntersectCount returns |a ∩ b| for two sorted address sets.
-func IntersectCount(a, b []netaddr.Addr) int {
+func IntersectCount[A netaddr.Key[A]](a, b []A) int {
+	if a4, ok := any(a).([]netaddr.Addr); ok {
+		return intersectCount32(a4, any(b).([]netaddr.Addr))
+	}
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch c := a[i].Compare(b[j]); {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+func intersectCount32(a, b []netaddr.Addr) int {
 	i, j, n := 0, 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -201,18 +271,34 @@ func IntersectCount(a, b []netaddr.Addr) int {
 
 // Binary format:
 //
-//	magic   [8]byte  "TASSCNS\x01"
+//	magic   [8]byte  "TASSCNS\x01" (IPv4) or "TASSCN6\x01" (IPv6)
 //	proto   uvarint length + bytes
 //	month   uvarint
 //	count   uvarint
 //	addrs   count uvarints: first value absolute, then deltas (>=1)
-var magic = [8]byte{'T', 'A', 'S', 'S', 'C', 'N', 'S', 1}
+//
+// Address uvarints are LEB128 of the full family width: for IPv4 the
+// bytes coincide with encoding/binary's PutUvarint, so pre-generic
+// snapshot files read back unchanged; IPv6 deltas may span up to 19
+// bytes.
+var (
+	magic  = [8]byte{'T', 'A', 'S', 'S', 'C', 'N', 'S', 1}
+	magic6 = [8]byte{'T', 'A', 'S', 'S', 'C', 'N', '6', 1}
+)
+
+// snapMagic returns the snapshot magic for an address width.
+func snapMagic(width int) [8]byte {
+	if width == 32 {
+		return magic
+	}
+	return magic6
+}
 
 // ErrFormat reports a malformed snapshot stream.
 var ErrFormat = errors.New("census: malformed snapshot")
 
 // WriteTo serializes the snapshot. It implements io.WriterTo.
-func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+func (s *SnapshotOf[A]) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var n int64
 	write := func(b []byte) error {
@@ -220,7 +306,9 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 		n += int64(m)
 		return err
 	}
-	if err := write(magic[:]); err != nil {
+	var zero A
+	m := snapMagic(zero.Width())
+	if err := write(m[:]); err != nil {
 		return n, err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -239,22 +327,20 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	if err := putUvarint(uint64(len(s.Addrs))); err != nil {
 		return n, err
 	}
-	prev := uint64(0)
+	kbuf := make([]byte, 0, 19)
+	prev := zero
 	for i, a := range s.Addrs {
-		v := uint64(a)
+		v := a
 		if i > 0 {
-			if v <= prev {
+			if a.Compare(prev) <= 0 {
 				return n, fmt.Errorf("%w: addresses not strictly ascending", ErrFormat)
 			}
-			if err := putUvarint(v - prev); err != nil {
-				return n, err
-			}
-		} else {
-			if err := putUvarint(v); err != nil {
-				return n, err
-			}
+			v = netaddr.KeySub(a, prev)
 		}
-		prev = v
+		if err := write(netaddr.AppendKeyUvarint(kbuf[:0], v)); err != nil {
+			return n, err
+		}
+		prev = a
 	}
 	if err := bw.Flush(); err != nil {
 		return n, err
@@ -262,19 +348,34 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// ReadSnapshot parses one snapshot from r. When r is already a
+// ReadSnapshot parses one IPv4 snapshot from r. When r is already a
 // *bufio.Reader it is used directly, so back-to-back snapshots in one
 // stream are not disturbed by read-ahead.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	return ReadSnapshotOf[netaddr.Addr](r)
+}
+
+// ReadSnapshot6 parses one IPv6 snapshot from r.
+func ReadSnapshot6(r io.Reader) (*SnapshotOf[netaddr.Addr6], error) {
+	return ReadSnapshotOf[netaddr.Addr6](r)
+}
+
+// ReadSnapshotOf parses one snapshot of family A from r; a snapshot of
+// the other family fails the magic check. When r is already a
+// *bufio.Reader it is used directly, so back-to-back snapshots in one
+// stream are not disturbed by read-ahead.
+func ReadSnapshotOf[A netaddr.Key[A]](r io.Reader) (*SnapshotOf[A], error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReaderSize(r, 1<<16)
 	}
+	var zero A
+	want := snapMagic(zero.Width())
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
 		return nil, fmt.Errorf("census: reading magic: %w", err)
 	}
-	if got != magic {
+	if got != want {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, got[:])
 	}
 	protoLen, err := binary.ReadUvarint(br)
@@ -306,55 +407,63 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if capHint > maxAddrPrealloc {
 		capHint = maxAddrPrealloc
 	}
-	addrs := make([]netaddr.Addr, 0, capHint)
+	addrs := make([]A, 0, capHint)
 	// The wire format is the same ascending delta stream the block
 	// layout stores, so the set view is encoded directly as the varints
 	// decode — no intermediate pass over a materialized slice.
-	sb := addrset.NewBuilder(0, capHint)
-	prev := uint64(0)
+	sb := addrset.NewBuilderOf[A](0, capHint)
+	prev := zero
 	for i := 0; i < int(count); i++ {
-		d, err := binary.ReadUvarint(br)
+		d, err := netaddr.ReadKeyUvarint[A](br)
 		if err != nil {
+			if errors.Is(err, netaddr.ErrOverflow) {
+				return nil, fmt.Errorf("%w: address overflow", ErrFormat)
+			}
 			return nil, fmt.Errorf("census: address %d: %w", i, err)
 		}
 		v := d
 		if i > 0 {
-			if d == 0 {
+			if d == zero {
 				return nil, fmt.Errorf("%w: zero delta", ErrFormat)
 			}
-			v = prev + d
+			v = netaddr.KeyAdd(prev, d)
+			// The delta fits the width, but the sum may still wrap past
+			// the top of the address space.
+			if v.Compare(prev) <= 0 {
+				return nil, fmt.Errorf("%w: address overflow", ErrFormat)
+			}
 		}
-		if v > 0xFFFFFFFF {
-			return nil, fmt.Errorf("%w: address overflow", ErrFormat)
-		}
-		addrs = append(addrs, netaddr.Addr(v))
-		if err := sb.Append(netaddr.Addr(v)); err != nil {
+		addrs = append(addrs, v)
+		if err := sb.Append(v); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 		}
 		prev = v
 	}
-	return &Snapshot{Protocol: string(proto), Month: int(month), Addrs: addrs, set: sb.Finish()}, nil
+	return &SnapshotOf[A]{Protocol: string(proto), Month: int(month), Addrs: addrs, set: sb.Finish()}, nil
 }
 
 // maxAddrPrealloc caps the address-slice allocation made before any
-// delta of the stream has decoded (1 MiB worth of addresses).
+// delta of the stream has decoded (1 MiB worth of IPv4 addresses).
 const maxAddrPrealloc = 1 << 18
 
-// Series is the monthly snapshot sequence for one protocol, ordered by
-// month.
-type Series struct {
+// SeriesOf is the monthly snapshot sequence for one protocol, ordered
+// by month.
+type SeriesOf[A netaddr.Key[A]] struct {
 	Protocol  string
-	Snapshots []*Snapshot
+	Snapshots []*SnapshotOf[A]
 }
 
+// Series is the IPv4 instantiation of SeriesOf.
+type Series = SeriesOf[netaddr.Addr]
+
 // Months returns the number of snapshots in the series.
-func (s *Series) Months() int { return len(s.Snapshots) }
+func (s *SeriesOf[A]) Months() int { return len(s.Snapshots) }
 
 // At returns the snapshot for the given month index.
-func (s *Series) At(month int) *Snapshot { return s.Snapshots[month] }
+func (s *SeriesOf[A]) At(month int) *SnapshotOf[A] { return s.Snapshots[month] }
 
 // WriteTo serializes all snapshots back to back.
-func (s *Series) WriteTo(w io.Writer) (int64, error) {
+func (s *SeriesOf[A]) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	for _, snap := range s.Snapshots {
 		n, err := snap.WriteTo(w)
@@ -366,11 +475,16 @@ func (s *Series) WriteTo(w io.Writer) (int64, error) {
 	return total, nil
 }
 
-// ReadSeries parses back-to-back snapshots until EOF. All snapshots must
-// belong to one protocol and be ordered by month.
+// ReadSeries parses back-to-back IPv4 snapshots until EOF.
 func ReadSeries(r io.Reader) (*Series, error) {
+	return ReadSeriesOf[netaddr.Addr](r)
+}
+
+// ReadSeriesOf parses back-to-back snapshots of family A until EOF. All
+// snapshots must belong to one protocol and be ordered by month.
+func ReadSeriesOf[A netaddr.Key[A]](r io.Reader) (*SeriesOf[A], error) {
 	br := bufio.NewReader(r)
-	s := &Series{}
+	s := &SeriesOf[A]{}
 	for {
 		if _, err := br.Peek(1); errors.Is(err, io.EOF) {
 			if len(s.Snapshots) == 0 {
@@ -378,7 +492,7 @@ func ReadSeries(r io.Reader) (*Series, error) {
 			}
 			return s, nil
 		}
-		snap, err := ReadSnapshot(br)
+		snap, err := ReadSnapshotOf[A](br)
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@ package census
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -10,7 +11,7 @@ import (
 	"github.com/tass-scan/tass/internal/netaddr"
 )
 
-// Delta is the churn between two snapshots of one protocol as sorted
+// DeltaOf is the churn between two snapshots of one protocol as sorted
 // address runs: the representation that makes a month (or a scan cycle)
 // cost O(changed addresses) instead of O(universe). Born lists the
 // addresses responsive only in the later snapshot, Died those
@@ -18,25 +19,56 @@ import (
 // disjoint. ApplyDelta(from, d) reconstructs the later snapshot
 // exactly, so a series can be stored and shipped as one full snapshot
 // plus a delta per month.
-type Delta struct {
+type DeltaOf[A netaddr.Key[A]] struct {
 	Protocol           string
 	FromMonth, ToMonth int
-	Born, Died         []netaddr.Addr
+	Born, Died         []A
 }
 
+// Delta is the IPv4 instantiation of DeltaOf.
+type Delta = DeltaOf[netaddr.Addr]
+
 // Changed returns the total number of changed addresses.
-func (d *Delta) Changed() int { return len(d.Born) + len(d.Died) }
+func (d *DeltaOf[A]) Changed() int { return len(d.Born) + len(d.Died) }
 
 // Result summarizes the delta as the §3.3 churn decomposition,
 // relative to the earlier snapshot's host count.
-func (d *Delta) Result(fromHosts int) DiffResult {
+func (d *DeltaOf[A]) Result(fromHosts int) DiffResult {
 	return DiffResult{Kept: fromHosts - len(d.Died), Lost: len(d.Died), New: len(d.Born)}
 }
 
 // Diff returns the delta from s to later: the born/died address runs a
 // single merge walk over both snapshots produces. Both snapshots must
 // belong to one protocol.
-func (s *Snapshot) Diff(later *Snapshot) *Delta {
+func (s *SnapshotOf[A]) Diff(later *SnapshotOf[A]) *DeltaOf[A] {
+	if s4, ok := any(s).(*Snapshot); ok {
+		return any(diff32(s4, any(later).(*Snapshot))).(*DeltaOf[A])
+	}
+	d := &DeltaOf[A]{Protocol: s.Protocol, FromMonth: s.Month, ToMonth: later.Month}
+	a, b := s.Addrs, later.Addrs
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch c := a[i].Compare(b[j]); {
+		case c < 0:
+			d.Died = append(d.Died, a[i])
+			i++
+		case c > 0:
+			d.Born = append(d.Born, b[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	d.Died = append(d.Died, a[i:]...)
+	d.Born = append(d.Born, b[j:]...)
+	return d
+}
+
+// diff32 is the concrete IPv4 merge walk behind Diff: churn extraction
+// walks two full snapshots element by element, so the compares must
+// stay direct uint32 operations.
+func diff32(s, later *Snapshot) *Delta {
 	d := &Delta{Protocol: s.Protocol, FromMonth: s.Month, ToMonth: later.Month}
 	a, b := s.Addrs, later.Addrs
 	i, j := 0, 0
@@ -68,12 +100,12 @@ func (s *Snapshot) Diff(later *Snapshot) *Delta {
 //
 // It errors when the delta does not fit the snapshot: protocol or month
 // mismatch, a born address already present, or a died address missing.
-func ApplyDelta(from *Snapshot, d *Delta) (*Snapshot, error) {
+func ApplyDelta[A netaddr.Key[A]](from *SnapshotOf[A], d *DeltaOf[A]) (*SnapshotOf[A], error) {
 	addrs, set, err := applyDelta(from, d)
 	if err != nil {
 		return nil, err
 	}
-	return &Snapshot{Protocol: from.Protocol, Month: d.ToMonth, Addrs: addrs, set: set}, nil
+	return &SnapshotOf[A]{Protocol: from.Protocol, Month: d.ToMonth, Addrs: addrs, set: set}, nil
 }
 
 // Apply is ApplyDelta in place: the receiver becomes the later
@@ -82,7 +114,7 @@ func ApplyDelta(from *Snapshot, d *Delta) (*Snapshot, error) {
 // old address slice is released, not overwritten — callers that kept a
 // reference keep consistent data. Apply must not race with readers of
 // the snapshot.
-func (s *Snapshot) Apply(d *Delta) error {
+func (s *SnapshotOf[A]) Apply(d *DeltaOf[A]) error {
 	addrs, set, err := applyDelta(s, d)
 	if err != nil {
 		return err
@@ -96,7 +128,7 @@ func (s *Snapshot) Apply(d *Delta) error {
 	return nil
 }
 
-func applyDelta(from *Snapshot, d *Delta) ([]netaddr.Addr, *addrset.Set, error) {
+func applyDelta[A netaddr.Key[A]](from *SnapshotOf[A], d *DeltaOf[A]) ([]A, *addrset.SetOf[A], error) {
 	if d.Protocol != from.Protocol {
 		return nil, nil, fmt.Errorf("census: delta protocol %q does not match snapshot %q", d.Protocol, from.Protocol)
 	}
@@ -106,9 +138,9 @@ func applyDelta(from *Snapshot, d *Delta) ([]netaddr.Addr, *addrset.Set, error) 
 	// A hand-assembled out-of-order run would otherwise merge into a
 	// silently unsorted snapshot; the check costs O(changed), like the
 	// merge itself.
-	for _, run := range [2][]netaddr.Addr{d.Born, d.Died} {
+	for _, run := range [2][]A{d.Born, d.Died} {
 		for i := 1; i < len(run); i++ {
-			if run[i] <= run[i-1] {
+			if run[i].Compare(run[i-1]) <= 0 {
 				return nil, nil, fmt.Errorf("%w: delta run not strictly ascending at %v", ErrFormat, run[i])
 			}
 		}
@@ -125,19 +157,19 @@ func applyDelta(from *Snapshot, d *Delta) ([]netaddr.Addr, *addrset.Set, error) 
 		// make make() panic first.
 		capHint = 0
 	}
-	addrs := make([]netaddr.Addr, 0, capHint)
+	addrs := make([]A, 0, capHint)
 	base, born, died := from.Addrs, d.Born, d.Died
 	i, b, dd := 0, 0, 0
 	for b < len(born) || dd < len(died) {
-		var e netaddr.Addr
+		var e A
 		takeBorn := false
-		if b < len(born) && (dd == len(died) || born[b] < died[dd]) {
+		if b < len(born) && (dd == len(died) || born[b].Compare(died[dd]) < 0) {
 			e = born[b]
 			takeBorn = true
 		} else {
 			e = died[dd]
 		}
-		p := netaddr.SeekAddrs(base, i, e)
+		p := netaddr.SeekKeys(base, i, e)
 		addrs = append(addrs, base[i:p]...)
 		i = p
 		if takeBorn {
@@ -173,18 +205,30 @@ func applyDelta(from *Snapshot, d *Delta) ([]netaddr.Addr, *addrset.Set, error) 
 	return addrs, nil, nil
 }
 
-// Binary delta format, sharing the snapshot codec's conventions:
+// Binary delta format, sharing the snapshot codec's conventions
+// (including the family tag in the magic):
 //
-//	magic   [8]byte  "TASSDLT\x01"
+//	magic   [8]byte  "TASSDLT\x01" (IPv4) or "TASSDL6\x01" (IPv6)
 //	proto   uvarint length + bytes
 //	from    uvarint
 //	to      uvarint
 //	born    uvarint count, then count uvarints (first absolute, then deltas >= 1)
 //	died    uvarint count, then count uvarints (first absolute, then deltas >= 1)
-var deltaMagic = [8]byte{'T', 'A', 'S', 'S', 'D', 'L', 'T', 1}
+var (
+	deltaMagic  = [8]byte{'T', 'A', 'S', 'S', 'D', 'L', 'T', 1}
+	deltaMagic6 = [8]byte{'T', 'A', 'S', 'S', 'D', 'L', '6', 1}
+)
+
+// deltaMagicFor returns the delta magic for an address width.
+func deltaMagicFor(width int) [8]byte {
+	if width == 32 {
+		return deltaMagic
+	}
+	return deltaMagic6
+}
 
 // WriteTo serializes the delta. It implements io.WriterTo.
-func (d *Delta) WriteTo(w io.Writer) (int64, error) {
+func (d *DeltaOf[A]) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var n int64
 	write := func(b []byte) error {
@@ -196,7 +240,9 @@ func (d *Delta) WriteTo(w io.Writer) (int64, error) {
 	putUvarint := func(v uint64) error {
 		return write(buf[:binary.PutUvarint(buf[:], v)])
 	}
-	if err := write(deltaMagic[:]); err != nil {
+	var zero A
+	m := deltaMagicFor(zero.Width())
+	if err := write(m[:]); err != nil {
 		return n, err
 	}
 	if err := putUvarint(uint64(len(d.Protocol))); err != nil {
@@ -211,24 +257,24 @@ func (d *Delta) WriteTo(w io.Writer) (int64, error) {
 	if err := putUvarint(uint64(d.ToMonth)); err != nil {
 		return n, err
 	}
-	for _, run := range [][]netaddr.Addr{d.Born, d.Died} {
+	kbuf := make([]byte, 0, 19)
+	for _, run := range [][]A{d.Born, d.Died} {
 		if err := putUvarint(uint64(len(run))); err != nil {
 			return n, err
 		}
-		prev := uint64(0)
+		prev := zero
 		for i, a := range run {
-			v := uint64(a)
+			v := a
 			if i > 0 {
-				if v <= prev {
+				if a.Compare(prev) <= 0 {
 					return n, fmt.Errorf("%w: delta addresses not strictly ascending", ErrFormat)
 				}
-				if err := putUvarint(v - prev); err != nil {
-					return n, err
-				}
-			} else if err := putUvarint(v); err != nil {
+				v = netaddr.KeySub(a, prev)
+			}
+			if err := write(netaddr.AppendKeyUvarint(kbuf[:0], v)); err != nil {
 				return n, err
 			}
-			prev = v
+			prev = a
 		}
 	}
 	if err := bw.Flush(); err != nil {
@@ -237,19 +283,27 @@ func (d *Delta) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// ReadDelta parses one delta from r. When r is already a *bufio.Reader
-// it is used directly, so back-to-back records in one stream are not
-// disturbed by read-ahead.
+// ReadDelta parses one IPv4 delta from r. When r is already a
+// *bufio.Reader it is used directly, so back-to-back records in one
+// stream are not disturbed by read-ahead.
 func ReadDelta(r io.Reader) (*Delta, error) {
+	return ReadDeltaOf[netaddr.Addr](r)
+}
+
+// ReadDeltaOf parses one delta of family A from r; a delta of the other
+// family fails the magic check.
+func ReadDeltaOf[A netaddr.Key[A]](r io.Reader) (*DeltaOf[A], error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReaderSize(r, 1<<16)
 	}
+	var zero A
+	want := deltaMagicFor(zero.Width())
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
 		return nil, fmt.Errorf("census: reading delta magic: %w", err)
 	}
-	if got != deltaMagic {
+	if got != want {
 		return nil, fmt.Errorf("%w: bad delta magic %q", ErrFormat, got[:])
 	}
 	protoLen, err := binary.ReadUvarint(br)
@@ -271,9 +325,9 @@ func ReadDelta(r io.Reader) (*Delta, error) {
 	if err != nil {
 		return nil, fmt.Errorf("census: %w", err)
 	}
-	d := &Delta{Protocol: string(proto), FromMonth: int(from), ToMonth: int(to)}
+	d := &DeltaOf[A]{Protocol: string(proto), FromMonth: int(from), ToMonth: int(to)}
 	for side := 0; side < 2; side++ {
-		run, err := readAddrRun(br)
+		run, err := readAddrRun[A](br)
 		if err != nil {
 			return nil, err
 		}
@@ -287,10 +341,10 @@ func ReadDelta(r io.Reader) (*Delta, error) {
 	// parsed delta upholds the same invariants a Diff-produced one does.
 	i, j := 0, 0
 	for i < len(d.Born) && j < len(d.Died) {
-		switch {
-		case d.Born[i] < d.Died[j]:
+		switch c := d.Born[i].Compare(d.Died[j]); {
+		case c < 0:
 			i++
-		case d.Born[i] > d.Died[j]:
+		case c > 0:
 			j++
 		default:
 			return nil, fmt.Errorf("%w: address %v both born and died", ErrFormat, d.Born[i])
@@ -302,7 +356,7 @@ func ReadDelta(r io.Reader) (*Delta, error) {
 // readAddrRun decodes one length-prefixed strictly-ascending address
 // run, with the same attacker-controlled-count allocation cap as the
 // snapshot codec.
-func readAddrRun(br *bufio.Reader) ([]netaddr.Addr, error) {
+func readAddrRun[A netaddr.Key[A]](br *bufio.Reader) ([]A, error) {
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("census: %w", err)
@@ -314,23 +368,27 @@ func readAddrRun(br *bufio.Reader) ([]netaddr.Addr, error) {
 	if capHint > maxAddrPrealloc {
 		capHint = maxAddrPrealloc
 	}
-	addrs := make([]netaddr.Addr, 0, capHint)
-	prev := uint64(0)
+	addrs := make([]A, 0, capHint)
+	var zero, prev A
 	for i := 0; i < int(count); i++ {
-		v, err := binary.ReadUvarint(br)
+		d, err := netaddr.ReadKeyUvarint[A](br)
 		if err != nil {
+			if errors.Is(err, netaddr.ErrOverflow) {
+				return nil, fmt.Errorf("%w: address overflow", ErrFormat)
+			}
 			return nil, fmt.Errorf("census: delta address %d: %w", i, err)
 		}
+		v := d
 		if i > 0 {
-			if v == 0 {
+			if d == zero {
 				return nil, fmt.Errorf("%w: zero delta", ErrFormat)
 			}
-			v += prev
+			v = netaddr.KeyAdd(prev, d)
+			if v.Compare(prev) <= 0 {
+				return nil, fmt.Errorf("%w: address overflow", ErrFormat)
+			}
 		}
-		if v > 0xFFFFFFFF {
-			return nil, fmt.Errorf("%w: address overflow", ErrFormat)
-		}
-		addrs = append(addrs, netaddr.Addr(v))
+		addrs = append(addrs, v)
 		prev = v
 	}
 	return addrs, nil

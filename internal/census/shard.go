@@ -39,20 +39,20 @@ func CountAddrsSharded(addrs []netaddr.Addr, p rib.Partition, workers int) (coun
 	inside := make([]int, (n+shard-1)/shard)
 	par.ForEachChunk(n, workers, shard, func(lo, hi int) {
 		// Address subrange covered by prefixes [lo, hi).
-		first := p.Prefix(lo).First()
-		last := p.Prefix(hi - 1).Last()
+		first := p.FirstAt(lo)
+		last := p.LastAt(hi - 1)
 		alo := sort.Search(len(addrs), func(i int) bool { return addrs[i] >= first })
 		ahi := alo + sort.Search(len(addrs)-alo, func(i int) bool { return addrs[alo+i] > last })
 		pi := lo
 		got := 0
 		for _, a := range addrs[alo:ahi] {
-			for pi < hi && p.Prefix(pi).Last() < a {
+			for pi < hi && p.LastAt(pi) < a {
 				pi++
 			}
 			if pi == hi {
 				break
 			}
-			if a < p.Prefix(pi).First() {
+			if a < p.FirstAt(pi) {
 				continue // gap between shard prefixes
 			}
 			counts[pi]++
@@ -67,8 +67,20 @@ func CountAddrsSharded(addrs []netaddr.Addr, p rib.Partition, workers int) (coun
 	return counts, outside
 }
 
+// countShardedFamily routes a per-prefix count to the sharded IPv4
+// merge walk or, for other families, to the serial partition count
+// (IPv6 universes are hitlist-seeded and orders of magnitude smaller,
+// so the fan-out has nothing to amortize yet).
+func countShardedFamily[A netaddr.Key[A]](addrs []A, p rib.PartOf[A], workers int) (counts []int, outside int) {
+	if a4, ok := any(addrs).([]netaddr.Addr); ok {
+		c, o := CountAddrsSharded(a4, any(p).(rib.Partition), workers)
+		return c, o
+	}
+	return p.CountAddrs(addrs)
+}
+
 // CountByPrefixSharded is Snapshot.CountByPrefix with the counting walk
 // sharded over workers goroutines.
-func (s *Snapshot) CountByPrefixSharded(p rib.Partition, workers int) (counts []int, outside int) {
-	return CountAddrsSharded(s.Addrs, p, workers)
+func (s *SnapshotOf[A]) CountByPrefixSharded(p rib.PartOf[A], workers int) (counts []int, outside int) {
+	return countShardedFamily(s.Addrs, p, workers)
 }

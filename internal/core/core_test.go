@@ -272,7 +272,7 @@ func TestCoverageCurve(t *testing.T) {
 	if small[len(small)-1].Rank != 3 {
 		t.Error("downsampled curve must keep the final rank")
 	}
-	if CoverageCurve(nil, 1, 0) != nil {
+	if CoverageCurve[netaddr.Addr](nil, 1, 0) != nil {
 		t.Error("empty ranking must give empty curve")
 	}
 }

@@ -89,10 +89,10 @@ func NewRanker(seed *census.Snapshot, universe rib.Partition, workers int, cache
 		info:      make([]prefixInfo, universe.Len()),
 	}
 	for i := 0; i < universe.Len(); i++ {
-		p := universe.Prefix(i)
-		r.firsts[i] = p.First()
-		r.lasts[i] = p.Last()
-		r.info[i] = prefixInfo{pfx: p, dens: float64(counts[i]) / float64(p.NumAddresses())}
+		f, l := universe.FirstAt(i), universe.LastAt(i)
+		r.firsts[i] = f
+		r.lasts[i] = l
+		r.info[i] = prefixInfo{pfx: universe.Prefix(i), dens: float64(counts[i]) / float64(uint64(l-f)+1)}
 	}
 	r.keys = make([]uint64, 0, len(counts)/2)
 	for i, c := range counts {
@@ -112,13 +112,19 @@ func NewRanker(seed *census.Snapshot, universe rib.Partition, workers int, cache
 
 // pack builds the ranking key of prefix i holding c hosts.
 func (r *Ranker) pack(i, c int) (uint64, error) {
-	p := r.universe.Prefix(i)
-	l := uint(p.Bits())
+	l := uint(r.bitsAt(i))
 	v := uint64(c) << l
 	if v > 1<<32 {
-		return 0, fmt.Errorf("core: %d hosts overflow prefix %v", c, p)
+		return 0, fmt.Errorf("core: %d hosts overflow prefix %v", c, r.universe.Prefix(i))
 	}
 	return packKey(v, l, i), nil
+}
+
+// bitsAt recovers prefix i's length from the cached range bounds
+// (the range spans 2^(32-bits) addresses), avoiding a Prefix method
+// call on the Apply hot path.
+func (r *Ranker) bitsAt(i int) int {
+	return 32 - bits.Len64(uint64(r.lasts[i]-r.firsts[i]))
 }
 
 // Total returns the current seed-host count inside the universe.
@@ -198,7 +204,7 @@ func (r *Ranker) Apply(d *census.Delta) error {
 		if c < 0 {
 			return fmt.Errorf("core: delta drops prefix %v below zero hosts (delta does not match the ranked snapshot)", r.universe.Prefix(int(idx)))
 		}
-		if uint64(c)<<uint(r.universe.Prefix(int(idx)).Bits()) > 1<<32 {
+		if uint64(c)<<uint(r.bitsAt(int(idx))) > 1<<32 {
 			return fmt.Errorf("core: %d hosts overflow prefix %v", c, r.universe.Prefix(int(idx)))
 		}
 		r.touchedIdx = append(r.touchedIdx, idx)
@@ -214,7 +220,9 @@ func (r *Ranker) Apply(d *census.Delta) error {
 	for t, idx := range r.touchedIdx {
 		c := r.counts[idx] + int(r.touchedDelta[t])
 		r.counts[idx] = c
-		r.info[idx].dens = float64(c) / float64(r.info[idx].pfx.NumAddresses())
+		// Exact: the range size is a power of two, so this division
+		// matches float64(c) / float64(pfx.NumAddresses()) bit for bit.
+		r.info[idx].dens = float64(c) / float64(uint64(r.lasts[idx]-r.firsts[idx])+1)
 		r.total += int(r.touchedDelta[t])
 		r.displaced[idx>>6] |= 1 << (idx & 63)
 		if c > 0 {

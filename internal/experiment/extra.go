@@ -194,6 +194,7 @@ var runners = []struct {
 	{"scanloop", ScanLoop},
 	{"vulnestimate", VulnEstimate},
 	{"missed", Missed},
+	{"v6select", V6Select},
 }
 
 // IDs lists all experiment IDs in report order.

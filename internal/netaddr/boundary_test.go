@@ -1,0 +1,143 @@
+package netaddr
+
+import "testing"
+
+// The top of the address space is where masked arithmetic likes to go
+// wrong: 1<<32 overflows uint32, Width-bits hits 64-bit shift limits,
+// and +1 wraps. These tests pin every boundary operation at
+// 255.255.255.255 and ff…ff explicitly.
+
+func TestKeyMaxValues(t *testing.T) {
+	if got := KeyMax[Addr](); got != MustParseAddr("255.255.255.255") {
+		t.Errorf("KeyMax[Addr] = %v", got)
+	}
+	want6 := Addr6{Hi: ^uint64(0), Lo: ^uint64(0)}
+	if got := KeyMax[Addr6](); got != want6 {
+		t.Errorf("KeyMax[Addr6] = %v", got)
+	}
+	if got := KeyMax[Addr6]().String(); got != "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff" {
+		t.Errorf("KeyMax[Addr6].String() = %q", got)
+	}
+}
+
+func TestKeyIncDecWrap(t *testing.T) {
+	var z4 Addr
+	if got := KeyInc(KeyMax[Addr]()); got != z4 {
+		t.Errorf("KeyInc(max4) = %v, want 0", got)
+	}
+	if got := KeyDec(z4); got != KeyMax[Addr]() {
+		t.Errorf("KeyDec(0) = %v, want max", got)
+	}
+	var z6 Addr6
+	if got := KeyInc(KeyMax[Addr6]()); got != z6 {
+		t.Errorf("KeyInc(max6) = %v, want 0", got)
+	}
+	if got := KeyDec(z6); got != KeyMax[Addr6]() {
+		t.Errorf("KeyDec(0) = %v, want max", got)
+	}
+	// The Lo-half carry: …:ffff:ffff:ffff:ffff + 1 must ripple into Hi.
+	carry := Addr6{Hi: 5, Lo: ^uint64(0)}
+	if got := KeyInc(carry); got != (Addr6{Hi: 6}) {
+		t.Errorf("KeyInc(%v) = %v", carry, got)
+	}
+	if got := KeyDec(Addr6{Hi: 6}); got != carry {
+		t.Errorf("KeyDec(6::) = %v", got)
+	}
+}
+
+func TestPrefixZeroCoversEverything(t *testing.T) {
+	var root4 Prefix // zero value is 0.0.0.0/0
+	if got := root4.Last(); got != KeyMax[Addr]() {
+		t.Errorf("(/0).Last() = %v", got)
+	}
+	if got := root4.NumAddresses(); got != 1<<32 {
+		t.Errorf("(/0).NumAddresses() = %d", got)
+	}
+	if !root4.Contains(KeyMax[Addr]()) {
+		t.Error("(/0) does not contain 255.255.255.255")
+	}
+	var root6 Prefix6
+	if got := root6.Last(); got != KeyMax[Addr6]() {
+		t.Errorf("v6 (/0).Last() = %v", got)
+	}
+	// Wider than 64 bits: must saturate, not shift-overflow.
+	if got := root6.NumAddresses(); got != ^uint64(0) {
+		t.Errorf("v6 (/0).NumAddresses() = %d", got)
+	}
+	if got := MustPfxFrom(Addr6{}, 64).NumAddresses(); got != ^uint64(0) {
+		t.Errorf("v6 (/64).NumAddresses() = %d, want saturated", got)
+	}
+	if got := MustPfxFrom(Addr6{}, 65).NumAddresses(); got != 1<<63 {
+		t.Errorf("v6 (/65).NumAddresses() = %d", got)
+	}
+}
+
+func TestSplitAtFullWidth(t *testing.T) {
+	// /31 -> two /32s at the very top of IPv4.
+	p := MustParsePrefix("255.255.255.254/31")
+	lo, hi, ok := p.Split()
+	if !ok {
+		t.Fatal("(/31).Split() not ok")
+	}
+	if lo.Addr() != MustParseAddr("255.255.255.254") || lo.Bits() != 32 {
+		t.Errorf("lo = %v", lo)
+	}
+	if hi.Addr() != KeyMax[Addr]() || hi.Bits() != 32 {
+		t.Errorf("hi = %v", hi)
+	}
+	if _, _, ok := lo.Split(); ok {
+		t.Error("(/32).Split() ok, want refusal")
+	}
+
+	// /127 -> two /128s at the very top of IPv6.
+	p6 := MustPfxFrom(KeyMax[Addr6](), 127)
+	lo6, hi6, ok := p6.Split()
+	if !ok {
+		t.Fatal("(/127).Split() not ok")
+	}
+	if lo6.Addr() != (Addr6{Hi: ^uint64(0), Lo: ^uint64(0) - 1}) || lo6.Bits() != 128 {
+		t.Errorf("lo6 = %v", lo6)
+	}
+	if hi6.Addr() != KeyMax[Addr6]() || hi6.Bits() != 128 {
+		t.Errorf("hi6 = %v", hi6)
+	}
+	if _, _, ok := hi6.Split(); ok {
+		t.Error("(/128).Split() ok, want refusal")
+	}
+	// The bit flipped by Split at /64 sits exactly on the halves seam.
+	seam := MustPfxFrom(Addr6{Hi: 8}, 64)
+	lo6, hi6, ok = seam.Split()
+	if !ok || lo6.Addr() != (Addr6{Hi: 8}) || hi6.Addr() != (Addr6{Hi: 8, Lo: 1 << 63}) {
+		t.Errorf("seam split = %v, %v, %v", lo6, hi6, ok)
+	}
+}
+
+func TestSeekAtTopOfSpace(t *testing.T) {
+	max := KeyMax[Addr]()
+	// Slice long enough that the target sits past the 32-entry linear
+	// window, forcing the gallop + binary phases to handle max.
+	var addrs []Addr
+	for i := 0; i < 100; i++ {
+		addrs = append(addrs, Addr(i*1000))
+	}
+	addrs = append(addrs, max)
+	if got := SeekAddrs(addrs, 0, max); got != 100 {
+		t.Errorf("SeekAddrs(max present) = %d, want 100", got)
+	}
+	if got := SeekAddrs(addrs[:100], 0, max); got != 100 {
+		t.Errorf("SeekAddrs(max absent) = %d, want len", got)
+	}
+	// Generic path at the v6 all-ones.
+	max6 := KeyMax[Addr6]()
+	var addrs6 []Addr6
+	for i := 0; i < 100; i++ {
+		addrs6 = append(addrs6, Addr6{Hi: uint64(i)})
+	}
+	addrs6 = append(addrs6, max6)
+	if got := SeekKeys(addrs6, 0, max6); got != 100 {
+		t.Errorf("SeekKeys(max6 present) = %d, want 100", got)
+	}
+	if got := SeekKeys(addrs6[:100], 0, max6); got != 100 {
+		t.Errorf("SeekKeys(max6 absent) = %d, want len", got)
+	}
+}

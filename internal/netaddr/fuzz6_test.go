@@ -1,0 +1,73 @@
+package netaddr
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzParseAddr6 differentially tests the IPv6 parser and formatter
+// against net/netip. The repository's parser is deliberately narrower
+// than the stdlib in exactly two ways — zone suffixes ("%eth0") and
+// pure dotted-quad IPv4 are rejected — so those inputs are out of
+// scope for the accept/reject comparison; everything else must agree
+// on acceptance, on the parsed bytes, and on the RFC 5952 string form.
+func FuzzParseAddr6(f *testing.F) {
+	for _, s := range []string{
+		"::",
+		"::1",
+		"2001:db8::1",
+		"::ffff:192.0.2.1",
+		"::ffff:0.0.0.0",
+		"1:2:3:4:5:6:7:8",
+		"1:2:3:4:5:6:1.2.3.4",
+		"fe80::1%eth0",
+		"1::2::3",
+		"2001:db8::g",
+		"::1.2.3.4",
+		"1.2.3.4",
+		"cafe:BABE::",
+		"0:0:0:0:0:0:0:0",
+		"1:2:3:4:5:6:7::",
+		"::ffff:255.255.255.256",
+		"ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr6(s)
+		std, stdErr := netip.ParseAddr(s)
+		if err != nil {
+			// Everything we reject the stdlib rejects too, except the
+			// two intentional scope cuts above.
+			if stdErr == nil && std.Is6() && std.Zone() == "" {
+				t.Fatalf("ParseAddr6(%q) = %v, but netip accepts %v", s, err, std)
+			}
+			return
+		}
+		if stdErr != nil {
+			t.Fatalf("ParseAddr6(%q) = %v, but netip rejects: %v", s, a, stdErr)
+		}
+		want := std.As16()
+		var got [16]byte
+		for i := 0; i < 8; i++ {
+			got[i] = byte(a.Hi >> (56 - 8*uint(i)))
+			got[i+8] = byte(a.Lo >> (56 - 8*uint(i)))
+		}
+		if got != want {
+			t.Fatalf("ParseAddr6(%q) = %v, netip parses %v", s, got, want)
+		}
+		// The formatter must match the stdlib's RFC 5952 output and
+		// round-trip through the parser.
+		out := a.String()
+		if stdOut := std.String(); out != stdOut {
+			t.Fatalf("Addr6(%q).String() = %q, netip formats %q", s, out, stdOut)
+		}
+		back, err := ParseAddr6(out)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", out, s, err)
+		}
+		if back != a {
+			t.Fatalf("round-trip %q -> %q -> %v, want %v", s, out, back, a)
+		}
+	})
+}

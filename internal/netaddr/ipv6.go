@@ -6,33 +6,25 @@ import (
 	"strings"
 )
 
-// Addr6 is a 128-bit IPv6 address stored as two 64-bit halves. It exists so
-// the prefix machinery in this repository has a forward path to IPv6
-// scanning, the explicit future-work direction of the TASS paper: when
-// brute-forcing the address space is impossible, prefix selection is the
-// only viable scan scoping, and all selection code here is width-agnostic.
+// Addr6 is a 128-bit IPv6 address stored as two 64-bit halves. It is
+// the second Key implementation: every data structure in this
+// repository — prefixes, block-indexed sets, census snapshots,
+// partitions, the ranking core — instantiates over it, which is the
+// TASS paper's explicit future-work direction: when brute-forcing the
+// address space is impossible, prefix selection is the only viable scan
+// scoping.
 type Addr6 struct {
 	Hi, Lo uint64
 }
 
-// Compare orders addresses numerically and returns -1, 0 or +1.
-func (a Addr6) Compare(b Addr6) int {
-	switch {
-	case a.Hi < b.Hi:
-		return -1
-	case a.Hi > b.Hi:
-		return 1
-	case a.Lo < b.Lo:
-		return -1
-	case a.Lo > b.Lo:
-		return 1
-	}
-	return 0
-}
-
-// String formats a in full (uncompressed) RFC 5952 hexadecimal groups.
-// Zero-run compression is applied for the single longest run.
+// String formats a per RFC 5952: lower-case hexadecimal groups,
+// zero-run compression for the single leftmost longest run (of length
+// at least two), and dotted-quad notation for the low 32 bits of
+// IPv4-mapped addresses (::ffff:a.b.c.d).
 func (a Addr6) String() string {
+	if a.Hi == 0 && a.Lo>>32 == 0xffff {
+		return "::ffff:" + Addr(uint32(a.Lo)).String()
+	}
 	var groups [8]uint16
 	for i := 0; i < 4; i++ {
 		groups[i] = uint16(a.Hi >> (48 - 16*uint(i)))
@@ -73,20 +65,39 @@ func (a Addr6) String() string {
 	return s
 }
 
-// ParseAddr6 parses an RFC 4291 textual IPv6 address (with optional "::"
-// compression). Embedded IPv4 notation is not supported.
+// ParseAddr6 parses an RFC 4291 textual IPv6 address: hexadecimal
+// groups with optional "::" compression, optionally ending in an
+// embedded dotted-quad IPv4 address ("::ffff:192.0.2.1"). Zone
+// suffixes ("%eth0") and any other trailing garbage are rejected.
 func ParseAddr6(s string) (Addr6, error) {
+	if strings.IndexByte(s, '%') >= 0 {
+		return Addr6{}, fmt.Errorf("%w: zone suffix in %q", ErrBadAddr, s)
+	}
 	var head, tail []uint16
 	parts := strings.Split(s, "::")
 	if len(parts) > 2 {
 		return Addr6{}, fmt.Errorf("%w: multiple '::' in %q", ErrBadAddr, s)
 	}
-	parse := func(seg string) ([]uint16, error) {
+	// parse decodes one colon-separated segment. last marks the segment
+	// holding the end of the address, where the final group may be an
+	// embedded dotted-quad IPv4 address (two 16-bit groups).
+	parse := func(seg string, last bool) ([]uint16, error) {
 		if seg == "" {
 			return nil, nil
 		}
 		var out []uint16
-		for _, g := range strings.Split(seg, ":") {
+		gs := strings.Split(seg, ":")
+		for i, g := range gs {
+			if strings.IndexByte(g, '.') >= 0 {
+				if !last || i != len(gs)-1 {
+					return nil, fmt.Errorf("%w: embedded IPv4 not at end of %q", ErrBadAddr, s)
+				}
+				v4, err := ParseAddr(g)
+				if err != nil {
+					return nil, fmt.Errorf("%w: bad embedded IPv4 %q in %q", ErrBadAddr, g, s)
+				}
+				return append(out, uint16(v4>>16), uint16(v4)), nil
+			}
 			if g == "" || len(g) > 4 {
 				return nil, fmt.Errorf("%w: bad group %q in %q", ErrBadAddr, g, s)
 			}
@@ -99,11 +110,11 @@ func ParseAddr6(s string) (Addr6, error) {
 		return out, nil
 	}
 	var err error
-	if head, err = parse(parts[0]); err != nil {
+	if head, err = parse(parts[0], len(parts) == 1); err != nil {
 		return Addr6{}, err
 	}
 	if len(parts) == 2 {
-		if tail, err = parse(parts[1]); err != nil {
+		if tail, err = parse(parts[1], true); err != nil {
 			return Addr6{}, err
 		}
 		if len(head)+len(tail) > 7 {
@@ -132,19 +143,13 @@ func MustParseAddr6(s string) Addr6 {
 	return a
 }
 
-// Prefix6 is a canonical IPv6 CIDR prefix.
-type Prefix6 struct {
-	addr Addr6
-	bits uint8
-}
+// Prefix6 is a canonical IPv6 CIDR prefix: the IPv6 instantiation of
+// the generic Pfx. The zero value is the full ::/0 prefix.
+type Prefix6 = Pfx[Addr6]
 
 // Prefix6From returns the canonical prefix of length bits containing a.
 func Prefix6From(a Addr6, bits int) (Prefix6, error) {
-	if bits < 0 || bits > 128 {
-		return Prefix6{}, fmt.Errorf("%w: length %d", ErrBadPrefix, bits)
-	}
-	hi, lo := mask6(bits)
-	return Prefix6{addr: Addr6{Hi: a.Hi & hi, Lo: a.Lo & lo}, bits: uint8(bits)}, nil
+	return PfxFrom(a, bits)
 }
 
 // ParsePrefix6 parses IPv6 CIDR notation such as "2001:db8::/32". Host
@@ -162,44 +167,19 @@ func ParsePrefix6(s string) (Prefix6, error) {
 	if err != nil || bits < 0 || bits > 128 {
 		return Prefix6{}, fmt.Errorf("%w: bad length in %q", ErrBadPrefix, s)
 	}
-	hi, lo := mask6(bits)
-	if a.Hi&^hi != 0 || a.Lo&^lo != 0 {
+	mh, ml := maskHalves(128, bits)
+	if a.Hi&^mh != 0 || a.Lo&^ml != 0 {
 		return Prefix6{}, fmt.Errorf("%w: host bits set in %q", ErrBadPrefix, s)
 	}
 	return Prefix6{addr: a, bits: uint8(bits)}, nil
 }
 
-func mask6(bits int) (hi, lo uint64) {
-	switch {
-	case bits <= 0:
-		return 0, 0
-	case bits <= 64:
-		return ^uint64(0) << (64 - uint(bits)), 0
-	case bits >= 128:
-		return ^uint64(0), ^uint64(0)
-	default:
-		return ^uint64(0), ^uint64(0) << (128 - uint(bits))
+// MustParsePrefix6 is ParsePrefix6 for tests and constants; it panics
+// on error.
+func MustParsePrefix6(s string) Prefix6 {
+	p, err := ParsePrefix6(s)
+	if err != nil {
+		panic(err)
 	}
-}
-
-// Addr returns the network address of p.
-func (p Prefix6) Addr() Addr6 { return p.addr }
-
-// Bits returns the prefix length of p.
-func (p Prefix6) Bits() int { return int(p.bits) }
-
-// String formats p in CIDR notation.
-func (p Prefix6) String() string {
-	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
-}
-
-// Contains reports whether a lies inside p.
-func (p Prefix6) Contains(a Addr6) bool {
-	hi, lo := mask6(int(p.bits))
-	return a.Hi&hi == p.addr.Hi && a.Lo&lo == p.addr.Lo
-}
-
-// ContainsPrefix reports whether q is fully inside p.
-func (p Prefix6) ContainsPrefix(q Prefix6) bool {
-	return q.bits >= p.bits && p.Contains(q.addr)
+	return p
 }

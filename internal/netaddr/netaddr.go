@@ -1,15 +1,13 @@
-// Package netaddr provides compact IPv4 address and prefix arithmetic for
-// scan-strategy computations.
+// Package netaddr provides compact address and prefix arithmetic for
+// scan-strategy computations, generic over the address family.
 //
-// Addresses are represented as host-order uint32 values (the integer value
-// of the dotted quad), which makes range arithmetic, sorting and set
-// operations on hundreds of millions of addresses cheap. Prefixes are a
-// (masked address, length) pair and are always canonical: host bits below
-// the prefix length are zero.
-//
-// The package also ships a 128-bit Prefix6 type (ipv6.go) so that the data
-// structures built on top of it (tries, partitions) can be extended to the
-// IPv6 future-work direction of the TASS paper without changing callers.
+// IPv4 addresses are represented as host-order uint32 values (the integer
+// value of the dotted quad), which makes range arithmetic, sorting and set
+// operations on hundreds of millions of addresses cheap; IPv6 addresses
+// are two 64-bit halves (ipv6.go). Both families implement the Key
+// constraint (key.go), and prefixes are one generic type, Pfx[A]
+// (prefix.go), of which Prefix and Prefix6 are instantiations. Prefixes
+// are always canonical: host bits below the prefix length are zero.
 package netaddr
 
 import (
@@ -102,12 +100,9 @@ func MustParseAddr(s string) Addr {
 	return a
 }
 
-// Prefix is a canonical IPv4 CIDR prefix: the address has all bits below
-// the prefix length cleared. The zero value is the full /0 prefix.
-type Prefix struct {
-	addr Addr
-	bits uint8
-}
+// Prefix is a canonical IPv4 CIDR prefix: the IPv4 instantiation of the
+// generic Pfx. The zero value is the full /0 prefix.
+type Prefix = Pfx[Addr]
 
 // PrefixFrom returns the canonical prefix of length bits containing a.
 // Host bits of a are masked off. bits must be in [0, 32].
@@ -171,104 +166,13 @@ func maskOf(bits int) Addr {
 	return Addr(^uint32(0) << (32 - uint(bits)))
 }
 
-// Mask returns the netmask of p as an address value.
-func (p Prefix) Mask() Addr { return maskOf(int(p.bits)) }
-
-// Addr returns the (canonical) network address of p.
-func (p Prefix) Addr() Addr { return p.addr }
-
-// Bits returns the prefix length of p.
-func (p Prefix) Bits() int { return int(p.bits) }
-
-// String formats p in CIDR notation.
-func (p Prefix) String() string {
-	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
-}
-
-// NumAddresses returns the number of addresses covered by p (2^(32-bits)).
-func (p Prefix) NumAddresses() uint64 { return 1 << (32 - uint(p.bits)) }
-
-// First returns the lowest address in p (its network address).
-func (p Prefix) First() Addr { return p.addr }
-
-// Last returns the highest address in p (its broadcast address).
-func (p Prefix) Last() Addr { return p.addr | ^p.Mask() }
-
-// Contains reports whether a lies inside p.
-func (p Prefix) Contains(a Addr) bool { return a&p.Mask() == p.addr }
-
-// ContainsPrefix reports whether q is fully inside p (q at least as
-// specific as p and sharing p's prefix bits). A prefix contains itself.
-func (p Prefix) ContainsPrefix(q Prefix) bool {
-	return q.bits >= p.bits && q.addr&p.Mask() == p.addr
-}
-
-// Overlaps reports whether p and q share any address. For prefixes this is
-// equivalent to one containing the other.
-func (p Prefix) Overlaps(q Prefix) bool {
-	return p.ContainsPrefix(q) || q.ContainsPrefix(p)
-}
-
-// Split returns the two halves of p. ok is false when p is a /32 and
-// cannot be split.
-func (p Prefix) Split() (lo, hi Prefix, ok bool) {
-	if p.bits >= 32 {
-		return Prefix{}, Prefix{}, false
-	}
-	b := p.bits + 1
-	lo = Prefix{addr: p.addr, bits: b}
-	hi = Prefix{addr: p.addr | (1 << (32 - uint(b))), bits: b}
-	return lo, hi, true
-}
-
-// Parent returns the prefix one bit shorter that contains p. ok is false
-// for the /0 root.
-func (p Prefix) Parent() (Prefix, bool) {
-	if p.bits == 0 {
-		return Prefix{}, false
-	}
-	b := int(p.bits) - 1
-	return Prefix{addr: p.addr & maskOf(b), bits: uint8(b)}, true
-}
-
-// Sibling returns the other half of p's parent. ok is false for the /0
-// root.
-func (p Prefix) Sibling() (Prefix, bool) {
-	if p.bits == 0 {
-		return Prefix{}, false
-	}
-	return Prefix{addr: p.addr ^ (1 << (32 - uint(p.bits))), bits: p.bits}, true
-}
-
-// Bit returns the i-th most significant bit (0-based) of p's address as
-// 0 or 1. It is the branching bit at depth i in a binary trie.
-func (p Prefix) Bit(i int) int {
-	return int(p.addr>>(31-uint(i))) & 1
-}
-
-// Compare orders prefixes by network address, then by length (shorter
-// first). It returns -1, 0 or +1. The induced order places a covering
-// prefix immediately before the prefixes it contains, which the partition
-// and trie code relies on.
-func (p Prefix) Compare(q Prefix) int {
-	switch {
-	case p.addr < q.addr:
-		return -1
-	case p.addr > q.addr:
-		return 1
-	case p.bits < q.bits:
-		return -1
-	case p.bits > q.bits:
-		return 1
-	}
-	return 0
-}
-
 // SeekAddrs returns the first index at or after from whose address is
 // >= target, galloping forward before the binary search. For cursors
 // that advance through a sorted slice in many small steps (delta
 // merges, sorted-run mapping) the gallop costs O(log gap) instead of
-// O(log n) per seek.
+// O(log n) per seek. It is the IPv4 specialization of SeekKeys, kept
+// concrete because the inlined uint32 compares matter on the delta
+// merge hot path.
 func SeekAddrs(addrs []Addr, from int, target Addr) int {
 	n := len(addrs)
 	// Short forward scan first: delta cursors mostly advance a few
@@ -363,17 +267,6 @@ func SummarizeRange(first, last Addr) []Prefix {
 	return out
 }
 
-// AddrRange is an inclusive address range, used for exclusion lists and
-// space accounting.
-type AddrRange struct {
-	First, Last Addr
-}
-
-// Size returns the number of addresses in r.
-func (r AddrRange) Size() uint64 { return uint64(r.Last) - uint64(r.First) + 1 }
-
-// Contains reports whether a lies in r.
-func (r AddrRange) Contains(a Addr) bool { return a >= r.First && a <= r.Last }
-
-// Range returns p as an inclusive AddrRange.
-func (p Prefix) Range() AddrRange { return AddrRange{First: p.First(), Last: p.Last()} }
+// AddrRange is an inclusive IPv4 address range: the IPv4 instantiation
+// of the generic KeyRange.
+type AddrRange = KeyRange[Addr]

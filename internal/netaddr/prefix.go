@@ -1,0 +1,227 @@
+package netaddr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Pfx is a canonical CIDR prefix over any address family: the address
+// has all bits below the prefix length cleared. The zero value is the
+// family's full /0 prefix. Prefix and Prefix6 are its IPv4 and IPv6
+// instantiations; all prefix machinery (tries, partitions, ranking) is
+// written against Pfx so the two families share one implementation.
+type Pfx[A Key[A]] struct {
+	addr A
+	bits uint8
+}
+
+// PfxFrom returns the canonical prefix of length bits containing a.
+// Host bits of a are masked off. bits must be in [0, Width].
+func PfxFrom[A Key[A]](a A, bits int) (Pfx[A], error) {
+	w := a.Width()
+	if bits < 0 || bits > w {
+		return Pfx[A]{}, fmt.Errorf("%w: length %d", ErrBadPrefix, bits)
+	}
+	mh, ml := maskHalves(w, bits)
+	ah, al := a.Halves()
+	var z A
+	return Pfx[A]{addr: z.FromHalves(ah&mh, al&ml), bits: uint8(bits)}, nil
+}
+
+// MustPfxFrom is PfxFrom for tests and constants; it panics on error.
+func MustPfxFrom[A Key[A]](a A, bits int) Pfx[A] {
+	p, err := PfxFrom(a, bits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mask returns the netmask of p as an address value.
+func (p Pfx[A]) Mask() A {
+	var z A
+	return z.FromHalves(maskHalves(z.Width(), int(p.bits)))
+}
+
+// Addr returns the (canonical) network address of p.
+func (p Pfx[A]) Addr() A { return p.addr }
+
+// Bits returns the prefix length of p.
+func (p Pfx[A]) Bits() int { return int(p.bits) }
+
+// String formats p in CIDR notation.
+func (p Pfx[A]) String() string {
+	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
+}
+
+// NumAddresses returns the number of addresses covered by p
+// (2^(Width-bits)), saturating at the maximum uint64 for IPv6 prefixes
+// shorter than /65, whose sizes exceed 64 bits. Space accounting for
+// wide families uses SpaceBits instead.
+func (p Pfx[A]) NumAddresses() uint64 {
+	var z A
+	shift := z.Width() - int(p.bits)
+	if shift >= 64 {
+		return ^uint64(0)
+	}
+	return 1 << uint(shift)
+}
+
+// SpaceBits returns log2 of the prefix's address count: Width - bits.
+func (p Pfx[A]) SpaceBits() int {
+	var z A
+	return z.Width() - int(p.bits)
+}
+
+// First returns the lowest address in p (its network address).
+func (p Pfx[A]) First() A { return p.addr }
+
+// Last returns the highest address in p (its broadcast address).
+func (p Pfx[A]) Last() A {
+	var z A
+	w := z.Width()
+	mh, ml := maskHalves(w, int(p.bits))
+	wh, wl := widthMask(w)
+	ah, al := p.addr.Halves()
+	return z.FromHalves(ah|(^mh&wh), al|(^ml&wl))
+}
+
+// Contains reports whether a lies inside p.
+func (p Pfx[A]) Contains(a A) bool {
+	var z A
+	mh, ml := maskHalves(z.Width(), int(p.bits))
+	ah, al := a.Halves()
+	ph, pl := p.addr.Halves()
+	return ah&mh == ph && al&ml == pl
+}
+
+// ContainsPrefix reports whether q is fully inside p (q at least as
+// specific as p and sharing p's prefix bits). A prefix contains itself.
+func (p Pfx[A]) ContainsPrefix(q Pfx[A]) bool {
+	return q.bits >= p.bits && p.Contains(q.addr)
+}
+
+// Overlaps reports whether p and q share any address. For prefixes this
+// is equivalent to one containing the other.
+func (p Pfx[A]) Overlaps(q Pfx[A]) bool {
+	return p.ContainsPrefix(q) || q.ContainsPrefix(p)
+}
+
+// oneAt returns the value with only the i-th most significant value bit
+// set (0-based from the top of the family width).
+func oneAt[A Key[A]](i int) A {
+	var z A
+	pos := z.Width() - 1 - i
+	if pos >= 64 {
+		return z.FromHalves(1<<uint(pos-64), 0)
+	}
+	return z.FromHalves(0, 1<<uint(pos))
+}
+
+// Split returns the two halves of p. ok is false when p is a full-width
+// prefix and cannot be split.
+func (p Pfx[A]) Split() (lo, hi Pfx[A], ok bool) {
+	var z A
+	if int(p.bits) >= z.Width() {
+		return Pfx[A]{}, Pfx[A]{}, false
+	}
+	b := p.bits + 1
+	lo = Pfx[A]{addr: p.addr, bits: b}
+	ah, al := p.addr.Halves()
+	oh, ol := oneAt[A](int(p.bits)).Halves()
+	hi = Pfx[A]{addr: z.FromHalves(ah|oh, al|ol), bits: b}
+	return lo, hi, true
+}
+
+// Parent returns the prefix one bit shorter that contains p. ok is
+// false for the /0 root.
+func (p Pfx[A]) Parent() (Pfx[A], bool) {
+	if p.bits == 0 {
+		return Pfx[A]{}, false
+	}
+	var z A
+	b := int(p.bits) - 1
+	mh, ml := maskHalves(z.Width(), b)
+	ah, al := p.addr.Halves()
+	return Pfx[A]{addr: z.FromHalves(ah&mh, al&ml), bits: uint8(b)}, true
+}
+
+// Sibling returns the other half of p's parent. ok is false for the /0
+// root.
+func (p Pfx[A]) Sibling() (Pfx[A], bool) {
+	if p.bits == 0 {
+		return Pfx[A]{}, false
+	}
+	var z A
+	ah, al := p.addr.Halves()
+	oh, ol := oneAt[A](int(p.bits) - 1).Halves()
+	return Pfx[A]{addr: z.FromHalves(ah^oh, al^ol), bits: p.bits}, true
+}
+
+// Bit returns the i-th most significant bit (0-based) of p's address as
+// 0 or 1. It is the branching bit at depth i in a binary trie.
+func (p Pfx[A]) Bit(i int) int {
+	var z A
+	pos := z.Width() - 1 - i
+	ah, al := p.addr.Halves()
+	if pos >= 64 {
+		return int(ah>>uint(pos-64)) & 1
+	}
+	return int(al>>uint(pos)) & 1
+}
+
+// Compare orders prefixes by network address, then by length (shorter
+// first). It returns -1, 0 or +1. The induced order places a covering
+// prefix immediately before the prefixes it contains, which the
+// partition and trie code relies on.
+func (p Pfx[A]) Compare(q Pfx[A]) int {
+	if c := p.addr.Compare(q.addr); c != 0 {
+		return c
+	}
+	switch {
+	case p.bits < q.bits:
+		return -1
+	case p.bits > q.bits:
+		return 1
+	}
+	return 0
+}
+
+// Range returns p as an inclusive address range.
+func (p Pfx[A]) Range() KeyRange[A] {
+	return KeyRange[A]{First: p.First(), Last: p.Last()}
+}
+
+// SortPfx sorts ps in Compare order in place. IPv4 slices are routed to
+// the key-packed SortPrefixes (integer keys, no comparator calls); other
+// families fall back to a comparator sort.
+func SortPfx[A Key[A]](ps []Pfx[A]) {
+	if v4, ok := any(ps).([]Prefix); ok {
+		SortPrefixes(v4)
+		return
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 })
+}
+
+// KeyRange is an inclusive address range, used for exclusion lists and
+// space accounting. AddrRange is its IPv4 instantiation.
+type KeyRange[A Key[A]] struct {
+	First, Last A
+}
+
+// Size returns the number of addresses in r, saturating at the maximum
+// uint64 for IPv6 ranges wider than 2^64.
+func (r KeyRange[A]) Size() uint64 {
+	d := KeySub(r.Last, r.First)
+	hi, lo := d.Halves()
+	if hi != 0 || lo == ^uint64(0) {
+		return ^uint64(0)
+	}
+	return lo + 1
+}
+
+// Contains reports whether a lies in r.
+func (r KeyRange[A]) Contains(a A) bool {
+	return r.First.Compare(a) <= 0 && a.Compare(r.Last) <= 0
+}

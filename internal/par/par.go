@@ -18,8 +18,13 @@ func ForEach(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// More goroutines than P's can never help here: every caller is
+	// CPU-bound (no blocking I/O mid-job), so the surplus goroutines
+	// only add scheduler churn and atomic contention. The clamp cannot
+	// change results — workers only decides which goroutine claims
+	// which index, never the work itself.
+	if max := runtime.GOMAXPROCS(0); workers <= 0 || workers > max {
+		workers = max
 	}
 	if workers > n {
 		workers = n

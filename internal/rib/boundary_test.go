@@ -1,0 +1,96 @@
+package rib
+
+import (
+	"testing"
+
+	"github.com/tass-scan/tass/internal/addrset"
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// Partitions whose last prefix ends at the top of the address space
+// exercise the cached range bounds (lasts[last] is all-ones, so
+// last-first arithmetic runs against the widest ranges) and the
+// counting walks' upper boundary. Pinned for both families.
+
+func TestPartitionEndingAtTopV4(t *testing.T) {
+	max := netaddr.KeyMax[netaddr.Addr]()
+	part, err := NewPartition([]netaddr.Prefix{
+		pfx("0.0.0.0/8"), pfx("128.0.0.0/2"), pfx("240.0.0.0/4"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := part.LastAt(2); got != max {
+		t.Errorf("LastAt(last) = %v, want 255.255.255.255", got)
+	}
+	if got := part.AddressCount(); got != 1<<24+1<<30+1<<28 {
+		t.Errorf("AddressCount = %d", got)
+	}
+	if i, ok := part.Find(max); !ok || i != 2 {
+		t.Errorf("Find(max) = %d, %v", i, ok)
+	}
+	if _, ok := part.Find(netaddr.MustParseAddr("239.255.255.255")); ok {
+		t.Error("Find just below the top prefix succeeded")
+	}
+	addrs := []netaddr.Addr{1, 0xF0000000, max}
+	counts, outside := part.CountAddrs(addrs)
+	if counts[2] != 2 || outside != 0 {
+		t.Errorf("CountAddrs = %v, outside %d", counts, outside)
+	}
+	counts, outside = part.CountAddrsSet(addrset.FromSorted(addrs, 0))
+	if counts[2] != 2 || outside != 0 {
+		t.Errorf("CountAddrsSet = %v, outside %d", counts, outside)
+	}
+}
+
+func TestPartitionEndingAtTopV6(t *testing.T) {
+	max := netaddr.KeyMax[netaddr.Addr6]()
+	top := netaddr.MustPfxFrom(netaddr.Addr6{Hi: 0xF000_0000_0000_0000}, 4)
+	part, err := NewPartition([]netaddr.Prefix6{
+		netaddr.MustPfxFrom(netaddr.Addr6{Hi: 0x2000 << 48}, 3), top,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := part.LastAt(1); got != max {
+		t.Errorf("LastAt(last) = %v, want all-ones", got)
+	}
+	// Both prefixes are wider than 2^64 addresses: the total saturates.
+	if got := part.AddressCount(); got != ^uint64(0) {
+		t.Errorf("AddressCount = %d, want saturated", got)
+	}
+	if i, ok := part.Find(max); !ok || i != 1 {
+		t.Errorf("Find(max6) = %d, %v", i, ok)
+	}
+	addrs := []netaddr.Addr6{{Hi: 0x2000 << 48, Lo: 1}, {Hi: ^uint64(0), Lo: 5}, max}
+	counts, outside := part.CountAddrs(addrs)
+	if counts[0] != 1 || counts[1] != 2 || outside != 0 {
+		t.Errorf("CountAddrs = %v, outside %d", counts, outside)
+	}
+	counts, outside = part.CountAddrsSet(addrset.FromSorted(addrs, 0))
+	if counts[0] != 1 || counts[1] != 2 || outside != 0 {
+		t.Errorf("CountAddrsSet = %v, outside %d", counts, outside)
+	}
+}
+
+// TestFullSpacePartition pins the widest possible universe: the /0
+// root as a single partition element.
+func TestFullSpacePartition(t *testing.T) {
+	part, err := NewPartition([]netaddr.Prefix{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := part.AddressCount(); got != 1<<32 {
+		t.Errorf("AddressCount = %d", got)
+	}
+	max := netaddr.KeyMax[netaddr.Addr]()
+	for _, a := range []netaddr.Addr{0, 1 << 31, max} {
+		if i, ok := part.Find(a); !ok || i != 0 {
+			t.Errorf("Find(%v) = %d, %v", a, i, ok)
+		}
+	}
+	counts, outside := part.CountAddrs([]netaddr.Addr{0, max})
+	if counts[0] != 2 || outside != 0 {
+		t.Errorf("CountAddrs = %v, outside %d", counts, outside)
+	}
+}

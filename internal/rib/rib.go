@@ -159,62 +159,117 @@ func (t *Table) Stats() Stats {
 	return s
 }
 
-// Partition is a sorted, pairwise-disjoint set of prefixes: one of the
-// paper's two scanning universes. The zero value is an empty partition.
-type Partition struct {
-	prefixes []netaddr.Prefix
-	firsts   []netaddr.Addr // parallel cache of prefix network addresses
+// PartOf is a sorted, pairwise-disjoint set of prefixes of family A:
+// one of the paper's two scanning universes. The zero value is an empty
+// partition.
+type PartOf[A netaddr.Key[A]] struct {
+	prefixes []netaddr.Pfx[A]
+	firsts   []A // parallel cache of prefix network addresses
+	lasts    []A // parallel cache of prefix broadcast addresses
 	space    uint64
 }
+
+// Partition is the IPv4 instantiation of PartOf.
+type Partition = PartOf[netaddr.Addr]
 
 // ErrNotPartition is returned by NewPartition when prefixes overlap.
 var ErrNotPartition = errors.New("rib: prefixes overlap")
 
 // NewPartition validates that ps is pairwise disjoint and builds a
-// Partition. The input is copied and sorted.
-func NewPartition(ps []netaddr.Prefix) (Partition, error) {
-	cp := make([]netaddr.Prefix, len(ps))
+// Partition. The input is copied and sorted. It works for any address
+// family despite the historical name.
+func NewPartition[A netaddr.Key[A]](ps []netaddr.Pfx[A]) (PartOf[A], error) {
+	cp := make([]netaddr.Pfx[A], len(ps))
 	copy(cp, ps)
-	netaddr.SortPrefixes(cp)
+	netaddr.SortPfx(cp)
+	part := newPartitionSorted(cp)
+	// Prefix ranges either nest or are disjoint, and sorting orders them
+	// by first address — so any overlap shows up as an adjacent pair
+	// whose ranges touch. Checking the cached range bounds avoids a
+	// per-pair Overlaps call.
 	for i := 1; i < len(cp); i++ {
-		if cp[i-1].Overlaps(cp[i]) {
-			return Partition{}, fmt.Errorf("%w: %v and %v", ErrNotPartition, cp[i-1], cp[i])
+		if part.lasts[i-1].Compare(part.firsts[i]) >= 0 {
+			return PartOf[A]{}, fmt.Errorf("%w: %v and %v", ErrNotPartition, cp[i-1], cp[i])
 		}
 	}
-	return newPartitionSorted(cp), nil
+	return part, nil
 }
 
-func mustPartition(sorted []netaddr.Prefix) Partition {
+func mustPartition[A netaddr.Key[A]](sorted []netaddr.Pfx[A]) PartOf[A] {
 	return newPartitionSorted(sorted)
 }
 
-func newPartitionSorted(sorted []netaddr.Prefix) Partition {
-	firsts := make([]netaddr.Addr, len(sorted))
+// addSat adds address counts saturating at the maximum uint64: IPv6
+// prefixes shorter than /64 already saturate NumAddresses, and their
+// sums must not wrap back into plausible-looking small numbers.
+func addSat(a, b uint64) uint64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return ^uint64(0)
+}
+
+func newPartitionSorted[A netaddr.Key[A]](sorted []netaddr.Pfx[A]) PartOf[A] {
+	if p4, ok := any(sorted).([]netaddr.Prefix); ok {
+		return any(newPartitionSorted32(p4)).(PartOf[A])
+	}
+	firsts := make([]A, len(sorted))
+	lasts := make([]A, len(sorted))
 	var space uint64
 	for i, p := range sorted {
 		firsts[i] = p.First()
-		space += p.NumAddresses()
+		lasts[i] = p.Last()
+		space = addSat(space, p.NumAddresses())
 	}
-	return Partition{prefixes: sorted, firsts: firsts, space: space}
+	return PartOf[A]{prefixes: sorted, firsts: firsts, lasts: lasts, space: space}
+}
+
+// newPartitionSorted32 is the concrete IPv4 partition build: selection
+// construction rebuilds a partition per reseed, so the per-prefix range
+// bounds are derived with direct uint32 arithmetic on the canonical
+// network address instead of generic Last/NumAddresses calls.
+func newPartitionSorted32(sorted []netaddr.Prefix) Partition {
+	firsts := make([]netaddr.Addr, len(sorted))
+	lasts := make([]netaddr.Addr, len(sorted))
+	var space uint64
+	for i, p := range sorted {
+		size := uint64(1) << uint(32-p.Bits())
+		f := p.Addr()
+		firsts[i] = f
+		lasts[i] = f + netaddr.Addr(size-1)
+		space = addSat(space, size)
+	}
+	return Partition{prefixes: sorted, firsts: firsts, lasts: lasts, space: space}
 }
 
 // Len returns the number of prefixes in the partition.
-func (p Partition) Len() int { return len(p.prefixes) }
+func (p PartOf[A]) Len() int { return len(p.prefixes) }
 
 // Prefix returns the i-th prefix in sorted order.
-func (p Partition) Prefix(i int) netaddr.Prefix { return p.prefixes[i] }
+func (p PartOf[A]) Prefix(i int) netaddr.Pfx[A] { return p.prefixes[i] }
 
 // Prefixes returns the sorted prefixes. The slice is shared; do not
 // modify it.
-func (p Partition) Prefixes() []netaddr.Prefix { return p.prefixes }
+func (p PartOf[A]) Prefixes() []netaddr.Pfx[A] { return p.prefixes }
 
-// AddressCount returns the total number of addresses covered.
-func (p Partition) AddressCount() uint64 { return p.space }
+// FirstAt returns the lowest address of the i-th prefix. It reads a
+// cache built at partition construction, so unlike Prefix(i).First()
+// it costs a slice load — counting walks call it once per address.
+func (p PartOf[A]) FirstAt(i int) A { return p.firsts[i] }
+
+// LastAt returns the highest address of the i-th prefix, from the same
+// construction-time cache as FirstAt.
+func (p PartOf[A]) LastAt(i int) A { return p.lasts[i] }
+
+// AddressCount returns the total number of addresses covered,
+// saturating at the maximum uint64 (IPv6 partitions routinely exceed
+// it; use SpaceBits accounting there instead).
+func (p PartOf[A]) AddressCount() uint64 { return p.space }
 
 // Find locates the partition prefix containing a and returns its index.
-func (p Partition) Find(a netaddr.Addr) (int, bool) {
+func (p PartOf[A]) Find(a A) (int, bool) {
 	// Rightmost prefix whose first address is <= a.
-	i := sort.Search(len(p.firsts), func(i int) bool { return p.firsts[i] > a })
+	i := sort.Search(len(p.firsts), func(i int) bool { return p.firsts[i].Compare(a) > 0 })
 	if i == 0 {
 		return 0, false
 	}
@@ -229,14 +284,36 @@ func (p Partition) Find(a netaddr.Addr) (int, bool) {
 // addresses it contains. addrs must be sorted ascending. The returned
 // slice is indexed like Prefix(i); the second result is the number of
 // addresses that fell outside the partition.
-func (p Partition) CountAddrs(addrs []netaddr.Addr) (counts []int, outside int) {
+func (p PartOf[A]) CountAddrs(addrs []A) (counts []int, outside int) {
+	if p4, ok := any(p).(Partition); ok {
+		// Concrete IPv4 walk: direct uint32 compares in the inner loop.
+		// This merge visits every snapshot address, so the dictionary
+		// calls of the generic path would be the dominant cost.
+		return countAddrs32(p4, any(addrs).([]netaddr.Addr))
+	}
 	counts = make([]int, len(p.prefixes))
 	i := 0 // partition cursor
 	for _, a := range addrs {
-		for i < len(p.prefixes) && p.prefixes[i].Last() < a {
+		for i < len(p.lasts) && p.lasts[i].Compare(a) < 0 {
 			i++
 		}
-		if i == len(p.prefixes) || a < p.prefixes[i].First() {
+		if i == len(p.firsts) || a.Compare(p.firsts[i]) < 0 {
+			outside++
+			continue
+		}
+		counts[i]++
+	}
+	return counts, outside
+}
+
+func countAddrs32(p Partition, addrs []netaddr.Addr) (counts []int, outside int) {
+	counts = make([]int, len(p.prefixes))
+	i := 0
+	for _, a := range addrs {
+		for i < len(p.lasts) && p.lasts[i] < a {
+			i++
+		}
+		if i == len(p.firsts) || a < p.firsts[i] {
 			outside++
 			continue
 		}
@@ -252,12 +329,12 @@ func (p Partition) CountAddrs(addrs []netaddr.Addr) (counts []int, outside int) 
 // pass costs O(K log B + touched blocks) — sub-linear in the set size
 // for sparse selections, where the O(N+K) merge walk re-touches every
 // address. Results are identical to CountAddrs on the same addresses.
-func (p Partition) CountAddrsSet(set *addrset.Set) (counts []int, outside int) {
+func (p PartOf[A]) CountAddrsSet(set *addrset.SetOf[A]) (counts []int, outside int) {
 	counts = make([]int, len(p.prefixes))
 	ctr := set.Counter()
 	inside := 0
-	for i, pr := range p.prefixes {
-		c := ctr.Count(pr.First(), pr.Last())
+	for i := range p.prefixes {
+		c := ctr.Count(p.firsts[i], p.lasts[i])
 		counts[i] = c
 		inside += c
 	}
@@ -266,12 +343,12 @@ func (p Partition) CountAddrsSet(set *addrset.Set) (counts []int, outside int) {
 
 // Subset returns a new Partition containing the prefixes at the given
 // indexes (e.g. a TASS selection). Indexes may be in any order.
-func (p Partition) Subset(indexes []int) Partition {
-	ps := make([]netaddr.Prefix, 0, len(indexes))
+func (p PartOf[A]) Subset(indexes []int) PartOf[A] {
+	ps := make([]netaddr.Pfx[A], 0, len(indexes))
 	for _, i := range indexes {
 		ps = append(ps, p.prefixes[i])
 	}
-	netaddr.SortPrefixes(ps)
+	netaddr.SortPfx(ps)
 	return newPartitionSorted(ps)
 }
 
@@ -281,15 +358,35 @@ func (p Partition) Subset(indexes []int) Partition {
 // — no re-sort, no overlap check. It is the selection-construction hot
 // path: an incremental reseed builds its scan plan with one pass here
 // instead of a comparison sort over thousands of chosen prefixes.
-func (p Partition) SubsetAscending(indexes []int32) Partition {
-	ps := make([]netaddr.Prefix, 0, len(indexes))
-	firsts := make([]netaddr.Addr, 0, len(indexes))
+func (p PartOf[A]) SubsetAscending(indexes []int32) PartOf[A] {
+	if p4, ok := any(p).(Partition); ok {
+		return any(subsetAscending32(p4, indexes)).(PartOf[A])
+	}
+	ps := make([]netaddr.Pfx[A], 0, len(indexes))
+	firsts := make([]A, 0, len(indexes))
+	lasts := make([]A, 0, len(indexes))
 	var space uint64
 	for _, i := range indexes {
-		pr := p.prefixes[i]
-		ps = append(ps, pr)
-		firsts = append(firsts, pr.First())
-		space += pr.NumAddresses()
+		ps = append(ps, p.prefixes[i])
+		firsts = append(firsts, p.firsts[i])
+		lasts = append(lasts, p.lasts[i])
+		space = addSat(space, p.prefixes[i].NumAddresses())
 	}
-	return Partition{prefixes: ps, firsts: firsts, space: space}
+	return PartOf[A]{prefixes: ps, firsts: firsts, lasts: lasts, space: space}
+}
+
+func subsetAscending32(p Partition, indexes []int32) Partition {
+	n := len(indexes)
+	ps := make([]netaddr.Prefix, n)
+	firsts := make([]netaddr.Addr, n)
+	lasts := make([]netaddr.Addr, n)
+	var space uint64
+	for k, i := range indexes {
+		ps[k] = p.prefixes[i]
+		f, l := p.firsts[i], p.lasts[i]
+		firsts[k] = f
+		lasts[k] = l
+		space = addSat(space, uint64(l-f)+1)
+	}
+	return Partition{prefixes: ps, firsts: firsts, lasts: lasts, space: space}
 }

@@ -5,130 +5,73 @@
 //
 // For IPv6 there is no full scan to amortize — the announced space is
 // astronomically larger than any probe budget — so prefix selection is
-// not an optimization but the only viable scoping. The algorithm is the
-// same as internal/core's: count seed observations per announced prefix,
-// rank by density, select to a coverage target. Seed observations come
-// from passive sources (the Plonka & Berger direction the paper cites)
-// or hitlist-driven probing rather than a sweep.
+// not an optimization but the only viable scoping. Since the address
+// engine went generic the package is a thin compatibility layer: a
+// Universe6 is a rib partition of Addr6 prefixes, ranking and selection
+// run through internal/core's family-generic engine, and the types here
+// are aliases of its Addr6 instantiations. Seed observations come from
+// passive sources (the Plonka & Berger direction the paper cites) or
+// hitlist-driven probing rather than a sweep; they are treated as an
+// address set, so duplicate observations count once, exactly like the
+// IPv4 census path.
 package sel6
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
+	"github.com/tass-scan/tass/internal/census"
+	"github.com/tass-scan/tass/internal/core"
 	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
+	"github.com/tass-scan/tass/internal/trie"
 )
 
 // Universe6 is a sorted set of pairwise-disjoint IPv6 prefixes: the
-// announced space under study.
-type Universe6 struct {
-	prefixes []netaddr.Prefix6
-}
+// announced space under study. It is a rib partition, so it carries the
+// same point-location and bulk-counting operations as the IPv4
+// universes.
+type Universe6 = rib.PartOf[netaddr.Addr6]
 
 // NewUniverse6 validates disjointness and builds a universe. The input
 // is copied and sorted.
 func NewUniverse6(ps []netaddr.Prefix6) (Universe6, error) {
-	cp := make([]netaddr.Prefix6, len(ps))
-	copy(cp, ps)
-	sort.Slice(cp, func(i, j int) bool {
-		if c := cp[i].Addr().Compare(cp[j].Addr()); c != 0 {
-			return c < 0
-		}
-		return cp[i].Bits() < cp[j].Bits()
-	})
-	for i := 1; i < len(cp); i++ {
-		if cp[i-1].ContainsPrefix(cp[i]) || cp[i].ContainsPrefix(cp[i-1]) {
-			return Universe6{}, fmt.Errorf("sel6: %v and %v overlap", cp[i-1], cp[i])
-		}
+	u, err := rib.NewPartition(ps)
+	if err != nil {
+		return Universe6{}, fmt.Errorf("sel6: %w", err)
 	}
-	return Universe6{prefixes: cp}, nil
+	return u, nil
 }
 
-// Len returns the number of prefixes.
-func (u Universe6) Len() int { return len(u.prefixes) }
-
-// Prefix returns the i-th prefix in sorted order.
-func (u Universe6) Prefix(i int) netaddr.Prefix6 { return u.prefixes[i] }
-
-// Find locates the universe prefix containing a.
-func (u Universe6) Find(a netaddr.Addr6) (int, bool) {
-	// Rightmost prefix whose network address is <= a.
-	i := sort.Search(len(u.prefixes), func(i int) bool {
-		return u.prefixes[i].Addr().Compare(a) > 0
-	})
-	if i == 0 {
-		return 0, false
-	}
-	i--
-	if u.prefixes[i].Contains(a) {
-		return i, true
-	}
-	return 0, false
+// NewUniverse6FromAnnounced builds the universe from a raw announced
+// IPv6 table: covered more-specifics are dropped, keeping only the
+// maximal announced prefixes — the v6 analogue of the IPv4 l-prefix
+// view (deaggregation is available through the same generic trie when
+// an m-prefix universe is wanted).
+func NewUniverse6FromAnnounced(ps []netaddr.Prefix6) (Universe6, error) {
+	return NewUniverse6(trie.LessSpecificOnly(ps))
 }
 
-// PrefixStat6 is one ranked responsive IPv6 prefix.
-type PrefixStat6 struct {
-	Prefix netaddr.Prefix6
-	// Hosts is the number of seed observations inside the prefix.
-	Hosts int
-	// Density is Hosts / 2^(128-len). Unlike IPv4 the absolute value is
-	// vanishingly small; only the ranking matters.
-	Density float64
-	// Coverage is Hosts / total observations.
-	Coverage float64
+// PrefixStat6 is one ranked responsive IPv6 prefix: the Addr6
+// instantiation of the generic ranking stat. Density is
+// Hosts / 2^(128-len); unlike IPv4 the absolute value is vanishingly
+// small and only the ranking matters.
+type PrefixStat6 = core.StatOf[netaddr.Addr6]
+
+// Selection6 is an IPv6 scan plan: the Addr6 instantiation of the
+// generic selection. Space saturates for selections wider than 2^64
+// addresses — SpaceBits is the meaningful cost figure here.
+type Selection6 = core.SelectionOf[netaddr.Addr6]
+
+// snapshotOf wraps seed observations as a census snapshot (copied,
+// sorted, de-duplicated) for the generic engine.
+func snapshotOf(seeds []netaddr.Addr6) *census.SnapshotOf[netaddr.Addr6] {
+	return census.NewSnapshotOf("seed6", 0, seeds)
 }
 
 // Rank6 counts seed observations per universe prefix and returns the
 // responsive prefixes in descending density order.
 func Rank6(seeds []netaddr.Addr6, u Universe6) []PrefixStat6 {
-	counts := make([]int, u.Len())
-	total := 0
-	for _, a := range seeds {
-		if i, ok := u.Find(a); ok {
-			counts[i]++
-			total++
-		}
-	}
-	out := make([]PrefixStat6, 0, len(counts)/2)
-	for i, c := range counts {
-		if c == 0 {
-			continue
-		}
-		p := u.Prefix(i)
-		out = append(out, PrefixStat6{
-			Prefix:   p,
-			Hosts:    c,
-			Density:  float64(c) / math.Pow(2, float64(128-p.Bits())),
-			Coverage: float64(c) / float64(total),
-		})
-	}
-	sort.Slice(out, func(a, b int) bool {
-		sa, sb := &out[a], &out[b]
-		if sa.Density != sb.Density {
-			return sa.Density > sb.Density
-		}
-		if sa.Hosts != sb.Hosts {
-			return sa.Hosts > sb.Hosts
-		}
-		return sa.Prefix.Addr().Compare(sb.Prefix.Addr()) < 0
-	})
-	return out
-}
-
-// Selection6 is an IPv6 scan plan.
-type Selection6 struct {
-	// Ranked lists every responsive prefix; the first K are selected.
-	Ranked []PrefixStat6
-	// K is the smallest prefix count exceeding the coverage target.
-	K int
-	// SeedHosts is the total number of seed observations in the universe.
-	SeedHosts int
-	// HostCoverage is the achieved coverage.
-	HostCoverage float64
-	// SpaceBits is log2 of the selected address space — the space itself
-	// does not fit in a uint64 for typical IPv6 selections.
-	SpaceBits float64
+	return core.Rank(snapshotOf(seeds), u)
 }
 
 // Select6 runs the TASS selection on IPv6 seed observations.
@@ -136,35 +79,9 @@ func Select6(seeds []netaddr.Addr6, u Universe6, phi float64) (*Selection6, erro
 	if phi <= 0 || phi > 1 {
 		return nil, fmt.Errorf("sel6: φ must be in (0,1], got %v", phi)
 	}
-	ranked := Rank6(seeds, u)
-	total := 0
-	for i := range ranked {
-		total += ranked[i].Hosts
-	}
-	if total == 0 {
+	sel, err := core.Select(snapshotOf(seeds), u, core.Options{Phi: phi})
+	if err != nil {
 		return nil, fmt.Errorf("sel6: no seed observations inside the universe")
 	}
-	sel := &Selection6{Ranked: ranked, SeedHosts: total}
-	covered := 0
-	space := 0.0 // linear space in 2^0 units, accumulated in float64
-	for i := range ranked {
-		covered += ranked[i].Hosts
-		space += math.Pow(2, float64(128-ranked[i].Prefix.Bits()))
-		sel.K = i + 1
-		if float64(covered) > phi*float64(total) || (phi == 1 && covered == total) {
-			break
-		}
-	}
-	sel.HostCoverage = float64(covered) / float64(total)
-	sel.SpaceBits = math.Log2(space)
 	return sel, nil
-}
-
-// Prefixes returns the selected prefixes in rank order.
-func (s *Selection6) Prefixes() []netaddr.Prefix6 {
-	out := make([]netaddr.Prefix6, s.K)
-	for i := 0; i < s.K; i++ {
-		out[i] = s.Ranked[i].Prefix
-	}
-	return out
 }

@@ -1,22 +1,23 @@
-// Package trie implements a binary radix trie keyed by IPv4 prefixes, plus
-// the prefix-set operations the TASS paper builds on: longest-prefix match,
-// covered-set queries, the less-specific (l-prefix) filter, and the
-// deaggregation of less-specific prefixes around their announced
+// Package trie implements a binary radix trie keyed by CIDR prefixes,
+// plus the prefix-set operations the TASS paper builds on: longest-prefix
+// match, covered-set queries, the less-specific (l-prefix) filter, and
+// the deaggregation of less-specific prefixes around their announced
 // more-specifics (Figure 2 of the paper).
 //
-// The trie is a path-uncompressed binary trie: simple, allocation-friendly
-// and fast enough for full-table workloads (~600 k announced prefixes).
-// Nodes without values are interior branch points.
+// The trie is generic over the address family (TrieOf); Trie is the
+// IPv4 instantiation. It is a path-uncompressed binary trie: simple,
+// allocation-friendly and fast enough for full-table workloads (~600 k
+// announced prefixes). Nodes without values are interior branch points.
 package trie
 
 import (
 	"github.com/tass-scan/tass/internal/netaddr"
 )
 
-// Trie maps IPv4 prefixes to values of type V.
+// TrieOf maps prefixes of address family A to values of type V.
 // The zero value is an empty trie ready for use.
-type Trie[V any] struct {
-	root *node[V]
+type TrieOf[A netaddr.Key[A], V any] struct {
+	root *node[A, V]
 	size int
 
 	// slab hands out nodes from doubling arena blocks instead of one
@@ -26,18 +27,21 @@ type Trie[V any] struct {
 	// generation. Nodes are never freed individually (Delete only
 	// clears values), so arena blocks — kept alive by the node
 	// pointers themselves — are safe.
-	slab []node[V]
+	slab []node[A, V]
 }
 
-type node[V any] struct {
-	child    [2]*node[V]
+// Trie is the IPv4 instantiation of TrieOf.
+type Trie[V any] = TrieOf[netaddr.Addr, V]
+
+type node[A netaddr.Key[A], V any] struct {
+	child    [2]*node[A, V]
 	value    V
 	hasValue bool
 }
 
 // newNode hands out the next node from the current arena block,
 // growing the block geometrically (256 → 64 K nodes) when exhausted.
-func (t *Trie[V]) newNode() *node[V] {
+func (t *TrieOf[A, V]) newNode() *node[A, V] {
 	if len(t.slab) == cap(t.slab) {
 		c := 2 * cap(t.slab)
 		if c == 0 {
@@ -46,21 +50,24 @@ func (t *Trie[V]) newNode() *node[V] {
 		if c > 1<<16 {
 			c = 1 << 16
 		}
-		t.slab = make([]node[V], 0, c)
+		t.slab = make([]node[A, V], 0, c)
 	}
 	t.slab = t.slab[:len(t.slab)+1]
 	return &t.slab[len(t.slab)-1]
 }
 
-// New returns an empty trie. Equivalent to new(Trie[V]).
+// New returns an empty IPv4 trie. Equivalent to new(Trie[V]).
 func New[V any]() *Trie[V] { return &Trie[V]{} }
 
+// NewOf returns an empty trie for any address family.
+func NewOf[A netaddr.Key[A], V any]() *TrieOf[A, V] { return &TrieOf[A, V]{} }
+
 // Len returns the number of prefixes stored in t.
-func (t *Trie[V]) Len() int { return t.size }
+func (t *TrieOf[A, V]) Len() int { return t.size }
 
 // Insert stores value under p, replacing any existing value.
 // It reports whether a previous value was replaced.
-func (t *Trie[V]) Insert(p netaddr.Prefix, value V) (replaced bool) {
+func (t *TrieOf[A, V]) Insert(p netaddr.Pfx[A], value V) (replaced bool) {
 	if t.root == nil {
 		t.root = t.newNode()
 	}
@@ -82,7 +89,7 @@ func (t *Trie[V]) Insert(p netaddr.Prefix, value V) (replaced bool) {
 }
 
 // Get returns the value stored exactly under p.
-func (t *Trie[V]) Get(p netaddr.Prefix) (V, bool) {
+func (t *TrieOf[A, V]) Get(p netaddr.Pfx[A]) (V, bool) {
 	var zero V
 	n := t.node(p)
 	if n == nil || !n.hasValue {
@@ -92,7 +99,7 @@ func (t *Trie[V]) Get(p netaddr.Prefix) (V, bool) {
 }
 
 // node walks to the node for p, or nil if the path does not exist.
-func (t *Trie[V]) node(p netaddr.Prefix) *node[V] {
+func (t *TrieOf[A, V]) node(p netaddr.Pfx[A]) *node[A, V] {
 	n := t.root
 	for i := 0; i < p.Bits() && n != nil; i++ {
 		n = n.child[p.Bit(i)]
@@ -103,7 +110,7 @@ func (t *Trie[V]) node(p netaddr.Prefix) *node[V] {
 // Delete removes the value stored under p and reports whether one existed.
 // Emptied interior nodes are left in place; for the workloads here
 // (build once, query many) that is the right trade-off.
-func (t *Trie[V]) Delete(p netaddr.Prefix) bool {
+func (t *TrieOf[A, V]) Delete(p netaddr.Pfx[A]) bool {
 	n := t.node(p)
 	if n == nil || !n.hasValue {
 		return false
@@ -117,40 +124,41 @@ func (t *Trie[V]) Delete(p netaddr.Prefix) bool {
 
 // Lookup performs a longest-prefix match for address a and returns the
 // most specific stored prefix containing it.
-func (t *Trie[V]) Lookup(a netaddr.Addr) (netaddr.Prefix, V, bool) {
+func (t *TrieOf[A, V]) Lookup(a A) (netaddr.Pfx[A], V, bool) {
 	var (
-		bestP   netaddr.Prefix
+		bestP   netaddr.Pfx[A]
 		bestV   V
 		found   bool
 		current = t.root
 	)
-	p32 := netaddr.MustPrefixFrom(a, 32)
+	w := a.Width()
+	pw := netaddr.MustPfxFrom(a, w)
 	for i := 0; current != nil; i++ {
 		if current.hasValue {
-			bestP = netaddr.MustPrefixFrom(a, i)
+			bestP = netaddr.MustPfxFrom(a, i)
 			bestV = current.value
 			found = true
 		}
-		if i == 32 {
+		if i == w {
 			break
 		}
-		current = current.child[p32.Bit(i)]
+		current = current.child[pw.Bit(i)]
 	}
 	return bestP, bestV, found
 }
 
 // LookupPrefix returns the most specific stored prefix that contains q
 // (possibly q itself).
-func (t *Trie[V]) LookupPrefix(q netaddr.Prefix) (netaddr.Prefix, V, bool) {
+func (t *TrieOf[A, V]) LookupPrefix(q netaddr.Pfx[A]) (netaddr.Pfx[A], V, bool) {
 	var (
-		bestP netaddr.Prefix
+		bestP netaddr.Pfx[A]
 		bestV V
 		found bool
 	)
 	n := t.root
 	for i := 0; n != nil; i++ {
 		if n.hasValue {
-			bestP = netaddr.MustPrefixFrom(q.Addr(), i)
+			bestP = netaddr.MustPfxFrom(q.Addr(), i)
 			bestV = n.value
 			found = true
 		}
@@ -164,11 +172,11 @@ func (t *Trie[V]) LookupPrefix(q netaddr.Prefix) (netaddr.Prefix, V, bool) {
 
 // Walk visits all stored prefixes in lexicographic (address, length) order.
 // Returning false from fn stops the walk early.
-func (t *Trie[V]) Walk(fn func(netaddr.Prefix, V) bool) {
-	walk(t.root, netaddr.MustPrefixFrom(0, 0), fn)
+func (t *TrieOf[A, V]) Walk(fn func(netaddr.Pfx[A], V) bool) {
+	walk(t.root, netaddr.Pfx[A]{}, fn)
 }
 
-func walk[V any](n *node[V], at netaddr.Prefix, fn func(netaddr.Prefix, V) bool) bool {
+func walk[A netaddr.Key[A], V any](n *node[A, V], at netaddr.Pfx[A], fn func(netaddr.Pfx[A], V) bool) bool {
 	if n == nil {
 		return true
 	}
@@ -187,14 +195,14 @@ func walk[V any](n *node[V], at netaddr.Prefix, fn func(netaddr.Prefix, V) bool)
 
 // Covered visits all stored prefixes contained in p (including p itself if
 // stored), in lexicographic order. Returning false stops early.
-func (t *Trie[V]) Covered(p netaddr.Prefix, fn func(netaddr.Prefix, V) bool) {
+func (t *TrieOf[A, V]) Covered(p netaddr.Pfx[A], fn func(netaddr.Pfx[A], V) bool) {
 	n := t.node(p)
 	walk(n, p, fn)
 }
 
 // HasStrictDescendant reports whether any stored prefix is strictly more
 // specific than p (longer and contained in p).
-func (t *Trie[V]) HasStrictDescendant(p netaddr.Prefix) bool {
+func (t *TrieOf[A, V]) HasStrictDescendant(p netaddr.Pfx[A]) bool {
 	n := t.node(p)
 	if n == nil {
 		return false
@@ -202,7 +210,7 @@ func (t *Trie[V]) HasStrictDescendant(p netaddr.Prefix) bool {
 	return subtreeHasValue(n.child[0]) || subtreeHasValue(n.child[1])
 }
 
-func subtreeHasValue[V any](n *node[V]) bool {
+func subtreeHasValue[A netaddr.Key[A], V any](n *node[A, V]) bool {
 	if n == nil {
 		return false
 	}
@@ -215,10 +223,10 @@ func subtreeHasValue[V any](n *node[V]) bool {
 // Roots returns the maximal stored prefixes: those not contained in any
 // other stored prefix. In routing terms these are the less-specific
 // "l-prefixes" of the paper. The result is sorted.
-func (t *Trie[V]) Roots() []netaddr.Prefix {
-	var out []netaddr.Prefix
-	var rec func(n *node[V], at netaddr.Prefix)
-	rec = func(n *node[V], at netaddr.Prefix) {
+func (t *TrieOf[A, V]) Roots() []netaddr.Pfx[A] {
+	var out []netaddr.Pfx[A]
+	var rec func(n *node[A, V], at netaddr.Pfx[A])
+	rec = func(n *node[A, V], at netaddr.Pfx[A]) {
 		if n == nil {
 			return
 		}
@@ -233,7 +241,7 @@ func (t *Trie[V]) Roots() []netaddr.Prefix {
 		rec(n.child[0], lo)
 		rec(n.child[1], hi)
 	}
-	rec(t.root, netaddr.MustPrefixFrom(0, 0))
+	rec(t.root, netaddr.Pfx[A]{})
 	return out
 }
 
@@ -241,8 +249,8 @@ func (t *Trie[V]) Roots() []netaddr.Prefix {
 // prefix contained in another input prefix is dropped. Duplicates collapse.
 // This is the paper's l-prefix view of an announced table. The result is
 // sorted and pairwise disjoint.
-func LessSpecificOnly(prefixes []netaddr.Prefix) []netaddr.Prefix {
-	t := New[struct{}]()
+func LessSpecificOnly[A netaddr.Key[A]](prefixes []netaddr.Pfx[A]) []netaddr.Pfx[A] {
+	t := NewOf[A, struct{}]()
 	for _, p := range prefixes {
 		t.Insert(p, struct{}{})
 	}
@@ -258,14 +266,14 @@ func LessSpecificOnly(prefixes []netaddr.Prefix) []netaddr.Prefix {
 // union equals the union of the input.
 //
 // The result is sorted by (address, length).
-func Deaggregate(prefixes []netaddr.Prefix) []netaddr.Prefix {
-	t := New[struct{}]()
+func Deaggregate[A netaddr.Key[A]](prefixes []netaddr.Pfx[A]) []netaddr.Pfx[A] {
+	t := NewOf[A, struct{}]()
 	for _, p := range prefixes {
 		t.Insert(p, struct{}{})
 	}
-	var out []netaddr.Prefix
-	var rec func(n *node[struct{}], at netaddr.Prefix, covered bool)
-	rec = func(n *node[struct{}], at netaddr.Prefix, covered bool) {
+	var out []netaddr.Pfx[A]
+	var rec func(n *node[A, struct{}], at netaddr.Pfx[A], covered bool)
+	rec = func(n *node[A, struct{}], at netaddr.Pfx[A], covered bool) {
 		if n == nil {
 			// No announcements below. Emit the whole block if some
 			// ancestor announced it.
@@ -296,6 +304,6 @@ func Deaggregate(prefixes []netaddr.Prefix) []netaddr.Prefix {
 		rec(n.child[0], lo, covered)
 		rec(n.child[1], hi, covered)
 	}
-	rec(t.root, netaddr.MustPrefixFrom(0, 0), false)
+	rec(t.root, netaddr.Pfx[A]{}, false)
 	return out
 }

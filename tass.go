@@ -473,6 +473,13 @@ func ParsePrefix6(s string) (Prefix6, error) { return netaddr.ParsePrefix6(s) }
 // NewUniverse6 validates and builds an IPv6 scanning universe.
 func NewUniverse6(ps []Prefix6) (Universe6, error) { return sel6.NewUniverse6(ps) }
 
+// NewUniverse6FromAnnounced builds the universe from a raw announced
+// IPv6 table, dropping covered more-specifics — the v6 analogue of the
+// IPv4 l-prefix view.
+func NewUniverse6FromAnnounced(ps []Prefix6) (Universe6, error) {
+	return sel6.NewUniverse6FromAnnounced(ps)
+}
+
 // Select6 runs the TASS selection blueprint on IPv6 seed observations
 // (passive measurements or hitlist probes — there is no full IPv6 scan).
 func Select6(seeds []Addr6, u Universe6, phi float64) (*Selection6, error) {
@@ -489,4 +496,12 @@ const Version = "1.0.0"
 func Describe(sel *Selection) string {
 	return fmt.Sprintf("%d prefixes, %.1f%% host coverage, %d addresses (%.1f%% of universe), %.0f probes/host",
 		sel.K, 100*sel.HostCoverage, sel.Space, 100*sel.SpaceShare, sel.Efficiency())
+}
+
+// Describe6 renders a short human-readable summary of an IPv6
+// selection. Address counts are given as exponents: v6 plans routinely
+// exceed 2^64 addresses, where Selection6.Space saturates.
+func Describe6(sel *Selection6) string {
+	return fmt.Sprintf("%d prefixes, %.1f%% host coverage, 2^%.1f addresses, %d seed hosts",
+		sel.K, 100*sel.HostCoverage, sel.SpaceBits, sel.SeedHosts)
 }

@@ -44,6 +44,7 @@ func main() {
 		scanProto  = flag.String("scanproto", "ftp", "protocol the campaign probes")
 		scanPhi    = flag.Float64("scanphi", 0.95, "host coverage target φ for campaign re-selection")
 		scanLoss   = flag.Float64("scanloss", 0.03, "simulated probe loss rate in [0,1)")
+		scanBudget = flag.Uint64("scanbudget", 0, "campaign probe budget per origin AS per cycle (0 = unlimited); prints the per-AS footprint summary")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -60,6 +61,7 @@ func main() {
 		proto:  *scanProto,
 		phi:    *scanPhi,
 		loss:   *scanLoss,
+		budget: *scanBudget,
 	}); err != nil {
 		stopCPU()
 		fmt.Fprintln(os.Stderr, "scansim:", err)
@@ -78,6 +80,7 @@ type campaignConfig struct {
 	proto  string
 	phi    float64
 	loss   float64
+	budget uint64
 }
 
 func run(dir string, seed int64, scale float64, months, workers int, incremental bool, camp campaignConfig) error {
@@ -164,6 +167,12 @@ func runCampaign(u *tass.Universe, series map[string]*tass.Series, camp campaign
 		Protocol:    camp.proto,
 		Incremental: incremental,
 	}
+	if camp.budget > 0 {
+		// The synthetic table carries synthetic origins: the budget and
+		// footprint machinery runs exactly as it would on a real pfx2as.
+		c.Politeness = tass.ScanPoliteness{ASBudget: camp.budget, Footprint: true}
+		c.OriginsOf = u.Table.OriginsOf
+	}
 	if _, err := tass.NewSimProber(nil, camp.loss, 0); err != nil {
 		return fmt.Errorf("campaign: %w", err)
 	}
@@ -178,6 +187,16 @@ func runCampaign(u *tass.Universe, series map[string]*tass.Series, camp campaign
 		fmt.Fprintf(os.Stderr, "  cycle %d: %6d pfx, %12d probed, %8d found, hitrate vs truth %.3f, cost share %.3f\n",
 			cy.Index, cy.Plan.Len(), cy.Report.Probed, cy.Snapshot.Hosts(),
 			cy.Hitrate(truth.At(m)), cy.CostShare(u.More))
+		if camp.budget > 0 && cy.Report.PerAS != nil {
+			capped := 0
+			for _, st := range cy.Report.PerAS {
+				if st.BudgetDenied > 0 {
+					capped++
+				}
+			}
+			fmt.Fprintf(os.Stderr, "           budget %d/AS: %d ASes touched, %d capped, %d probes denied\n",
+				camp.budget, len(cy.Report.PerAS), capped, cy.Report.BudgetDenied)
+		}
 	}
 	return err
 }

@@ -326,8 +326,17 @@ func runScan(args []string) error {
 	shards := fs.Int("shards", 1, "total shard count across scanner instances")
 	checkpointPath := fs.String("checkpoint", "", "resume from this cursor file if it exists; write it on interruption")
 	excludePath := fs.String("exclude", "", "ZMap-style exclusion file")
+	reloadExclude := fs.Duration("reload-exclude", 0, "poll the -exclude file at this interval and apply changes mid-cycle (single cycle only)")
 	seed := fs.Int64("seed", 1, "permutation seed (all shards of one scan must agree)")
 	max := fs.Uint64("max", 0, "stop after this many probes (sampling mode)")
+	pfx2asPath := fs.String("pfx2as", "", "CAIDA prefix-to-AS table mapping targets to origin ASes (required by the per-AS politeness flags)")
+	asRate := fs.Float64("as-rate", 0, "probes per second into any single origin AS (0 = off; needs -pfx2as)")
+	asBurst := fs.Int("as-burst", 0, "per-AS bucket burst (default 16)")
+	prefixRate := fs.Float64("prefix-rate", 0, "probes per second into any single target prefix (0 = off)")
+	prefixBurst := fs.Int("prefix-burst", 0, "per-prefix bucket burst (default 8)")
+	budget := fs.Uint64("budget", 0, "max probes per origin AS per cycle, held across checkpoint resumes (needs -pfx2as)")
+	backoffN := fs.Int("backoff", 0, "consecutive errors inside one AS that halve its rate (needs -as-rate)")
+	footprint := fs.Bool("footprint", false, "print the per-origin-AS footprint table to stderr (needs -pfx2as)")
 	fs.Parse(args)
 
 	if *targetsPath == "" {
@@ -347,6 +356,37 @@ func runScan(args []string) error {
 	}
 	if *incremental && *cycles <= 1 {
 		return fmt.Errorf("scan: -incremental applies to campaigns (-cycles > 1); a single cycle has no prior ranking to repair")
+	}
+	if *reloadExclude > 0 && *excludePath == "" {
+		return fmt.Errorf("scan: -reload-exclude needs -exclude (the file to poll)")
+	}
+	if *reloadExclude > 0 && *cycles > 1 {
+		return fmt.Errorf("scan: -reload-exclude applies to single cycles only (campaign cycles reload their list at cycle start)")
+	}
+	pol := tass.ScanPoliteness{
+		ASRate:      *asRate,
+		ASBurst:     *asBurst,
+		PrefixRate:  *prefixRate,
+		PrefixBurst: *prefixBurst,
+		ASBudget:    *budget,
+		Backoff:     tass.ScanBackoff{Threshold: *backoffN},
+		Footprint:   *footprint,
+	}
+	perAS := *asRate > 0 || *budget > 0 || *backoffN > 0 || *footprint
+	if perAS && *pfx2asPath == "" {
+		return fmt.Errorf("scan: -as-rate/-budget/-backoff/-footprint need -pfx2as to map targets to origin ASes")
+	}
+	var asTable *tass.Table
+	if *pfx2asPath != "" {
+		f, err := os.Open(*pfx2asPath)
+		if err != nil {
+			return err
+		}
+		asTable, err = tass.ReadPfx2as(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *pfx2asPath, err)
+		}
 	}
 
 	prefixes, err := loadPrefixFile(*targetsPath)
@@ -390,14 +430,24 @@ func runScan(args []string) error {
 			Workers:     *workers,
 			Seed:        *seed,
 			Exclude:     exclude,
+			Politeness:  pol,
 			Cache:       tass.NewCountCache(),
 			Incremental: *incremental,
+		}
+		if asTable != nil {
+			c.OriginsOf = asTable.OriginsOf
 		}
 		done, err := c.Run(ctx, *cycles)
 		for _, cy := range done {
 			fmt.Fprintf(os.Stderr, "# cycle %d: %d prefixes, %d probed, %d responsive, hitrate %.4f, cost share %.3f\n",
 				cy.Index, cy.Plan.Len(), cy.Report.Probed, cy.Snapshot.Hosts(),
 				cy.Report.Hitrate(), cy.CostShare(targets))
+			if *footprint {
+				fmt.Fprintf(os.Stderr, "# cycle %d footprint:\n", cy.Index)
+				if err := tass.WriteFootprint(os.Stderr, cy.Plan, asTable.OriginsOf(cy.Plan), cy.Report); err != nil {
+					return err
+				}
+			}
 		}
 		if err != nil {
 			return err
@@ -410,17 +460,21 @@ func runScan(args []string) error {
 		return w.Flush()
 	}
 
+	if asTable != nil {
+		pol.Origins = asTable.OriginsOf(targets)
+	}
 	scanner, err := tass.NewScanner(tass.ScanConfig{
-		Targets:   targets,
-		Prober:    prober,
-		Rate:      *rate,
-		Burst:     *burst,
-		Workers:   *workers,
-		Seed:      *seed,
-		Shard:     *shard,
-		Shards:    *shards,
-		Exclude:   exclude,
-		MaxProbes: *max,
+		Targets:    targets,
+		Prober:     prober,
+		Rate:       *rate,
+		Burst:      *burst,
+		Workers:    *workers,
+		Seed:       *seed,
+		Shard:      *shard,
+		Shards:     *shards,
+		Exclude:    exclude,
+		MaxProbes:  *max,
+		Politeness: pol,
 	})
 	if err != nil {
 		return err
@@ -440,11 +494,29 @@ func runScan(args []string) error {
 			return err
 		}
 	}
+	if *reloadExclude > 0 {
+		r := tass.NewExclusionReloader(scanner, *excludePath, *reloadExclude)
+		r.OnReload = func(n int, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "# exclusion reload failed: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "# exclusion list reloaded: %d prefixes\n", n)
+		}
+		rctx, rstop := context.WithCancel(ctx)
+		defer rstop()
+		go r.Run(rctx)
+	}
 	report, runErr := scanner.Run(ctx)
 	if report != nil {
-		fmt.Fprintf(os.Stderr, "# %d probed, %d excluded, %d errors, %d responsive, hitrate %.4f, %v elapsed\n",
-			report.Probed, report.Excluded, report.Errors, len(report.Responsive),
+		fmt.Fprintf(os.Stderr, "# %d probed, %d excluded, %d errors, %d budget-denied, %d responsive, hitrate %.4f, %v elapsed\n",
+			report.Probed, report.Excluded, report.Errors, report.BudgetDenied, len(report.Responsive),
 			report.Hitrate(), report.Elapsed.Round(time.Millisecond))
+		if *footprint {
+			if err := tass.WriteFootprint(os.Stderr, targets, pol.Origins, report); err != nil {
+				return err
+			}
+		}
 		w := bufio.NewWriter(os.Stdout)
 		for _, a := range report.Responsive {
 			fmt.Fprintln(w, a)

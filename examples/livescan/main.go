@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"time"
 
 	"github.com/tass-scan/tass"
@@ -61,10 +62,27 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Synthetic origin ASes for the good-citizen layer: the first two
+	// blocks belong to AS 64500, the last two to AS 64501 (the private
+	// AS range) — the stand-in for a pfx2as table's origin mapping.
+	originOf := func(plan tass.Partition) []uint32 {
+		out := make([]uint32, plan.Len())
+		for i := 0; i < plan.Len(); i++ {
+			if j, ok := universe.Find(plan.Prefix(i).First()); ok && j >= 2 {
+				out[i] = 64501
+			} else {
+				out[i] = 64500
+			}
+		}
+		return out
+	}
+
 	// 3. The feedback campaign: cycle 0 scans the whole universe with
 	//    the real engine (permuted order, rate limited, concurrent
 	//    workers, banner grab); its results seed a φ=0.75 selection;
-	//    cycle 1 scans only the selected dense blocks.
+	//    cycle 1 scans only the selected dense blocks. The politeness
+	//    layer paces each synthetic AS separately and keeps the per-AS
+	//    footprint ledger printed below.
 	campaign := &tass.ScanCampaign{
 		Universe: universe,
 		Prober:   &tass.TCPProber{Port: port, Timeout: 500 * time.Millisecond, BannerBytes: 64},
@@ -72,6 +90,11 @@ func main() {
 		Rate:     64, // probes per second: deliberately gentle
 		Workers:  4,
 		Seed:     time.Now().UnixNano(),
+		Politeness: tass.ScanPoliteness{
+			ASRate:    48, // no single origin AS sees the full global rate
+			Footprint: true,
+		},
+		OriginsOf: originOf,
 		OnResult: func(r tass.ScanResult) {
 			if r.Open {
 				fmt.Printf("  open %-12v rtt=%-8v banner=%q\n", r.Addr, r.RTT.Round(time.Microsecond), r.Banner)
@@ -89,6 +112,10 @@ func main() {
 			cy.Index, cy.Plan.Len(), cy.Report.Probed, cy.Snapshot.Hosts(),
 			100*cy.Report.Hitrate(), 100*cy.CostShare(universe),
 			cy.Report.Elapsed.Round(time.Millisecond))
+		fmt.Printf("per-AS footprint of cycle %d:\n", cy.Index)
+		if err := tass.WriteFootprint(os.Stdout, cy.Plan, originOf(cy.Plan), cy.Report); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// 4. The selection the campaign derived from the live scan — what a

@@ -192,6 +192,7 @@ var runners = []struct {
 	{"clustering", Clustering},
 	{"reseed", Reseed},
 	{"scanloop", ScanLoop},
+	{"scanpolite", ScanPolite},
 	{"vulnestimate", VulnEstimate},
 	{"missed", Missed},
 	{"v6select", V6Select},

@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
+	"github.com/tass-scan/tass/internal/scan"
+	"github.com/tass-scan/tass/internal/stats"
+)
+
+// asErrorProber wraps a prober and fails every probe into one origin AS
+// — the deterministic stand-in for a network answering a scan with a
+// timeout storm (the "please stop" signal adaptive backoff reacts to).
+type asErrorProber struct {
+	inner    scan.Prober
+	universe rib.Partition
+	origins  []uint32
+	as       uint32
+}
+
+func (p *asErrorProber) Probe(ctx context.Context, addr netaddr.Addr) (scan.Result, error) {
+	if i, ok := p.universe.Find(addr); ok && p.origins[i] == p.as {
+		return scan.Result{Addr: addr}, fmt.Errorf("scan: AS%d unreachable", p.as)
+	}
+	return p.inner.Probe(ctx, addr)
+}
+
+// ScanPolite exercises the good-citizen layer on the scanloop testbed:
+// full scans of the mini-universe under per-AS probe budgets (how much
+// coverage does a hard per-network cap cost?) and under adaptive backoff
+// against an AS that errors on every probe (how fast does the engine
+// throttle itself?). Workers is pinned to 1: which addresses fall beyond
+// a budget — and where inside an error streak a halving lands — depends
+// on probe order, so the table is only deterministic single-threaded.
+// The per-AS rate is as high as the global one, so the politeness
+// machinery engages on every probe without stretching wall-clock time.
+func ScanPolite(w *World) (Result, error) {
+	u, truth, err := scanLoopWorld(w)
+	if err != nil {
+		return Result{}, err
+	}
+	universe := u.More
+	origins := u.Table.OriginsOf(universe)
+	month0 := truth.At(0)
+
+	newProber := func() scan.Prober {
+		p, err := scan.NewSimProber(month0.Addrs, scanLoopLoss, w.Cfg.Seed+950)
+		if err != nil {
+			panic(err) // loss rate is a package constant in [0,1)
+		}
+		return p
+	}
+	run := func(prober scan.Prober, pol scan.Politeness) (*scan.Scanner, *scan.Report, error) {
+		pol.Origins = origins
+		s, err := scan.New(scan.Config{
+			Targets:    universe,
+			Prober:     prober,
+			Rate:       scanLoopRate,
+			Burst:      4096,
+			Workers:    1,
+			Seed:       w.Cfg.Seed + 951,
+			Politeness: pol,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		rep, err := s.Run(context.Background())
+		return s, rep, err
+	}
+
+	var tb stats.Table
+	tb.AddRow("arm", "probed", "denied", "ASes capped", "found", "found share", "backoffs")
+
+	// Budget arms: unlimited, then two per-AS caps. The unlimited arm's
+	// found count is the denominator of the coverage-cost column.
+	_, base, err := run(newProber(), scan.Politeness{Footprint: true})
+	if err != nil {
+		return Result{}, fmt.Errorf("scanpolite baseline: %w", err)
+	}
+	baseFound := len(base.Responsive)
+	share := func(found int) float64 {
+		if baseFound == 0 {
+			return 0
+		}
+		return float64(found) / float64(baseFound)
+	}
+	tb.AddRow("no budget", fmt.Sprintf("%d", base.Probed), "0", "0",
+		fmt.Sprintf("%d", baseFound), "1.000", "-")
+	for _, budget := range []uint64{8192, 2048} {
+		_, rep, err := run(newProber(), scan.Politeness{ASBudget: budget})
+		if err != nil {
+			return Result{}, fmt.Errorf("scanpolite budget %d: %w", budget, err)
+		}
+		capped := 0
+		for _, st := range rep.PerAS {
+			if st.BudgetDenied > 0 {
+				capped++
+			}
+		}
+		tb.AddRow(fmt.Sprintf("budget %d/AS", budget),
+			fmt.Sprintf("%d", rep.Probed),
+			fmt.Sprintf("%d", rep.BudgetDenied),
+			fmt.Sprintf("%d/%d", capped, len(rep.PerAS)),
+			fmt.Sprintf("%d", len(rep.Responsive)),
+			fmt.Sprintf("%.3f", share(len(rep.Responsive))),
+			"-")
+	}
+
+	// Backoff arm: the heaviest AS errors on every probe; its bucket
+	// rate should be driven to the floor while every other AS scans at
+	// full speed.
+	flakyAS := heaviestAS(universe, origins)
+	flaky := &asErrorProber{inner: newProber(), universe: universe, origins: origins, as: flakyAS}
+	s, rep, err := run(flaky, scan.Politeness{
+		ASRate:  scanLoopRate,
+		ASBurst: 4096,
+		Backoff: scan.BackoffConfig{Threshold: 8},
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("scanpolite backoff: %w", err)
+	}
+	var backoffs uint64
+	for _, st := range rep.PerAS {
+		backoffs += st.Backoffs
+	}
+	rateShare := 0.0
+	if r, ok := s.Policy().ASRateOf(flakyAS); ok {
+		rateShare = r / scanLoopRate
+	}
+	tb.AddRow(fmt.Sprintf("backoff (AS%d errors)", flakyAS),
+		fmt.Sprintf("%d", rep.Probed),
+		"0",
+		fmt.Sprintf("rate %.4fx", rateShare),
+		fmt.Sprintf("%d", len(rep.Responsive)),
+		fmt.Sprintf("%.3f", share(len(rep.Responsive))),
+		fmt.Sprintf("%d (%d errors)", backoffs, rep.Errors))
+
+	return Result{
+		ID: "scanpolite",
+		Title: fmt.Sprintf("good-citizen hardening: per-AS budgets and adaptive backoff (ftp testbed, %.0f%% loss, backoff threshold 8)",
+			100*scanLoopLoss),
+		Text: tb.String(),
+	}, nil
+}
+
+// heaviestAS returns the origin AS owning the most addresses of the
+// universe — the most visible victim for the backoff demonstration.
+func heaviestAS(universe rib.Partition, origins []uint32) uint32 {
+	space := make(map[uint32]uint64)
+	for i := 0; i < universe.Len(); i++ {
+		space[origins[i]] += universe.Prefix(i).NumAddresses()
+	}
+	var best uint32
+	var bestSpace uint64
+	for as, sp := range space {
+		if sp > bestSpace || (sp == bestSpace && as < best) {
+			best, bestSpace = as, sp
+		}
+	}
+	return best
+}

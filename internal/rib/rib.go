@@ -115,6 +115,30 @@ func (t *Table) AnnouncedSpace() uint64 {
 	return t.LessSpecifics().AddressCount()
 }
 
+// OriginsOf maps every prefix of a partition (a selection or universe
+// derived from this table) to its origin AS: the primary origin of the
+// most specific announcement containing the prefix, or 0 when none does
+// (or the announcement carries no origin). The result feeds the scan
+// engine's per-AS politeness layer (scan.Politeness.Origins), which
+// paces, budgets and accounts probes per origin network.
+func (t *Table) OriginsOf(p Partition) []uint32 {
+	tr := trie.New[uint32]()
+	for _, e := range t.entries {
+		as, _ := e.Origin.Primary() // 0 when unknown, the "no origin" bucket
+		tr.Insert(e.Prefix, as)
+	}
+	out := make([]uint32, p.Len())
+	for i := 0; i < p.Len(); i++ {
+		// Partition prefixes never straddle announcements (both views are
+		// deaggregated around more-specifics), so the most specific
+		// announced cover of the whole prefix is its origin.
+		if _, as, ok := tr.LookupPrefix(p.Prefix(i)); ok {
+			out[i] = as
+		}
+	}
+	return out
+}
+
 // Stats summarizes the aggregation structure of a table, mirroring the
 // numbers the paper reports for the CAIDA dataset of 2015-09-07
 // (595,644 prefixes, 54% more-specifics covering 34.4% of the space).

@@ -273,3 +273,28 @@ func BenchmarkCountAddrs(b *testing.B) {
 		part.CountAddrs(addrs)
 	}
 }
+
+// TestOriginsOf maps partition prefixes back to origin ASes: the most
+// specific announcement wins, and prefixes no announcement covers map
+// to origin 0.
+func TestOriginsOf(t *testing.T) {
+	// entries() assigns origin AS i+1 in order: 10/8 -> AS1, the
+	// more-specific 10.1/16 -> AS2, 20/8 -> AS3.
+	tb := New(entries("10.0.0.0/8", "10.1.0.0/16", "20.0.0.0/8"))
+	part, err := NewPartition([]netaddr.Prefix{
+		pfx("10.0.0.0/16"), // covered by 10/8 only
+		pfx("10.1.2.0/24"), // inside the more-specific: AS2, not AS1
+		pfx("20.5.0.0/16"), // covered by 20/8
+		pfx("30.0.0.0/8"),  // unannounced
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tb.OriginsOf(part)
+	want := []uint32{1, 2, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("prefix %v -> AS%d, want AS%d", part.Prefix(i), got[i], want[i])
+		}
+	}
+}

@@ -48,6 +48,15 @@ type Campaign struct {
 	Workers int
 	Seed    int64
 	Exclude []netaddr.Prefix
+	// Politeness parameterizes each cycle's good-citizen layer (per-AS
+	// pacing, backoff, budgets, footprint). Its Origins field is ignored:
+	// the plan changes every cycle, so set OriginsOf instead, which is
+	// called with each cycle's plan.
+	Politeness Politeness
+	// OriginsOf maps a cycle plan to per-prefix origin ASes (typically
+	// rib.Table.OriginsOf on the announced table behind Universe).
+	// Required when Politeness enables any per-AS feature.
+	OriginsOf func(plan rib.Partition) []uint32
 	// Cache, when non-nil, memoizes the per-(snapshot, partition) counts
 	// behind each re-selection.
 	Cache *census.CountCache
@@ -120,15 +129,24 @@ func (c *Campaign) Run(ctx context.Context, cycles int) ([]Cycle, error) {
 		if c.ProberAt != nil {
 			prober = c.ProberAt(i)
 		}
+		pol := c.Politeness
+		pol.Origins = nil
+		if pol.perAS() {
+			if c.OriginsOf == nil {
+				return out, fmt.Errorf("scan: campaign cycle %d: politeness needs OriginsOf to map each cycle's plan", i)
+			}
+			pol.Origins = c.OriginsOf(plan)
+		}
 		s, err := New(Config{
-			Targets:  plan,
-			Prober:   prober,
-			Rate:     c.Rate,
-			Burst:    c.Burst,
-			Workers:  c.Workers,
-			Seed:     c.Seed + int64(i),
-			Exclude:  c.Exclude,
-			OnResult: c.OnResult,
+			Targets:    plan,
+			Prober:     prober,
+			Rate:       c.Rate,
+			Burst:      c.Burst,
+			Workers:    c.Workers,
+			Seed:       c.Seed + int64(i),
+			Exclude:    c.Exclude,
+			Politeness: pol,
+			OnResult:   c.OnResult,
 		})
 		if err != nil {
 			return out, fmt.Errorf("scan: campaign cycle %d: %w", i, err)

@@ -25,6 +25,11 @@ type Checkpoint struct {
 	Workers int `json:"workers"`
 	// Consumed[w] is how many cycle positions worker w's shard visited.
 	Consumed []uint64 `json:"consumed"`
+	// ASProbed carries the per-origin-AS probe counters when the cycle
+	// ran with per-AS politeness, so a resumed run enforces the probe
+	// budget across the whole cycle, not per run. (JSON encodes the
+	// uint32 keys as strings; Go's decoder maps them back.)
+	ASProbed map[uint32]uint64 `json:"as_probed,omitempty"`
 }
 
 // validate checks that the checkpoint matches the scanner configuration
@@ -66,6 +71,9 @@ func (s *Scanner) Checkpoint() *Checkpoint {
 	}
 	for i, sh := range s.shards {
 		cp.Consumed[i] = sh.Consumed()
+	}
+	if s.fp != nil {
+		cp.ASProbed = s.fp.probedByAS()
 	}
 	return cp
 }

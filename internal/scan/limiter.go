@@ -3,6 +3,7 @@ package scan
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -25,10 +26,13 @@ type Limiter struct {
 }
 
 // NewLimiter builds a limiter refilling at rate tokens/second with the
-// given burst capacity. The bucket starts full.
+// given burst capacity. The bucket starts full. The rate must be a
+// finite positive number: NaN and ±Inf are rejected explicitly, since
+// `NaN <= 0` is false and a NaN rate would otherwise pass validation and
+// poison every sleep computation in Wait.
 func NewLimiter(rate float64, burst int) (*Limiter, error) {
-	if rate <= 0 || burst <= 0 {
-		return nil, fmt.Errorf("scan: limiter needs positive rate and burst")
+	if math.IsNaN(rate) || math.IsInf(rate, 0) || rate <= 0 || burst <= 0 {
+		return nil, fmt.Errorf("scan: limiter needs finite positive rate and burst, got rate %v burst %d", rate, burst)
 	}
 	return &Limiter{
 		rate:   rate,
@@ -49,6 +53,28 @@ func timerSleep(ctx context.Context, d time.Duration) error {
 	case <-timer.C:
 		return nil
 	}
+}
+
+// SetRate retargets the refill rate mid-flight (the backoff hook).
+// Tokens accrued at the old rate are credited first. Waiters already
+// sleeping keep their old-rate reservation; only later waiters see the
+// new rate.
+func (l *Limiter) SetRate(rate float64) error {
+	if math.IsNaN(rate) || math.IsInf(rate, 0) || rate <= 0 {
+		return fmt.Errorf("scan: limiter rate must be finite and positive, got %v", rate)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refill()
+	l.rate = rate
+	return nil
+}
+
+// Rate returns the current refill rate in tokens per second.
+func (l *Limiter) Rate() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rate
 }
 
 func (l *Limiter) refill() {

@@ -1,0 +1,962 @@
+package scan
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/tass-scan/tass/internal/core"
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/rib"
+)
+
+// virtualPolicy puts a PolicyLimiter fully on a fake clock: every sleep
+// request advances virtual time instead of blocking, exactly like
+// virtualLimiter.
+func virtualPolicy(t *testing.T, cfg PolicyConfig) (*PolicyLimiter, *fakeClock, *atomic.Int64) {
+	t.Helper()
+	p, err := NewPolicyLimiter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := newFakeClock()
+	var sleeps atomic.Int64
+	p.now = clock.now
+	p.sleep = func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sleeps.Add(1)
+		clock.advance(d)
+		return nil
+	}
+	return p, clock, &sleeps
+}
+
+func TestPolicyLimiterValidation(t *testing.T) {
+	origins := []uint32{1, 2}
+	bad := []PolicyConfig{
+		{Rate: math.NaN()},
+		{Rate: math.Inf(1)},
+		{ASRate: math.NaN(), Origins: origins},
+		{PrefixRate: math.Inf(-1), Prefixes: 2},
+		{Rate: -1},
+		{Backoff: BackoffConfig{Threshold: 3}}, // backoff without a per-AS rate
+		{ASRate: 10},                           // per-AS rate without origins
+		{PrefixRate: 10},                       // per-prefix rate without prefix count
+		{ASRate: 10, Origins: origins, Backoff: BackoffConfig{Threshold: -1, MinRateShare: 2}},
+	}
+	// The last entry is actually fine (threshold <= 0 disables backoff);
+	// drop it from the reject list and check it separately.
+	ok := bad[len(bad)-1]
+	bad = bad[:len(bad)-1]
+	for i, cfg := range bad {
+		if _, err := NewPolicyLimiter(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewPolicyLimiter(ok); err != nil {
+		t.Errorf("disabled backoff rejected: %v", err)
+	}
+}
+
+// TestPolicyLimiterSlowestLevelGoverns: with a fast global rate and a
+// slow per-AS rate, sustained probing into one AS paces at the AS rate,
+// while a second AS still has its own full allowance.
+func TestPolicyLimiterSlowestLevelGoverns(t *testing.T) {
+	p, clock, sleeps := virtualPolicy(t, PolicyConfig{
+		Rate: 1000, Burst: 1,
+		ASRate: 10, ASBurst: 1,
+		Origins: []uint32{100, 200}, // prefix 0 -> AS100, prefix 1 -> AS200
+	})
+	ctx := context.Background()
+	start := clock.now()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := p.Wait(ctx, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Burst 1 absorbs the first probe; the remaining n-1 pace at 10/s.
+	elapsed := clock.now().Sub(start).Seconds()
+	want := float64(n-1) / 10
+	if elapsed < want*0.999 || elapsed > want*1.001 {
+		t.Fatalf("%d probes into one AS took %.3fs of virtual time, want ~%.3fs", n, elapsed, want)
+	}
+	if sleeps.Load() == 0 {
+		t.Fatal("no sleeps recorded for a paced scan")
+	}
+	// The other AS's bucket is untouched: its first probe is free.
+	before := sleeps.Load()
+	if err := p.Wait(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if sleeps.Load() != before {
+		t.Fatal("first probe into a fresh AS slept")
+	}
+}
+
+// TestPolicyLimiterReservationSerialized mirrors the Limiter contract:
+// k concurrent waiters reserve strictly later slots — total virtual time
+// k/rate, one sleep each, no thundering herd.
+func TestPolicyLimiterReservationSerialized(t *testing.T) {
+	p, clock, _ := virtualPolicy(t, PolicyConfig{
+		ASRate: 10, ASBurst: 1,
+		Origins: []uint32{7},
+	})
+	ctx := context.Background()
+	start := clock.now()
+	const k = 8
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Wait(ctx, 0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := clock.now().Sub(start).Seconds()
+	want := float64(k-1) / 10
+	if elapsed < want*0.999 {
+		t.Fatalf("%d concurrent waiters advanced %.3fs of virtual time, want >= %.3fs", k, elapsed, want)
+	}
+}
+
+func TestPolicyLimiterCancelRefundsAllLevels(t *testing.T) {
+	p, _, _ := virtualPolicy(t, PolicyConfig{
+		Rate: 100, Burst: 1,
+		ASRate: 10, ASBurst: 1,
+		PrefixRate: 5, PrefixBurst: 1,
+		Origins:  []uint32{1},
+		Prefixes: 1,
+	})
+	// Drain the bursts.
+	if err := p.Wait(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	// A canceled wait must return its reservation at every level.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Wait(canceled, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Wait returned %v", err)
+	}
+	p.mu.Lock()
+	g, a, x := p.global.tokens, p.as[1].tokens, p.pfx[0].tokens
+	p.mu.Unlock()
+	// All three buckets were at 0 after the draining probe; the refund
+	// must restore the canceled take exactly (modulo refill credit,
+	// which is 0 on the fake clock since no time passed).
+	if g < -1e-9 || a < -1e-9 || x < -1e-9 {
+		t.Fatalf("reservation not refunded: global %.3f as %.3f pfx %.3f", g, a, x)
+	}
+}
+
+func TestPolicyLimiterObserveBackoffAndRecovery(t *testing.T) {
+	p, _, _ := virtualPolicy(t, PolicyConfig{
+		ASRate: 64, ASBurst: 1,
+		Origins: []uint32{42},
+		Backoff: BackoffConfig{Threshold: 3, MinRateShare: 1.0 / 8, Recovery: 0.25},
+	})
+	// Two errors: below threshold, no event.
+	if p.Observe(0, false) || p.Observe(0, false) {
+		t.Fatal("backoff fired below threshold")
+	}
+	// Third consecutive error: halve 64 -> 32.
+	if !p.Observe(0, false) {
+		t.Fatal("no backoff at threshold")
+	}
+	if r, _ := p.ASRateOf(42); r != 32 {
+		t.Fatalf("rate after one halving = %v, want 32", r)
+	}
+	// Two more halvings: 32 -> 16 -> 8 (the floor, 64/8).
+	for i := 0; i < 6; i++ {
+		p.Observe(0, false)
+	}
+	if r, _ := p.ASRateOf(42); r != 8 {
+		t.Fatalf("rate at floor = %v, want 8", r)
+	}
+	// At the floor further streaks are not events.
+	for i := 0; i < 3; i++ {
+		if p.Observe(0, false) && i == 2 {
+			t.Fatal("backoff event at the floor")
+		}
+	}
+	// A success restores Recovery (0.25) of the base per call, capped at
+	// the base.
+	p.Observe(0, true)
+	if r, _ := p.ASRateOf(42); r != 8+0.25*64 {
+		t.Fatalf("rate after one success = %v, want %v", r, 8+0.25*64)
+	}
+	for i := 0; i < 10; i++ {
+		p.Observe(0, true)
+	}
+	if r, _ := p.ASRateOf(42); r != 64 {
+		t.Fatalf("rate after full recovery = %v, want 64", r)
+	}
+	// A success also resets the streak: two errors, one success, two
+	// errors must not trigger.
+	p.Observe(0, false)
+	p.Observe(0, false)
+	p.Observe(0, true)
+	if p.Observe(0, false) || p.Observe(0, false) {
+		t.Fatal("streak not reset by success")
+	}
+}
+
+func TestPolicyLimiterSetASRate(t *testing.T) {
+	p, _, _ := virtualPolicy(t, PolicyConfig{
+		ASRate:  100,
+		Origins: []uint32{5},
+	})
+	if err := p.SetASRate(5, math.NaN()); err == nil {
+		t.Fatal("NaN rate accepted")
+	}
+	if err := p.SetASRate(5, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if err := p.SetASRate(5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := p.ASRateOf(5); !ok || r != 3 {
+		t.Fatalf("ASRateOf = %v, %v", r, ok)
+	}
+	// Untouched ASes report the configured rate.
+	if r, ok := p.ASRateOf(999); !ok || r != 100 {
+		t.Fatalf("untouched ASRateOf = %v, %v", r, ok)
+	}
+	// Without per-AS pacing both calls reject/deny.
+	bare, _, _ := virtualPolicy(t, PolicyConfig{Rate: 10})
+	if err := bare.SetASRate(1, 5); err == nil {
+		t.Fatal("SetASRate without per-AS pacing accepted")
+	}
+	if _, ok := bare.ASRateOf(1); ok {
+		t.Fatal("ASRateOf reported ok without per-AS pacing")
+	}
+}
+
+func TestNewLimiterRejectsNonFinite(t *testing.T) {
+	for _, rate := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -3} {
+		if _, err := NewLimiter(rate, 4); err == nil {
+			t.Errorf("rate %v accepted", rate)
+		}
+	}
+	if _, err := NewLimiter(10, 0); err == nil {
+		t.Error("zero burst accepted")
+	}
+}
+
+func TestLimiterSetRate(t *testing.T) {
+	lim, clock, _ := virtualLimiter(t, 10, 1)
+	ctx := context.Background()
+	if err := lim.SetRate(math.NaN()); err == nil {
+		t.Fatal("NaN rate accepted")
+	}
+	if err := lim.SetRate(math.Inf(1)); err == nil {
+		t.Fatal("Inf rate accepted")
+	}
+	if got := lim.Rate(); got != 10 {
+		t.Fatalf("Rate after rejected SetRate = %v, want 10", got)
+	}
+	// Drain the burst, then halve the rate: the next wait takes 1/5 s.
+	if err := lim.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := lim.SetRate(5); err != nil {
+		t.Fatal(err)
+	}
+	start := clock.now()
+	if err := lim.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if d := clock.now().Sub(start).Seconds(); d < 0.199 || d > 0.201 {
+		t.Fatalf("wait after SetRate(5) took %.3fs, want ~0.2s", d)
+	}
+}
+
+// politenessFixture: four /26 target prefixes across two origin ASes.
+func politenessFixture(t *testing.T) (rib.Partition, []uint32) {
+	t.Helper()
+	part, err := rib.NewPartition([]netaddr.Prefix{
+		pfx("10.0.0.0/26"), pfx("10.0.0.64/26"), // AS 64500
+		pfx("10.0.0.128/26"), pfx("10.0.0.192/26"), // AS 64501
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return part, []uint32{64500, 64500, 64501, 64501}
+}
+
+// asOf maps a probed address back to its origin AS through the fixture.
+func asOf(t *testing.T, part rib.Partition, origins []uint32, a netaddr.Addr) uint32 {
+	t.Helper()
+	i, ok := part.Find(a)
+	if !ok {
+		t.Fatalf("probed address %v outside the target partition", a)
+	}
+	return origins[i]
+}
+
+func TestScannerPolitenessValidation(t *testing.T) {
+	part, origins := politenessFixture(t)
+	prober, _ := NewSimProber(nil, 0, 1)
+	if _, err := New(Config{Targets: part, Prober: prober,
+		Politeness: Politeness{ASBudget: 10}}); err == nil {
+		t.Fatal("per-AS budget without origins accepted")
+	}
+	if _, err := New(Config{Targets: part, Prober: prober,
+		Politeness: Politeness{Footprint: true, Origins: origins[:2]}}); err == nil {
+		t.Fatal("short origin mapping accepted")
+	}
+	if _, err := New(Config{Targets: part, Prober: prober,
+		Politeness: Politeness{Backoff: BackoffConfig{Threshold: 3}, Origins: origins}}); err == nil {
+		t.Fatal("backoff without a per-AS rate accepted")
+	}
+	if _, err := New(Config{Targets: part, Prober: prober,
+		Politeness: Politeness{ASRate: math.NaN(), Origins: origins}}); err == nil {
+		t.Fatal("NaN per-AS rate accepted")
+	}
+}
+
+func TestScannerBudgetCapsPerAS(t *testing.T) {
+	part, origins := politenessFixture(t)
+	var mu sync.Mutex
+	perAS := map[uint32]int{}
+	prober := proberFunc(func(_ context.Context, a netaddr.Addr) (Result, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		perAS[asOfQuiet(part, origins, a)]++
+		return Result{Addr: a}, nil
+	})
+	const budget = 40
+	s, err := New(Config{
+		Targets: part,
+		Prober:  prober,
+		Workers: 4,
+		Seed:    9,
+		Politeness: Politeness{
+			Origins:  origins,
+			ASBudget: budget,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for as, n := range perAS {
+		if n != budget {
+			t.Errorf("AS%d received %d probes, want exactly the budget %d", as, n, budget)
+		}
+	}
+	// 128 addresses per AS, 40 probed: 88 denied each.
+	if want := part.AddressCount() - 2*budget; rep.BudgetDenied != want {
+		t.Errorf("BudgetDenied = %d, want %d", rep.BudgetDenied, want)
+	}
+	if rep.Probed != 2*budget {
+		t.Errorf("Probed = %d, want %d", rep.Probed, 2*budget)
+	}
+	for as, st := range rep.PerAS {
+		if st.Probed != budget {
+			t.Errorf("PerAS[%d].Probed = %d, want %d", as, st.Probed, budget)
+		}
+		if st.BudgetDenied != 128-budget {
+			t.Errorf("PerAS[%d].BudgetDenied = %d, want %d", as, st.BudgetDenied, 128-budget)
+		}
+	}
+}
+
+// asOfQuiet is asOf without the testing.T plumbing (for use inside
+// prober callbacks).
+func asOfQuiet(part rib.Partition, origins []uint32, a netaddr.Addr) uint32 {
+	if i, ok := part.Find(a); ok {
+		return origins[i]
+	}
+	return ^uint32(0)
+}
+
+type proberFunc func(ctx context.Context, addr netaddr.Addr) (Result, error)
+
+func (f proberFunc) Probe(ctx context.Context, addr netaddr.Addr) (Result, error) {
+	return f(ctx, addr)
+}
+
+// TestScannerBudgetHoldsAcrossResume is the acceptance criterion: an
+// interrupted-and-resumed budget scan probes no AS beyond its cap,
+// with the per-AS counters carried through the checkpoint.
+func TestScannerBudgetHoldsAcrossResume(t *testing.T) {
+	part, origins := politenessFixture(t)
+	const budget = 50
+	cfg := Config{
+		Targets: part,
+		Workers: 4,
+		Seed:    13,
+		Politeness: Politeness{
+			Origins:  origins,
+			ASBudget: budget,
+		},
+	}
+
+	// Run 1: cancel mid-cycle.
+	var probes1 []netaddr.Addr
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Prober = cancelAfterProber{record: &probes1, n: 60, cancel: cancel}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v", err)
+	}
+	cp := s1.Checkpoint()
+	if cp == nil {
+		t.Fatal("no checkpoint")
+	}
+	if len(cp.ASProbed) == 0 {
+		t.Fatal("checkpoint carries no per-AS probe counters")
+	}
+
+	// Round-trip the checkpoint through its JSON encoding, as a real
+	// interrupted deployment would.
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp2.ASProbed) != len(cp.ASProbed) {
+		t.Fatalf("ASProbed lost in serialization: %v vs %v", cp2.ASProbed, cp.ASProbed)
+	}
+	for as, n := range cp.ASProbed {
+		if cp2.ASProbed[as] != n {
+			t.Fatalf("ASProbed[%d] = %d after round-trip, want %d", as, cp2.ASProbed[as], n)
+		}
+	}
+
+	// Run 2: fresh scanner resumed from the checkpoint.
+	var probes2 []netaddr.Addr
+	cfg.Prober = probeRecorder{record: &probes2}
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Resume(cp2); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := s2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The budget holds across the whole cycle, and no address repeats.
+	totals := map[uint32]int{}
+	seen := map[netaddr.Addr]int{}
+	for _, a := range append(append([]netaddr.Addr{}, probes1...), probes2...) {
+		totals[asOf(t, part, origins, a)]++
+		seen[a]++
+	}
+	for as, n := range totals {
+		if n > budget {
+			t.Errorf("AS%d received %d probes across interrupted+resumed runs, budget %d", as, n, budget)
+		}
+	}
+	for a, c := range seen {
+		if c != 1 {
+			t.Errorf("%v probed %d times", a, c)
+		}
+	}
+	// With ample remaining targets every AS should also reach its cap.
+	for as, st := range rep2.PerAS {
+		if st.Probed != budget {
+			t.Errorf("resumed cycle ended with PerAS[%d].Probed = %d, want the full budget %d", as, st.Probed, budget)
+		}
+	}
+}
+
+// TestScannerMidCycleExclusionReloadHonored is the acceptance criterion:
+// an exclusion list swapped while the cycle runs takes effect before the
+// next draw (single worker: the very next address).
+func TestScannerMidCycleExclusionReloadHonored(t *testing.T) {
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/24")})
+	blocked := pfx("10.0.0.128/25")
+	var s *Scanner
+	var n int
+	var late []netaddr.Addr // probes after the swap
+	prober := proberFunc(func(_ context.Context, a netaddr.Addr) (Result, error) {
+		n++
+		if n == 10 {
+			// The "reload": from now on the upper half is off-limits.
+			s.SetExclusions([]netaddr.Prefix{blocked})
+		}
+		if n > 10 {
+			late = append(late, a)
+		}
+		return Result{Addr: a}, nil
+	})
+	s = mustScanner(t, Config{Targets: part, Prober: prober, Workers: 1, Seed: 77})
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range late {
+		if blocked.Contains(a) {
+			t.Fatalf("probed %v after it was excluded mid-cycle", a)
+		}
+	}
+	if rep.Excluded == 0 {
+		t.Fatal("no addresses counted as excluded after the mid-cycle swap")
+	}
+	if rep.Probed+rep.Excluded != part.AddressCount() {
+		t.Fatalf("probed %d + excluded %d != %d targets", rep.Probed, rep.Excluded, part.AddressCount())
+	}
+	if s.ExclusionCount() != 1 {
+		t.Fatalf("ExclusionCount = %d, want 1", s.ExclusionCount())
+	}
+}
+
+func mustScanner(t *testing.T, cfg Config) *Scanner {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestScannerResumedDrawsHonorGrownExclusions: addresses left unprobed
+// by an interrupted cycle and excluded before the resume are counted as
+// Excluded by the resumed run, never probed — reload and checkpoint
+// compose.
+func TestScannerResumedDrawsHonorGrownExclusions(t *testing.T) {
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/24")})
+	cfg := Config{Targets: part, Workers: 2, Seed: 31}
+
+	var probes1 []netaddr.Addr
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Prober = cancelAfterProber{record: &probes1, n: 64, cancel: cancel}
+	s1 := mustScanner(t, cfg)
+	if _, err := s1.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatal("expected an interrupted run")
+	}
+	cp := s1.Checkpoint()
+
+	blocked := pfx("10.0.0.0/25")
+	var probes2 []netaddr.Addr
+	cfg.Prober = probeRecorder{record: &probes2}
+	cfg.Exclude = []netaddr.Prefix{blocked}
+	s2 := mustScanner(t, cfg)
+	if err := s2.Resume(cp); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := s2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range probes2 {
+		if blocked.Contains(a) {
+			t.Fatalf("resumed run probed excluded %v", a)
+		}
+	}
+	// Every blocked address not already probed before the interruption
+	// must surface as Excluded.
+	already := 0
+	for _, a := range probes1 {
+		if blocked.Contains(a) {
+			already++
+		}
+	}
+	if want := blocked.NumAddresses() - uint64(already); rep2.Excluded != want {
+		t.Fatalf("resumed run excluded %d, want %d (%d of %d blocked addresses were probed pre-reload)",
+			rep2.Excluded, want, already, blocked.NumAddresses())
+	}
+}
+
+// TestScannerFlakyProberAcrossResume: FlakyProber's injected errors are
+// counted exactly once across an interrupted-and-resumed cycle — no
+// double counting, no loss — and erroring draws are not re-probed.
+func TestScannerFlakyProberAcrossResume(t *testing.T) {
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/24")})
+	cfg := Config{Targets: part, Workers: 2, Seed: 3}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var probes1 []netaddr.Addr
+	cfg.Prober = &FlakyProber{
+		Inner:     cancelAfterProber{record: &probes1, n: 100, cancel: cancel},
+		FailEvery: 5,
+	}
+	s1 := mustScanner(t, cfg)
+	rep1, err := s1.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v", err)
+	}
+	cp := s1.Checkpoint()
+
+	var probes2 []netaddr.Addr
+	cfg.Prober = &FlakyProber{
+		Inner:     probeRecorder{record: &probes2},
+		FailEvery: 5,
+	}
+	s2 := mustScanner(t, cfg)
+	if err := s2.Resume(cp); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := s2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Probed+rep2.Probed != part.AddressCount() {
+		t.Fatalf("probed %d + %d across runs, want %d", rep1.Probed, rep2.Probed, part.AddressCount())
+	}
+	// Every FailEvery-th call of each run's prober errored; the reports
+	// must account each injected error exactly once.
+	if want := rep1.Probed / 5; rep1.Errors != want {
+		t.Fatalf("run 1 reported %d errors, injected %d", rep1.Errors, want)
+	}
+	if want := rep2.Probed / 5; rep2.Errors != want {
+		t.Fatalf("run 2 reported %d errors, injected %d", rep2.Errors, want)
+	}
+}
+
+// TestCampaignAllErrorCycleNoPanic: a cycle whose probes all fail yields
+// an empty snapshot; re-selection must fail gracefully (no hosts to
+// cover), not panic — in both the full and incremental paths.
+func TestCampaignAllErrorCycleNoPanic(t *testing.T) {
+	uni, _ := campaignFixture(t)
+	dead := proberFunc(func(_ context.Context, a netaddr.Addr) (Result, error) {
+		return Result{Addr: a}, fmt.Errorf("network unplugged")
+	})
+	for _, incremental := range []bool{false, true} {
+		c := &Campaign{
+			Universe:    uni,
+			Prober:      dead,
+			Opts:        core.Options{Phi: 0.9},
+			Workers:     2,
+			Seed:        5,
+			Incremental: incremental,
+		}
+		done, err := c.Run(context.Background(), 2)
+		if err == nil {
+			t.Fatalf("incremental=%v: all-error campaign succeeded", incremental)
+		}
+		if !strings.Contains(err.Error(), "selection") {
+			t.Errorf("incremental=%v: error %q does not point at the selection step", incremental, err)
+		}
+		if len(done) != 0 {
+			t.Errorf("incremental=%v: %d cycles completed on an all-error campaign", incremental, len(done))
+		}
+	}
+}
+
+// TestCampaignPolitenessNeedsOriginsOf: per-AS politeness without the
+// plan→origins mapping is a configuration error, caught on cycle 0.
+func TestCampaignPolitenessNeedsOriginsOf(t *testing.T) {
+	uni, live := campaignFixture(t)
+	prober, _ := NewSimProber(live, 0, 3)
+	c := &Campaign{
+		Universe:   uni,
+		Prober:     prober,
+		Opts:       core.Options{Phi: 0.9},
+		Seed:       5,
+		Politeness: Politeness{ASBudget: 100},
+	}
+	if _, err := c.Run(context.Background(), 1); err == nil || !strings.Contains(err.Error(), "OriginsOf") {
+		t.Fatalf("campaign without OriginsOf returned %v", err)
+	}
+}
+
+// TestCampaignBudgetedFootprint: the campaign threads politeness through
+// every cycle, remapping origins to each cycle's plan.
+func TestCampaignBudgetedFootprint(t *testing.T) {
+	uni, live := campaignFixture(t)
+	prober, err := NewSimProber(live, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One origin AS per /24 of the fixture.
+	originsOf := func(plan rib.Partition) []uint32 {
+		out := make([]uint32, plan.Len())
+		for i := 0; i < plan.Len(); i++ {
+			out[i] = 64500 + uint32(plan.Prefix(i).First()>>8&0xff)
+		}
+		return out
+	}
+	c := &Campaign{
+		Universe:   uni,
+		Prober:     prober,
+		Opts:       core.Options{Phi: 0.9},
+		Workers:    2,
+		Seed:       5,
+		Politeness: Politeness{Footprint: true},
+		OriginsOf:  originsOf,
+	}
+	cycles, err := c.Run(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cycles[0].Report.PerAS); got != 4 {
+		t.Fatalf("cycle 0 footprint covers %d ASes, want 4", got)
+	}
+	// Cycle 1 scans the 2-prefix selection: its footprint must be keyed
+	// by that plan's origins, not cycle 0's.
+	if got := len(cycles[1].Report.PerAS); got != 2 {
+		t.Fatalf("cycle 1 footprint covers %d ASes, want 2", got)
+	}
+	var probed uint64
+	for _, st := range cycles[1].Report.PerAS {
+		probed += st.Probed
+	}
+	if probed != cycles[1].Report.Probed {
+		t.Fatalf("cycle 1 per-AS probes sum to %d, report says %d", probed, cycles[1].Report.Probed)
+	}
+}
+
+func TestWriteFootprintTable(t *testing.T) {
+	part, origins := politenessFixture(t)
+	prober, _ := NewSimProber([]netaddr.Addr{netaddr.MustParseAddr("10.0.0.5")}, 0, 1)
+	s := mustScanner(t, Config{
+		Targets:    part,
+		Prober:     prober,
+		Workers:    2,
+		Seed:       4,
+		Politeness: Politeness{Origins: origins, Footprint: true},
+	})
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFootprint(&buf, part, origins, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"AS64500", "AS64501", "total", "100.00%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("footprint table missing %q:\n%s", want, out)
+		}
+	}
+	// Reports without per-AS accounting are rejected, as are mismatched
+	// origin mappings.
+	if err := WriteFootprint(&buf, part, origins, &Report{}); err == nil {
+		t.Error("footprint accepted a report without per-AS accounting")
+	}
+	if err := WriteFootprint(&buf, part, origins[:1], rep); err == nil {
+		t.Error("footprint accepted a short origin mapping")
+	}
+}
+
+func TestExclusionReloaderPoll(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exclude.conf")
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/24")})
+	prober, _ := NewSimProber(nil, 0, 1)
+	s := mustScanner(t, Config{Targets: part, Prober: prober})
+
+	r := NewExclusionReloader(s, path, time.Second)
+	// Missing file: an error, list untouched.
+	if _, err := r.Poll(); !os.IsNotExist(err) {
+		t.Fatalf("Poll on a missing file returned %v", err)
+	}
+	if err := os.WriteFile(path, []byte("10.0.0.0/25\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := r.Poll()
+	if err != nil || !reloaded {
+		t.Fatalf("first Poll = %v, %v", reloaded, err)
+	}
+	if s.ExclusionCount() != 1 {
+		t.Fatalf("ExclusionCount = %d, want 1", s.ExclusionCount())
+	}
+	// Unchanged file: no reload.
+	if reloaded, err := r.Poll(); err != nil || reloaded {
+		t.Fatalf("unchanged Poll = %v, %v", reloaded, err)
+	}
+	// Grown file (size changes even if mtime granularity hides the
+	// rewrite): reload.
+	if err := os.WriteFile(path, []byte("10.0.0.0/25\n10.0.0.128/26\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if reloaded, err := r.Poll(); err != nil || !reloaded {
+		t.Fatalf("grown Poll = %v, %v", reloaded, err)
+	}
+	if s.ExclusionCount() != 2 {
+		t.Fatalf("ExclusionCount = %d, want 2", s.ExclusionCount())
+	}
+	// Unparseable file: error, previous list kept.
+	if err := os.WriteFile(path, []byte("not a prefix at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if reloaded, err := r.Poll(); err == nil || reloaded {
+		t.Fatalf("garbage Poll = %v, %v", reloaded, err)
+	}
+	if s.ExclusionCount() != 2 {
+		t.Fatalf("ExclusionCount after failed reload = %d, want 2", s.ExclusionCount())
+	}
+}
+
+func TestExclusionReloaderRun(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exclude.conf")
+	if err := os.WriteFile(path, []byte("192.0.2.0/24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	part, _ := rib.NewPartition([]netaddr.Prefix{pfx("10.0.0.0/24")})
+	prober, _ := NewSimProber(nil, 0, 1)
+	s := mustScanner(t, Config{Targets: part, Prober: prober})
+
+	r := NewExclusionReloader(s, path, time.Hour)
+	var polls atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Deterministic loop: the injected sleeper "waits" instantly three
+	// times, then cancels — no wall-clock time passes.
+	r.sleep = func(ctx context.Context, d time.Duration) error {
+		if d != time.Hour {
+			t.Errorf("sleep %v, want the configured interval", d)
+		}
+		if polls.Add(1) > 3 {
+			cancel()
+		}
+		return ctx.Err()
+	}
+	var reloads atomic.Int64
+	r.OnReload = func(n int, err error) {
+		if err != nil {
+			t.Errorf("OnReload error: %v", err)
+			return
+		}
+		if n != 1 {
+			t.Errorf("OnReload n = %d, want 1", n)
+		}
+		reloads.Add(1)
+	}
+	if err := r.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v", err)
+	}
+	if reloads.Load() != 1 {
+		t.Fatalf("%d reloads, want 1 (later polls see an unchanged file)", reloads.Load())
+	}
+	if s.ExclusionCount() != 1 {
+		t.Fatalf("ExclusionCount = %d, want 1", s.ExclusionCount())
+	}
+}
+
+// TestScannerConcurrentReloadScanBackoff is the race-detector smoke
+// test: a politeness-enabled scan runs while the exclusion list is
+// swapped, per-AS rates are retuned and a reloader polls — all
+// concurrently. Run under -race in CI.
+func TestScannerConcurrentReloadScanBackoff(t *testing.T) {
+	part, origins := politenessFixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exclude.conf")
+	if err := os.WriteFile(path, []byte("# empty\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flaky := proberFunc(func(_ context.Context, a netaddr.Addr) (Result, error) {
+		if a%7 == 0 {
+			return Result{Addr: a}, fmt.Errorf("flap")
+		}
+		return Result{Addr: a, Open: a%3 == 0}, nil
+	})
+	s := mustScanner(t, Config{
+		Targets: part,
+		Prober:  flaky,
+		Rate:    1e7,
+		Workers: 4,
+		Seed:    8,
+		Politeness: Politeness{
+			Origins:  origins,
+			ASRate:   1e7,
+			ASBudget: 100,
+			Backoff:  BackoffConfig{Threshold: 2},
+		},
+	})
+	r := NewExclusionReloader(s, path, time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		r.Run(ctx)
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; ctx.Err() == nil; i++ {
+			if i%2 == 0 {
+				s.SetExclusions([]netaddr.Prefix{pfx("10.0.0.192/26")})
+			} else {
+				s.SetExclusions(nil)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 1; ctx.Err() == nil; i++ {
+			_ = s.Policy().SetASRate(64500, float64(i%100+1))
+			_, _ = s.Policy().ASRateOf(64501)
+		}
+	}()
+	rep, err := s.Run(context.Background())
+	cancel()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Probed+rep.Excluded+rep.BudgetDenied != part.AddressCount() {
+		t.Fatalf("probed %d + excluded %d + denied %d != %d targets",
+			rep.Probed, rep.Excluded, rep.BudgetDenied, part.AddressCount())
+	}
+}
+
+// TestTCPProberContextError: a dial that failed because the parent
+// context died surfaces ctx.Err() instead of masquerading as a closed
+// port; a per-probe timeout stays a normal closed-port outcome.
+func TestTCPProberContextError(t *testing.T) {
+	p := &TCPProber{Port: 9, Timeout: 50 * time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Probe(ctx, netaddr.MustParseAddr("127.0.0.1")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled probe returned %v, want context.Canceled", err)
+	}
+	deadCtx, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := p.Probe(deadCtx, netaddr.MustParseAddr("127.0.0.1")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline-dead probe returned %v, want context.DeadlineExceeded", err)
+	}
+	// A refused connection (closed port, live context): a normal
+	// closed-port outcome, not an error. Grab a port that was just
+	// listening and no longer is.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedPort := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	pc := &TCPProber{Port: closedPort, Timeout: 50 * time.Millisecond}
+	res, err := pc.Probe(context.Background(), netaddr.MustParseAddr("127.0.0.1"))
+	if err != nil {
+		t.Fatalf("closed-port probe returned error %v", err)
+	}
+	if res.Open {
+		t.Fatal("closed-port probe reported an open port")
+	}
+}

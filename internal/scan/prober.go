@@ -115,6 +115,14 @@ func (t *TCPProber) Probe(ctx context.Context, addr netaddr.Addr) (Result, error
 	start := time.Now()
 	conn, err := dialer.DialContext(dctx, "tcp", net.JoinHostPort(addr.String(), strconv.Itoa(t.Port)))
 	if err != nil {
+		// A dial that failed because the parent context died is not a
+		// scan outcome at all: surface ctx.Err() so Report.Errors and the
+		// engine's abort paths stay honest under cancellation and
+		// deadline storms. The per-probe timeout (dctx expiring on its
+		// own) stays a normal closed/filtered result.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return res, ctxErr
+		}
 		// Closed/filtered ports are a normal scan outcome, not an error.
 		return res, nil
 	}

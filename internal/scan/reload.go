@@ -1,0 +1,92 @@
+package scan
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// ExclusionReloader keeps a running scanner's exclusion list current
+// with an on-disk file — the operational loop behind abuse handling: an
+// opt-out or complaint lands in the exclusion file and takes effect
+// mid-cycle, without restarting (or re-checkpointing) the scan.
+//
+// The reloader polls by mtime/size (no inotify dependency) and swaps the
+// parsed list into the scanner atomically via Scanner.SetExclusions;
+// in-flight workers pick it up on their next draw. A file that fails to
+// parse — or briefly disappears during an atomic rename — keeps the
+// previous list: reloads only ever move forward to a fully parsed file.
+type ExclusionReloader struct {
+	// OnReload, when set, observes every completed reload: n is the
+	// number of exclusion prefixes now active. It also observes reload
+	// failures (err != nil, n < 0). Calls are serialized.
+	OnReload func(n int, err error)
+
+	s        *Scanner
+	path     string
+	interval time.Duration
+	sleep    func(ctx context.Context, d time.Duration) error // injectable for tests
+
+	mu     sync.Mutex
+	loaded bool
+	mtime  time.Time
+	size   int64
+}
+
+// NewExclusionReloader builds a reloader feeding s from path every
+// interval (default 5s). Run starts the polling loop; Poll performs a
+// single check (e.g. on SIGHUP).
+func NewExclusionReloader(s *Scanner, path string, interval time.Duration) *ExclusionReloader {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	return &ExclusionReloader{s: s, path: path, interval: interval, sleep: timerSleep}
+}
+
+// Poll checks the file once and swaps the exclusion list in if it
+// changed since the last successful load. It reports whether a reload
+// happened. A missing or unparseable file leaves the current list
+// untouched and returns the error.
+func (r *ExclusionReloader) Poll() (reloaded bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fi, err := os.Stat(r.path)
+	if err != nil {
+		return false, err
+	}
+	if r.loaded && fi.ModTime().Equal(r.mtime) && fi.Size() == r.size {
+		return false, nil
+	}
+	f, err := os.Open(r.path)
+	if err != nil {
+		return false, err
+	}
+	ps, err := ParseExclusions(f)
+	f.Close()
+	if err != nil {
+		return false, fmt.Errorf("scan: reloading %s: %w", r.path, err)
+	}
+	r.s.SetExclusions(ps)
+	r.loaded, r.mtime, r.size = true, fi.ModTime(), fi.Size()
+	return true, nil
+}
+
+// Run polls until the context is canceled, reporting each reload (and
+// each failed poll) to OnReload. It returns the context's error.
+func (r *ExclusionReloader) Run(ctx context.Context) error {
+	for {
+		if err := r.sleep(ctx, r.interval); err != nil {
+			return err
+		}
+		reloaded, err := r.Poll()
+		if r.OnReload != nil {
+			if err != nil {
+				r.OnReload(-1, err)
+			} else if reloaded {
+				r.OnReload(r.s.ExclusionCount(), nil)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -39,11 +40,19 @@ type Config struct {
 	// whole cycle (Shard 0 of 1). Within an instance, its shard is
 	// subdivided again so every worker owns a private slice.
 	Shard, Shards int
-	// Exclude lists prefixes never to probe (operator blocklist).
+	// Exclude lists prefixes never to probe (operator blocklist). The
+	// list can be swapped while a cycle runs (SetExclusions, or an
+	// ExclusionReloader polling the file): addresses drawn after the
+	// swap — including ones re-drawn by a resumed cycle — are counted
+	// as Excluded and never probed.
 	Exclude []netaddr.Prefix
 	// MaxProbes, when positive, stops the scan after that many probes
 	// (sampling mode).
 	MaxProbes uint64
+	// Politeness layers per-origin-AS and per-prefix pacing, adaptive
+	// backoff, probe budgets and footprint telemetry under the global
+	// rate. The zero value changes nothing.
+	Politeness Politeness
 	// OnResult, when set, receives every result (including closed ones)
 	// from worker goroutines; it must be safe for concurrent calls.
 	OnResult func(Result)
@@ -57,9 +66,18 @@ type Report struct {
 	Excluded uint64
 	// Errors counts probe invocations that failed outright.
 	Errors uint64
+	// BudgetDenied counts targets skipped because their origin AS had
+	// exhausted its probe budget (Politeness.ASBudget).
+	BudgetDenied uint64
 	// Responsive is the sorted set of addresses with successful
 	// handshakes.
 	Responsive []netaddr.Addr
+	// PerAS is the per-origin-AS footprint breakdown, keyed by AS
+	// number; nil unless the scan ran with per-AS accounting. Probed is
+	// cumulative across the interrupted runs of one cycle (it rides in
+	// the checkpoint to enforce budgets); the other fields count this
+	// run only.
+	PerAS map[uint32]ASStat
 	// Elapsed is the wall-clock scan duration.
 	Elapsed time.Duration
 }
@@ -82,10 +100,16 @@ func (r *Report) Hitrate() float64 {
 // atomic; nothing on the per-probe path takes a lock beyond the optional
 // rate limiter.
 type Scanner struct {
-	cfg     Config
-	cum     []uint64 // cumulative target sizes for index→address mapping
-	exclude *trie.Trie[struct{}]
-	limiter *Limiter
+	cfg Config
+	cum []uint64 // cumulative target sizes for index→address mapping
+	// exclude is swapped atomically by SetExclusions, so a reloaded
+	// list takes effect mid-cycle without pausing the workers.
+	exclude   atomic.Pointer[trie.Trie[struct{}]]
+	excludeN  atomic.Int64
+	limiter   *Limiter
+	policy    *PolicyLimiter // hierarchical pacing (nil without AS/prefix rates)
+	fp        *footprint     // per-AS accounting (nil without per-AS features)
+	backoffOn bool
 
 	mu     sync.Mutex
 	shards []*Shard    // worker shards of the most recent Run
@@ -112,6 +136,17 @@ func New(cfg Config) (*Scanner, error) {
 	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
 		return nil, fmt.Errorf("scan: shard %d of %d out of range", cfg.Shard, cfg.Shards)
 	}
+	pol := &cfg.Politeness
+	// A NaN rate fails every `> 0` gate below and would silently disable
+	// the politeness layer instead of erroring; reject it up front.
+	for _, r := range []float64{pol.ASRate, pol.PrefixRate} {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("scan: politeness rates must be finite, got %v", r)
+		}
+	}
+	if pol.perAS() && len(pol.Origins) != cfg.Targets.Len() {
+		return nil, fmt.Errorf("scan: politeness origins cover %d prefixes, targets have %d (rib.Table.OriginsOf builds the mapping)", len(pol.Origins), cfg.Targets.Len())
+	}
 	s := &Scanner{cfg: cfg}
 	s.cum = make([]uint64, cfg.Targets.Len())
 	var cum uint64
@@ -119,26 +154,79 @@ func New(cfg Config) (*Scanner, error) {
 		cum += cfg.Targets.Prefix(i).NumAddresses()
 		s.cum[i] = cum
 	}
-	if len(cfg.Exclude) > 0 {
-		s.exclude = trie.New[struct{}]()
-		for _, p := range cfg.Exclude {
-			s.exclude.Insert(p, struct{}{})
+	s.SetExclusions(cfg.Exclude)
+	switch {
+	case pol.layered():
+		// Per-AS or per-prefix pacing: the global rate folds into the
+		// PolicyLimiter so every probe takes one lock, not two.
+		pl, err := NewPolicyLimiter(PolicyConfig{
+			Rate:        cfg.Rate,
+			Burst:       cfg.Burst,
+			ASRate:      pol.ASRate,
+			ASBurst:     pol.ASBurst,
+			PrefixRate:  pol.PrefixRate,
+			PrefixBurst: pol.PrefixBurst,
+			Origins:     pol.Origins,
+			Prefixes:    cfg.Targets.Len(),
+			Backoff:     pol.Backoff,
+		})
+		if err != nil {
+			return nil, err
 		}
-	}
-	if cfg.Rate > 0 {
+		s.policy = pl
+	case pol.Backoff.Threshold > 0:
+		return nil, fmt.Errorf("scan: backoff needs a per-AS rate to halve")
+	case cfg.Rate > 0:
 		lim, err := NewLimiter(cfg.Rate, cfg.Burst)
 		if err != nil {
 			return nil, err
 		}
 		s.limiter = lim
 	}
+	s.backoffOn = pol.Backoff.Threshold > 0
+	if pol.perAS() {
+		s.fp = newFootprint(pol.Origins, pol.ASBudget)
+	}
 	return s, nil
 }
 
-// addrAt maps a permutation index to the target address space. It runs
-// once per probe on every worker, so the binary search is hand-rolled:
-// sort.Search's closure call costs more than the whole loop here.
-func (s *Scanner) addrAt(idx uint64) netaddr.Addr {
+// SetExclusions atomically replaces the exclusion list. Safe to call
+// while Run is in flight: workers see the new list on their next draw,
+// and addresses a resumed cycle re-draws under a grown list are counted
+// as Excluded, never probed. A nil or empty list clears all exclusions.
+func (s *Scanner) SetExclusions(ps []netaddr.Prefix) {
+	if len(ps) == 0 {
+		s.exclude.Store(nil)
+		s.excludeN.Store(0)
+		return
+	}
+	tr := trie.New[struct{}]()
+	for _, p := range ps {
+		tr.Insert(p, struct{}{})
+	}
+	s.exclude.Store(tr)
+	s.excludeN.Store(int64(len(ps)))
+}
+
+// ExclusionCount returns the number of exclusion prefixes currently
+// active.
+func (s *Scanner) ExclusionCount() int {
+	return int(s.excludeN.Load())
+}
+
+// Policy exposes the hierarchical limiter (nil unless Politeness set a
+// per-AS or per-prefix rate) — the hook for external feeds to retune a
+// single AS mid-cycle via SetASRate.
+func (s *Scanner) Policy() *PolicyLimiter {
+	return s.policy
+}
+
+// addrAt maps a permutation index to the target address space, returning
+// the address and the index of the target prefix containing it (the key
+// into the politeness layer's origin mapping). It runs once per probe on
+// every worker, so the binary search is hand-rolled: sort.Search's
+// closure call costs more than the whole loop here.
+func (s *Scanner) addrAt(idx uint64) (netaddr.Addr, int) {
 	cum := s.cum
 	lo, hi := 0, len(cum) // first i with cum[i] > idx
 	for lo < hi {
@@ -154,7 +242,7 @@ func (s *Scanner) addrAt(idx uint64) netaddr.Addr {
 	if lo > 0 {
 		off -= cum[lo-1]
 	}
-	return p.First() + netaddr.Addr(off)
+	return p.First() + netaddr.Addr(off), lo
 }
 
 // Run executes one scan cycle: every target address owned by the
@@ -180,9 +268,10 @@ func (s *Scanner) Run(ctx context.Context) (*Report, error) {
 		shards[w] = sh
 	}
 	s.mu.Lock()
-	if cp := s.resume; cp != nil {
-		s.resume = nil
-		s.mu.Unlock()
+	resumed := s.resume
+	s.resume = nil
+	s.mu.Unlock()
+	if cp := resumed; cp != nil {
 		if err := cp.validate(s.cfg, perm.N()); err != nil {
 			return nil, err
 		}
@@ -191,17 +280,26 @@ func (s *Scanner) Run(ctx context.Context) (*Report, error) {
 				return nil, err
 			}
 		}
-		s.mu.Lock()
 	}
+	if s.fp != nil {
+		// A fresh Run is a fresh cycle: per-AS counters start at zero. A
+		// resumed Run seeds the probed counters from the checkpoint, so AS
+		// budgets hold across the interrupted runs of one cycle.
+		s.fp.reset()
+		if resumed != nil {
+			s.fp.seed(resumed.ASProbed)
+		}
+	}
+	s.mu.Lock()
 	s.shards = shards
 	s.mu.Unlock()
 
 	start := time.Now()
 	var (
-		probed, excluded, errors atomic.Uint64
-		stop                     atomic.Bool // set on the first run error
-		errOnce                  sync.Once
-		runErr                   error
+		probed, excluded, errors, denied atomic.Uint64
+		stop                             atomic.Bool // set on the first run error
+		errOnce                          sync.Once
+		runErr                           error
 	)
 	fail := func(err error) {
 		errOnce.Do(func() { runErr = err })
@@ -219,18 +317,21 @@ func (s *Scanner) Run(ctx context.Context) (*Report, error) {
 			// Per-worker tallies, flushed into the shared atomics once at
 			// exit: the per-probe path touches no shared cache line. Only
 			// the MaxProbes budget needs a live shared counter.
-			var nProbed, nExcluded, nErrors uint64
+			var nProbed, nExcluded, nErrors, nDenied uint64
 			for !stop.Load() {
 				idx, ok := sh.Next()
 				if !ok {
 					break
 				}
-				addr := s.addrAt(idx)
-				if s.exclude != nil {
-					if _, _, hit := s.exclude.Lookup(addr); hit {
+				addr, pi := s.addrAt(idx)
+				if tr := s.exclude.Load(); tr != nil {
+					if _, _, hit := tr.Lookup(addr); hit {
 						// Exclusion hits consume neither a rate token nor
 						// a probe: only transmitted probes are accounted.
 						nExcluded++
+						if s.fp != nil {
+							s.fp.at(pi).excluded.Add(1)
+						}
 						continue
 					}
 				}
@@ -239,14 +340,41 @@ func (s *Scanner) Run(ctx context.Context) (*Report, error) {
 					fail(err)
 					break
 				}
-				if s.limiter != nil {
+				var fpc *asCounter
+				if s.fp != nil {
+					fpc = s.fp.at(pi)
+					if !s.fp.reserve(fpc) {
+						// AS budget spent: the draw is consumed — the cap
+						// is a deliberate skip for this cycle, not a
+						// deferral — and no token or probe is used.
+						nDenied++
+						fpc.denied.Add(1)
+						continue
+					}
+				}
+				if s.policy != nil {
+					if err := s.policy.Wait(ctx, pi); err != nil {
+						if fpc != nil {
+							s.fp.unreserve(fpc)
+						}
+						sh.rewind()
+						fail(err)
+						break
+					}
+				} else if s.limiter != nil {
 					if err := s.limiter.Wait(ctx); err != nil {
+						if fpc != nil {
+							s.fp.unreserve(fpc)
+						}
 						sh.rewind()
 						fail(err)
 						break
 					}
 				}
 				if s.cfg.MaxProbes > 0 && !reserveProbe(&probed, s.cfg.MaxProbes) {
+					if fpc != nil {
+						s.fp.unreserve(fpc)
+					}
 					sh.rewind()
 					break
 				}
@@ -256,27 +384,44 @@ func (s *Scanner) Run(ctx context.Context) (*Report, error) {
 				}
 				if err != nil {
 					nErrors++
+					if fpc != nil {
+						fpc.errors.Add(1)
+					}
+					if s.backoffOn && s.policy.Observe(pi, false) {
+						fpc.backoffs.Add(1)
+					}
 					continue
+				}
+				if s.backoffOn {
+					s.policy.Observe(pi, true)
 				}
 				if s.cfg.OnResult != nil {
 					s.cfg.OnResult(res)
 				}
 				if res.Open {
 					local = append(local, res.Addr)
+					if fpc != nil {
+						fpc.responsive.Add(1)
+					}
 				}
 			}
 			probed.Add(nProbed)
 			excluded.Add(nExcluded)
 			errors.Add(nErrors)
+			denied.Add(nDenied)
 			responsive[w] = local
 		}(w)
 	}
 	wg.Wait()
 
 	report := &Report{
-		Probed:   probed.Load(),
-		Excluded: excluded.Load(),
-		Errors:   errors.Load(),
+		Probed:       probed.Load(),
+		Excluded:     excluded.Load(),
+		Errors:       errors.Load(),
+		BudgetDenied: denied.Load(),
+	}
+	if s.fp != nil {
+		report.PerAS = s.fp.report()
 	}
 	total := 0
 	for _, buf := range responsive {

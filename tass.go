@@ -34,6 +34,7 @@ package tass
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/tass-scan/tass/internal/addrset"
 	"github.com/tass-scan/tass/internal/census"
@@ -224,6 +225,21 @@ type (
 	// ScanShard is one worker's (or machine's) disjoint slice of a scan
 	// permutation cycle.
 	ScanShard = scan.Shard
+	// ScanPoliteness configures the good-citizen layer: per-origin-AS and
+	// per-prefix pacing under the global rate, adaptive backoff, per-AS
+	// probe budgets and footprint telemetry.
+	ScanPoliteness = scan.Politeness
+	// ScanBackoff parameterizes adaptive per-AS backoff (error-burst
+	// detection halves an AS's rate; successes restore it gradually).
+	ScanBackoff = scan.BackoffConfig
+	// ASStat is the per-origin-AS footprint of one scan cycle.
+	ASStat = scan.ASStat
+	// PolicyLimiter paces probes through global, per-AS and per-prefix
+	// token buckets (see Scanner.Policy for the mid-cycle retune hook).
+	PolicyLimiter = scan.PolicyLimiter
+	// ExclusionReloader keeps a running scanner's exclusion list current
+	// with an on-disk file by polling, ZMap-blocklist style.
+	ExclusionReloader = scan.ExclusionReloader
 )
 
 // NewScanner validates cfg and builds a scanner.
@@ -237,6 +253,20 @@ func NewSimProber(responsive []Addr, lossRate float64, seed int64) (*SimProber, 
 // ParseExclusions reads a ZMap-style exclusion list (one CIDR or address
 // per line, '#' comments).
 func ParseExclusions(r io.Reader) ([]Prefix, error) { return scan.ParseExclusions(r) }
+
+// NewExclusionReloader builds a polling reloader feeding s from the
+// exclusion file at path every interval (0 means the 5s default); run
+// its Run method alongside Scanner.Run, or call Poll on a signal.
+func NewExclusionReloader(s *Scanner, path string, interval time.Duration) *ExclusionReloader {
+	return scan.NewExclusionReloader(s, path, interval)
+}
+
+// WriteFootprint renders a completed scan's per-origin-AS footprint
+// table: plan size, probes, and politeness events per origin network.
+// origins must be the mapping the scan ran with (Table.OriginsOf).
+func WriteFootprint(w io.Writer, targets Partition, origins []uint32, rep *ScanReport) error {
+	return scan.WriteFootprint(w, targets, origins, rep)
+}
 
 // ReadScanCheckpoint parses a checkpoint written by WriteScanCheckpoint.
 func ReadScanCheckpoint(r io.Reader) (*ScanCheckpoint, error) { return scan.ReadCheckpoint(r) }

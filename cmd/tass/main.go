@@ -8,6 +8,8 @@
 //	tass rank   -pfx2as TABLE -addrs ADDRS [-top 20]
 //	tass stats  -pfx2as TABLE
 //	tass scan   -targets PREFIXES (-sim ADDRS | -port N) [flags]
+//	tass coordinate -listen ADDR -state FILE [-campaign ID -targets PREFIXES] [flags]
+//	tass work   -coordinator URL -campaign ID (-sim ADDRS | -port N) [flags]
 //
 // TABLE is a CAIDA Routeviews pfx2as file; ADDRS is a text file with one
 // responsive IPv4 address per line ('#' comments allowed). "select"
@@ -18,6 +20,13 @@
 // cycle across machines), or a feedback campaign (-cycles N) that
 // re-selects from each cycle's results and scans the tightened plan.
 //
+// "coordinate" and "work" run the same feedback campaign across a fleet:
+// the coordinator owns the campaign state machine (durably, in -state)
+// and hands time-bounded shard leases to workers over HTTP; a worker
+// that crashes has its shard re-leased from its last uploaded
+// checkpoint, and a restarted coordinator resumes mid-campaign from its
+// state file. See DESIGN.md §13.
+//
 // With -6, "select" runs the same engine over IPv6: the universe is an
 // announced-prefix list (covered more-specifics are collapsed) and the
 // addresses are passive observations or hitlist probes, since there is
@@ -27,8 +36,10 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +65,10 @@ func main() {
 		err = runDiff(os.Args[2:])
 	case "scan":
 		err = runScan(os.Args[2:])
+	case "coordinate":
+		err = runCoordinate(os.Args[2:])
+	case "work":
+		err = runWork(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -78,7 +93,12 @@ func usage() {
   tass scan   -targets PREFIXES (-sim ADDRS | -port N) [-cycles N] [-phi F]
               [-incremental] [-rate F] [-burst N] [-workers N]
               [-shard I -shards N] [-checkpoint FILE] [-exclude FILE]
-              [-seed N] [-max N] [-loss F]`)
+              [-seed N] [-max N] [-loss F]
+  tass coordinate -listen ADDR -state FILE [-campaign ID -targets PREFIXES]
+              [-cycles N] [-shards N] [-phi F] [-seed N] [-workers N]
+              [-lease-ttl D] [-chunk N] [-rate F]
+  tass work   -coordinator URL -campaign ID (-sim ADDRS | -port N)
+              [-id NAME] [-loss F] [-seed N]`)
 }
 
 func loadTable(path string) (*tass.Table, error) {
@@ -480,18 +500,17 @@ func runScan(args []string) error {
 		return err
 	}
 	if *checkpointPath != "" {
-		if f, err := os.Open(*checkpointPath); err == nil {
-			cp, err := tass.ReadScanCheckpoint(f)
-			f.Close()
-			if err != nil {
-				return err
-			}
+		cp, err := tass.ReadScanCheckpointFile(*checkpointPath)
+		switch {
+		case err == nil:
 			if err := scanner.Resume(cp); err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "# resuming from %s\n", *checkpointPath)
-		} else if !os.IsNotExist(err) {
-			return err
+		case !os.IsNotExist(err):
+			// A torn or corrupt cursor is refused loudly: silently starting
+			// over would re-probe everything the interrupted run covered.
+			return fmt.Errorf("checkpoint %s: %w", *checkpointPath, err)
 		}
 	}
 	if *reloadExclude > 0 {
@@ -535,21 +554,147 @@ func runScan(args []string) error {
 	}
 	if runErr != nil && *checkpointPath != "" {
 		if cp := scanner.Checkpoint(); cp != nil {
-			f, err := os.Create(*checkpointPath)
-			if err != nil {
-				return err
-			}
-			if err := tass.WriteScanCheckpoint(f, cp); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			// Atomic save: a crash while writing the cursor must leave the
+			// previous checkpoint intact, never a torn file.
+			if err := tass.WriteScanCheckpointFile(*checkpointPath, cp); err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "# interrupted: cursor saved to %s; rerun the same command to resume\n", *checkpointPath)
 		}
 	}
 	return runErr
+}
+
+// runCoordinate serves the distributed-campaign coordinator: durable
+// state in -state, shard leases over HTTP. A restart over the same
+// state file resumes every campaign, lease and cycle mid-flight.
+func runCoordinate(args []string) error {
+	fs := flag.NewFlagSet("coordinate", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7070", "address to serve the coordinator API on")
+	statePath := fs.String("state", "", "durable state file (required; a restart resumes from it)")
+	campaign := fs.String("campaign", "", "campaign ID to register at startup (requires -targets)")
+	targetsPath := fs.String("targets", "", "prefix list file: the campaign universe")
+	cycles := fs.Int("cycles", 3, "scan-and-reselect cycles")
+	shards := fs.Int("shards", 2, "shard leases per cycle (fleet parallelism)")
+	phi := fs.Float64("phi", 0.95, "host coverage target φ for each re-selection")
+	seed := fs.Int64("seed", 1, "cycle-0 permutation seed")
+	workers := fs.Int("workers", 4, "scanner workers inside each leased shard (fixed per campaign)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "lease duration; a silent worker's shard is re-leased after this")
+	chunk := fs.Uint64("chunk", 256, "probes per checkpoint chunk (bounds repeated work after a hard crash)")
+	rate := fs.Float64("rate", 0, "per-worker probes/second cap (0 = unlimited)")
+	fs.Parse(args)
+	if *statePath == "" {
+		return fmt.Errorf("coordinate: -state is required")
+	}
+	c, err := tass.NewCoordinator(tass.NewCoordFileStore(*statePath), nil)
+	if err != nil {
+		return err
+	}
+	if *campaign != "" {
+		if *targetsPath == "" {
+			return fmt.Errorf("coordinate: -campaign requires -targets")
+		}
+		prefixes, err := loadPrefixFile(*targetsPath)
+		if err != nil {
+			return err
+		}
+		universe := make([]string, len(prefixes))
+		for i, p := range prefixes {
+			universe[i] = p.String()
+		}
+		err = c.CreateCampaign(tass.CoordSpec{
+			ID:          *campaign,
+			Universe:    universe,
+			Phi:         *phi,
+			Cycles:      *cycles,
+			Shards:      *shards,
+			Workers:     *workers,
+			Seed:        *seed,
+			Rate:        *rate,
+			LeaseTTL:    *leaseTTL,
+			ChunkProbes: *chunk,
+		})
+		switch {
+		case errors.Is(err, tass.ErrCampaignExists):
+			// Restart over existing state: the campaign is already
+			// registered and possibly mid-flight; just keep serving it.
+			fmt.Fprintf(os.Stderr, "# campaign %s already in state file; resuming it\n", *campaign)
+		case err != nil:
+			return err
+		default:
+			fmt.Fprintf(os.Stderr, "# campaign %s registered: %d prefixes, %d cycles, %d shards\n",
+				*campaign, len(universe), *cycles, *shards)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	srv := &http.Server{Addr: *listen, Handler: tass.NewCoordHandler(c)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "# coordinator listening on %s (state: %s)\n", *listen, *statePath)
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	case err := <-errc:
+		return err
+	}
+}
+
+// runWork runs one campaign worker against a coordinator: acquire a
+// shard lease, scan it in checkpointable chunks, upload the cursor at
+// every chunk boundary, repeat until the campaign is done.
+func runWork(args []string) error {
+	fs := flag.NewFlagSet("work", flag.ExitOnError)
+	coordURL := fs.String("coordinator", "", "coordinator base URL, e.g. http://127.0.0.1:7070 (required)")
+	campaign := fs.String("campaign", "", "campaign ID to work on (required)")
+	id := fs.String("id", "", "worker name in leases and logs (default worker-<pid>)")
+	simPath := fs.String("sim", "", "simulate probes against this responsive-address file")
+	port := fs.Int("port", 0, "TCP port to probe (real scanning)")
+	loss := fs.Float64("loss", 0, "simulated probe loss rate")
+	seed := fs.Int64("seed", 1, "simulation prober seed (cycle i uses seed+i)")
+	fs.Parse(args)
+	if *coordURL == "" || *campaign == "" {
+		return fmt.Errorf("work: -coordinator and -campaign are required")
+	}
+	if (*simPath == "") == (*port == 0) {
+		return fmt.Errorf("work: exactly one of -sim or -port is required")
+	}
+	name := *id
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	w := &tass.CoordWorker{
+		Client:   tass.NewCoordClient(*coordURL),
+		ID:       name,
+		Campaign: *campaign,
+		OnEvent: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# [%s] %s\n", name, fmt.Sprintf(format, args...))
+		},
+	}
+	if *simPath != "" {
+		snap, err := loadAddrs(*simPath)
+		if err != nil {
+			return err
+		}
+		if _, err := tass.NewSimProber(snap.Addrs, *loss, *seed); err != nil {
+			return err
+		}
+		w.ProberAt = func(cycle int) tass.Prober {
+			p, _ := tass.NewSimProber(snap.Addrs, *loss, *seed+int64(cycle))
+			return p
+		}
+	} else {
+		w.Prober = &tass.TCPProber{Port: *port, Timeout: 2 * time.Second}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	return nil
 }
 
 // loadPrefixFile parses one CIDR prefix (or bare address) per line, with

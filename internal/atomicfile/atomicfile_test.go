@@ -1,0 +1,71 @@
+package atomicfile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("read %q, want %q", got, "v2")
+	}
+}
+
+// TestWriteFileInjectedFailureKeepsOriginal injects a failure in the
+// crash window between temp-file write and rename: the destination must
+// keep its previous contents and no temp litter may remain.
+func TestWriteFileInjectedFailureKeepsOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cursor.json")
+	if err := WriteFile(path, []byte("the only copy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("injected crash before rename")
+	testHookAfterWrite = func() error { return boom }
+	defer func() { testHookAfterWrite = nil }()
+
+	err := WriteFile(path, []byte("half-written replacement"), 0o644)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("WriteFile error = %v, want injected failure", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("original destroyed: %v", rerr)
+	}
+	if string(got) != "the only copy" {
+		t.Fatalf("original clobbered: %q", got)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestWriteFileMissingDir fails cleanly without touching anything when
+// the destination directory does not exist.
+func TestWriteFileMissingDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "f")
+	if err := WriteFile(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("WriteFile into missing directory succeeded")
+	}
+}

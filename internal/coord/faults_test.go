@@ -1,0 +1,593 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/tass-scan/tass/internal/core"
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/scan"
+)
+
+// ---------------------------------------------------------------------
+// Test harness: in-process transport, fault injection, probe accounting.
+// ---------------------------------------------------------------------
+
+// memTransport is an http.RoundTripper that serves every request
+// in-process against a swappable handler — no sockets, no goroutine
+// races on listeners. Faults are injected at the two places a real
+// network fails: before the handler sees the request (connection
+// refused, partition, dead coordinator) and after the handler ran but
+// before the response arrives (lost response — the case that makes
+// idempotency matter, because the coordinator DID apply the request).
+type memTransport struct {
+	mu      sync.Mutex
+	handler http.Handler
+	reqs    int
+	fails   int
+	// onRequest, when set, may reject a request before it reaches the
+	// handler (simulated network failure).
+	onRequest func(r *http.Request) error
+	// dropResponse, when set, discards the response of the n-th request
+	// after the handler processed it.
+	dropResponse func(r *http.Request, n int) bool
+}
+
+func (t *memTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reqs++
+	n := t.reqs
+	if t.onRequest != nil {
+		if err := t.onRequest(req); err != nil {
+			t.fails++
+			return nil, err
+		}
+	}
+	if t.handler == nil {
+		t.fails++
+		return nil, fmt.Errorf("coord test: coordinator down")
+	}
+	rec := httptest.NewRecorder()
+	t.handler.ServeHTTP(rec, req)
+	if t.dropResponse != nil && t.dropResponse(req, n) {
+		t.fails++
+		return nil, fmt.Errorf("coord test: response lost")
+	}
+	return rec.Result(), nil
+}
+
+func (t *memTransport) failures() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fails
+}
+
+func newTestClient(tr *memTransport) *Client {
+	return &Client{
+		Base:  "http://coordinator",
+		HTTP:  &http.Client{Transport: tr},
+		Seed:  7,
+		Sleep: func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	}
+}
+
+// probeLog counts every probe per (cycle, address) — the exactly-once
+// ledger the acceptance tests audit.
+type probeLog struct {
+	mu     sync.Mutex
+	cycles map[int]map[netaddr.Addr]int
+}
+
+func newProbeLog() *probeLog {
+	return &probeLog{cycles: map[int]map[netaddr.Addr]int{}}
+}
+
+func (l *probeLog) record(cycle int, addr netaddr.Addr) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := l.cycles[cycle]
+	if m == nil {
+		m = map[netaddr.Addr]int{}
+		l.cycles[cycle] = m
+	}
+	m[addr]++
+}
+
+func (l *probeLog) set(cycle int) map[netaddr.Addr]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[netaddr.Addr]int, len(l.cycles[cycle]))
+	for a, n := range l.cycles[cycle] {
+		out[a] = n
+	}
+	return out
+}
+
+// countingProber records every probe in the shared log, fires an
+// optional per-probe hook (the kill trigger), and delegates to the
+// deterministic simulation prober.
+type countingProber struct {
+	log     *probeLog
+	cycle   int
+	inner   scan.Prober
+	onProbe func()
+}
+
+func (p *countingProber) Probe(ctx context.Context, addr netaddr.Addr) (scan.Result, error) {
+	p.log.record(p.cycle, addr)
+	if p.onProbe != nil {
+		p.onProbe()
+	}
+	return p.inner.Probe(ctx, addr)
+}
+
+// eventLog captures worker progress lines for assertions.
+type eventLog struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (e *eventLog) f(format string, args ...any) {
+	e.mu.Lock()
+	e.lines = append(e.lines, fmt.Sprintf(format, args...))
+	e.mu.Unlock()
+}
+
+func (e *eventLog) contains(sub string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, l := range e.lines {
+		if strings.Contains(l, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Ground truth shared by the single-node baseline and the distributed
+// runs: a /24 universe with one dense and one sparse /26, probed by a
+// per-cycle deterministic SimProber (loss depends only on the address
+// and the cycle seed, never on probe order or which machine probes).
+// ---------------------------------------------------------------------
+
+func faultUniverse() []string {
+	return []string{"203.0.113.0/26", "203.0.113.64/26", "203.0.113.128/26", "203.0.113.192/26"}
+}
+
+func faultTruth() []netaddr.Addr {
+	base := netaddr.MustParseAddr("203.0.113.0")
+	var out []netaddr.Addr
+	for i := 0; i < 40; i++ { // dense first /26
+		out = append(out, base+netaddr.Addr(i))
+	}
+	for i := 64; i < 69; i++ { // sparse second /26
+		out = append(out, base+netaddr.Addr(i))
+	}
+	return out
+}
+
+func faultProberAt(cycle int) scan.Prober {
+	p, err := scan.NewSimProber(faultTruth(), 0.1, 900+int64(cycle))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func faultSpec(shards, cycles int) CampaignSpec {
+	return CampaignSpec{
+		ID:          "camp",
+		Universe:    faultUniverse(),
+		Phi:         0.9,
+		Cycles:      cycles,
+		Shards:      shards,
+		Workers:     2,
+		Seed:        42,
+		LeaseTTL:    30 * time.Second,
+		ChunkProbes: 16,
+	}
+}
+
+// runSingleNode produces the ground-truth result: the same campaign run
+// by scan.Campaign on one machine, one process, no coordinator.
+func runSingleNode(t *testing.T, cycles int) ([]scan.Cycle, *probeLog) {
+	t.Helper()
+	uni, err := parsePartition(faultUniverse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := newProbeLog()
+	camp := &scan.Campaign{
+		Universe: uni,
+		ProberAt: func(cycle int) scan.Prober {
+			return &countingProber{log: log, cycle: cycle, inner: faultProberAt(cycle)}
+		},
+		Opts:    core.Options{Phi: 0.9},
+		Workers: 2,
+		Seed:    42,
+	}
+	got, err := camp.Run(context.Background(), cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != cycles {
+		t.Fatalf("single-node ran %d cycles, want %d", len(got), cycles)
+	}
+	return got, log
+}
+
+// assertMatchesSingleNode audits the distributed run against the
+// single-node baseline: per cycle the exact probe set must match with
+// every address probed exactly once, and the final responsive set must
+// be identical.
+func assertMatchesSingleNode(t *testing.T, st *Status, dist *probeLog, single []scan.Cycle, singleLog *probeLog) {
+	t.Helper()
+	if !st.Done {
+		t.Fatalf("distributed campaign not done: %+v", st)
+	}
+	if len(st.History) != len(single) {
+		t.Fatalf("distributed ran %d cycles, single-node %d", len(st.History), len(single))
+	}
+	for i, cyc := range single {
+		want := singleLog.set(i)
+		got := dist.set(i)
+		if len(got) != len(want) {
+			t.Errorf("cycle %d: distributed probed %d addresses, single-node %d", i, len(got), len(want))
+		}
+		for addr, n := range got {
+			if n != 1 {
+				t.Errorf("cycle %d: %v probed %d times, want exactly once", i, addr, n)
+			}
+			if want[addr] == 0 {
+				t.Errorf("cycle %d: distributed probed %v, single-node did not", i, addr)
+			}
+		}
+		for addr := range want {
+			if got[addr] == 0 {
+				t.Errorf("cycle %d: single-node probed %v, distributed did not", i, addr)
+			}
+		}
+		if st.History[i].Probed != cyc.Report.Probed {
+			t.Errorf("cycle %d: distributed probed count %d, single-node %d", i, st.History[i].Probed, cyc.Report.Probed)
+		}
+		if st.History[i].Responsive != len(cyc.Report.Responsive) {
+			t.Errorf("cycle %d: distributed responsive %d, single-node %d", i, st.History[i].Responsive, len(cyc.Report.Responsive))
+		}
+	}
+	final := single[len(single)-1].Report.Responsive
+	if len(st.Responsive) != len(final) {
+		t.Fatalf("final responsive: distributed %d, single-node %d", len(st.Responsive), len(final))
+	}
+	for i := range final {
+		if st.Responsive[i] != final[i] {
+			t.Fatalf("final responsive differs at %d: %v != %v", i, st.Responsive[i], final[i])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// The fault-injection suite.
+// ---------------------------------------------------------------------
+
+// TestDistributedCampaignMatchesSingleNode is the no-fault baseline:
+// two workers splitting every cycle over HTTP produce byte-identical
+// results to scan.Campaign on one machine.
+func TestDistributedCampaignMatchesSingleNode(t *testing.T) {
+	const cycles = 3
+	single, singleLog := runSingleNode(t, cycles)
+
+	clk := newVClock()
+	c := mustCoordinator(t, NewMemStore(), clk.Now)
+	tr := &memTransport{handler: NewHandler(c)}
+	if err := c.CreateCampaign(faultSpec(2, cycles)); err != nil {
+		t.Fatal(err)
+	}
+
+	dist := newProbeLog()
+	worker := func(id string) *Worker {
+		return &Worker{
+			Client:   newTestClient(tr),
+			ID:       id,
+			Campaign: "camp",
+			ProberAt: func(cycle int) scan.Prober {
+				return &countingProber{log: dist, cycle: cycle, inner: faultProberAt(cycle)}
+			},
+			Now: clk.Now,
+			Sleep: func(ctx context.Context, d time.Duration) error {
+				time.Sleep(100 * time.Microsecond)
+				return ctx.Err()
+			},
+		}
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- worker("a").Run(context.Background()) }()
+	go func() { errs <- worker("b").Run(context.Background()) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+
+	st, err := c.Status("camp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesSingleNode(t, st, dist, single, singleLog)
+	for i, h := range st.History {
+		if h.Releases != 2 {
+			t.Errorf("cycle %d: %d lease grants, want 2 (no failures injected)", i, h.Releases)
+		}
+	}
+}
+
+// TestWorkerKilledMidCycleExactlyOnce is acceptance criterion (a): a
+// worker killed mid-cycle uploads its exact cursor in the dying gasp,
+// its lease expires, the shard is re-leased to the survivor with that
+// cursor attached, and the finished campaign's per-cycle probe sets
+// equal the single-node run exactly — every address probed once,
+// despite the crash.
+func TestWorkerKilledMidCycleExactlyOnce(t *testing.T) {
+	const cycles = 3
+	single, singleLog := runSingleNode(t, cycles)
+
+	clk := newVClock()
+	c := mustCoordinator(t, NewMemStore(), clk.Now)
+	tr := &memTransport{handler: NewHandler(c)}
+	if err := c.CreateCampaign(faultSpec(2, cycles)); err != nil {
+		t.Fatal(err)
+	}
+
+	dist := newProbeLog()
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	var aProbes atomic.Int64
+	var aDead atomic.Bool
+
+	// Worker a dies at its 40th probe of the campaign: mid-chunk, two
+	// successful heartbeats behind it, half a shard to go.
+	wa := &Worker{
+		Client:   newTestClient(tr),
+		ID:       "a",
+		Campaign: "camp",
+		ProberAt: func(cycle int) scan.Prober {
+			return &countingProber{
+				log: dist, cycle: cycle, inner: faultProberAt(cycle),
+				onProbe: func() {
+					if aProbes.Add(1) == 40 {
+						cancelA()
+					}
+				},
+			}
+		},
+		Now: clk.Now,
+	}
+	// Worker b survives. Its idle polls advance the virtual clock — but
+	// only once a is dead, so the only lease that can ever expire under
+	// it is the dead worker's.
+	events := &eventLog{}
+	wb := &Worker{
+		Client:   newTestClient(tr),
+		ID:       "b",
+		Campaign: "camp",
+		ProberAt: func(cycle int) scan.Prober {
+			return &countingProber{log: dist, cycle: cycle, inner: faultProberAt(cycle)}
+		},
+		Now:     clk.Now,
+		OnEvent: events.f,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			if aDead.Load() {
+				clk.Advance(2 * time.Second)
+			} else {
+				time.Sleep(100 * time.Microsecond)
+			}
+			return ctx.Err()
+		},
+	}
+
+	aErr := make(chan error, 1)
+	bErr := make(chan error, 1)
+	go func() {
+		err := wa.Run(ctxA)
+		aDead.Store(true)
+		aErr <- err
+	}()
+	go func() { bErr <- wb.Run(context.Background()) }()
+
+	if err := <-aErr; err != context.Canceled {
+		t.Fatalf("killed worker returned %v, want context.Canceled", err)
+	}
+	if err := <-bErr; err != nil {
+		t.Fatalf("surviving worker: %v", err)
+	}
+
+	st, err := c.Status("camp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesSingleNode(t, st, dist, single, singleLog)
+	if st.History[0].Releases != 3 {
+		t.Errorf("cycle 0 lease grants = %d, want 3 (two shards + one re-lease after the kill)", st.History[0].Releases)
+	}
+	if !events.contains("resume=true") {
+		t.Error("survivor never received a resumable lease: the dead worker's cursor was not handed over")
+	}
+}
+
+// TestCoordinatorCrashRestartMidCampaign is acceptance criterion (b):
+// the coordinator is killed mid-cycle and a new process is started over
+// the same durable state file. The worker — which kept scanning and
+// buffering offline across the outage — reconnects, its original lease
+// is still honored, and the campaign finishes with results identical to
+// the single-node run.
+func TestCoordinatorCrashRestartMidCampaign(t *testing.T) {
+	const cycles = 2
+	single, singleLog := runSingleNode(t, cycles)
+
+	clk := newVClock()
+	store := NewFileStore(t.TempDir() + "/state")
+	c1 := mustCoordinator(t, store, clk.Now)
+	tr := &memTransport{handler: NewHandler(c1)}
+	if err := c1.CreateCampaign(faultSpec(1, cycles)); err != nil {
+		t.Fatal(err)
+	}
+
+	// After the 3rd heartbeat the coordinator "crashes": requests fail
+	// at the network layer. After 4 failed attempts a fresh coordinator
+	// is built from the state file and takes over the same address.
+	var hbSeen, downFails int
+	var restarted atomic.Bool
+	tr.onRequest = func(r *http.Request) error {
+		if !strings.Contains(r.URL.Path, "/heartbeat") {
+			return nil
+		}
+		hbSeen++
+		if hbSeen <= 3 || restarted.Load() {
+			return nil
+		}
+		downFails++
+		if downFails >= 4 {
+			c2, err := NewCoordinator(store, clk.Now)
+			if err != nil {
+				return fmt.Errorf("restart from durable store failed: %v", err)
+			}
+			tr.handler = NewHandler(c2)
+			restarted.Store(true)
+		}
+		return fmt.Errorf("coord test: coordinator crashed")
+	}
+
+	dist := newProbeLog()
+	events := &eventLog{}
+	cl := newTestClient(tr)
+	cl.MaxRetries = 1 // fail fast so the outage surfaces to the worker, not the retry loop
+	w := &Worker{
+		Client:   cl,
+		ID:       "w",
+		Campaign: "camp",
+		ProberAt: func(cycle int) scan.Prober {
+			return &countingProber{log: dist, cycle: cycle, inner: faultProberAt(cycle)}
+		},
+		Now:     clk.Now,
+		OnEvent: events.f,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			return ctx.Err()
+		},
+	}
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if !restarted.Load() {
+		t.Fatal("the coordinator was never restarted; the fault did not fire")
+	}
+	if !events.contains("continuing offline") {
+		t.Error("worker never degraded to offline scanning during the outage")
+	}
+
+	// The surviving coordinator (behind tr.handler) must hold the
+	// completed campaign.
+	st, err := cl.Status(context.Background(), "camp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesSingleNode(t, st, dist, single, singleLog)
+	for i, h := range st.History {
+		if h.Releases != 1 {
+			t.Errorf("cycle %d lease grants = %d, want 1: the restart must honor the original lease, not re-issue the shard", i, h.Releases)
+		}
+	}
+	if events.contains("lost") {
+		t.Error("worker lost its lease across the coordinator restart")
+	}
+}
+
+// TestFlakyTransportExactlyOnce runs a whole campaign over a transport
+// that drops every 11th request before the coordinator sees it and
+// loses every 7th response after the coordinator applied it. Client
+// retries plus idempotent uploads plus lease fencing must still deliver
+// exactly-once results.
+func TestFlakyTransportExactlyOnce(t *testing.T) {
+	const cycles = 2
+	single, singleLog := runSingleNode(t, cycles)
+
+	clk := newVClock()
+	c := mustCoordinator(t, NewMemStore(), clk.Now)
+	tr := &memTransport{handler: NewHandler(c)}
+	var n atomic.Int64
+	tr.onRequest = func(r *http.Request) error {
+		if n.Add(1)%11 == 0 {
+			return fmt.Errorf("coord test: request dropped")
+		}
+		return nil
+	}
+	tr.dropResponse = func(r *http.Request, reqNo int) bool {
+		return reqNo%7 == 0
+	}
+	if err := c.CreateCampaign(faultSpec(2, cycles)); err != nil {
+		t.Fatal(err)
+	}
+
+	dist := newProbeLog()
+	// One worker: a lost acquire response orphans a lease, and only the
+	// virtual clock (advanced during the worker's own idle polls, when
+	// it holds nothing) can expire it — deterministic, no races with a
+	// live peer's lease.
+	w := &Worker{
+		Client:   newTestClient(tr),
+		ID:       "w",
+		Campaign: "camp",
+		ProberAt: func(cycle int) scan.Prober {
+			return &countingProber{log: dist, cycle: cycle, inner: faultProberAt(cycle)}
+		},
+		Now: clk.Now,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			clk.Advance(2 * time.Second)
+			return ctx.Err()
+		},
+	}
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if tr.failures() == 0 {
+		t.Fatal("no faults fired; the test proved nothing")
+	}
+
+	st, err := c.Status("camp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesSingleNode(t, st, dist, single, singleLog)
+}
+
+// TestCoordinatorRefusesTornStateFile is acceptance criterion (c) for
+// the coordinator: a restart over a truncated state file must refuse to
+// start, not silently begin with empty state and double-probe every
+// in-flight shard.
+func TestCoordinatorRefusesTornStateFile(t *testing.T) {
+	path := t.TempDir() + "/state"
+	c := mustCoordinator(t, NewFileStore(path), nil)
+	if err := c.CreateCampaign(faultSpec(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCoordinator(NewFileStore(path), nil); err == nil {
+		t.Fatal("coordinator started over a torn state file")
+	} else if !strings.Contains(err.Error(), "refusing") {
+		t.Fatalf("torn state error %q does not refuse loading", err)
+	}
+}

@@ -1,0 +1,140 @@
+package coord
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// The wire protocol is plain HTTP+JSON:
+//
+//	POST /v1/campaigns                                  CampaignSpec → {}
+//	GET  /v1/campaigns/{id}                             → Status
+//	POST /v1/campaigns/{id}/acquire                     acquireRequest → acquireResponse
+//	POST /v1/campaigns/{id}/leases/{lease}/heartbeat    Upload → heartbeatResponse
+//	POST /v1/campaigns/{id}/leases/{lease}/complete     Upload → {}
+//
+// Semantic failures map to statuses the client turns back into sentinel
+// errors: 404 unknown campaign/lease, 410 lease lost, 409 duplicate
+// campaign, 400 bad request. Anything transport-shaped (5xx, network)
+// is retryable; 4xx is not.
+
+type acquireRequest struct {
+	Worker string `json:"worker"`
+}
+
+type acquireResponse struct {
+	// Done means the campaign is finished: no more work, ever.
+	Done bool `json:"done,omitempty"`
+	// Lease is nil when no shard is free right now (and Done is false):
+	// the worker should poll again shortly.
+	Lease *Lease `json:"lease,omitempty"`
+}
+
+type heartbeatResponse struct {
+	Deadline time.Time `json:"deadline"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds request bodies: uploads carry address lists, not
+// bulk data, and a malicious or confused client must not OOM the
+// coordinator.
+const maxBodyBytes = 64 << 20
+
+// NewHandler exposes the coordinator over HTTP.
+func NewHandler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var spec CampaignSpec
+		if !decodeBody(w, r, &spec) {
+			return
+		}
+		if err := c.CreateCampaign(spec); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := c.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /v1/campaigns/{id}/acquire", func(w http.ResponseWriter, r *http.Request) {
+		var req acquireRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		lease, done, err := c.Acquire(r.PathValue("id"), req.Worker)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, acquireResponse{Done: done, Lease: lease})
+	})
+	mux.HandleFunc("POST /v1/campaigns/{id}/leases/{lease}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var up Upload
+		if !decodeBody(w, r, &up) {
+			return
+		}
+		deadline, err := c.Heartbeat(r.PathValue("id"), r.PathValue("lease"), up)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, heartbeatResponse{Deadline: deadline})
+	})
+	mux.HandleFunc("POST /v1/campaigns/{id}/leases/{lease}/complete", func(w http.ResponseWriter, r *http.Request) {
+		var up Upload
+		if !decodeBody(w, r, &up) {
+			return
+		}
+		if err := c.Complete(r.PathValue("id"), r.PathValue("lease"), up); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	return mux
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("coord: bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownCampaign), errors.Is(err, ErrUnknownLease):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrLeaseLost):
+		status = http.StatusGone
+	case errors.Is(err, ErrCampaignExists):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

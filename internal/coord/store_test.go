@@ -1,0 +1,98 @@
+package coord
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := NewMemStore()
+	if _, err := s.Load(); err != ErrNoState {
+		t.Fatalf("empty Load err = %v, want ErrNoState", err)
+	}
+	if err := s.Save([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("Load = %q", got)
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state")
+	s := NewFileStore(path)
+	if _, err := s.Load(); err != ErrNoState {
+		t.Fatalf("missing-file Load err = %v, want ErrNoState", err)
+	}
+	payload := []byte(`{"campaigns":{}}`)
+	if err := s.Save(payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("Load = %q, want %q", got, payload)
+	}
+	// Overwrite: atomic replace, new payload wins.
+	if err := s.Save([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = s.Load(); string(got) != "second" {
+		t.Fatalf("Load after overwrite = %q", got)
+	}
+}
+
+// TestFileStoreRefusesTornAndCorrupt is the durable-state half of the
+// torn-file acceptance criterion: every damaged variant of a state file
+// must be refused at load, never half-trusted.
+func TestFileStoreRefusesTornAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, data []byte) *FileStore {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return NewFileStore(p)
+	}
+	good := NewFileStore(filepath.Join(dir, "good"))
+	if err := good.Save([]byte(`{"v":1,"campaigns":{}}`)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "good"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-2] ^= 0x20 // corrupt a payload byte, keep length
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"no newline", []byte("tass-coord-state v1 len=2 crc32=00000000")},
+		{"torn payload", raw[:len(raw)-3]},
+		{"header only", raw[:len(raw)-len(`{"v":1,"campaigns":{}}`)]},
+		{"flipped payload byte", flipped},
+		{"wrong magic", []byte(strings.Replace(string(raw), "tass-coord-state", "mass-coord-state", 1))},
+		{"future version", []byte(strings.Replace(string(raw), " v1 ", " v9 ", 1))},
+		{"garbage", []byte("not a state file at all\njunk")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := write("bad-"+strings.ReplaceAll(tc.name, " ", "-"), tc.data)
+			if data, err := s.Load(); err == nil {
+				t.Fatalf("damaged state file loaded: %q", data)
+			}
+		})
+	}
+}

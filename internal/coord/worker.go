@@ -1,0 +1,260 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+	"github.com/tass-scan/tass/internal/scan"
+)
+
+// Worker is the fleet side of a distributed campaign: acquire a shard
+// lease, scan it in checkpointable chunks, upload the cursor and
+// results at every chunk boundary, complete, repeat until the campaign
+// is done.
+//
+// Failure posture: a worker that loses the coordinator does not abandon
+// its shard — it keeps scanning and buffering results, retrying uploads
+// at each chunk boundary, until either the coordinator comes back
+// (reconnect, upload everything, continue) or the worker's local copy
+// of the lease deadline passes without a successful renewal (the
+// coordinator has certainly re-leased the shard by then; the worker
+// discards its buffer and starts over with a fresh acquire). A
+// rejected renewal (ErrLeaseLost) is an immediate stop: another worker
+// owns the shard now, and uploading stale results would double-count.
+type Worker struct {
+	// Client talks to the coordinator (required).
+	Client *Client
+	// ID names this worker in leases and logs.
+	ID string
+	// Campaign is the campaign to work on (required).
+	Campaign string
+	// Prober performs the probes (required unless ProberAt is set).
+	Prober scan.Prober
+	// ProberAt, when set, supplies the prober per cycle (the simulation
+	// hook, mirroring scan.Campaign.ProberAt).
+	ProberAt func(cycle int) scan.Prober
+	// Now is the worker's clock, injectable for deterministic tests
+	// (default time.Now).
+	Now func() time.Time
+	// Sleep waits between polls when no shard is free, injectable for
+	// tests (default timer sleep). Must honor ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// PollEvery is the idle-acquire poll interval (default 200ms).
+	PollEvery time.Duration
+	// OnEvent, when set, receives human-readable progress lines.
+	OnEvent func(format string, args ...any)
+}
+
+// Run works the campaign until it is done or ctx is canceled. A
+// coordinator outage during acquire is retried forever (the worker has
+// nothing to lose and nowhere to be); ctx is the only way out.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Client == nil {
+		return fmt.Errorf("coord: worker needs a client")
+	}
+	if w.Campaign == "" {
+		return fmt.Errorf("coord: worker needs a campaign")
+	}
+	if w.Prober == nil && w.ProberAt == nil {
+		return fmt.Errorf("coord: worker needs a prober")
+	}
+	for {
+		lease, done, err := w.Client.Acquire(ctx, w.Campaign, w.ID)
+		switch {
+		case done:
+			w.eventf("campaign %s done", w.Campaign)
+			return nil
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.eventf("acquire failed (%v); retrying", err)
+			if err := w.sleep(ctx, w.pollEvery()); err != nil {
+				return err
+			}
+			continue
+		case lease == nil:
+			// Every shard is leased or done; poll until the cycle turns.
+			if err := w.sleep(ctx, w.pollEvery()); err != nil {
+				return err
+			}
+			continue
+		}
+		w.eventf("leased %s: cycle %d shard %d/%d (%d prefixes, resume=%v)",
+			lease.LeaseID, lease.Cycle, lease.Shard, lease.Shards, len(lease.Plan), lease.Checkpoint != nil)
+		if err := w.runLease(ctx, lease); err != nil {
+			return err
+		}
+	}
+}
+
+// runLease scans one leased shard to completion (or abandonment). The
+// returned error is only ever a dead context: lease-level failures are
+// handled by abandoning the shard and letting Run re-acquire.
+func (w *Worker) runLease(ctx context.Context, lease *Lease) error {
+	plan, err := parsePartition(lease.Plan)
+	if err != nil {
+		// A malformed plan is a protocol bug, not a transient: abandon
+		// the lease (it will expire) and surface loudly.
+		w.eventf("lease %s: bad plan: %v", lease.LeaseID, err)
+		return fmt.Errorf("coord: lease %s: bad plan: %w", lease.LeaseID, err)
+	}
+	prober := w.Prober
+	if w.ProberAt != nil {
+		prober = w.ProberAt(lease.Cycle)
+	}
+	scanner, err := scan.New(scan.Config{
+		Targets:   plan,
+		Prober:    prober,
+		Rate:      lease.Rate,
+		Workers:   lease.Workers,
+		Seed:      lease.Seed,
+		Shard:     lease.Shard,
+		Shards:    lease.Shards,
+		MaxProbes: lease.ChunkProbes,
+	})
+	if err != nil {
+		return fmt.Errorf("coord: lease %s: %w", lease.LeaseID, err)
+	}
+	if lease.Checkpoint != nil {
+		if err := scanner.Resume(lease.Checkpoint); err != nil {
+			return fmt.Errorf("coord: lease %s: %w", lease.LeaseID, err)
+		}
+	}
+
+	// The worker's own view of the lease: refreshed on every successful
+	// heartbeat, compared against Now when the coordinator is away.
+	deadline := w.now().Add(lease.TTL)
+	var responsive []netaddr.Addr
+	var probed, nErrors uint64
+
+	for {
+		report, runErr := scanner.Run(ctx)
+		if report != nil {
+			responsive = mergeAddrs(responsive, report.Responsive)
+			probed += report.Probed
+			nErrors += report.Errors
+		}
+		cp := scanner.Checkpoint()
+		up := Upload{Checkpoint: cp, Responsive: responsive, Probed: probed, Errors: nErrors}
+
+		if runErr != nil {
+			// Canceled mid-chunk. The checkpoint still describes exactly
+			// what was probed (the scanner rewinds drawn-but-unprobed
+			// addresses), so one last upload hands the precise cursor to
+			// whoever inherits the shard. The parent ctx is dead; give
+			// the dying gasp its own short deadline.
+			gctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			if err := w.Client.Heartbeat(gctx, lease.Campaign, lease.LeaseID, up); err != nil {
+				w.eventf("lease %s: final checkpoint upload failed: %v", lease.LeaseID, err)
+			} else {
+				w.eventf("lease %s: interrupted; cursor uploaded", lease.LeaseID)
+			}
+			cancel()
+			return runErr
+		}
+
+		if lease.ChunkProbes == 0 || report.Probed < lease.ChunkProbes {
+			// The chunk under-ran its probe budget: the shard is
+			// exhausted. (A chunk that exactly hit the budget at the end
+			// of the shard just goes around once more and lands here
+			// with 0 probed. A zero chunk size means the whole shard ran
+			// unchunked.)
+			break
+		}
+
+		// Chunk boundary: renew the lease and publish the cursor.
+		err := w.Client.Heartbeat(ctx, lease.Campaign, lease.LeaseID, up)
+		switch {
+		case err == nil:
+			deadline = w.now().Add(lease.TTL)
+		case errors.Is(err, ErrLeaseLost), errors.Is(err, ErrUnknownCampaign), errors.Is(err, ErrUnknownLease):
+			// Fenced off: the shard has a new owner (or the campaign is
+			// gone). Discard everything buffered — uploading it would
+			// double-count against the replacement's work.
+			w.eventf("lease %s: lost (%v); discarding buffered results", lease.LeaseID, err)
+			return nil
+		default:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Coordinator unreachable: degrade gracefully. Keep the
+			// shard running and the results buffered; the next chunk
+			// boundary retries. Only a locally expired lease stops us.
+			if !w.now().Before(deadline) {
+				w.eventf("lease %s: coordinator away past lease deadline; abandoning shard", lease.LeaseID)
+				return nil
+			}
+			w.eventf("lease %s: heartbeat failed (%v); continuing offline", lease.LeaseID, err)
+		}
+
+		if err := scanner.Resume(scanner.Checkpoint()); err != nil {
+			return fmt.Errorf("coord: lease %s: %w", lease.LeaseID, err)
+		}
+	}
+
+	// Shard complete. Push the final upload until it lands, the lease
+	// is fenced, or the worker's local deadline passes.
+	up := Upload{Responsive: responsive, Probed: probed, Errors: nErrors}
+	for {
+		err := w.Client.Complete(ctx, lease.Campaign, lease.LeaseID, up)
+		switch {
+		case err == nil:
+			w.eventf("lease %s: shard complete (%d probed, %d responsive)",
+				lease.LeaseID, probed, len(responsive))
+			return nil
+		case errors.Is(err, ErrLeaseLost), errors.Is(err, ErrUnknownCampaign), errors.Is(err, ErrUnknownLease):
+			w.eventf("lease %s: lost before completion (%v); discarding", lease.LeaseID, err)
+			return nil
+		default:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if !w.now().Before(deadline) {
+				w.eventf("lease %s: cannot report completion before deadline; abandoning", lease.LeaseID)
+				return nil
+			}
+			w.eventf("lease %s: complete failed (%v); buffering and retrying", lease.LeaseID, err)
+			if err := w.sleep(ctx, w.pollEvery()); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (w *Worker) now() time.Time {
+	if w.Now != nil {
+		return w.Now()
+	}
+	return time.Now()
+}
+
+func (w *Worker) pollEvery() time.Duration {
+	if w.PollEvery > 0 {
+		return w.PollEvery
+	}
+	return 200 * time.Millisecond
+}
+
+func (w *Worker) sleep(ctx context.Context, d time.Duration) error {
+	if w.Sleep != nil {
+		return w.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (w *Worker) eventf(format string, args ...any) {
+	if w.OnEvent != nil {
+		w.OnEvent(format, args...)
+	}
+}

@@ -1,9 +1,14 @@
 package scan
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+
+	"github.com/tass-scan/tass/internal/atomicfile"
 )
 
 // Checkpoint is the serialized cursor state of an interrupted scan
@@ -92,17 +97,109 @@ func (s *Scanner) Resume(cp *Checkpoint) error {
 	return nil
 }
 
-// WriteCheckpoint serializes a checkpoint as JSON.
-func WriteCheckpoint(w io.Writer, cp *Checkpoint) error {
-	enc := json.NewEncoder(w)
-	return enc.Encode(cp)
+// The checkpoint wire format is a small JSON envelope around the
+// checkpoint body: a format marker (so corruption of the envelope is
+// never mistaken for a legacy file), a format version (readers reject
+// files from the future instead of resuming from misparsed state), and
+// a CRC-32 over the exact body bytes (torn writes and bit flips are
+// detected before a single address is skipped or re-probed).
+const (
+	checkpointFormat  = "tass-checkpoint"
+	checkpointVersion = 1
+)
+
+type checkpointEnvelope struct {
+	Format  string          `json:"format"`
+	Version int             `json:"v"`
+	CRC     uint32          `json:"crc"`
+	Body    json.RawMessage `json:"body"`
 }
 
-// ReadCheckpoint parses a checkpoint written by WriteCheckpoint.
+// WriteCheckpoint serializes a checkpoint: a versioned JSON envelope
+// whose body is the checkpoint fields and whose crc field checksums the
+// body bytes. ReadCheckpoint refuses anything that does not round-trip.
+func WriteCheckpoint(w io.Writer, cp *Checkpoint) error {
+	body, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("scan: encoding checkpoint: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(checkpointEnvelope{
+		Format:  checkpointFormat,
+		Version: checkpointVersion,
+		CRC:     crc32.ChecksumIEEE(body),
+		Body:    body,
+	})
+}
+
+// ReadCheckpoint parses a checkpoint written by WriteCheckpoint,
+// verifying the format version and body checksum: truncated, corrupted
+// or future-version files are rejected with a clear error instead of
+// silently resuming a cycle from garbage cursors. Checksum-less files
+// from before the envelope format are still accepted (one release of
+// grace for cursors written by old binaries).
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("scan: reading checkpoint: %w", err)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("scan: reading checkpoint: file is empty (torn save?)")
+	}
+	var env checkpointEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("scan: reading checkpoint: truncated or corrupt: %w", err)
+	}
+	if env.Format == "" {
+		// Legacy checksum-less checkpoint: the body fields at top level.
+		// Decode strictly — a corrupted envelope (extra "crc"/"body"
+		// keys) must not slip through the compatibility path unchecked.
+		var cp Checkpoint
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cp); err != nil {
+			return nil, fmt.Errorf("scan: reading checkpoint: not a checkpoint file: %w", err)
+		}
+		return &cp, nil
+	}
+	if env.Format != checkpointFormat {
+		return nil, fmt.Errorf("scan: reading checkpoint: format %q is not %q", env.Format, checkpointFormat)
+	}
+	if env.Version > checkpointVersion {
+		return nil, fmt.Errorf("scan: reading checkpoint: version %d is newer than this binary's %d — refuse to guess at its layout", env.Version, checkpointVersion)
+	}
+	if env.Version < 1 {
+		return nil, fmt.Errorf("scan: reading checkpoint: invalid version %d", env.Version)
+	}
+	if sum := crc32.ChecksumIEEE(env.Body); sum != env.CRC {
+		return nil, fmt.Errorf("scan: reading checkpoint: checksum mismatch (crc %08x, body %08x) — file is torn or corrupt, not resuming", env.CRC, sum)
+	}
 	var cp Checkpoint
-	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+	if err := json.Unmarshal(env.Body, &cp); err != nil {
 		return nil, fmt.Errorf("scan: reading checkpoint: %w", err)
 	}
 	return &cp, nil
+}
+
+// WriteCheckpointFile atomically persists a checkpoint to path: the
+// envelope is written to a temporary file in the same directory, synced,
+// and renamed over the destination, so an interrupt mid-save never
+// destroys the only copy of the cursor.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, cp); err != nil {
+		return err
+	}
+	return atomicfile.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// ReadCheckpointFile loads a checkpoint persisted by WriteCheckpointFile
+// (or a legacy checksum-less cursor file).
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
 }

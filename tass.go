@@ -34,12 +34,14 @@ package tass
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"time"
 
 	"github.com/tass-scan/tass/internal/addrset"
 	"github.com/tass-scan/tass/internal/census"
 	"github.com/tass-scan/tass/internal/churn"
 	"github.com/tass-scan/tass/internal/cluster"
+	"github.com/tass-scan/tass/internal/coord"
 	"github.com/tass-scan/tass/internal/core"
 	"github.com/tass-scan/tass/internal/mrt"
 	"github.com/tass-scan/tass/internal/netaddr"
@@ -273,6 +275,76 @@ func ReadScanCheckpoint(r io.Reader) (*ScanCheckpoint, error) { return scan.Read
 
 // WriteScanCheckpoint serializes an interrupted cycle's cursor state.
 func WriteScanCheckpoint(w io.Writer, cp *ScanCheckpoint) error { return scan.WriteCheckpoint(w, cp) }
+
+// ReadScanCheckpointFile loads a checkpoint file, verifying its format
+// version and checksum: a torn or corrupt cursor is refused, never
+// half-resumed.
+func ReadScanCheckpointFile(path string) (*ScanCheckpoint, error) {
+	return scan.ReadCheckpointFile(path)
+}
+
+// WriteScanCheckpointFile atomically persists a checkpoint (write to a
+// temp file, fsync, rename): a crash mid-save leaves the previous
+// cursor intact instead of a torn file.
+func WriteScanCheckpointFile(path string, cp *ScanCheckpoint) error {
+	return scan.WriteCheckpointFile(path, cp)
+}
+
+// Distributed-campaign types: a fault-tolerant coordinator owns the
+// campaign state machine and hands time-bounded shard leases to a fleet
+// of workers over HTTP+JSON (see internal/coord and DESIGN.md §13).
+type (
+	// Coordinator is the campaign state machine: it leases shards,
+	// collects uploads, reseeds between cycles, and persists every
+	// transition to its store.
+	Coordinator = coord.Coordinator
+	// CoordSpec configures one distributed campaign.
+	CoordSpec = coord.CampaignSpec
+	// CoordLease is one granted shard of one scan cycle.
+	CoordLease = coord.Lease
+	// CoordStatus is a campaign's externally visible state.
+	CoordStatus = coord.Status
+	// CoordStore is the coordinator's durable-state backend.
+	CoordStore = coord.Store
+	// CoordClient is the worker-side HTTP client with retries.
+	CoordClient = coord.Client
+	// CoordWorker runs leased shards against a coordinator until the
+	// campaign completes.
+	CoordWorker = coord.Worker
+)
+
+// Coordinator sentinel errors (see the coord package for semantics).
+var (
+	// ErrLeaseLost means a worker's lease expired or was superseded: its
+	// buffered results must be discarded, not uploaded.
+	ErrLeaseLost = coord.ErrLeaseLost
+	// ErrUnknownCampaign means the campaign ID is not registered.
+	ErrUnknownCampaign = coord.ErrUnknownCampaign
+	// ErrCampaignExists rejects registering a duplicate campaign ID.
+	ErrCampaignExists = coord.ErrCampaignExists
+)
+
+// NewCoordinator builds a campaign coordinator over store, reloading
+// any state a previous process saved there (a torn or corrupt store is
+// refused). now is the lease clock; nil means time.Now.
+func NewCoordinator(store CoordStore, now func() time.Time) (*Coordinator, error) {
+	return coord.NewCoordinator(store, now)
+}
+
+// NewCoordHandler exposes a coordinator over HTTP+JSON.
+func NewCoordHandler(c *Coordinator) http.Handler { return coord.NewHandler(c) }
+
+// NewCoordFileStore returns a file-backed coordinator store with
+// atomic, checksummed saves.
+func NewCoordFileStore(path string) CoordStore { return coord.NewFileStore(path) }
+
+// NewCoordMemStore returns an in-memory coordinator store (tests,
+// single-process demos).
+func NewCoordMemStore() CoordStore { return coord.NewMemStore() }
+
+// NewCoordClient returns a coordinator client with the default retry
+// policy (jittered exponential backoff on transport failures).
+func NewCoordClient(base string) *CoordClient { return coord.NewClient(base) }
 
 // ExtractMRT reduces an MRT TABLE_DUMP_V2 RIB stream to an announced
 // table with origin ASes (the CAIDA pfx2as reduction). skipped counts

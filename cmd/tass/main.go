@@ -96,9 +96,10 @@ func usage() {
               [-seed N] [-max N] [-loss F]
   tass coordinate -listen ADDR -state FILE [-campaign ID -targets PREFIXES]
               [-cycles N] [-shards N] [-phi F] [-seed N] [-workers N]
-              [-lease-ttl D] [-chunk N] [-rate F]
+              [-lease-ttl D] [-chunk N] [-rate F] [-exclude FILE]
+              [-prefix-rate F] [-prefix-burst N]
   tass work   -coordinator URL -campaign ID (-sim ADDRS | -port N)
-              [-id NAME] [-loss F] [-seed N]`)
+              [-id NAME] [-loss F] [-seed N] [-exclude FILE]`)
 }
 
 func loadTable(path string) (*tass.Table, error) {
@@ -582,6 +583,9 @@ func runCoordinate(args []string) error {
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "lease duration; a silent worker's shard is re-leased after this")
 	chunk := fs.Uint64("chunk", 256, "probes per checkpoint chunk (bounds repeated work after a hard crash)")
 	rate := fs.Float64("rate", 0, "per-worker probes/second cap (0 = unlimited)")
+	excludePath := fs.String("exclude", "", "ZMap-style exclusion file; distributed to every worker in each lease")
+	prefixRate := fs.Float64("prefix-rate", 0, "per-worker probes/second cap into any single target prefix (0 = off)")
+	prefixBurst := fs.Int("prefix-burst", 0, "per-prefix bucket burst (default 8)")
 	fs.Parse(args)
 	if *statePath == "" {
 		return fmt.Errorf("coordinate: -state is required")
@@ -602,6 +606,17 @@ func runCoordinate(args []string) error {
 		for i, p := range prefixes {
 			universe[i] = p.String()
 		}
+		var exclude []string
+		if *excludePath != "" {
+			ps, err := loadPrefixFile(*excludePath)
+			if err != nil {
+				return err
+			}
+			exclude = make([]string, len(ps))
+			for i, p := range ps {
+				exclude[i] = p.String()
+			}
+		}
 		err = c.CreateCampaign(tass.CoordSpec{
 			ID:          *campaign,
 			Universe:    universe,
@@ -611,6 +626,9 @@ func runCoordinate(args []string) error {
 			Workers:     *workers,
 			Seed:        *seed,
 			Rate:        *rate,
+			Exclude:     exclude,
+			PrefixRate:  *prefixRate,
+			PrefixBurst: *prefixBurst,
 			LeaseTTL:    *leaseTTL,
 			ChunkProbes: *chunk,
 		})
@@ -655,6 +673,7 @@ func runWork(args []string) error {
 	port := fs.Int("port", 0, "TCP port to probe (real scanning)")
 	loss := fs.Float64("loss", 0, "simulated probe loss rate")
 	seed := fs.Int64("seed", 1, "simulation prober seed (cycle i uses seed+i)")
+	excludePath := fs.String("exclude", "", "ZMap-style exclusion file applied locally, on top of the campaign's list")
 	fs.Parse(args)
 	if *coordURL == "" || *campaign == "" {
 		return fmt.Errorf("work: -coordinator and -campaign are required")
@@ -673,6 +692,13 @@ func runWork(args []string) error {
 		OnEvent: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "# [%s] %s\n", name, fmt.Sprintf(format, args...))
 		},
+	}
+	if *excludePath != "" {
+		ps, err := loadPrefixFile(*excludePath)
+		if err != nil {
+			return err
+		}
+		w.Exclude = ps
 	}
 	if *simPath != "" {
 		snap, err := loadAddrs(*simPath)

@@ -182,6 +182,20 @@ func (cl *Client) attempt(ctx context.Context, method, path string, body []byte,
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
 			msg = er.Error
 		}
+		// The body's error code pins the sentinel exactly; the status
+		// mapping below is the fallback for coordinators that predate
+		// it (404 alone cannot tell an unknown lease from an unknown
+		// campaign).
+		switch er.Code {
+		case codeUnknownCampaign:
+			return fmt.Errorf("%w: %s", ErrUnknownCampaign, msg)
+		case codeUnknownLease:
+			return fmt.Errorf("%w: %s", ErrUnknownLease, msg)
+		case codeLeaseLost:
+			return fmt.Errorf("%w: %s", ErrLeaseLost, msg)
+		case codeCampaignExists:
+			return fmt.Errorf("%w: %s", ErrCampaignExists, msg)
+		}
 		err := fmt.Errorf("coord: %s %s: %s (%s)", method, path, msg, resp.Status)
 		switch {
 		case resp.StatusCode == http.StatusGone:

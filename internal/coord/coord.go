@@ -33,6 +33,7 @@ package coord
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/tass-scan/tass/internal/netaddr"
@@ -85,6 +86,18 @@ type CampaignSpec struct {
 	Seed int64 `json:"seed"`
 	// Rate, when positive, caps each worker's probes per second.
 	Rate float64 `json:"rate,omitempty"`
+	// Exclude lists prefixes no worker may probe (the operator
+	// blocklist), as CIDR strings. It travels in every lease, so a
+	// fleet scan enforces the same exclusions as a single-node
+	// `tass scan -exclude` — workers may layer their own local list on
+	// top, but can never see less than the campaign's.
+	Exclude []string `json:"exclude,omitempty"`
+	// PrefixRate and PrefixBurst, when set, cap each worker's probes
+	// per second into any single target prefix (the politeness layer's
+	// per-prefix pacing). The per-AS knobs are not distributed: they
+	// need a pfx2as origin mapping on every worker.
+	PrefixRate  float64 `json:"prefix_rate,omitempty"`
+	PrefixBurst int     `json:"prefix_burst,omitempty"`
 	// LeaseTTL bounds how stale a silent worker can be before its shard
 	// is re-leased (default 30s).
 	LeaseTTL time.Duration `json:"lease_ttl"`
@@ -140,6 +153,17 @@ func (s CampaignSpec) validate() (universe, targets rib.Partition, err error) {
 			return universe, targets, fmt.Errorf("coord: targets: %w", err)
 		}
 	}
+	// Exclusions may overlap each other and the universe freely (they
+	// form a trie, not a partition), but every entry must parse: a typo
+	// discovered at lease time would stall the whole fleet.
+	for _, x := range s.Exclude {
+		if _, err := netaddr.ParsePrefix(x); err != nil {
+			return universe, targets, fmt.Errorf("coord: exclusion %q: %w", x, err)
+		}
+	}
+	if math.IsNaN(s.PrefixRate) || math.IsInf(s.PrefixRate, 0) || s.PrefixRate < 0 {
+		return universe, targets, fmt.Errorf("coord: prefix rate must be finite and non-negative, got %v", s.PrefixRate)
+	}
 	return universe, targets, nil
 }
 
@@ -185,6 +209,14 @@ type Lease struct {
 	Seed int64 `json:"seed"`
 	// Rate caps the worker's probes per second (0 = unlimited).
 	Rate float64 `json:"rate,omitempty"`
+	// Exclude is the campaign's operator blocklist as CIDR strings; the
+	// worker must never probe these, exactly like a single-node scan
+	// with -exclude.
+	Exclude []string `json:"exclude,omitempty"`
+	// PrefixRate and PrefixBurst cap the worker's probes per second
+	// into any single target prefix (0 = off).
+	PrefixRate  float64 `json:"prefix_rate,omitempty"`
+	PrefixBurst int     `json:"prefix_burst,omitempty"`
 	// ChunkProbes is the checkpoint cadence the worker should scan at.
 	ChunkProbes uint64 `json:"chunk_probes"`
 	// TTL is the lease duration; the worker must renew (heartbeat)

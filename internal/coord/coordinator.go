@@ -224,6 +224,9 @@ func (c *Coordinator) Acquire(campaign, worker string) (*Lease, bool, error) {
 		Workers:     cs.Spec.Workers,
 		Seed:        cs.Spec.Seed + int64(cs.Cycle),
 		Rate:        cs.Spec.Rate,
+		Exclude:     append([]string(nil), cs.Spec.Exclude...),
+		PrefixRate:  cs.Spec.PrefixRate,
+		PrefixBurst: cs.Spec.PrefixBurst,
 		ChunkProbes: cs.Spec.ChunkProbes,
 		TTL:         cs.Spec.LeaseTTL,
 		Plan:        cs.Plan,
@@ -266,6 +269,7 @@ func (c *Coordinator) Complete(campaign, leaseID string, up Upload) error {
 	if err != nil {
 		return err
 	}
+	prev := *sh
 	sh.State = shardDone
 	sh.LeaseID = ""
 	sh.Deadline = time.Time{}
@@ -278,6 +282,12 @@ func (c *Coordinator) Complete(campaign, leaseID string, up Upload) error {
 		}
 	}
 	if err := c.finishCycleLocked(cs); err != nil {
+		// Roll the shard transition back: finishCycleLocked mutates
+		// nothing on failure, so restoring the shard keeps the in-memory
+		// state identical to the durable store, the lease stays owned by
+		// this worker, and its retried Complete re-runs the whole
+		// transition instead of being fenced off a wedged campaign.
+		*sh = prev
 		return err
 	}
 	return c.saveLocked()
@@ -376,6 +386,9 @@ func (c *Coordinator) expireLocked(cs *campaignState) bool {
 // finishCycleLocked merges the completed cycle's shard results, records
 // the summary, and either reseeds the next cycle's plan (the paper's
 // census→rank→select step, run centrally) or finishes the campaign.
+// All-or-nothing: every fallible step runs before the first mutation,
+// so a failed reseed leaves the campaign state exactly as it was and
+// the caller can safely retry (or roll back its own transition).
 func (c *Coordinator) finishCycleLocked(cs *campaignState) error {
 	var responsive []netaddr.Addr
 	var probed, errors uint64
@@ -393,14 +406,16 @@ func (c *Coordinator) finishCycleLocked(cs *campaignState) error {
 		Responsive: snap.Hosts(),
 		Releases:   cs.Releases,
 	}
-	cs.Final = snap.Addrs
 	last := cs.Cycle+1 >= cs.Spec.Cycles
-	if !last && len(responsive) == 0 {
+	done, note := last, ""
+	var nextPlan rib.Partition
+	switch {
+	case !last && len(responsive) == 0:
 		// Nothing answered: there is no snapshot to select from, and the
 		// next cycle would scan an empty plan forever. Finish early.
-		cs.Done = true
-		cs.Note = fmt.Sprintf("cycle %d found no responsive hosts; campaign finished early", cs.Cycle)
-	} else if !last {
+		done = true
+		note = fmt.Sprintf("cycle %d found no responsive hosts; campaign finished early", cs.Cycle)
+	case !last:
 		sel, err := core.SelectCached(snap, cs.universe,
 			core.Options{Phi: cs.Spec.Phi, MinDensity: cs.Spec.MinDensity}, 0, nil)
 		if err != nil {
@@ -408,21 +423,25 @@ func (c *Coordinator) finishCycleLocked(cs *campaignState) error {
 		}
 		summary.Selected = sel.K
 		summary.SpaceShare = sel.SpaceShare
-		part := sel.Partition()
-		if part.Len() == 0 {
-			cs.Done = true
-			cs.Note = fmt.Sprintf("cycle %d selected no prefixes (no responsive hosts); campaign finished early", cs.Cycle)
-		} else {
-			cs.plan = part
-			cs.Plan = formatPartition(part)
-			cs.Cycle++
-			cs.Shards = freshShards(cs.Spec.Shards)
-			cs.Releases = 0
+		nextPlan = sel.Partition()
+		if nextPlan.Len() == 0 {
+			done = true
+			note = fmt.Sprintf("cycle %d selected no prefixes (no responsive hosts); campaign finished early", cs.Cycle)
 		}
-	} else {
-		cs.Done = true
 	}
+
+	cs.Final = snap.Addrs
 	cs.History = append(cs.History, summary)
+	if done {
+		cs.Done = true
+		cs.Note = note
+		return nil
+	}
+	cs.plan = nextPlan
+	cs.Plan = formatPartition(nextPlan)
+	cs.Cycle++
+	cs.Shards = freshShards(cs.Spec.Shards)
+	cs.Releases = 0
 	return nil
 }
 

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"errors"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -348,5 +349,80 @@ func TestEmptySelectionFinishesEarly(t *testing.T) {
 	st, _ := c.Status("x")
 	if !st.Done || st.Note == "" {
 		t.Fatalf("empty-result campaign not finished early: %+v", st)
+	}
+}
+
+// TestCompleteReseedFailureRollsBack: when the last shard of a cycle
+// completes but reseeding the next cycle fails (here: every responsive
+// host lies outside the universe, so the seeder has nothing to plan
+// from), the coordinator must leave the shard exactly as it was — in
+// memory AND in the durable store — so the worker's retry is not fenced
+// off with ErrLeaseLost and the campaign cannot wedge.
+func TestCompleteReseedFailureRollsBack(t *testing.T) {
+	clk := newVClock()
+	store := NewFileStore(filepath.Join(t.TempDir(), "coord.json"))
+	c := mustCoordinator(t, store, clk.Now)
+	if err := c.CreateCampaign(testSpec("x")); err != nil {
+		t.Fatal(err)
+	}
+	la, _, err := c.Acquire("x", "wa")
+	if err != nil || la == nil {
+		t.Fatalf("acquire a: %+v, %v", la, err)
+	}
+	lb, _, err := c.Acquire("x", "wb")
+	if err != nil || lb == nil {
+		t.Fatalf("acquire b: %+v, %v", lb, err)
+	}
+	if err := c.Complete("x", la.LeaseID, Upload{Probed: 32}); err != nil {
+		t.Fatalf("complete a: %v", err)
+	}
+
+	// Out-of-universe responsive host: cycle finishes, reseed cannot.
+	bad := Upload{
+		Responsive: []netaddr.Addr{netaddr.MustParseAddr("203.0.113.5")},
+		Probed:     32,
+	}
+	if err := c.Complete("x", lb.LeaseID, bad); err == nil {
+		t.Fatal("complete with un-seedable snapshot unexpectedly succeeded")
+	}
+
+	check := func(c *Coordinator, label string) {
+		st, err := c.Status("x")
+		if err != nil {
+			t.Fatalf("%s: status: %v", label, err)
+		}
+		if st.Done || st.Cycle != 0 || len(st.History) != 0 {
+			t.Fatalf("%s: cycle advanced despite reseed failure: %+v", label, st)
+		}
+		var sb *ShardStatus
+		for i := range st.Shards {
+			if st.Shards[i].Index == lb.Shard {
+				sb = &st.Shards[i]
+			}
+		}
+		if sb == nil || sb.State != shardLeased || sb.LeaseID != lb.LeaseID {
+			t.Fatalf("%s: shard b not still leased under %s: %+v", label, lb.LeaseID, sb)
+		}
+	}
+	check(c, "in-memory")
+	// The durable store must agree: a restarted coordinator sees the
+	// same pre-failure state.
+	check(mustCoordinator(t, store, clk.Now), "restarted")
+
+	// A corrected retry under the SAME lease succeeds and advances the
+	// cycle — the failed attempt did not burn the lease.
+	good := Upload{
+		Responsive: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.2")},
+		Probed:     32,
+	}
+	if err := c.Complete("x", lb.LeaseID, good); err != nil {
+		t.Fatalf("retry complete: %v", err)
+	}
+	st, err := c.Status("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycle != 1 || len(st.History) != 1 {
+		t.Fatalf("retry did not advance cycle: %+v", st)
 	}
 }

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -589,5 +590,198 @@ func TestCoordinatorRefusesTornStateFile(t *testing.T) {
 		t.Fatal("coordinator started over a torn state file")
 	} else if !strings.Contains(err.Error(), "refusing") {
 		t.Fatalf("torn state error %q does not refuse loading", err)
+	}
+}
+
+// TestSlowChunkBackgroundRenewalKeepsLease guards against chunk-paced
+// renewal starvation: with a slow prober (or a tight rate cap) a single
+// chunk can take far longer than the lease TTL, and a worker that only
+// heartbeats at chunk boundaries would lose every lease it touches and
+// livelock the fleet. Each probe here advances the virtual clock by 5
+// seconds — a 64-address shard spans 320 virtual seconds against a 30
+// second TTL — and blocks until the coordinator's recorded lease
+// deadline is comfortably ahead of the clock again, which only the
+// background renewer can make true (the chunk budget is never reached).
+func TestSlowChunkBackgroundRenewalKeepsLease(t *testing.T) {
+	clk := newVClock()
+	c := mustCoordinator(t, NewMemStore(), clk.Now)
+	tr := &memTransport{handler: NewHandler(c)}
+	var renewals atomic.Int64
+	tr.dropResponse = func(r *http.Request, n int) bool {
+		if strings.Contains(r.URL.Path, "/heartbeat") {
+			renewals.Add(1)
+		}
+		return false
+	}
+	spec := CampaignSpec{
+		ID:          "slow",
+		Universe:    []string{"198.51.100.0/26"},
+		Phi:         0.9,
+		Cycles:      1,
+		Shards:      1,
+		Workers:     1,
+		Seed:        3,
+		LeaseTTL:    30 * time.Second,
+		ChunkProbes: 4096, // never reached: renewals are the only heartbeats
+	}
+	if err := c.CreateCampaign(spec); err != nil {
+		t.Fatal(err)
+	}
+	inner, err := scan.NewSimProber([]netaddr.Addr{netaddr.MustParseAddr("198.51.100.7")}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dist := newProbeLog()
+	events := &eventLog{}
+	w := &Worker{
+		Client:         newTestClient(tr),
+		ID:             "w",
+		Campaign:       "slow",
+		HeartbeatEvery: time.Millisecond,
+		Prober: &countingProber{
+			log: dist, cycle: 0, inner: inner,
+			onProbe: func() {
+				clk.Advance(5 * time.Second)
+				// Block until a renewal restores a >20s deadline margin.
+				// The real-time grace bounds a broken implementation to a
+				// failed audit instead of a hang.
+				for grace := time.Now().Add(2 * time.Second); time.Now().Before(grace); {
+					st, err := c.Status("slow")
+					if err == nil && len(st.Shards) == 1 && st.Shards[0].State == shardLeased &&
+						st.Shards[0].Deadline.Sub(clk.Now()) > 20*time.Second {
+						return
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+			},
+		},
+		Now:     clk.Now,
+		OnEvent: events.f,
+		Sleep:   func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := w.Run(ctx); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+
+	st, err := c.Status("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done {
+		t.Fatalf("campaign not done: %+v", st)
+	}
+	if st.History[0].Releases != 1 {
+		t.Errorf("lease grants = %d, want 1: the slow chunk cost the worker its lease", st.History[0].Releases)
+	}
+	counts := dist.set(0)
+	if len(counts) != 64 {
+		t.Errorf("probed %d distinct addresses, want 64", len(counts))
+	}
+	for addr, n := range counts {
+		if n != 1 {
+			t.Errorf("%v probed %d times, want exactly once", addr, n)
+		}
+	}
+	if renewals.Load() == 0 {
+		t.Error("no background renewals fired; the test proved nothing")
+	}
+	if events.contains("lost") {
+		t.Error("worker believed its lease lost during the slow chunk")
+	}
+}
+
+// TestDistributedExclusionsEnforced: the campaign's operator blocklist
+// travels in every lease, and a worker's local list layers on top — a
+// fleet scan may never probe an address a single-node `tass scan
+// -exclude` would have skipped.
+func TestDistributedExclusionsEnforced(t *testing.T) {
+	clk := newVClock()
+	c := mustCoordinator(t, NewMemStore(), clk.Now)
+	tr := &memTransport{handler: NewHandler(c)}
+	spec := faultSpec(1, 2)
+	spec.Exclude = []string{"203.0.113.192/26"} // campaign-wide
+	if err := c.CreateCampaign(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	dist := newProbeLog()
+	w := &Worker{
+		Client:   newTestClient(tr),
+		ID:       "w",
+		Campaign: "camp",
+		ProberAt: func(cycle int) scan.Prober {
+			return &countingProber{log: dist, cycle: cycle, inner: faultProberAt(cycle)}
+		},
+		Exclude: []netaddr.Prefix{netaddr.MustParsePrefix("203.0.113.128/26")}, // worker-local
+		Now:     clk.Now,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			clk.Advance(2 * time.Second)
+			return ctx.Err()
+		},
+	}
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+
+	st, err := c.Status("camp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done {
+		t.Fatalf("campaign not done: %+v", st)
+	}
+	blocked := []netaddr.Prefix{
+		netaddr.MustParsePrefix("203.0.113.192/26"),
+		netaddr.MustParsePrefix("203.0.113.128/26"),
+	}
+	probedAny := false
+	for cycle := 0; cycle < 2; cycle++ {
+		for addr := range dist.set(cycle) {
+			probedAny = true
+			for _, p := range blocked {
+				if p.Contains(addr) {
+					t.Errorf("cycle %d probed excluded address %v (in %v)", cycle, addr, p)
+				}
+			}
+		}
+	}
+	if !probedAny {
+		t.Fatal("nothing was probed; the exclusion test proved nothing")
+	}
+}
+
+// TestWireErrorCodes: the HTTP protocol's body-level error codes keep
+// sentinels apart even where statuses collide — a worker with a stale
+// or bogus lease must see ErrUnknownLease / ErrLeaseLost, never a
+// misdiagnosed ErrUnknownCampaign for a campaign that exists.
+func TestWireErrorCodes(t *testing.T) {
+	clk := newVClock()
+	c := mustCoordinator(t, NewMemStore(), clk.Now)
+	tr := &memTransport{handler: NewHandler(c)}
+	if err := c.CreateCampaign(faultSpec(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cl := newTestClient(tr)
+	ctx := context.Background()
+
+	if _, err := cl.Status(ctx, "nope"); !errors.Is(err, ErrUnknownCampaign) {
+		t.Errorf("unknown campaign err = %v, want ErrUnknownCampaign", err)
+	}
+	if err := cl.Heartbeat(ctx, "camp", "L99999999", Upload{}); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("never-issued lease err = %v, want ErrUnknownLease (campaign exists)", err)
+	}
+	lease, _, err := cl.Acquire(ctx, "camp", "w")
+	if err != nil || lease == nil {
+		t.Fatalf("acquire = %+v, %v", lease, err)
+	}
+	clk.Advance(31 * time.Second)
+	if err := cl.Heartbeat(ctx, "camp", lease.LeaseID, Upload{}); !errors.Is(err, ErrLeaseLost) {
+		t.Errorf("expired lease err = %v, want ErrLeaseLost", err)
+	}
+	if err := cl.CreateCampaign(ctx, faultSpec(1, 1)); !errors.Is(err, ErrCampaignExists) {
+		t.Errorf("duplicate create err = %v, want ErrCampaignExists", err)
 	}
 }

@@ -17,10 +17,11 @@ import (
 //	POST /v1/campaigns/{id}/leases/{lease}/heartbeat    Upload → heartbeatResponse
 //	POST /v1/campaigns/{id}/leases/{lease}/complete     Upload → {}
 //
-// Semantic failures map to statuses the client turns back into sentinel
-// errors: 404 unknown campaign/lease, 410 lease lost, 409 duplicate
-// campaign, 400 bad request. Anything transport-shaped (5xx, network)
-// is retryable; 4xx is not.
+// Semantic failures map to statuses plus a machine-readable `code`
+// field in the JSON body that the client turns back into sentinel
+// errors: 404 unknown campaign/lease (disambiguated by code), 410 lease
+// lost, 409 duplicate campaign, 400 bad request. Anything
+// transport-shaped (5xx, network) is retryable; 4xx is not.
 
 type acquireRequest struct {
 	Worker string `json:"worker"`
@@ -40,7 +41,21 @@ type heartbeatResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code names the sentinel error machine-readably; HTTP statuses
+	// alone are ambiguous (unknown campaign and unknown lease are both
+	// 404, and a worker diagnosing the wrong one would re-acquire
+	// against a campaign it believes is gone).
+	Code string `json:"code,omitempty"`
 }
+
+// Wire error codes, mapped from sentinels by writeError and back by the
+// client.
+const (
+	codeUnknownCampaign = "unknown_campaign"
+	codeUnknownLease    = "unknown_lease"
+	codeLeaseLost       = "lease_lost"
+	codeCampaignExists  = "campaign_exists"
+)
 
 // maxBodyBytes bounds request bodies: uploads carry address lists, not
 // bulk data, and a malicious or confused client must not OOM the
@@ -121,16 +136,18 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+	status, code := http.StatusInternalServerError, ""
 	switch {
-	case errors.Is(err, ErrUnknownCampaign), errors.Is(err, ErrUnknownLease):
-		status = http.StatusNotFound
+	case errors.Is(err, ErrUnknownCampaign):
+		status, code = http.StatusNotFound, codeUnknownCampaign
+	case errors.Is(err, ErrUnknownLease):
+		status, code = http.StatusNotFound, codeUnknownLease
 	case errors.Is(err, ErrLeaseLost):
-		status = http.StatusGone
+		status, code = http.StatusGone, codeLeaseLost
 	case errors.Is(err, ErrCampaignExists):
-		status = http.StatusConflict
+		status, code = http.StatusConflict, codeCampaignExists
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

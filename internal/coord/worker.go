@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/tass-scan/tass/internal/netaddr"
@@ -13,7 +14,10 @@ import (
 // Worker is the fleet side of a distributed campaign: acquire a shard
 // lease, scan it in checkpointable chunks, upload the cursor and
 // results at every chunk boundary, complete, repeat until the campaign
-// is done.
+// is done. A background renewer heartbeats the lease on a timer,
+// independent of chunk boundaries, so a chunk that takes longer than
+// the lease TTL (slow prober, tight rate cap) never costs the worker
+// its shard.
 //
 // Failure posture: a worker that loses the coordinator does not abandon
 // its shard — it keeps scanning and buffering results, retrying uploads
@@ -36,6 +40,14 @@ type Worker struct {
 	// ProberAt, when set, supplies the prober per cycle (the simulation
 	// hook, mirroring scan.Campaign.ProberAt).
 	ProberAt func(cycle int) scan.Prober
+	// Exclude lists prefixes this worker must never probe, layered on
+	// top of the campaign-wide exclusion list carried in each lease.
+	Exclude []netaddr.Prefix
+	// HeartbeatEvery is the background lease-renewal cadence (default
+	// TTL/3). Renewals re-send the last consistent upload — uploads are
+	// cumulative and replace the previous one, so the replay is
+	// idempotent.
+	HeartbeatEvery time.Duration
 	// Now is the worker's clock, injectable for deterministic tests
 	// (default time.Now).
 	Now func() time.Time
@@ -91,6 +103,51 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// leaseHealth is the worker-side view of one held lease, shared between
+// the chunk loop and the background renewer.
+type leaseHealth struct {
+	mu       sync.Mutex
+	lastUp   Upload    // last consistent (chunk-boundary) upload
+	deadline time.Time // local copy of the lease deadline
+	fenced   bool      // the coordinator rejected the lease outright
+}
+
+func (h *leaseHealth) upload() Upload {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastUp
+}
+
+func (h *leaseHealth) commit(up Upload) {
+	h.mu.Lock()
+	h.lastUp = up
+	h.mu.Unlock()
+}
+
+func (h *leaseHealth) renewed(d time.Time) {
+	h.mu.Lock()
+	h.deadline = d
+	h.mu.Unlock()
+}
+
+func (h *leaseHealth) expiresAt() time.Time {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.deadline
+}
+
+func (h *leaseHealth) markFenced() {
+	h.mu.Lock()
+	h.fenced = true
+	h.mu.Unlock()
+}
+
+func (h *leaseHealth) isFenced() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fenced
+}
+
 // runLease scans one leased shard to completion (or abandonment). The
 // returned error is only ever a dead context: lease-level failures are
 // handled by abandoning the shard and letting Run re-acquire.
@@ -101,6 +158,15 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) error {
 		// the lease (it will expire) and surface loudly.
 		w.eventf("lease %s: bad plan: %v", lease.LeaseID, err)
 		return fmt.Errorf("coord: lease %s: bad plan: %w", lease.LeaseID, err)
+	}
+	exclude := append([]netaddr.Prefix(nil), w.Exclude...)
+	for _, s := range lease.Exclude {
+		p, err := netaddr.ParsePrefix(s)
+		if err != nil {
+			w.eventf("lease %s: bad exclusion %q: %v", lease.LeaseID, s, err)
+			return fmt.Errorf("coord: lease %s: bad exclusion %q: %w", lease.LeaseID, s, err)
+		}
+		exclude = append(exclude, p)
 	}
 	prober := w.Prober
 	if w.ProberAt != nil {
@@ -114,7 +180,12 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) error {
 		Seed:      lease.Seed,
 		Shard:     lease.Shard,
 		Shards:    lease.Shards,
+		Exclude:   exclude,
 		MaxProbes: lease.ChunkProbes,
+		Politeness: scan.Politeness{
+			PrefixRate:  lease.PrefixRate,
+			PrefixBurst: lease.PrefixBurst,
+		},
 	})
 	if err != nil {
 		return fmt.Errorf("coord: lease %s: %w", lease.LeaseID, err)
@@ -125,14 +196,28 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) error {
 		}
 	}
 
-	// The worker's own view of the lease: refreshed on every successful
-	// heartbeat, compared against Now when the coordinator is away.
-	deadline := w.now().Add(lease.TTL)
+	// The worker's view of the lease, shared with the background
+	// renewer. The initial upload carries the inherited checkpoint so a
+	// renewal that fires before the first chunk boundary re-asserts the
+	// cursor the coordinator already holds instead of clearing it.
+	health := &leaseHealth{
+		lastUp:   Upload{Checkpoint: lease.Checkpoint},
+		deadline: w.now().Add(lease.TTL),
+	}
+	scanCtx, cancelScan := context.WithCancel(ctx)
+	renewDone := make(chan struct{})
+	go w.renewLoop(scanCtx, cancelScan, lease, health, renewDone)
+	stopRenewer := func() {
+		cancelScan()
+		<-renewDone
+	}
+	defer stopRenewer()
+
 	var responsive []netaddr.Addr
 	var probed, nErrors uint64
 
 	for {
-		report, runErr := scanner.Run(ctx)
+		report, runErr := scanner.Run(scanCtx)
 		if report != nil {
 			responsive = mergeAddrs(responsive, report.Responsive)
 			probed += report.Probed
@@ -140,8 +225,16 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) error {
 		}
 		cp := scanner.Checkpoint()
 		up := Upload{Checkpoint: cp, Responsive: responsive, Probed: probed, Errors: nErrors}
+		health.commit(up)
 
 		if runErr != nil {
+			if health.isFenced() && ctx.Err() == nil {
+				// The renewer hit the fence and canceled the scan: the
+				// shard has a new owner; every further probe would be
+				// repeated by it. Discard and re-acquire.
+				w.eventf("lease %s: lost; discarding buffered results", lease.LeaseID)
+				return nil
+			}
 			// Canceled mid-chunk. The checkpoint still describes exactly
 			// what was probed (the scanner rewinds drawn-but-unprobed
 			// addresses), so one last upload hands the precise cursor to
@@ -162,7 +255,8 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) error {
 			// exhausted. (A chunk that exactly hit the budget at the end
 			// of the shard just goes around once more and lands here
 			// with 0 probed. A zero chunk size means the whole shard ran
-			// unchunked.)
+			// unchunked — the background renewer alone keeps the lease
+			// alive.)
 			break
 		}
 
@@ -170,7 +264,7 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) error {
 		err := w.Client.Heartbeat(ctx, lease.Campaign, lease.LeaseID, up)
 		switch {
 		case err == nil:
-			deadline = w.now().Add(lease.TTL)
+			health.renewed(w.now().Add(lease.TTL))
 		case errors.Is(err, ErrLeaseLost), errors.Is(err, ErrUnknownCampaign), errors.Is(err, ErrUnknownLease):
 			// Fenced off: the shard has a new owner (or the campaign is
 			// gone). Discard everything buffered — uploading it would
@@ -184,7 +278,7 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) error {
 			// Coordinator unreachable: degrade gracefully. Keep the
 			// shard running and the results buffered; the next chunk
 			// boundary retries. Only a locally expired lease stops us.
-			if !w.now().Before(deadline) {
+			if !w.now().Before(health.expiresAt()) {
 				w.eventf("lease %s: coordinator away past lease deadline; abandoning shard", lease.LeaseID)
 				return nil
 			}
@@ -196,8 +290,15 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) error {
 		}
 	}
 
-	// Shard complete. Push the final upload until it lands, the lease
-	// is fenced, or the worker's local deadline passes.
+	// Shard complete. Stop the renewer first: a renewal in flight while
+	// Complete lands would see the (correctly) dead lease and report it
+	// lost. Then push the final upload until it lands, the lease is
+	// fenced, or the worker's local deadline passes.
+	stopRenewer()
+	if health.isFenced() {
+		w.eventf("lease %s: lost before completion; discarding", lease.LeaseID)
+		return nil
+	}
 	up := Upload{Responsive: responsive, Probed: probed, Errors: nErrors}
 	for {
 		err := w.Client.Complete(ctx, lease.Campaign, lease.LeaseID, up)
@@ -213,7 +314,7 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) error {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			if !w.now().Before(deadline) {
+			if !w.now().Before(health.expiresAt()) {
 				w.eventf("lease %s: cannot report completion before deadline; abandoning", lease.LeaseID)
 				return nil
 			}
@@ -222,6 +323,45 @@ func (w *Worker) runLease(ctx context.Context, lease *Lease) error {
 				return err
 			}
 		}
+	}
+}
+
+// renewLoop renews the lease on a real-time timer, decoupled from chunk
+// boundaries: with the default TTL/3 cadence a chunk may take
+// arbitrarily long (sequential TCP probes, a tight -rate cap) without
+// the lease ever lapsing. Each renewal re-sends the last consistent
+// upload, which the coordinator applies idempotently. A fenced renewal
+// cancels the scan via cancelScan so the worker stops probing a shard
+// it no longer owns; transient failures are left to the chunk loop's
+// offline-deadline policy.
+func (w *Worker) renewLoop(ctx context.Context, cancelScan context.CancelFunc, lease *Lease, health *leaseHealth, done chan<- struct{}) {
+	defer close(done)
+	interval := w.HeartbeatEvery
+	if interval <= 0 {
+		interval = lease.TTL / 3
+	}
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTimer(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		err := w.Client.Heartbeat(ctx, lease.Campaign, lease.LeaseID, health.upload())
+		switch {
+		case err == nil:
+			health.renewed(w.now().Add(lease.TTL))
+		case errors.Is(err, ErrLeaseLost), errors.Is(err, ErrUnknownCampaign), errors.Is(err, ErrUnknownLease):
+			w.eventf("lease %s: renewal fenced (%v); stopping the scan", lease.LeaseID, err)
+			health.markFenced()
+			cancelScan()
+			return
+		}
+		t.Reset(interval)
 	}
 }
 

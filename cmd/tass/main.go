@@ -4,9 +4,11 @@
 // Usage:
 //
 //	tass select -pfx2as TABLE -addrs ADDRS [-phi 0.95] [-universe more]
+//	tass select -pfx2as TABLE -census-file FILE [-lazy=false] [-phi 0.95]
 //	tass select -6 -prefixes CIDRS -addrs ADDRS [-phi 0.95]
-//	tass rank   -pfx2as TABLE -addrs ADDRS [-top 20]
+//	tass rank   -pfx2as TABLE (-addrs ADDRS | -census-file FILE) [-top 20]
 //	tass stats  -pfx2as TABLE
+//	tass convert (-addrs ADDRS | -in SNAPFILE) -o FILE [-verify]
 //	tass scan   -targets PREFIXES (-sim ADDRS | -port N) [flags]
 //	tass coordinate -listen ADDR -state FILE [-campaign ID -targets PREFIXES] [flags]
 //	tass work   -coordinator URL -campaign ID (-sim ADDRS | -port N) [flags]
@@ -19,6 +21,13 @@
 // (-checkpoint resumes an interrupted run; -shard/-shards split the
 // cycle across machines), or a feedback campaign (-cycles N) that
 // re-selects from each cycle's results and scans the tightened plan.
+//
+// "convert" writes a census into the indexed TASSNAP2 snapshot format,
+// which -census-file then opens in O(index) and decodes block by block
+// as selection counts over it — a multi-gigabyte census seeds select,
+// rank, or a scan campaign without ever being resident in memory. Pass
+// -lazy=false to decode the whole file up front instead (faster for
+// small censuses that are re-counted many times).
 //
 // "coordinate" and "work" run the same feedback campaign across a fleet:
 // the coordinator owns the campaign state machine (durably, in -state)
@@ -63,6 +72,8 @@ func main() {
 		err = runStats(os.Args[2:])
 	case "diff":
 		err = runDiff(os.Args[2:])
+	case "convert":
+		err = runConvert(os.Args[2:])
 	case "scan":
 		err = runScan(os.Args[2:])
 	case "coordinate":
@@ -85,12 +96,16 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  tass select -pfx2as TABLE -addrs ADDRS [-phi F] [-universe less|more] [-min-density F]
+  tass select -pfx2as TABLE (-addrs ADDRS | -census-file FILE [-lazy=false])
+              [-phi F] [-universe less|more] [-min-density F]
   tass select -6 -prefixes CIDRS -addrs ADDRS [-phi F]
-  tass rank   -pfx2as TABLE -addrs ADDRS [-universe less|more] [-top N]
+  tass rank   -pfx2as TABLE (-addrs ADDRS | -census-file FILE [-lazy=false])
+              [-universe less|more] [-top N]
   tass stats  -pfx2as TABLE
   tass diff   -a ADDRS -b ADDRS
+  tass convert (-addrs ADDRS | -in SNAPFILE) -o FILE [-verify]
   tass scan   -targets PREFIXES (-sim ADDRS | -port N) [-cycles N] [-phi F]
+              [-census-file FILE [-lazy=false]]
               [-incremental] [-rate F] [-burst N] [-workers N]
               [-shard I -shards N] [-checkpoint FILE] [-exclude FILE]
               [-seed N] [-max N] [-loss F]
@@ -125,6 +140,30 @@ func loadAddrs(path string) (*tass.Snapshot, error) {
 		return nil, err
 	}
 	return tass.NewSnapshot("scan", 0, addrs), nil
+}
+
+// loadSeed loads the seed snapshot of select/rank/scan: from a census
+// snapshot file when -census-file is set (an indexed TASSNAP2 file
+// opens in O(index) and decodes on demand; -lazy=false decodes it up
+// front instead; a v1 stream always reads eagerly), otherwise from the
+// -addrs text file. The returned cleanup releases the file backing a
+// lazy snapshot — the snapshot must not be used after it runs.
+func loadSeed(addrsPath, censusPath string, lazy bool) (*tass.Snapshot, func(), error) {
+	if censusPath == "" {
+		snap, err := loadAddrs(addrsPath)
+		return snap, func() {}, err
+	}
+	snap, err := tass.OpenSnapshotFile(censusPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() { snap.Close() }
+	if !lazy {
+		// Decode everything now; the materialized view shares the set,
+		// so the file stays open until cleanup.
+		return snap.Materialize(), cleanup, nil
+	}
+	return snap, cleanup, nil
 }
 
 // loadAddrs6 reads IPv6 seed observations, one address per line with
@@ -201,23 +240,26 @@ func runSelect(args []string) error {
 	phi := fs.Float64("phi", 0.95, "host coverage target φ in (0,1]")
 	universe := fs.String("universe", "more", "prefix universe: less or more")
 	minDensity := fs.Float64("min-density", 0, "stop below this density (0 = off)")
+	censusPath := fs.String("census-file", "", "seed from a census snapshot file (TASSNAP2 or v1) instead of -addrs")
+	lazy := fs.Bool("lazy", true, "with -census-file: leave the census on disk and decode blocks on demand")
 	six := fs.Bool("6", false, "IPv6 mode: select over an announced-prefix universe")
 	prefixesPath := fs.String("prefixes", "", "announced IPv6 prefixes, one CIDR per line (required with -6)")
 	fs.Parse(args)
 	if *six {
 		return runSelect6(*prefixesPath, *addrsPath, *phi)
 	}
-	if *tablePath == "" || *addrsPath == "" {
-		return fmt.Errorf("select: -pfx2as and -addrs are required")
+	if *tablePath == "" || (*addrsPath == "") == (*censusPath == "") {
+		return fmt.Errorf("select: -pfx2as and exactly one of -addrs and -census-file are required")
 	}
 	table, err := loadTable(*tablePath)
 	if err != nil {
 		return err
 	}
-	seed, err := loadAddrs(*addrsPath)
+	seed, cleanup, err := loadSeed(*addrsPath, *censusPath, *lazy)
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	part, err := universeOf(table, *universe)
 	if err != nil {
 		return err
@@ -272,18 +314,21 @@ func runRank(args []string) error {
 	addrsPath := fs.String("addrs", "", "responsive addresses, one per line (required)")
 	universe := fs.String("universe", "more", "prefix universe: less or more")
 	top := fs.Int("top", 20, "how many ranks to print")
+	censusPath := fs.String("census-file", "", "seed from a census snapshot file (TASSNAP2 or v1) instead of -addrs")
+	lazy := fs.Bool("lazy", true, "with -census-file: leave the census on disk and decode blocks on demand")
 	fs.Parse(args)
-	if *tablePath == "" || *addrsPath == "" {
-		return fmt.Errorf("rank: -pfx2as and -addrs are required")
+	if *tablePath == "" || (*addrsPath == "") == (*censusPath == "") {
+		return fmt.Errorf("rank: -pfx2as and exactly one of -addrs and -census-file are required")
 	}
 	table, err := loadTable(*tablePath)
 	if err != nil {
 		return err
 	}
-	seed, err := loadAddrs(*addrsPath)
+	seed, cleanup, err := loadSeed(*addrsPath, *censusPath, *lazy)
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	part, err := universeOf(table, *universe)
 	if err != nil {
 		return err
@@ -327,6 +372,58 @@ func runDiff(args []string) error {
 	return nil
 }
 
+// runConvert writes a census into the indexed TASSNAP2 snapshot format:
+// either a text address list (-addrs, decoded and sorted in memory) or
+// a binary v1 snapshot stream (-in, converted block-by-block without
+// ever materializing the address slice — the path for censuses larger
+// than RAM). The output opens in O(index) via -census-file.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	addrsPath := fs.String("addrs", "", "text addresses, one per line")
+	inPath := fs.String("in", "", "binary v1 snapshot stream (Snapshot.WriteTo bytes)")
+	outPath := fs.String("o", "", "output indexed snapshot file (required)")
+	verify := fs.Bool("verify", false, "deep-check the written file: checksums plus a full decode")
+	fs.Parse(args)
+	if *outPath == "" {
+		return fmt.Errorf("convert: -o is required")
+	}
+	if (*addrsPath == "") == (*inPath == "") {
+		return fmt.Errorf("convert: exactly one of -addrs and -in is required")
+	}
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		err = tass.ConvertSnapshotFile(bufio.NewReader(f), *outPath)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		snap, err := loadAddrs(*addrsPath)
+		if err != nil {
+			return err
+		}
+		if err := tass.WriteSnapshotFile(*outPath, snap); err != nil {
+			return err
+		}
+	}
+	if *verify {
+		if err := tass.VerifySnapshotFile(*outPath); err != nil {
+			return err
+		}
+	}
+	snap, err := tass.OpenSnapshotFile(*outPath)
+	if err != nil {
+		return err
+	}
+	defer snap.Close()
+	fmt.Fprintf(os.Stderr, "# %s: %d hosts (%s, month %d)\n",
+		*outPath, snap.Hosts(), snap.Protocol, snap.Month)
+	return nil
+}
+
 // runScan drives the probing engine: a single sharded, checkpointable
 // scan cycle, or a multi-cycle feedback campaign (scan → select → scan
 // the tightened plan). Responsive addresses go to stdout, one per line,
@@ -340,6 +437,8 @@ func runScan(args []string) error {
 	cycles := fs.Int("cycles", 1, "feedback cycles: >1 re-selects from each cycle's results")
 	phi := fs.Float64("phi", 0.95, "host coverage target φ for re-selection (with -cycles > 1)")
 	incremental := fs.Bool("incremental", false, "re-select by applying each cycle's scan-result delta to a maintained ranking (with -cycles > 1; plans are identical either way)")
+	censusPath := fs.String("census-file", "", "seed cycle 0 from this census snapshot file instead of scanning the full universe first (with -cycles > 1)")
+	lazyCensus := fs.Bool("lazy", true, "with -census-file: leave the census on disk and decode blocks on demand")
 	rate := fs.Float64("rate", 0, "probes per second (0 = unlimited)")
 	burst := fs.Int("burst", 0, "rate limiter burst (default 64)")
 	workers := fs.Int("workers", 0, "concurrent probe workers (default 16)")
@@ -377,6 +476,9 @@ func runScan(args []string) error {
 	}
 	if *incremental && *cycles <= 1 {
 		return fmt.Errorf("scan: -incremental applies to campaigns (-cycles > 1); a single cycle has no prior ranking to repair")
+	}
+	if *censusPath != "" && *cycles <= 1 {
+		return fmt.Errorf("scan: -census-file seeds a campaign's first selection (-cycles > 1); a single cycle scans -targets directly")
 	}
 	if *reloadExclude > 0 && *excludePath == "" {
 		return fmt.Errorf("scan: -reload-exclude needs -exclude (the file to poll)")
@@ -442,18 +544,28 @@ func runScan(args []string) error {
 	defer stop()
 
 	if *cycles > 1 {
+		var seedSnap *tass.Snapshot
+		if *censusPath != "" {
+			var cleanup func()
+			if seedSnap, cleanup, err = loadSeed("", *censusPath, *lazyCensus); err != nil {
+				return err
+			}
+			defer cleanup()
+			fmt.Fprintf(os.Stderr, "# seeding cycle 0 from %s: %d hosts\n", *censusPath, seedSnap.Hosts())
+		}
 		c := &tass.ScanCampaign{
-			Universe:    targets,
-			Prober:      prober,
-			Opts:        tass.Options{Phi: *phi},
-			Rate:        *rate,
-			Burst:       *burst,
-			Workers:     *workers,
-			Seed:        *seed,
-			Exclude:     exclude,
-			Politeness:  pol,
-			Cache:       tass.NewCountCache(),
-			Incremental: *incremental,
+			Universe:     targets,
+			SeedSnapshot: seedSnap,
+			Prober:       prober,
+			Opts:         tass.Options{Phi: *phi},
+			Rate:         *rate,
+			Burst:        *burst,
+			Workers:      *workers,
+			Seed:         *seed,
+			Exclude:      exclude,
+			Politeness:   pol,
+			Cache:        tass.NewCountCache(),
+			Incremental:  *incremental,
 		}
 		if asTable != nil {
 			c.OriginsOf = asTable.OriginsOf

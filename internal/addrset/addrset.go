@@ -64,6 +64,15 @@ type SetOf[A netaddr.Key[A]] struct {
 	// data. Compact flattens the overlay back into one contiguous
 	// payload (see delta.go for the policy).
 	mods map[int][]byte
+
+	// Lazy backing (see source.go). When src is non-nil the payload is
+	// not in data: block bi's stream is src.Bytes(offs[bi], blens[bi]),
+	// fetched and decoded on first touch through cache (an LRU with
+	// single-flight faulting). mods still overrides src block-by-block,
+	// so ApplyDelta overlays compose with lazy backings unchanged.
+	src   BlockSource
+	blens []int // per-block encoded byte length; nil unless src-backed
+	cache *blockCache[A]
 }
 
 // Set is the IPv4 instantiation of SetOf.
@@ -92,6 +101,9 @@ func (s *SetOf[A]) blockStream(bi int) []byte {
 		if b, ok := s.mods[bi]; ok {
 			return b
 		}
+	}
+	if s.src != nil {
+		return s.src.Bytes(s.offs[bi], s.blens[bi])
 	}
 	return s.data[s.offs[bi]:]
 }
@@ -124,9 +136,13 @@ func (s *SetOf[A]) Blocks() int { return len(s.mins) }
 // delta stream plus any copy-on-write overlay, excluding the skip
 // index). For a set produced by ApplyDelta the contiguous payload is
 // shared with its parent, so summing Bytes across a delta chain counts
-// the shared bytes repeatedly.
+// the shared bytes repeatedly. For a lazy set this is the source's
+// payload size — bytes addressable, not bytes resident.
 func (s *SetOf[A]) Bytes() int {
 	n := len(s.data)
+	if s.src != nil {
+		n += s.src.Size()
+	}
 	for _, stream := range s.mods {
 		n += len(stream)
 	}
@@ -154,26 +170,34 @@ func (s *SetOf[A]) Max() (A, bool) {
 // blockLen returns the number of addresses in block bi.
 func (s *SetOf[A]) blockLen(bi int) int { return s.cum[bi+1] - s.cum[bi] }
 
-// decodeBlock appends the addresses of block bi to buf and returns it.
-// buf is reused across calls when cap allows.
+// decodeBlock returns the addresses of block bi. On an eager set it
+// decodes into buf (reused across calls when cap allows); on a lazy set
+// it returns the cache's shared, immutable decoded slice — callers must
+// treat the result as read-only either way.
 func (s *SetOf[A]) decodeBlock(bi int, buf []A) []A {
+	if s.cache != nil {
+		return s.cache.get(s, bi)
+	}
+	return s.decodeBlockInto(bi, buf)
+}
+
+// decodeBlockInto appends the addresses of block bi to buf[:0] and
+// returns it, bypassing the lazy cache (the cache itself decodes
+// through here).
+func (s *SetOf[A]) decodeBlockInto(bi int, buf []A) []A {
 	buf = buf[:0]
 	v := s.mins[bi]
 	buf = append(buf, v)
 	stream := s.blockStream(bi)
-	pos := 0
 	if narrow[A]() {
-		// Fast path: 64-bit accumulation, one widening per element.
-		var z A
-		lo := lo64(v)
-		for k := 1; k < s.blockLen(bi); k++ {
-			d, n := binary.Uvarint(stream[pos:])
-			pos += n
-			lo += d
-			buf = append(buf, z.FromHalves(0, lo))
+		// Fast path: batch varint kernel with 64-bit accumulation.
+		out, ok := appendAccum(buf, stream, s.blockLen(bi)-1, lo64(v))
+		if !ok {
+			panic(fmt.Sprintf("addrset: block %d stream truncated or malformed", bi))
 		}
-		return buf
+		return out
 	}
+	pos := 0
 	for k := 1; k < s.blockLen(bi); k++ {
 		d, n := netaddr.DecodeKeyUvarint[A](stream[pos:])
 		pos += n

@@ -45,7 +45,18 @@ func (s *SetOf[A]) ApplyDelta(born, died []A) (*SetOf[A], error) {
 	}
 
 	nb := len(s.mins)
-	out := &SetOf[A]{bsize: s.bsize, data: s.data}
+	out := &SetOf[A]{bsize: s.bsize, data: s.data, src: s.src}
+	if s.src != nil {
+		// Carried blocks keep reading the parent's source lazily, so
+		// the child needs byte extents and its own decoded-block cache
+		// (block indices renumber, the parent's cache keys don't map).
+		out.blens = make([]int, 0, nb)
+		cacheCap := 0
+		if s.cache != nil {
+			cacheCap = s.cache.cap
+		}
+		out.cache = newBlockCache[A](cacheCap)
+	}
 
 	// Partial index rebuild: blocks strictly before the first touched
 	// one carry over verbatim — same indices, same streams, same
@@ -71,6 +82,9 @@ func (s *SetOf[A]) ApplyDelta(born, died []A) (*SetOf[A], error) {
 	copy(out.maxs, s.maxs[:first])
 	copy(out.offs, s.offs[:first])
 	copy(out.cum, s.cum[:first+1])
+	if out.blens != nil {
+		out.blens = append(out.blens, s.blens[:first]...)
+	}
 	out.n = s.cum[first]
 	out.mods = make(map[int][]byte, len(s.mods)+min(len(born)+len(died), nb-first))
 	for bi, stream := range s.mods {
@@ -158,6 +172,9 @@ func (o *SetOf[A]) appendCarried(parent *SetOf[A], bi int) {
 	o.mins = append(o.mins, parent.mins[bi])
 	o.maxs = append(o.maxs, parent.maxs[bi])
 	o.offs = append(o.offs, parent.offs[bi])
+	if o.blens != nil {
+		o.blens = append(o.blens, parent.blens[bi])
+	}
 	if parent.mods != nil {
 		if stream, ok := parent.mods[bi]; ok {
 			o.mods[newBi] = stream
@@ -186,6 +203,12 @@ func (o *SetOf[A]) appendEncoded(addrs []A) {
 		o.mins = append(o.mins, blk[0])
 		o.maxs = append(o.maxs, blk[n-1])
 		o.offs = append(o.offs, 0) // unused: the stream lives in mods
+		if o.blens != nil {
+			// Keep indices aligned; the mods overlay wins in blockStream
+			// so the extent is never read, but a zero would desync any
+			// future flatten.
+			o.blens = append(o.blens, len(stream))
+		}
 		o.mods[newBi] = stream
 		o.n += n
 		o.cum = append(o.cum, o.n)

@@ -1,0 +1,262 @@
+package addrset
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// BlockSource is where a lazily-backed set's encoded payload lives.
+// The set core never materializes the payload: every block fault asks
+// the source for exactly that block's byte extent. Three backings
+// exist: the set's own contiguous in-memory payload (no source at all —
+// the historical fast path), Bytes over any in-core or mmap'd slice,
+// and the census file source, which serves extents from an mmap'd
+// TASSNAP2 payload or by pread on platforms without mmap.
+//
+// Sources must be safe for concurrent Bytes calls and must serve
+// immutable data: the set retains and re-reads extents at any time.
+type BlockSource interface {
+	// Bytes returns the payload bytes [off, off+n). The returned slice
+	// is read-only; it may alias the source's storage (mmap, in-core
+	// slice) or be freshly read (pread fallback).
+	Bytes(off, n int) []byte
+	// Size returns the total payload length in bytes.
+	Size() int
+}
+
+// Bytes is the in-core BlockSource: a payload that is already (or
+// still) one byte slice — a decoded file region, an mmap'd window, a
+// test fixture. Blocks stay varint-encoded inside it until first
+// touched.
+type Bytes []byte
+
+// Bytes implements BlockSource by subslicing.
+func (b Bytes) Bytes(off, n int) []byte { return b[off : off+n] }
+
+// Size implements BlockSource.
+func (b Bytes) Size() int { return len(b) }
+
+// DefaultBlockCacheCap is the decoded-block residency bound of a lazy
+// set when FromIndex is given a zero cache cap: at the default block
+// size the cache tops out near cap×64 addresses. It may be tuned before
+// sets are built.
+var DefaultBlockCacheCap = 4096
+
+// blockCache is the decoded-block LRU of one lazy set: block faults
+// decode through it exactly once per residency (concurrent faults on a
+// cold block share a single decode), and the least-recently-used
+// decoded block is dropped once the cap is exceeded — so a full-census
+// counting pass holds O(cap·blocksize) addresses resident, never the
+// whole universe.
+type blockCache[A netaddr.Key[A]] struct {
+	mu         sync.Mutex
+	cap        int
+	m          map[int]*blockEntry[A]
+	head, tail *blockEntry[A] // LRU list: head is most recently used
+
+	decodes atomic.Int64
+}
+
+type blockEntry[A netaddr.Key[A]] struct {
+	bi         int
+	prev, next *blockEntry[A]
+	once       sync.Once
+	addrs      []A
+}
+
+func newBlockCache[A netaddr.Key[A]](cacheCap int) *blockCache[A] {
+	if cacheCap <= 0 {
+		cacheCap = DefaultBlockCacheCap
+	}
+	return &blockCache[A]{cap: cacheCap, m: make(map[int]*blockEntry[A])}
+}
+
+// unlink removes e from the LRU list. Callers hold c.mu.
+func (c *blockCache[A]) unlink(e *blockEntry[A]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry. Callers hold c.mu.
+func (c *blockCache[A]) pushFront(e *blockEntry[A]) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// get returns block bi's decoded addresses, faulting it in on first
+// touch. The decode runs outside the cache lock under the entry's
+// once, so concurrent faults on one cold block block on a single
+// decode; eviction only drops the map reference — readers holding the
+// (immutable) slice keep it alive.
+func (c *blockCache[A]) get(s *SetOf[A], bi int) []A {
+	c.mu.Lock()
+	e, ok := c.m[bi]
+	if ok {
+		if c.head != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
+	} else {
+		e = &blockEntry[A]{bi: bi}
+		c.m[bi] = e
+		c.pushFront(e)
+		if c.cap > 0 && len(c.m) > c.cap {
+			evict := c.tail
+			c.unlink(evict)
+			delete(c.m, evict.bi)
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.decodes.Add(1)
+		e.addrs = s.decodeBlockInto(bi, make([]A, 0, s.blockLen(bi)))
+	})
+	return e.addrs
+}
+
+// len returns the resident entry count.
+func (c *blockCache[A]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Lazy reports whether the set's payload lives behind a BlockSource
+// (blocks decode on demand through the LRU cache) rather than in a
+// contiguous in-memory slice.
+func (s *SetOf[A]) Lazy() bool { return s.src != nil }
+
+// ResidentBlocks returns the number of decoded blocks currently held by
+// the lazy-decode cache (0 for an eager set): the working-set metric
+// the huge-tier benchmarks record.
+func (s *SetOf[A]) ResidentBlocks() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.len()
+}
+
+// Decodes returns how many block decodes the lazy cache has performed
+// since construction (0 for an eager set). A cold counting pass decodes
+// each touched block exactly once; re-touching resident blocks adds
+// nothing.
+func (s *SetOf[A]) Decodes() int64 {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.decodes.Load()
+}
+
+// CheckBlocks fully decodes every block and validates it against the
+// skip index: each block must decode without truncation, run ascending
+// (multiset — equal neighbors allowed), and end exactly on its indexed
+// max. It is the O(n) deep check behind census.VerifySnapshotFile —
+// lazy reads trust the payload, so untrusted files go through this
+// once up front.
+func (s *SetOf[A]) CheckBlocks() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("addrset: %v", r)
+		}
+	}()
+	var buf []A
+	for bi := range s.mins {
+		addrs := s.decodeBlockInto(bi, buf)
+		buf = addrs
+		for i := 1; i < len(addrs); i++ {
+			if addrs[i].Compare(addrs[i-1]) < 0 {
+				return fmt.Errorf("addrset: block %d not ascending at %v", bi, addrs[i])
+			}
+		}
+		if last := addrs[len(addrs)-1]; last != s.maxs[bi] {
+			return fmt.Errorf("addrset: block %d decodes to max %v, index says %v", bi, last, s.maxs[bi])
+		}
+	}
+	return nil
+}
+
+// FromIndex assembles a lazily-decoded set from a prebuilt skip index
+// over an encoded payload: per-block first/last addresses, address
+// counts and encoded byte lengths, plus the BlockSource holding the
+// concatenated block streams (each stream is counts[i]-1 uvarint deltas
+// from mins[i] — the same layout Builder produces). The census TASSNAP2
+// codec is the canonical caller: it decodes the file's block directory
+// into these slices in O(blocks) and never touches the payload.
+//
+// FromIndex takes ownership of the index slices. cacheCap bounds the
+// decoded-block LRU (0 means DefaultBlockCacheCap). The index is
+// validated in O(blocks); the payload itself is trusted and only
+// faulted on demand — a byte-corrupt stream surfaces as a panic at
+// first decode, so untrusted files should be verified once (see
+// census.VerifySnapshotFile) before lazy use.
+func FromIndex[A netaddr.Key[A]](mins, maxs []A, counts, blens []int, bsize int, src BlockSource, cacheCap int) (*SetOf[A], error) {
+	nb := len(mins)
+	if len(maxs) != nb || len(counts) != nb || len(blens) != nb {
+		return nil, fmt.Errorf("addrset: index slices disagree: %d mins, %d maxs, %d counts, %d blens",
+			nb, len(maxs), len(counts), len(blens))
+	}
+	if bsize <= 0 {
+		bsize = DefaultBlockSize
+	}
+	if src == nil {
+		src = Bytes(nil)
+	}
+	s := &SetOf[A]{
+		bsize: bsize,
+		mins:  mins,
+		maxs:  maxs,
+		offs:  make([]int, nb),
+		cum:   make([]int, nb+1),
+		blens: make([]int, nb),
+		src:   src,
+	}
+	off := 0
+	for i := 0; i < nb; i++ {
+		c, bl := counts[i], blens[i]
+		if c < 1 || c > bsize {
+			return nil, fmt.Errorf("addrset: block %d holds %d addresses (block size %d)", i, c, bsize)
+		}
+		// Every delta is 1–19 bytes; a block of c addresses encodes
+		// c-1 of them.
+		if bl < c-1 || bl > 19*(c-1) {
+			return nil, fmt.Errorf("addrset: block %d: %d bytes cannot encode %d deltas", i, bl, c-1)
+		}
+		if mins[i].Compare(maxs[i]) > 0 {
+			return nil, fmt.Errorf("addrset: block %d min %v above max %v", i, mins[i], maxs[i])
+		}
+		if c == 1 && mins[i] != maxs[i] {
+			return nil, fmt.Errorf("addrset: single-address block %d spans %v-%v", i, mins[i], maxs[i])
+		}
+		if i > 0 && mins[i].Compare(maxs[i-1]) < 0 {
+			return nil, fmt.Errorf("addrset: block %d min %v below previous max %v", i, mins[i], maxs[i-1])
+		}
+		s.offs[i] = off
+		s.blens[i] = bl
+		off += bl
+		s.n += c
+		s.cum[i+1] = s.n
+	}
+	if off != src.Size() {
+		return nil, fmt.Errorf("addrset: index describes %d payload bytes, source holds %d", off, src.Size())
+	}
+	s.cache = newBlockCache[A](cacheCap)
+	return s, nil
+}

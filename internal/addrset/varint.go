@@ -1,0 +1,147 @@
+package addrset
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// Batch LEB128 decoding: the hot leaf of every lazy block fault.
+//
+// The scalar boundary decoder (binary.Uvarint in a loop) pays an
+// unpredictable continuation-bit branch per byte plus shift bookkeeping
+// per value. The batch kernel instead works on 8-byte windows: a window
+// with no continuation bits at all is eight complete 1-byte values from
+// a single load (the census-dominant case — dense blocks are almost all
+// 1-byte deltas); otherwise the value's byte length comes from one
+// trailing-zeros instruction on the inverted continuation-bit mask and
+// its payload bits from a fixed three-step fold, with no per-byte loop.
+// Either way the loads stay in one or two cache lines per block.
+
+const contBits = 0x8080808080808080
+
+// foldVarint compacts the 7-bit payload groups of a ≤8-byte LEB128
+// value already masked to its length: three shift-mask-or steps merge
+// adjacent groups pairwise (8→14, 14→28, 28→56 bits), branch-free.
+func foldVarint(w uint64) uint64 {
+	w &= 0x7f7f7f7f7f7f7f7f
+	w = (w & 0x007f007f007f007f) | (w>>1)&0x3f803f803f803f80
+	w = (w & 0x00003fff00003fff) | (w>>2)&0x0fffc0000fffc000
+	return (w & 0x000000000fffffff) | (w>>4)&0x00fffffff0000000
+}
+
+// DecodeUvarints decodes exactly len(dst) LEB128 uvarints from src into
+// dst and returns the number of bytes consumed, or -1 when src
+// truncates before len(dst) values decode or a value overflows 64 bits.
+// The bytes and values are identical to binary.Uvarint applied in a
+// loop (differentially tested); only the decode strategy differs.
+func DecodeUvarints(dst []uint64, src []byte) int {
+	pos := 0
+	i := 0
+	// Window path: while a full 8-byte load fits, decode without a
+	// per-byte loop. Values of 9–10 bytes (≥ 2^56, never produced by
+	// census-shaped deltas) fall back to the scalar decoder.
+	for i < len(dst) && pos+8 <= len(src) {
+		w := binary.LittleEndian.Uint64(src[pos:])
+		if w&contBits == 0 && i+8 <= len(dst) {
+			// No continuation bit anywhere in the window: eight 1-byte
+			// values from a single load — the dense-block fast path
+			// (census deltas are 1 byte in the common case).
+			dst[i+0] = w & 0x7f
+			dst[i+1] = w >> 8 & 0x7f
+			dst[i+2] = w >> 16 & 0x7f
+			dst[i+3] = w >> 24 & 0x7f
+			dst[i+4] = w >> 32 & 0x7f
+			dst[i+5] = w >> 40 & 0x7f
+			dst[i+6] = w >> 48 & 0x7f
+			dst[i+7] = w >> 56
+			i += 8
+			pos += 8
+			continue
+		}
+		if w&0x80 == 0 {
+			dst[i] = w & 0x7f
+			i++
+			pos++
+			continue
+		}
+		nc := ^w & contBits
+		if nc == 0 {
+			v, n := binary.Uvarint(src[pos:])
+			if n <= 0 {
+				return -1
+			}
+			dst[i] = v
+			i++
+			pos += n
+			continue
+		}
+		// t isolates the value's terminator byte's continuation-bit
+		// position; t|(t-1) is then the all-ones mask over exactly the
+		// value's bytes.
+		t := nc & -nc
+		dst[i] = foldVarint(w & (t | (t - 1)))
+		i++
+		pos += bits.TrailingZeros64(nc)>>3 + 1
+	}
+	// Tail: fewer than 8 bytes remain; scalar per value.
+	for i < len(dst) {
+		v, n := binary.Uvarint(src[pos:])
+		if n <= 0 {
+			return -1
+		}
+		dst[i] = v
+		i++
+		pos += n
+	}
+	return pos
+}
+
+// decodeUvarintsScalar is the reference per-byte decoder DecodeUvarints
+// is differentially tested against (and benchmarked as the baseline).
+// Same contract.
+func decodeUvarintsScalar(dst []uint64, src []byte) int {
+	pos := 0
+	for i := range dst {
+		v, n := binary.Uvarint(src[pos:])
+		if n <= 0 {
+			return -1
+		}
+		dst[i] = v
+		pos += n
+	}
+	return pos
+}
+
+// accumChunk is the per-call stack budget of appendAccum: deltas are
+// decoded in chunks of this many values so the uint64 scratch stays on
+// the stack regardless of block size.
+const accumChunk = 128
+
+// appendAccum decodes k uvarint deltas from stream through the batch
+// kernel, accumulating them onto lo and appending each running sum to
+// buf as a low-half value. It is the narrow-family (≤64-bit) block
+// decode path; ok is false when the stream is truncated or malformed.
+func appendAccum[A netaddr.Key[A]](buf []A, stream []byte, k int, lo uint64) ([]A, bool) {
+	var z A
+	var scratch [accumChunk]uint64
+	pos := 0
+	for k > 0 {
+		c := k
+		if c > accumChunk {
+			c = accumChunk
+		}
+		n := DecodeUvarints(scratch[:c], stream[pos:])
+		if n < 0 {
+			return buf, false
+		}
+		pos += n
+		for _, d := range scratch[:c] {
+			lo += d
+			buf = append(buf, z.FromHalves(0, lo))
+		}
+		k -= c
+	}
+	return buf, true
+}

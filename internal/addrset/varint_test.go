@@ -1,0 +1,150 @@
+package addrset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// encodeUvarints encodes vals with binary.PutUvarint — the ground-truth
+// encoder both decoders must invert.
+func encodeUvarints(vals []uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	out := make([]byte, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, buf[:binary.PutUvarint(buf[:], v)]...)
+	}
+	return out
+}
+
+// varintEdgeValues covers every encoded length (1–10 bytes) and both
+// sides of each length boundary.
+func varintEdgeValues() []uint64 {
+	vals := []uint64{0, 1, math.MaxUint64, math.MaxUint64 - 1}
+	for g := 1; g <= 9; g++ {
+		b := uint64(1) << (7 * g) // first value needing g+1 bytes
+		vals = append(vals, b-1, b, b+1)
+	}
+	return vals
+}
+
+func checkDecoders(t *testing.T, vals []uint64, src []byte) {
+	t.Helper()
+	gotB := make([]uint64, len(vals))
+	gotS := make([]uint64, len(vals))
+	nB := DecodeUvarints(gotB, src)
+	nS := decodeUvarintsScalar(gotS, src)
+	if nB != nS {
+		t.Fatalf("consumed bytes disagree: batch=%d scalar=%d (n=%d)", nB, nS, len(vals))
+	}
+	if nB < 0 {
+		return
+	}
+	for i := range vals {
+		if gotB[i] != gotS[i] || gotB[i] != vals[i] {
+			t.Fatalf("value %d: batch=%d scalar=%d want=%d", i, gotB[i], gotS[i], vals[i])
+		}
+	}
+}
+
+func TestDecodeUvarintsEdges(t *testing.T) {
+	edges := varintEdgeValues()
+	// Every edge value alone, and the full edge sequence in order and
+	// reversed (exercises window carry-over between long and short
+	// values).
+	for _, v := range edges {
+		checkDecoders(t, []uint64{v}, encodeUvarints([]uint64{v}))
+	}
+	checkDecoders(t, edges, encodeUvarints(edges))
+	rev := make([]uint64, len(edges))
+	for i, v := range edges {
+		rev[len(edges)-1-i] = v
+	}
+	checkDecoders(t, rev, encodeUvarints(rev))
+}
+
+func TestDecodeUvarintsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(200)
+		vals := make([]uint64, n)
+		for i := range vals {
+			// Bias toward census-shaped small deltas but cover the full
+			// 64-bit range: pick a random bit width first.
+			w := rng.Intn(64) + 1
+			vals[i] = rng.Uint64() >> (64 - w)
+		}
+		src := encodeUvarints(vals)
+		checkDecoders(t, vals, src)
+
+		// Trailing garbage after the requested count must not change
+		// the decode or the consumed-byte count.
+		padded := append(append([]byte{}, src...), 0xff, 0xff, 0x01, 0x00)
+		got := make([]uint64, n)
+		if c := DecodeUvarints(got, padded); c != len(src) {
+			t.Fatalf("trial %d: consumed %d of padded stream, want %d", trial, c, len(src))
+		}
+	}
+}
+
+func TestDecodeUvarintsTruncated(t *testing.T) {
+	vals := []uint64{1, 300, 1 << 40, math.MaxUint64, 7}
+	src := encodeUvarints(vals)
+	for cut := 0; cut < len(src); cut++ {
+		dst := make([]uint64, len(vals))
+		nB := DecodeUvarints(dst, src[:cut])
+		nS := decodeUvarintsScalar(make([]uint64, len(vals)), src[:cut])
+		if nB != nS {
+			t.Fatalf("cut %d: batch=%d scalar=%d", cut, nB, nS)
+		}
+		if nB != -1 {
+			t.Fatalf("cut %d: decoded %d values from truncated stream", cut, nB)
+		}
+	}
+}
+
+func TestDecodeUvarintsOverflow(t *testing.T) {
+	// 11 continuation bytes: overflows uint64 in both decoders.
+	src := bytes.Repeat([]byte{0x80}, 11)
+	src = append(src, 0x01)
+	if n := DecodeUvarints(make([]uint64, 1), src); n != -1 {
+		t.Fatalf("batch accepted overflowing varint: %d", n)
+	}
+	if n := decodeUvarintsScalar(make([]uint64, 1), src); n != -1 {
+		t.Fatalf("scalar accepted overflowing varint: %d", n)
+	}
+}
+
+func TestDecodeUvarintsEmpty(t *testing.T) {
+	if n := DecodeUvarints(nil, nil); n != 0 {
+		t.Fatalf("empty decode consumed %d", n)
+	}
+	if n := DecodeUvarints(nil, []byte{0x05}); n != 0 {
+		t.Fatalf("zero-count decode consumed %d", n)
+	}
+}
+
+func FuzzDecodeUvarints(f *testing.F) {
+	f.Add([]byte{0x00}, uint8(1))
+	f.Add(encodeUvarints([]uint64{1, 300, 1 << 40, math.MaxUint64}), uint8(4))
+	f.Add(bytes.Repeat([]byte{0x80}, 12), uint8(1))
+	f.Fuzz(func(t *testing.T, src []byte, n uint8) {
+		dstB := make([]uint64, n)
+		dstS := make([]uint64, n)
+		nB := DecodeUvarints(dstB, src)
+		nS := decodeUvarintsScalar(dstS, src)
+		if nB != nS {
+			t.Fatalf("consumed: batch=%d scalar=%d", nB, nS)
+		}
+		if nB < 0 {
+			return
+		}
+		for i := range dstB {
+			if dstB[i] != dstS[i] {
+				t.Fatalf("value %d: batch=%d scalar=%d", i, dstB[i], dstS[i])
+			}
+		}
+	})
+}

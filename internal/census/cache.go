@@ -148,7 +148,7 @@ func (c *CountCacheOf[A]) pushFront(e *countEntry[A]) {
 // read-only.
 func (c *CountCacheOf[A]) Counts(snap *SnapshotOf[A], p rib.PartOf[A], workers int) (counts []int, outside int) {
 	if c == nil {
-		return countShardedFamily(snap.Addrs, p, workers)
+		return snap.countsSharded(p, workers)
 	}
 	key := countKey[A]{snap: snap, gen: snap.Generation(), part: partKey(p), n: p.Len()}
 	c.mu.Lock()
@@ -175,7 +175,7 @@ func (c *CountCacheOf[A]) Counts(snap *SnapshotOf[A], p rib.PartOf[A], workers i
 		c.misses.Add(1)
 	}
 	e.once.Do(func() {
-		e.counts, e.outside = countShardedFamily(snap.Addrs, p, workers)
+		e.counts, e.outside = snap.countsSharded(p, workers)
 	})
 	return e.counts, e.outside
 }

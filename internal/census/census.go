@@ -42,6 +42,17 @@ type SnapshotOf[A netaddr.Key[A]] struct {
 	setMu sync.Mutex
 	set   *addrset.SetOf[A] // memoized block-indexed view of Addrs
 
+	// lazy marks a snapshot whose addresses live only in set (typically
+	// a lazily-decoded view over a TASSNAP2 file): Addrs stays nil and
+	// every counting/serialization path routes through the set. Use
+	// Materialize to obtain an Addrs-backed copy when a caller needs the
+	// slice itself.
+	lazy bool
+
+	// closer releases the storage backing a lazy snapshot (the mapped
+	// census file); nil otherwise.
+	closer io.Closer
+
 	// gen counts in-place mutations (Apply): identity-keyed caches
 	// include it so counts memoized before a mutation are never served
 	// afterwards. Snapshots that are never mutated stay at generation
@@ -128,10 +139,63 @@ func NewSnapshotSorted[A netaddr.Key[A]](protocol string, month int, addrs []A, 
 }
 
 // Hosts returns the number of responsive addresses.
-func (s *SnapshotOf[A]) Hosts() int { return len(s.Addrs) }
+func (s *SnapshotOf[A]) Hosts() int {
+	if s.lazy {
+		return s.Set().Len()
+	}
+	return len(s.Addrs)
+}
+
+// Lazy reports whether the snapshot's addresses live only behind the
+// block-indexed set view (Addrs is nil); see OpenSnapshotFile.
+func (s *SnapshotOf[A]) Lazy() bool { return s.lazy }
+
+// Close releases the storage backing a lazy snapshot (the mapped census
+// file). It is a no-op for in-memory snapshots. The snapshot must not
+// be used after Close.
+func (s *SnapshotOf[A]) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	c := s.closer
+	s.closer = nil
+	return c.Close()
+}
+
+// Materialize returns an Addrs-backed snapshot with the same contents:
+// the receiver when it is already eager, otherwise a fully decoded copy
+// (O(hosts) — the one operation a lazy snapshot cannot avoid paying in
+// full). The copy shares the receiver's set view and stays valid only
+// while the receiver is open.
+func (s *SnapshotOf[A]) Materialize() *SnapshotOf[A] {
+	if !s.lazy {
+		return s
+	}
+	set := s.Set()
+	return &SnapshotOf[A]{
+		Protocol: s.Protocol,
+		Month:    s.Month,
+		Addrs:    set.AppendTo(make([]A, 0, set.Len())),
+		set:      set,
+	}
+}
+
+// addrsView returns the snapshot's addresses as a slice, decoding a
+// lazy snapshot in full. Internal paths that genuinely need the slice
+// (Diff's merge walk) go through here; counting paths must not.
+func (s *SnapshotOf[A]) addrsView() []A {
+	if s.lazy {
+		set := s.Set()
+		return set.AppendTo(make([]A, 0, set.Len()))
+	}
+	return s.Addrs
+}
 
 // Contains reports whether a responded in this snapshot.
 func (s *SnapshotOf[A]) Contains(a A) bool {
+	if s.lazy {
+		return s.Set().Contains(a)
+	}
 	i := sort.Search(len(s.Addrs), func(i int) bool { return s.Addrs[i].Compare(a) >= 0 })
 	return i < len(s.Addrs) && s.Addrs[i] == a
 }
@@ -143,7 +207,7 @@ func (s *SnapshotOf[A]) Contains(a A) bool {
 // fall back to the merge walk, which wins when most addresses land in
 // some prefix anyway (see DESIGN.md on the crossover).
 func (s *SnapshotOf[A]) CountByPrefix(p rib.PartOf[A]) (counts []int, outside int) {
-	if sparseFor(p.Len(), len(s.Addrs)) {
+	if s.lazy || sparseFor(p.Len(), len(s.Addrs)) {
 		return p.CountAddrsSet(s.Set())
 	}
 	return p.CountAddrs(s.Addrs)
@@ -168,7 +232,7 @@ func sparseFor(prefixes, addrs int) bool {
 // O(N+K); dense selections keep the merge walk, summing inline.
 func (s *SnapshotOf[A]) CountIn(p rib.PartOf[A]) int {
 	total := 0
-	if sparseFor(p.Len(), len(s.Addrs)) {
+	if s.lazy || sparseFor(p.Len(), len(s.Addrs)) {
 		ctr := s.Set().Counter()
 		for i := 0; i < p.Len(); i++ {
 			total += ctr.Count(p.FirstAt(i), p.LastAt(i))
@@ -225,7 +289,7 @@ func (s *SnapshotOf[A]) IntersectWith(t *SnapshotOf[A]) int {
 	if small.Hosts() > large.Hosts() {
 		small, large = large, small
 	}
-	if small.Hosts()*16 < large.Hosts() {
+	if s.lazy || t.lazy || small.Hosts()*16 < large.Hosts() {
 		return small.Set().IntersectCount(large.Set())
 	}
 	return IntersectCount(s.Addrs, t.Addrs)
@@ -324,23 +388,43 @@ func (s *SnapshotOf[A]) WriteTo(w io.Writer) (int64, error) {
 	if err := putUvarint(uint64(s.Month)); err != nil {
 		return n, err
 	}
-	if err := putUvarint(uint64(len(s.Addrs))); err != nil {
+	if err := putUvarint(uint64(s.Hosts())); err != nil {
 		return n, err
 	}
 	kbuf := make([]byte, 0, 19)
 	prev := zero
-	for i, a := range s.Addrs {
+	i := 0
+	var werr error
+	emit := func(a A) bool {
 		v := a
 		if i > 0 {
 			if a.Compare(prev) <= 0 {
-				return n, fmt.Errorf("%w: addresses not strictly ascending", ErrFormat)
+				werr = fmt.Errorf("%w: addresses not strictly ascending", ErrFormat)
+				return false
 			}
 			v = netaddr.KeySub(a, prev)
 		}
 		if err := write(netaddr.AppendKeyUvarint(kbuf[:0], v)); err != nil {
-			return n, err
+			werr = err
+			return false
 		}
 		prev = a
+		i++
+		return true
+	}
+	if s.lazy {
+		// Stream straight off the block index: one block resident at a
+		// time, never the whole census.
+		s.Set().Walk(emit)
+	} else {
+		for _, a := range s.Addrs {
+			if !emit(a) {
+				break
+			}
+		}
+	}
+	if werr != nil {
+		return n, werr
 	}
 	if err := bw.Flush(); err != nil {
 		return n, err
@@ -399,6 +483,21 @@ func ReadSnapshotOf[A netaddr.Key[A]](r io.Reader) (*SnapshotOf[A], error) {
 	}
 	if count > 1<<32 {
 		return nil, fmt.Errorf("%w: impossible host count %d", ErrFormat, count)
+	}
+	// Every address costs at least one byte on the wire, so a declared
+	// count must be covered by at least that many remaining input bytes.
+	// Peek as far as the read-ahead buffer allows before allocating
+	// anything: a truncated header claiming millions of hosts fails here
+	// instead of allocating and then erroring mid-decode.
+	if count > 0 {
+		want := int(count)
+		if want > br.Size() {
+			want = br.Size()
+		}
+		if peeked, _ := br.Peek(want); len(peeked) < want {
+			return nil, fmt.Errorf("%w: declared %d hosts but only %d bytes remain",
+				ErrFormat, count, len(peeked))
+		}
 	}
 	// The count is attacker-controlled until the deltas actually decode:
 	// cap the up-front allocation and grow while decoding, so a 9-byte

@@ -45,7 +45,7 @@ func (s *SnapshotOf[A]) Diff(later *SnapshotOf[A]) *DeltaOf[A] {
 		return any(diff32(s4, any(later).(*Snapshot))).(*DeltaOf[A])
 	}
 	d := &DeltaOf[A]{Protocol: s.Protocol, FromMonth: s.Month, ToMonth: later.Month}
-	a, b := s.Addrs, later.Addrs
+	a, b := s.addrsView(), later.addrsView()
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch c := a[i].Compare(b[j]); {
@@ -70,7 +70,7 @@ func (s *SnapshotOf[A]) Diff(later *SnapshotOf[A]) *DeltaOf[A] {
 // stay direct uint32 operations.
 func diff32(s, later *Snapshot) *Delta {
 	d := &Delta{Protocol: s.Protocol, FromMonth: s.Month, ToMonth: later.Month}
-	a, b := s.Addrs, later.Addrs
+	a, b := s.addrsView(), later.addrsView()
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -105,7 +105,10 @@ func ApplyDelta[A netaddr.Key[A]](from *SnapshotOf[A], d *DeltaOf[A]) (*Snapshot
 	if err != nil {
 		return nil, err
 	}
-	return &SnapshotOf[A]{Protocol: from.Protocol, Month: d.ToMonth, Addrs: addrs, set: set}, nil
+	// A delta applied to a lazy snapshot yields another lazy snapshot;
+	// it reads through the parent's backing, so it stays valid only
+	// while the parent remains open (the parent keeps owning the file).
+	return &SnapshotOf[A]{Protocol: from.Protocol, Month: d.ToMonth, Addrs: addrs, set: set, lazy: from.lazy}, nil
 }
 
 // Apply is ApplyDelta in place: the receiver becomes the later
@@ -144,6 +147,17 @@ func applyDelta[A netaddr.Key[A]](from *SnapshotOf[A], d *DeltaOf[A]) ([]A, *add
 				return nil, nil, fmt.Errorf("%w: delta run not strictly ascending at %v", ErrFormat, run[i])
 			}
 		}
+	}
+	if from.lazy {
+		// A lazy snapshot has no Addrs to merge into — the whole point
+		// is never materializing them. The copy-on-write overlay apply
+		// keeps the result lazy: untouched blocks stay byte-ranges into
+		// the backing file, only churned blocks decode and re-encode.
+		set, err := from.Set().ApplyDelta(d.Born, d.Died)
+		if err != nil {
+			return nil, nil, fmt.Errorf("census: %w", err)
+		}
+		return nil, set, nil
 	}
 	// Merge by delta events, not by base elements: the unchanged runs
 	// between consecutive born/died addresses — almost everything, at

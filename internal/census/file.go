@@ -1,0 +1,491 @@
+package census
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"github.com/tass-scan/tass/internal/addrset"
+	"github.com/tass-scan/tass/internal/mmapfile"
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// TASSNAP2 — the indexed snapshot file format.
+//
+// Format v1 (TASSCNS/TASSCN6, census.go) is one long delta stream:
+// reading it costs O(addresses) in time and memory before the first
+// count can run. v2 prefixes the same delta-coded payload with a block
+// directory, so opening costs O(blocks): the index is parsed and
+// checksummed, the payload is mapped (or left on disk for pread) and
+// blocks decode on first touch through the addrset lazy cache.
+//
+//	magic      [8]byte "TASSNAP2"
+//	family     byte: 4 or 6
+//	proto      uvarint length + bytes
+//	month      uvarint
+//	count      uvarint  total addresses
+//	blockSize  uvarint  addresses per block (last block may hold fewer)
+//	nblocks    uvarint
+//	payloadLen uvarint
+//	dirLen     uvarint  directory length in bytes
+//	payloadCRC [4]byte  CRC-32 (IEEE) of the payload, little endian
+//	directory  dirLen bytes: per block,
+//	             minDelta  key uvarint (block 0 absolute, then delta
+//	                       from the previous block's min)
+//	             span      key uvarint (max - min)
+//	             count_i   uvarint
+//	             bytes_i   uvarint (encoded stream length)
+//	indexCRC   [4]byte  CRC-32 (IEEE) of everything above, little endian
+//	payload    payloadLen bytes: per block, count_i-1 key-uvarint deltas
+//
+// The index CRC is verified at open (still O(blocks)); the payload CRC
+// is only read by VerifySnapshotFile, keeping cold opens free of any
+// O(addresses) work. A block payload corrupted after a successful
+// verify surfaces as a panic at first decode — the pread analogue of an
+// mmap SIGBUS on a truncated file.
+var magic2 = [8]byte{'T', 'A', 'S', 'S', 'N', 'A', 'P', '2'}
+
+func familyByte(width int) byte {
+	if width == 32 {
+		return 4
+	}
+	return 6
+}
+
+// snapFileIndex is a parsed v2 header + directory.
+type snapFileIndex[A netaddr.Key[A]] struct {
+	proto      string
+	month      int
+	count      int
+	blockSize  int
+	payloadCRC uint32
+	payloadOff int
+	payloadLen int
+
+	mins, maxs    []A
+	counts, blens []int
+}
+
+// parseSnapFileIndex reads and validates the header, directory and
+// index CRC of an open v2 file. It touches only the index prefix of the
+// file — O(blocks) bytes — never the payload.
+func parseSnapFileIndex[A netaddr.Key[A]](m *mmapfile.File) (*snapFileIndex[A], error) {
+	size := int(m.Size())
+	// The fixed header fits well under 4 KiB (proto <= 255 bytes, seven
+	// uvarints, one CRC); grab that much, or the whole file if smaller.
+	headLen := 4096
+	if headLen > size {
+		headLen = size
+	}
+	head := m.Bytes(0, headLen)
+	if len(head) < len(magic2)+1 || !bytes.Equal(head[:8], magic2[:]) {
+		return nil, fmt.Errorf("%w: not a TASSNAP2 file", ErrFormat)
+	}
+	var zero A
+	if fam := head[8]; fam != familyByte(zero.Width()) {
+		return nil, fmt.Errorf("%w: family %d, want %d", ErrFormat, head[8], familyByte(zero.Width()))
+	}
+	pos := 9
+	next := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(head[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated header at %s", ErrFormat, what)
+		}
+		pos += n
+		return v, nil
+	}
+	protoLen, err := next("proto length")
+	if err != nil {
+		return nil, err
+	}
+	if protoLen > 255 || pos+int(protoLen) > len(head) {
+		return nil, fmt.Errorf("%w: protocol name length %d", ErrFormat, protoLen)
+	}
+	proto := string(head[pos : pos+int(protoLen)])
+	pos += int(protoLen)
+	month, err := next("month")
+	if err != nil {
+		return nil, err
+	}
+	count, err := next("count")
+	if err != nil {
+		return nil, err
+	}
+	blockSize, err := next("block size")
+	if err != nil {
+		return nil, err
+	}
+	nblocks, err := next("block count")
+	if err != nil {
+		return nil, err
+	}
+	payloadLen, err := next("payload length")
+	if err != nil {
+		return nil, err
+	}
+	dirLen, err := next("directory length")
+	if err != nil {
+		return nil, err
+	}
+	if pos+4 > len(head) {
+		return nil, fmt.Errorf("%w: truncated header at payload CRC", ErrFormat)
+	}
+	payloadCRC := binary.LittleEndian.Uint32(head[pos:])
+	pos += 4
+	hdrEnd := pos
+
+	if count > 1<<33 || blockSize == 0 || blockSize > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible count %d / block size %d", ErrFormat, count, blockSize)
+	}
+	// Every directory record is at least 4 bytes (four 1-byte fields),
+	// so nblocks is bounded by the directory it claims to describe —
+	// checked before any nblocks-sized allocation.
+	idxEnd := hdrEnd + int(dirLen)
+	payloadOff := idxEnd + 4
+	if dirLen > uint64(size) || payloadOff+int(payloadLen) != size {
+		return nil, fmt.Errorf("%w: file is %d bytes, index describes %d", ErrFormat, size, payloadOff+int(payloadLen))
+	}
+	if nblocks > dirLen/4 {
+		return nil, fmt.Errorf("%w: %d blocks cannot fit a %d-byte directory", ErrFormat, nblocks, dirLen)
+	}
+
+	idx := m.Bytes(0, idxEnd)
+	if got, want := crc32.ChecksumIEEE(idx), binary.LittleEndian.Uint32(m.Bytes(idxEnd, 4)); got != want {
+		return nil, fmt.Errorf("%w: index CRC mismatch (got %08x, want %08x)", ErrFormat, got, want)
+	}
+
+	out := &snapFileIndex[A]{
+		proto:      proto,
+		month:      int(month),
+		count:      int(count),
+		blockSize:  int(blockSize),
+		payloadCRC: payloadCRC,
+		payloadOff: payloadOff,
+		payloadLen: int(payloadLen),
+		mins:       make([]A, nblocks),
+		maxs:       make([]A, nblocks),
+		counts:     make([]int, nblocks),
+		blens:      make([]int, nblocks),
+	}
+	dir := idx[hdrEnd:]
+	dpos := 0
+	total := 0
+	var prevMin A
+	for i := 0; i < int(nblocks); i++ {
+		minDelta, n := netaddr.DecodeKeyUvarint[A](dir[dpos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: truncated directory at block %d", ErrFormat, i)
+		}
+		dpos += n
+		span, n := netaddr.DecodeKeyUvarint[A](dir[dpos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: truncated directory at block %d", ErrFormat, i)
+		}
+		dpos += n
+		cnt, n := binary.Uvarint(dir[dpos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: truncated directory at block %d", ErrFormat, i)
+		}
+		dpos += n
+		bl, n := binary.Uvarint(dir[dpos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: truncated directory at block %d", ErrFormat, i)
+		}
+		dpos += n
+		min := minDelta
+		if i > 0 {
+			min = netaddr.KeyAdd(prevMin, minDelta)
+			if min.Compare(prevMin) < 0 {
+				return nil, fmt.Errorf("%w: block %d min wraps the address space", ErrFormat, i)
+			}
+		}
+		max := netaddr.KeyAdd(min, span)
+		if max.Compare(min) < 0 {
+			return nil, fmt.Errorf("%w: block %d max wraps the address space", ErrFormat, i)
+		}
+		if cnt > uint64(blockSize) || bl > uint64(payloadLen) {
+			return nil, fmt.Errorf("%w: block %d directory entry out of range", ErrFormat, i)
+		}
+		out.mins[i] = min
+		out.maxs[i] = max
+		out.counts[i] = int(cnt)
+		out.blens[i] = int(bl)
+		total += int(cnt)
+		prevMin = min
+	}
+	if dpos != len(dir) {
+		return nil, fmt.Errorf("%w: directory has %d trailing bytes", ErrFormat, len(dir)-dpos)
+	}
+	if total != out.count {
+		return nil, fmt.Errorf("%w: directory counts sum to %d, header says %d", ErrFormat, total, out.count)
+	}
+	return out, nil
+}
+
+// fileSource serves block extents from the payload region of an open
+// snapshot file; it is the mmap/pread BlockSource behind lazy sets.
+type fileSource struct {
+	f    *mmapfile.File
+	base int
+	size int
+}
+
+func (s *fileSource) Bytes(off, n int) []byte { return s.f.Bytes(s.base+off, n) }
+func (s *fileSource) Size() int               { return s.size }
+
+// OpenSnapshotFile opens an IPv4 snapshot file lazily with the default
+// decoded-block cache cap. See OpenSnapshotFileOf.
+func OpenSnapshotFile(path string) (*Snapshot, error) {
+	return OpenSnapshotFileOf[netaddr.Addr](path, 0)
+}
+
+// OpenSnapshotFileOf opens a snapshot file of family A. A TASSNAP2 file
+// opens in O(blocks): the index is parsed and CRC-checked, the payload
+// is mapped (pread on platforms without mmap) and blocks decode on
+// first touch, cached in an LRU capped at cacheBlocks decoded blocks
+// (0 means the addrset default). The returned snapshot is lazy: Addrs
+// is nil, counting and selection run off the block index, and Close
+// must be called to release the mapping. The payload is trusted after
+// the index CRC passes — run VerifySnapshotFile first on files of
+// doubtful provenance.
+//
+// A v1 file (TASSCNS/TASSCN6) is read eagerly as ReadSnapshotOf would,
+// so callers can open either format through one entry point.
+func OpenSnapshotFileOf[A netaddr.Key[A]](path string, cacheBlocks int) (*SnapshotOf[A], error) {
+	m, err := mmapfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if int(m.Size()) >= 8 {
+		var zero A
+		v1 := snapMagic(zero.Width())
+		if head := m.Bytes(0, 8); bytes.Equal(head, v1[:]) {
+			// v1: one eager pass, as before this format existed.
+			m.Close()
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return ReadSnapshotOf[A](f)
+		}
+	}
+	idx, err := parseSnapFileIndex[A](m)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	src := &fileSource{f: m, base: idx.payloadOff, size: idx.payloadLen}
+	set, err := addrset.FromIndex(idx.mins, idx.maxs, idx.counts, idx.blens, idx.blockSize, src, cacheBlocks)
+	if err != nil {
+		m.Close()
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return &SnapshotOf[A]{
+		Protocol: idx.proto,
+		Month:    idx.month,
+		set:      set,
+		lazy:     true,
+		closer:   m,
+	}, nil
+}
+
+// VerifySnapshotFile deep-checks a TASSNAP2 file of either family:
+// index CRC, payload CRC, and a full decode of every block against the
+// directory. It is the O(addresses) pass that makes the lazy open's
+// trust in the payload safe for files of unknown provenance.
+func VerifySnapshotFile(path string) error {
+	m, err := mmapfile.Open(path)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	if int(m.Size()) < 9 {
+		return fmt.Errorf("%w: not a TASSNAP2 file", ErrFormat)
+	}
+	if fam := m.Bytes(8, 1)[0]; fam == 6 {
+		return verifySnapFile[netaddr.Addr6](m)
+	}
+	return verifySnapFile[netaddr.Addr](m)
+}
+
+func verifySnapFile[A netaddr.Key[A]](m *mmapfile.File) error {
+	idx, err := parseSnapFileIndex[A](m)
+	if err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	const chunk = 1 << 20
+	for off := 0; off < idx.payloadLen; off += chunk {
+		n := idx.payloadLen - off
+		if n > chunk {
+			n = chunk
+		}
+		crc.Write(m.Bytes(idx.payloadOff+off, n))
+	}
+	if got := crc.Sum32(); got != idx.payloadCRC {
+		return fmt.Errorf("%w: payload CRC mismatch (got %08x, want %08x)", ErrFormat, got, idx.payloadCRC)
+	}
+	src := &fileSource{f: m, base: idx.payloadOff, size: idx.payloadLen}
+	// Cache cap 1: CheckBlocks streams every block once, nothing worth
+	// keeping resident.
+	set, err := addrset.FromIndex(idx.mins, idx.maxs, idx.counts, idx.blens, idx.blockSize, src, 1)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if err := set.CheckBlocks(); err != nil {
+		return fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return nil
+}
+
+// WriteSnapshotFile writes an IPv4 snapshot to path in TASSNAP2 format.
+// See WriteSnapshotFileOf.
+func WriteSnapshotFile(path string, s *Snapshot) error {
+	return WriteSnapshotFileOf(path, s)
+}
+
+// WriteSnapshotFileOf writes a snapshot of any family to path in
+// TASSNAP2 format, atomically (temp file + rename). The payload is
+// re-encoded from the snapshot's set view into canonical
+// fixed-population blocks, so overlay-carrying snapshots (ApplyDelta
+// output) and lazy snapshots serialize to the same bytes as a freshly
+// built equal snapshot. Memory stays O(blocks): the encode runs twice —
+// once to size the directory and checksum the payload, once to stream
+// the payload to disk — rather than buffering the payload.
+func WriteSnapshotFileOf[A netaddr.Key[A]](path string, s *SnapshotOf[A]) error {
+	set := s.Set()
+	bsize := set.BlockSize()
+
+	// Pass 1: directory + payload CRC, no payload retained.
+	var (
+		mins, maxs    []A
+		counts, blens []int
+		payloadLen    int
+	)
+	crc := crc32.NewIEEE()
+	encodeSnapBlocks(set, bsize,
+		func(min A) { mins = append(mins, min) },
+		func(b []byte) { crc.Write(b); payloadLen += len(b) },
+		func(max A, count, blen int) {
+			maxs = append(maxs, max)
+			counts = append(counts, count)
+			blens = append(blens, blen)
+		})
+
+	var zero A
+	var hdr bytes.Buffer
+	hdr.Write(magic2[:])
+	hdr.WriteByte(familyByte(zero.Width()))
+	var vbuf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) { hdr.Write(vbuf[:binary.PutUvarint(vbuf[:], v)]) }
+	putUvarint(uint64(len(s.Protocol)))
+	hdr.WriteString(s.Protocol)
+	putUvarint(uint64(s.Month))
+	putUvarint(uint64(set.Len()))
+	putUvarint(uint64(bsize))
+	putUvarint(uint64(len(mins)))
+	putUvarint(uint64(payloadLen))
+
+	var dir bytes.Buffer
+	kbuf := make([]byte, 0, 19)
+	var prevMin A
+	for i := range mins {
+		minDelta := mins[i]
+		if i > 0 {
+			minDelta = netaddr.KeySub(mins[i], prevMin)
+		}
+		dir.Write(netaddr.AppendKeyUvarint(kbuf[:0], minDelta))
+		dir.Write(netaddr.AppendKeyUvarint(kbuf[:0], netaddr.KeySub(maxs[i], mins[i])))
+		dir.Write(vbuf[:binary.PutUvarint(vbuf[:], uint64(counts[i]))])
+		dir.Write(vbuf[:binary.PutUvarint(vbuf[:], uint64(blens[i]))])
+		prevMin = mins[i]
+	}
+	putUvarint(uint64(dir.Len()))
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc.Sum32())
+	hdr.Write(crcb[:])
+	hdr.Write(dir.Bytes())
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	bw := bufio.NewWriterSize(f, 1<<16)
+	idxCRC := crc32.ChecksumIEEE(hdr.Bytes())
+	binary.LittleEndian.PutUint32(crcb[:], idxCRC)
+	var werr error
+	write := func(b []byte) {
+		if werr == nil {
+			_, werr = bw.Write(b)
+		}
+	}
+	write(hdr.Bytes())
+	write(crcb[:])
+	// Pass 2: stream the payload.
+	encodeSnapBlocks(set, bsize, func(A) {}, write, func(A, int, int) {})
+	if werr != nil {
+		f.Close()
+		return werr
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// encodeSnapBlocks walks set in ascending order, re-encoding it into
+// fixed-population blocks of bsize addresses: startBlock fires with
+// each block's first address, deltaBytes with every encoded delta, and
+// endBlock with the block's last address, population, and encoded byte
+// length. Two identical invocations produce identical byte streams —
+// the property the two-pass file writer depends on.
+func encodeSnapBlocks[A netaddr.Key[A]](set *addrset.SetOf[A], bsize int,
+	startBlock func(min A), deltaBytes func(b []byte), endBlock func(max A, count, blen int)) {
+	kbuf := make([]byte, 0, 19)
+	var prev A
+	inBlk, blen := 0, 0
+	set.Walk(func(a A) bool {
+		if inBlk == bsize {
+			endBlock(prev, inBlk, blen)
+			inBlk, blen = 0, 0
+		}
+		if inBlk == 0 {
+			startBlock(a)
+		} else {
+			b := netaddr.AppendKeyUvarint(kbuf[:0], netaddr.KeySub(a, prev))
+			deltaBytes(b)
+			blen += len(b)
+		}
+		prev = a
+		inBlk++
+		return true
+	})
+	if inBlk > 0 {
+		endBlock(prev, inBlk, blen)
+	}
+}
+
+// ConvertSnapshotFile reads a v1 snapshot stream from r and writes it
+// to path as TASSNAP2. It is the library half of `tass convert`.
+func ConvertSnapshotFile[A netaddr.Key[A]](r io.Reader, path string) error {
+	snap, err := ReadSnapshotOf[A](r)
+	if err != nil {
+		return err
+	}
+	return WriteSnapshotFileOf(path, snap)
+}

@@ -32,6 +32,15 @@ func FuzzSnapshotCodec(f *testing.F) {
 	f.Add(append([]byte("TASSCNS\x01"), 0x01, 'x', 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F, 0x01))
 	// Zero delta (duplicate address on the wire).
 	f.Add(append([]byte("TASSCNS\x01"), 0x01, 'x', 0x00, 0x02, 0x05, 0x00))
+	// Truncated headers: the stream ends mid-field — inside the magic,
+	// after a protocol length that promises more bytes than exist, after
+	// the month with no count, and right after a declared count with no
+	// addresses behind it (the shape the pre-allocation guard rejects by
+	// peeking at the remaining input).
+	f.Add([]byte("TASSC"))
+	f.Add(append([]byte("TASSCNS\x01"), 0x04, 'h', 't'))
+	f.Add(append([]byte("TASSCNS\x01"), 0x01, 'x', 0x07))
+	f.Add(append([]byte("TASSCNS\x01"), 0x01, 'x', 0x00, 0x64))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		snap, err := ReadSnapshot(bytes.NewReader(data))

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sort"
 
+	"github.com/tass-scan/tass/internal/addrset"
 	"github.com/tass-scan/tass/internal/netaddr"
 	"github.com/tass-scan/tass/internal/par"
 	"github.com/tass-scan/tass/internal/rib"
@@ -82,5 +83,56 @@ func countShardedFamily[A netaddr.Key[A]](addrs []A, p rib.PartOf[A], workers in
 // CountByPrefixSharded is Snapshot.CountByPrefix with the counting walk
 // sharded over workers goroutines.
 func (s *SnapshotOf[A]) CountByPrefixSharded(p rib.PartOf[A], workers int) (counts []int, outside int) {
+	return s.countsSharded(p, workers)
+}
+
+// countsSharded routes a per-prefix count to the backing the snapshot
+// actually has: lazy snapshots count off the block index (decoding only
+// the boundary blocks each prefix touches), eager ones run the sharded
+// merge walk over Addrs. Results are identical at any worker count and
+// across backings — the golden-equality contract the selection stack
+// relies on.
+func (s *SnapshotOf[A]) countsSharded(p rib.PartOf[A], workers int) (counts []int, outside int) {
+	if s.lazy {
+		return countSetSharded(s.Set(), p, workers)
+	}
 	return countShardedFamily(s.Addrs, p, workers)
+}
+
+// countSetSharded counts per-prefix hosts against a block-indexed set,
+// fanning contiguous prefix shards out over workers goroutines with one
+// range Counter each. Per-prefix counts are independent range queries,
+// so the result cannot depend on the shard layout.
+func countSetSharded[A netaddr.Key[A]](set *addrset.SetOf[A], p rib.PartOf[A], workers int) (counts []int, outside int) {
+	n := p.Len()
+	if n == 0 {
+		return make([]int, 0), set.Len()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	counts = make([]int, n)
+	// Counters amortize block decodes across a run of ascending
+	// prefixes; keep shards large enough that the amortization works.
+	const minShard = 512
+	shard := (n + workers - 1) / workers
+	if shard < minShard {
+		shard = minShard
+	}
+	inside := make([]int, (n+shard-1)/shard)
+	par.ForEachChunk(n, workers, shard, func(lo, hi int) {
+		ctr := set.Counter()
+		got := 0
+		for i := lo; i < hi; i++ {
+			c := ctr.Count(p.FirstAt(i), p.LastAt(i))
+			counts[i] = c
+			got += c
+		}
+		inside[lo/shard] = got
+	})
+	outside = set.Len()
+	for _, got := range inside {
+		outside -= got
+	}
+	return counts, outside
 }

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package mmapfile
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("mmapfile: no mmap on this platform")
+
+func mmap(f *os.File, size int) ([]byte, error) { return nil, errNoMmap }
+
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,16 @@
+//go:build unix
+
+package mmapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+func mmap(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,98 @@
+// Package mmapfile opens a file for random read access, memory-mapping
+// it read-only where the platform allows and degrading to pread
+// elsewhere. It is the bottom of the lazy census stack: the TASSNAP2
+// codec maps a snapshot file once and serves block extents from the
+// mapping, so opening a multi-gigabyte census costs page-table setup,
+// not a read of the payload — the kernel pages blocks in as the set
+// faults them and pages them out again under memory pressure.
+//
+// Callers must treat returned byte slices as immutable, and must not
+// modify the underlying file while a File is open.
+package mmapfile
+
+import (
+	"fmt"
+	"os"
+)
+
+// File is a read-only file with random extent access. It is safe for
+// concurrent use.
+type File struct {
+	f      *os.File
+	size   int64
+	data   []byte // whole-file mapping; nil when running on pread
+	mapped bool
+}
+
+// DisableMmap forces every subsequent Open onto the pread fallback.
+// The lazy census stack behaves identically either way (just without
+// zero-copy extents); the knob exists for tests exercising the
+// fallback and for diagnosing platform mmap issues. Set it before
+// opening files — it is not synchronized with concurrent Opens.
+var DisableMmap = false
+
+// Open opens path read-only. On platforms with mmap the whole file is
+// mapped; anywhere else (or if the mapping fails, e.g. on exotic
+// filesystems) the File transparently serves extents with pread.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	m := &File{f: f, size: st.Size()}
+	if m.size > 0 && !DisableMmap {
+		if data, err := mmap(f, int(m.size)); err == nil {
+			m.data = data
+			m.mapped = true
+		}
+	}
+	return m, nil
+}
+
+// Mapped reports whether extents are served from a memory mapping
+// (false means the pread fallback is active).
+func (m *File) Mapped() bool { return m.mapped }
+
+// Size returns the file size at open time.
+func (m *File) Size() int64 { return m.size }
+
+// Bytes returns the file bytes [off, off+n). Mapped files return a
+// zero-copy subslice of the mapping; the fallback preads into a fresh
+// slice. Out-of-range extents and fallback read errors panic — Bytes
+// sits under the addrset block-fault path, whose extents were validated
+// against the file's directory at open, so a failure here means the
+// file changed or vanished underneath us (the moral equivalent of an
+// mmap SIGBUS).
+func (m *File) Bytes(off, n int) []byte {
+	if off < 0 || n < 0 || int64(off)+int64(n) > m.size {
+		panic(fmt.Sprintf("mmapfile: extent [%d,%d) outside file of %d bytes", off, off+n, m.size))
+	}
+	if m.mapped {
+		return m.data[off : off+n]
+	}
+	buf := make([]byte, n)
+	if _, err := m.f.ReadAt(buf, int64(off)); err != nil {
+		panic(fmt.Sprintf("mmapfile: pread %d bytes at %d: %v", n, off, err))
+	}
+	return buf
+}
+
+// Close unmaps and closes the file. Slices previously returned by Bytes
+// on a mapped File become invalid.
+func (m *File) Close() error {
+	var err error
+	if m.mapped {
+		err = munmap(m.data)
+		m.data = nil
+		m.mapped = false
+	}
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

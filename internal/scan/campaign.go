@@ -26,6 +26,14 @@ type Campaign struct {
 	// Targets, when non-empty, is the cycle-0 scan plan; it defaults to
 	// Universe (a full seed scan).
 	Targets rib.Partition
+	// SeedSnapshot, when set (and Targets is empty), replaces the
+	// cycle-0 full-universe seed scan: the first cycle scans the TASS
+	// selection computed from this snapshot over Universe, exactly as
+	// the paper seeds from a census archive instead of scanning 2^32
+	// first. Lazy snapshots (census.OpenSnapshotFile) work unchanged —
+	// the selection counts off the block index, so a multi-gigabyte
+	// census seeds a campaign without ever being resident in full.
+	SeedSnapshot *census.Snapshot
 	// Prober performs the probes (required unless ProberAt is set).
 	Prober Prober
 	// ProberAt, when set, supplies the prober per cycle — the hook for
@@ -124,6 +132,41 @@ func (c *Campaign) Run(ctx context.Context, cycles int) ([]Cycle, error) {
 		ranker   *core.Ranker
 		prevSnap *census.Snapshot
 	)
+	// selectFrom computes the selection seeding the next plan. The first
+	// call counts the snapshot over the universe (keeping the ranking
+	// when Incremental); later incremental calls repair the ranking with
+	// the snapshot-over-snapshot delta. Selections are byte-identical
+	// across the paths and across snapshot backings (eager or lazy).
+	selectFrom := func(snap *census.Snapshot) (*core.Selection, error) {
+		switch {
+		case c.Incremental && ranker == nil:
+			// First selection (or a universe too large for the packed
+			// ranking, which falls through to the full path below):
+			// count once, keep the ranking.
+			r, err := core.NewRanker(snap, c.Universe, workers, c.Cache)
+			if err == nil {
+				ranker = r
+				return ranker.Select(c.Opts)
+			}
+			return core.SelectCached(snap, c.Universe, c.Opts, workers, c.Cache)
+		case c.Incremental:
+			// Steady state: the scan-result delta repairs the ranking.
+			if err := ranker.Apply(prevSnap.Diff(snap)); err != nil {
+				return nil, err
+			}
+			return ranker.Select(c.Opts)
+		default:
+			return core.SelectCached(snap, c.Universe, c.Opts, workers, c.Cache)
+		}
+	}
+	if c.SeedSnapshot != nil && c.Targets.Len() == 0 {
+		sel, err := selectFrom(c.SeedSnapshot)
+		if err != nil {
+			return nil, fmt.Errorf("scan: campaign seed selection: %w", err)
+		}
+		prevSnap = c.SeedSnapshot
+		plan = sel.Partition()
+	}
 	for i := 0; i < cycles; i++ {
 		prober := c.Prober
 		if c.ProberAt != nil {
@@ -156,26 +199,7 @@ func (c *Campaign) Run(ctx context.Context, cycles int) ([]Cycle, error) {
 			return out, fmt.Errorf("scan: campaign cycle %d: %w", i, err)
 		}
 		snap := census.NewSnapshot(protocol, i, report.Responsive)
-		var sel *core.Selection
-		switch {
-		case c.Incremental && ranker == nil:
-			// First cycle (or a universe too large for the packed
-			// ranking, which falls through to the full path below):
-			// count once, keep the ranking.
-			ranker, err = core.NewRanker(snap, c.Universe, workers, c.Cache)
-			if err == nil {
-				sel, err = ranker.Select(c.Opts)
-			} else {
-				sel, err = core.SelectCached(snap, c.Universe, c.Opts, workers, c.Cache)
-			}
-		case c.Incremental:
-			// Steady state: the scan-result delta repairs the ranking.
-			if err = ranker.Apply(prevSnap.Diff(snap)); err == nil {
-				sel, err = ranker.Select(c.Opts)
-			}
-		default:
-			sel, err = core.SelectCached(snap, c.Universe, c.Opts, workers, c.Cache)
-		}
+		sel, err := selectFrom(snap)
 		if err != nil {
 			return out, fmt.Errorf("scan: campaign cycle %d selection: %w", i, err)
 		}

@@ -11,7 +11,7 @@
 # run. Keep the JSON files out of git or check them in deliberately;
 # EXPERIMENTS.md quotes the headline numbers.
 #
-# Usage: scripts/bench.sh [outfile]
+# Usage: scripts/bench.sh [-universe huge] [outfile]
 #        scripts/bench.sh -compare OLD.json NEW.json
 #        scripts/bench.sh -gate [OLD.json] NEW.json
 #        scripts/bench.sh -latest
@@ -19,14 +19,23 @@
 #   BENCHTIME=<n>       -benchtime value (default: go test's heuristic)
 #   GATE_THRESHOLD=<p>  -gate failure threshold in percent (default: 15)
 #
+# -universe huge switches to the lazy-census tier: a ~50M-host synthetic
+# census (TASS_HUGE_HOSTS overrides) measured by BenchmarkOpenSnapshot
+# (cold-open latency, lazy vs eager), BenchmarkLazyCount (first-touch
+# decode cost and resident block count) and BenchmarkVarintDecode. The
+# tier writes the same JSON shape; records from different tiers simply
+# share no benchmark names.
+#
 # -compare prints a report-only ns/op delta table. -gate prints the
 # same table but exits non-zero when any benchmark present in both
 # files regressed by more than GATE_THRESHOLD percent; with one
 # argument the old side defaults to the latest committed BENCH_*.json.
-# Absolute ns/op only means something on comparable hardware, so when
-# the two records name different CPUs the gate downgrades itself to
-# report-only instead of failing on the machine gap. -latest prints
-# the name of the latest record and exits.
+# A tier absent from the baseline (no common benchmarks at all) is
+# skipped with a warning, not failed — a new tier's first record has
+# nothing to regress against. Absolute ns/op only means something on
+# comparable hardware, so when the two records name different CPUs the
+# gate downgrades itself to report-only instead of failing on the
+# machine gap. -latest prints the name of the latest record and exits.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -94,12 +103,21 @@ delta() {
                 }
             }
             if (thr >= 0 && compared == 0) {
-                print "gate: no comparable benchmarks between the two records" > "/dev/stderr"
-                fail = 1
+                # A disjoint benchmark set means a different tier (e.g.
+                # the first huge-tier record with only default-tier
+                # baselines committed): nothing to regress against, so
+                # skip rather than fail.
+                print "gate: no benchmark of this tier in the baseline; skipping" > "/dev/stderr"
             }
             exit fail
         }' "$1" "$2"
 }
+
+tier=""
+if [ "${1:-}" = "-universe" ]; then
+    tier="${2:?bench.sh: -universe needs a tier name (huge)}"
+    shift 2
+fi
 
 case "${1:-}" in
 -compare)
@@ -155,7 +173,15 @@ else
     } END { print max + 1 }')
     out="BENCH_$day.$run.json"
 fi
-bench="${BENCH:-BenchmarkSparseCount|BenchmarkIntersect|BenchmarkSelect$|BenchmarkSelect6$|BenchmarkRank$|BenchmarkRunAll$|BenchmarkBuildWorld$|BenchmarkChurnStep$|BenchmarkScanCycle|BenchmarkChurnToSelect|BenchmarkIncrementalRank|BenchmarkAblationCounting|BenchmarkPolicyLimiter}"
+if [ "$tier" = "huge" ]; then
+    export TASS_BENCH_UNIVERSE=huge
+    bench="${BENCH:-BenchmarkOpenSnapshot|BenchmarkLazyCount|BenchmarkVarintDecode}"
+elif [ -n "$tier" ]; then
+    echo "bench.sh: unknown -universe tier \"$tier\" (want huge)" >&2
+    exit 2
+else
+    bench="${BENCH:-BenchmarkSparseCount|BenchmarkIntersect|BenchmarkSelect$|BenchmarkSelect6$|BenchmarkRank$|BenchmarkRunAll$|BenchmarkBuildWorld$|BenchmarkChurnStep$|BenchmarkScanCycle|BenchmarkChurnToSelect|BenchmarkIncrementalRank|BenchmarkAblationCounting|BenchmarkPolicyLimiter|BenchmarkVarintDecode}"
+fi
 benchtime="${BENCHTIME:-}"
 
 args="-run=^$ -bench=$bench -benchmem -count=1"

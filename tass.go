@@ -406,6 +406,35 @@ func NewSnapshot(protocol string, month int, addrs []Addr) *Snapshot {
 // ReadSnapshot parses a binary snapshot written with Snapshot.WriteTo.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) { return census.ReadSnapshot(r) }
 
+// OpenSnapshotFile opens a census snapshot file in O(index): an indexed
+// TASSNAP2 file (see WriteSnapshotFile) yields a lazy snapshot whose
+// blocks decode on demand from the mapped file, so a full 2^32-scale
+// census opens in milliseconds and counting passes hold only a bounded
+// working set resident. Plain v1 streams (Snapshot.WriteTo) are read
+// eagerly as a fallback. Close the snapshot when done; Materialize
+// detaches a fully in-memory copy.
+func OpenSnapshotFile(path string) (*Snapshot, error) { return census.OpenSnapshotFile(path) }
+
+// WriteSnapshotFile writes s in the indexed TASSNAP2 format that
+// OpenSnapshotFile reads lazily. The write is atomic (temp file +
+// rename) and streams block by block, so writing never needs the
+// decoded address slice in memory.
+func WriteSnapshotFile(path string, s *Snapshot) error { return census.WriteSnapshotFile(path, s) }
+
+// VerifySnapshotFile deeply checks an indexed snapshot file: index and
+// payload checksums plus a full decode of every block. Run it once on
+// untrusted files before lazy use — OpenSnapshotFile verifies only the
+// index, and trusts the payload bytes it faults in afterwards.
+func VerifySnapshotFile(path string) error { return census.VerifySnapshotFile(path) }
+
+// ConvertSnapshotFile streams a v1 snapshot (Snapshot.WriteTo bytes,
+// e.g. a census archive) into an indexed TASSNAP2 file without ever
+// materializing the address slice. It is the bulk-import path behind
+// `tass convert`.
+func ConvertSnapshotFile(r io.Reader, path string) error {
+	return census.ConvertSnapshotFile[Addr](r, path)
+}
+
 // ReadSeries parses back-to-back snapshots of one protocol.
 func ReadSeries(r io.Reader) (*Series, error) { return census.ReadSeries(r) }
 

@@ -74,6 +74,8 @@ func main() {
 		err = runDiff(os.Args[2:])
 	case "convert":
 		err = runConvert(os.Args[2:])
+	case "fsck":
+		err = runFsck(os.Args[2:])
 	case "scan":
 		err = runScan(os.Args[2:])
 	case "coordinate":
@@ -104,6 +106,7 @@ func usage() {
   tass stats  -pfx2as TABLE
   tass diff   -a ADDRS -b ADDRS
   tass convert (-addrs ADDRS | -in SNAPFILE) -o FILE [-verify]
+  tass fsck   [-repair] FILE...
   tass scan   -targets PREFIXES (-sim ADDRS | -port N) [-cycles N] [-phi F]
               [-census-file FILE [-lazy=false]]
               [-incremental] [-rate F] [-burst N] [-workers N]
@@ -143,12 +146,15 @@ func loadAddrs(path string) (*tass.Snapshot, error) {
 }
 
 // loadSeed loads the seed snapshot of select/rank/scan: from a census
-// snapshot file when -census-file is set (an indexed TASSNAP2 file
+// snapshot file when -census-file is set (an indexed TASSNAP2/3 file
 // opens in O(index) and decodes on demand; -lazy=false decodes it up
 // front instead; a v1 stream always reads eagerly), otherwise from the
-// -addrs text file. The returned cleanup releases the file backing a
-// lazy snapshot — the snapshot must not be used after it runs.
-func loadSeed(addrsPath, censusPath string, lazy bool) (*tass.Snapshot, func(), error) {
+// -addrs text file. With degraded, storage corruption in a lazy census
+// is skipped block by block instead of failing the run (the faults are
+// reported by reportStorageFaults). The returned cleanup releases the
+// file backing a lazy snapshot — the snapshot must not be used after
+// it runs.
+func loadSeed(addrsPath, censusPath string, lazy, degraded bool) (*tass.Snapshot, func(), error) {
 	if censusPath == "" {
 		snap, err := loadAddrs(addrsPath)
 		return snap, func() {}, err
@@ -157,6 +163,9 @@ func loadSeed(addrsPath, censusPath string, lazy bool) (*tass.Snapshot, func(), 
 	if err != nil {
 		return nil, nil, err
 	}
+	if degraded {
+		snap.SetFaultPolicy(tass.FaultDegrade)
+	}
 	cleanup := func() { snap.Close() }
 	if !lazy {
 		// Decode everything now; the materialized view shares the set,
@@ -164,6 +173,15 @@ func loadSeed(addrsPath, censusPath string, lazy bool) (*tass.Snapshot, func(), 
 		return snap.Materialize(), cleanup, nil
 	}
 	return snap, cleanup, nil
+}
+
+// reportStorageFaults prints every storage fault a counting pass over
+// the seed recorded — under -degraded this is the operator's only
+// signal that counts are missing damaged blocks' hosts.
+func reportStorageFaults(snap *tass.Snapshot) {
+	for _, f := range snap.StorageFaults() {
+		fmt.Fprintf(os.Stderr, "# census storage fault (skipped): %v\n", &f)
+	}
 }
 
 // loadAddrs6 reads IPv6 seed observations, one address per line with
@@ -242,6 +260,7 @@ func runSelect(args []string) error {
 	minDensity := fs.Float64("min-density", 0, "stop below this density (0 = off)")
 	censusPath := fs.String("census-file", "", "seed from a census snapshot file (TASSNAP2 or v1) instead of -addrs")
 	lazy := fs.Bool("lazy", true, "with -census-file: leave the census on disk and decode blocks on demand")
+	degraded := fs.Bool("degraded", false, "with -census-file: skip corrupt census blocks instead of failing (faults reported on stderr)")
 	six := fs.Bool("6", false, "IPv6 mode: select over an announced-prefix universe")
 	prefixesPath := fs.String("prefixes", "", "announced IPv6 prefixes, one CIDR per line (required with -6)")
 	fs.Parse(args)
@@ -255,7 +274,7 @@ func runSelect(args []string) error {
 	if err != nil {
 		return err
 	}
-	seed, cleanup, err := loadSeed(*addrsPath, *censusPath, *lazy)
+	seed, cleanup, err := loadSeed(*addrsPath, *censusPath, *lazy, *degraded)
 	if err != nil {
 		return err
 	}
@@ -265,6 +284,7 @@ func runSelect(args []string) error {
 		return err
 	}
 	sel, err := tass.Select(seed, part, tass.Options{Phi: *phi, MinDensity: *minDensity})
+	reportStorageFaults(seed)
 	if err != nil {
 		return err
 	}
@@ -316,6 +336,7 @@ func runRank(args []string) error {
 	top := fs.Int("top", 20, "how many ranks to print")
 	censusPath := fs.String("census-file", "", "seed from a census snapshot file (TASSNAP2 or v1) instead of -addrs")
 	lazy := fs.Bool("lazy", true, "with -census-file: leave the census on disk and decode blocks on demand")
+	degraded := fs.Bool("degraded", false, "with -census-file: skip corrupt census blocks instead of failing (faults reported on stderr)")
 	fs.Parse(args)
 	if *tablePath == "" || (*addrsPath == "") == (*censusPath == "") {
 		return fmt.Errorf("rank: -pfx2as and exactly one of -addrs and -census-file are required")
@@ -324,7 +345,7 @@ func runRank(args []string) error {
 	if err != nil {
 		return err
 	}
-	seed, cleanup, err := loadSeed(*addrsPath, *censusPath, *lazy)
+	seed, cleanup, err := loadSeed(*addrsPath, *censusPath, *lazy, *degraded)
 	if err != nil {
 		return err
 	}
@@ -334,6 +355,10 @@ func runRank(args []string) error {
 		return err
 	}
 	ranked := tass.Rank(seed, part)
+	reportStorageFaults(seed)
+	if err := seed.StorageErr(); err != nil {
+		return fmt.Errorf("rank: census storage fault: %w", err)
+	}
 	w := bufio.NewWriter(os.Stdout)
 	fmt.Fprintf(w, "# %d responsive prefixes, %d hosts\n", len(ranked), seed.Hosts())
 	fmt.Fprintln(w, "# rank\tprefix\thosts\tdensity\tcoverage")
@@ -424,6 +449,54 @@ func runConvert(args []string) error {
 	return nil
 }
 
+// runFsck scrubs (and with -repair fixes) tass on-disk artifacts —
+// snapshot files, scan checkpoints, coordinator state — sniffing each
+// file's kind from its leading bytes. Exit status: 0 when every file is
+// clean (or was repaired), 1 when damage remains.
+func runFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	repair := fs.Bool("repair", false, "re-derive intact snapshot blocks into a fresh file, upgrade legacy checkpoints, quarantine what cannot be salvaged")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("fsck: at least one file is required")
+	}
+	damaged := 0
+	for _, path := range fs.Args() {
+		var res *tass.FsckResult
+		var err error
+		if *repair {
+			res, err = tass.FsckRepair(path)
+		} else {
+			res, err = tass.FsckCheck(path)
+		}
+		if err != nil {
+			return fmt.Errorf("fsck: %s: %w", path, err)
+		}
+		switch {
+		case res.Clean:
+			fmt.Printf("%s: %s: clean\n", path, res.Kind)
+		case res.Repaired:
+			fmt.Printf("%s: %s: repaired\n", path, res.Kind)
+		default:
+			fmt.Printf("%s: %s: DAMAGED\n", path, res.Kind)
+			damaged++
+		}
+		for _, f := range res.Findings {
+			fmt.Printf("  %s\n", f)
+		}
+		if res.QuarantinePath != "" {
+			fmt.Printf("  quarantined: %s\n", res.QuarantinePath)
+		}
+		if res.Repaired && res.Kind == "snapshot" {
+			fmt.Printf("  recovered %d addresses, lost %d\n", res.RecoveredHosts, res.LostAddrs)
+		}
+	}
+	if damaged > 0 {
+		return fmt.Errorf("fsck: %d file(s) damaged (run with -repair to salvage)", damaged)
+	}
+	return nil
+}
+
 // runScan drives the probing engine: a single sharded, checkpointable
 // scan cycle, or a multi-cycle feedback campaign (scan → select → scan
 // the tightened plan). Responsive addresses go to stdout, one per line,
@@ -439,6 +512,7 @@ func runScan(args []string) error {
 	incremental := fs.Bool("incremental", false, "re-select by applying each cycle's scan-result delta to a maintained ranking (with -cycles > 1; plans are identical either way)")
 	censusPath := fs.String("census-file", "", "seed cycle 0 from this census snapshot file instead of scanning the full universe first (with -cycles > 1)")
 	lazyCensus := fs.Bool("lazy", true, "with -census-file: leave the census on disk and decode blocks on demand")
+	degraded := fs.Bool("degraded", false, "with -census-file: skip corrupt census blocks in the seed selection instead of failing (faults reported on stderr)")
 	rate := fs.Float64("rate", 0, "probes per second (0 = unlimited)")
 	burst := fs.Int("burst", 0, "rate limiter burst (default 64)")
 	workers := fs.Int("workers", 0, "concurrent probe workers (default 16)")
@@ -547,25 +621,29 @@ func runScan(args []string) error {
 		var seedSnap *tass.Snapshot
 		if *censusPath != "" {
 			var cleanup func()
-			if seedSnap, cleanup, err = loadSeed("", *censusPath, *lazyCensus); err != nil {
+			if seedSnap, cleanup, err = loadSeed("", *censusPath, *lazyCensus, *degraded); err != nil {
 				return err
 			}
 			defer cleanup()
 			fmt.Fprintf(os.Stderr, "# seeding cycle 0 from %s: %d hosts\n", *censusPath, seedSnap.Hosts())
 		}
 		c := &tass.ScanCampaign{
-			Universe:     targets,
-			SeedSnapshot: seedSnap,
-			Prober:       prober,
-			Opts:         tass.Options{Phi: *phi},
-			Rate:         *rate,
-			Burst:        *burst,
-			Workers:      *workers,
-			Seed:         *seed,
-			Exclude:      exclude,
-			Politeness:   pol,
-			Cache:        tass.NewCountCache(),
-			Incremental:  *incremental,
+			Universe:      targets,
+			SeedSnapshot:  seedSnap,
+			DegradedReads: *degraded,
+			OnStorageFault: func(f tass.BlockError) {
+				fmt.Fprintf(os.Stderr, "# census storage fault (skipped): %v\n", &f)
+			},
+			Prober:      prober,
+			Opts:        tass.Options{Phi: *phi},
+			Rate:        *rate,
+			Burst:       *burst,
+			Workers:     *workers,
+			Seed:        *seed,
+			Exclude:     exclude,
+			Politeness:  pol,
+			Cache:       tass.NewCountCache(),
+			Incremental: *incremental,
 		}
 		if asTable != nil {
 			c.OriginsOf = asTable.OriginsOf

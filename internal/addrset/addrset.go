@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/tass-scan/tass/internal/netaddr"
 )
@@ -73,6 +74,16 @@ type SetOf[A netaddr.Key[A]] struct {
 	src   BlockSource
 	blens []int // per-block encoded byte length; nil unless src-backed
 	cache *blockCache[A]
+
+	// Storage-fault state (see source.go): policy selects FailFast or
+	// Degrade, faults records each damaged block once. The set stays
+	// logically immutable — fault state is bookkeeping about the
+	// backing storage, mutated under faultMu so concurrent readers can
+	// record faults safely.
+	policy    FaultPolicy
+	faultMu   sync.Mutex
+	faults    []BlockError
+	faultSeen map[int]bool
 }
 
 // Set is the IPv4 instantiation of SetOf.
@@ -95,17 +106,21 @@ func lo64[A netaddr.Key[A]](a A) uint64 {
 // the block has been rewritten by ApplyDelta, the shared contiguous
 // payload otherwise. The stream holds blockLen(bi)-1 uvarint deltas
 // (possibly followed by other blocks' bytes — decoders count, they do
-// not measure).
-func (s *SetOf[A]) blockStream(bi int) []byte {
+// not measure). untrusted reports whether the bytes came from an
+// external BlockSource, whose contents may have rotted since the index
+// was verified — decoders of untrusted streams validate the result
+// against the skip index. A source read failure returns the error.
+func (s *SetOf[A]) blockStream(bi int) (stream []byte, untrusted bool, err error) {
 	if s.mods != nil {
 		if b, ok := s.mods[bi]; ok {
-			return b
+			return b, false, nil
 		}
 	}
 	if s.src != nil {
-		return s.src.Bytes(s.offs[bi], s.blens[bi])
+		b, err := s.src.Bytes(s.offs[bi], s.blens[bi])
+		return b, true, err
 	}
-	return s.data[s.offs[bi]:]
+	return s.data[s.offs[bi]:], false, nil
 }
 
 // FromSorted builds a Set from an ascending address slice. Duplicates
@@ -173,49 +188,102 @@ func (s *SetOf[A]) blockLen(bi int) int { return s.cum[bi+1] - s.cum[bi] }
 // decodeBlock returns the addresses of block bi. On an eager set it
 // decodes into buf (reused across calls when cap allows); on a lazy set
 // it returns the cache's shared, immutable decoded slice — callers must
-// treat the result as read-only either way.
-func (s *SetOf[A]) decodeBlock(bi int, buf []A) []A {
+// treat the result as read-only either way. A failed read or decode is
+// recorded on the set (once per block) and returned as a *BlockError.
+func (s *SetOf[A]) decodeBlock(bi int, buf []A) ([]A, error) {
+	var addrs []A
+	var err error
 	if s.cache != nil {
-		return s.cache.get(s, bi)
+		addrs, err = s.cache.get(s, bi)
+	} else {
+		addrs, err = s.decodeBlockInto(bi, buf)
 	}
-	return s.decodeBlockInto(bi, buf)
+	if err != nil {
+		if be, ok := err.(*BlockError); ok {
+			s.recordFault(be)
+		}
+		return nil, err
+	}
+	return addrs, nil
 }
 
 // decodeBlockInto appends the addresses of block bi to buf[:0] and
 // returns it, bypassing the lazy cache (the cache itself decodes
-// through here).
-func (s *SetOf[A]) decodeBlockInto(bi int, buf []A) []A {
+// through here). Streams served by an external BlockSource are
+// validated against the trusted skip index after decoding — population
+// and last address must match — so silent payload corruption that
+// still parses as varints is caught here instead of flowing into
+// counts. Failures come back as a *BlockError naming the block and its
+// byte extent.
+func (s *SetOf[A]) decodeBlockInto(bi int, buf []A) ([]A, error) {
 	buf = buf[:0]
 	v := s.mins[bi]
 	buf = append(buf, v)
-	stream := s.blockStream(bi)
+	stream, untrusted, err := s.blockStream(bi)
+	if err != nil {
+		return nil, s.blockError(bi, err)
+	}
 	if narrow[A]() {
 		// Fast path: batch varint kernel with 64-bit accumulation.
 		out, ok := appendAccum(buf, stream, s.blockLen(bi)-1, lo64(v))
 		if !ok {
-			panic(fmt.Sprintf("addrset: block %d stream truncated or malformed", bi))
+			return nil, s.blockError(bi, fmt.Errorf("stream truncated or malformed"))
 		}
-		return out
+		buf = out
+	} else {
+		pos := 0
+		for k := 1; k < s.blockLen(bi); k++ {
+			d, n := netaddr.DecodeKeyUvarint[A](stream[pos:])
+			if n <= 0 || pos+n > len(stream) {
+				return nil, s.blockError(bi, fmt.Errorf("stream truncated or malformed at delta %d", k))
+			}
+			pos += n
+			v = netaddr.KeyAdd(v, d)
+			buf = append(buf, v)
+		}
 	}
-	pos := 0
-	for k := 1; k < s.blockLen(bi); k++ {
-		d, n := netaddr.DecodeKeyUvarint[A](stream[pos:])
-		pos += n
-		v = netaddr.KeyAdd(v, d)
-		buf = append(buf, v)
+	if untrusted {
+		if last := buf[len(buf)-1]; last != s.maxs[bi] {
+			return nil, s.blockError(bi, fmt.Errorf("decodes to max %v, index says %v", last, s.maxs[bi]))
+		}
 	}
-	return buf
+	return buf, nil
+}
+
+// blockError wraps a block failure in a *BlockError carrying the
+// block's byte extent (zero extent for overlay or in-core blocks).
+func (s *SetOf[A]) blockError(bi int, err error) *BlockError {
+	be := &BlockError{Block: bi, Err: err}
+	if s.blens != nil {
+		be.Off, be.Len = s.offs[bi], s.blens[bi]
+	}
+	return be
 }
 
 // Walk calls yield for every address in ascending order until yield
-// returns false.
+// returns false. On a lazy set, blocks whose payload cannot be read or
+// decoded are skipped — the fault is recorded (see Faults) and the walk
+// continues with the next block; check ReadErr afterwards to surface
+// faults under the FailFast policy.
 func (s *SetOf[A]) Walk(yield func(A) bool) {
+	if s.src != nil {
+		// Lazy: decode through the cache, which checks untrusted
+		// streams against the index and records faults.
+		for bi := range s.mins {
+			for _, a := range s.readBlock(bi, nil) {
+				if !yield(a) {
+					return
+				}
+			}
+		}
+		return
+	}
 	for bi := range s.mins {
 		v := s.mins[bi]
 		if !yield(v) {
 			return
 		}
-		stream := s.blockStream(bi)
+		stream, _, _ := s.blockStream(bi)
 		pos := 0
 		for k := 1; k < s.blockLen(bi); k++ {
 			d, n := netaddr.DecodeKeyUvarint[A](stream[pos:])
@@ -224,6 +292,33 @@ func (s *SetOf[A]) Walk(yield func(A) bool) {
 			if !yield(v) {
 				return
 			}
+		}
+	}
+}
+
+// WalkBlocks calls yield once per index block, in order, with the
+// block's index and either its decoded addresses or the error that made
+// it undecodable (addrs is nil exactly when err is non-nil), until
+// yield returns false. It is the scrubber's primitive: unlike Walk it
+// hands damage to the caller block by block instead of silently
+// skipping, so a repair pass can re-derive the intact blocks and
+// quarantine the rest. The addrs slice is only valid until the next
+// yield.
+func (s *SetOf[A]) WalkBlocks(yield func(bi int, addrs []A, err error) bool) {
+	var buf []A
+	for bi := range s.mins {
+		addrs, err := s.decodeBlock(bi, buf)
+		if err != nil {
+			if !yield(bi, nil, err) {
+				return
+			}
+			continue
+		}
+		if s.cache == nil {
+			buf = addrs
+		}
+		if !yield(bi, addrs, nil) {
+			return
 		}
 	}
 }
@@ -243,7 +338,8 @@ func (s *SetOf[A]) AppendTo(dst []A) []A {
 	return dst
 }
 
-// Contains reports whether a is in the set.
+// Contains reports whether a is in the set. On a lazy set a damaged
+// block reads as absent (the fault is recorded; see Faults/ReadErr).
 func (s *SetOf[A]) Contains(a A) bool {
 	// Rightmost block whose min is <= a.
 	bi := sort.Search(len(s.mins), func(i int) bool { return s.mins[i].Compare(a) > 0 }) - 1
@@ -254,7 +350,12 @@ func (s *SetOf[A]) Contains(a A) bool {
 	if v == a {
 		return true
 	}
-	stream := s.blockStream(bi)
+	if s.src != nil {
+		buf := s.readBlock(bi, nil)
+		k := sort.Search(len(buf), func(i int) bool { return buf[i].Compare(a) >= 0 })
+		return k < len(buf) && buf[k] == a
+	}
+	stream, _, _ := s.blockStream(bi)
 	pos := 0
 	for k := 1; k < s.blockLen(bi); k++ {
 		d, n := netaddr.DecodeKeyUvarint[A](stream[pos:])
@@ -281,6 +382,21 @@ func (s *SetOf[A]) CountRange(lo, hi A) int {
 	return c.Count(lo, hi)
 }
 
+// CountRangeErr is CountRange with the storage fault surfaced: the
+// count plus the first block fault hit while resolving this range's
+// boundaries (nil when the read was clean). Under the Degrade policy
+// the count is the degraded result — damaged boundary blocks
+// contribute nothing — and the error reports what was skipped either
+// way, so callers choose their own posture per call.
+func (s *SetOf[A]) CountRangeErr(lo, hi A) (int, error) {
+	if s.n == 0 || lo.Compare(hi) > 0 {
+		return 0, nil
+	}
+	c := s.Counter()
+	n := c.Count(lo, hi)
+	return n, c.Err()
+}
+
 // Rank returns the number of set addresses strictly below a.
 func (s *SetOf[A]) Rank(a A) int {
 	var z A
@@ -302,10 +418,18 @@ func (s *SetOf[A]) Rank(a A) int {
 // A Counter is single-goroutine state; create one per pass.
 type CounterOf[A netaddr.Key[A]] struct {
 	s    *SetOf[A]
-	hint int // first candidate block for the next boundary search
-	bufI int // index of the decoded block in buf, -1 if none
-	buf  []A // decoded block cache
+	hint int   // first candidate block for the next boundary search
+	bufI int   // index of the decoded block in buf, -1 if none
+	buf  []A   // decoded block cache
+	err  error // first block fault hit by this counter's pass
 }
+
+// Err returns the first block fault this counter hit while decoding
+// boundary blocks, or nil. A fault does not stop the pass: the damaged
+// block contributes no addresses (interior blocks still count exactly
+// from the index) and counting continues, so callers get the degraded
+// total alongside the error and apply their own policy.
+func (c *CounterOf[A]) Err() error { return c.err }
 
 // Counter is the IPv4 instantiation of CounterOf.
 type Counter = CounterOf[netaddr.Addr]
@@ -369,7 +493,19 @@ func (c *CounterOf[A]) rank(a A, incl bool) int {
 		return s.cum[bi]
 	}
 	if c.bufI != bi {
-		c.buf = s.decodeBlock(bi, c.buf)
+		dec, err := s.decodeBlock(bi, c.buf)
+		if err != nil {
+			// Damaged boundary block: it contributes no addresses to
+			// this rank (cum[bi] counts everything before it). The
+			// empty buffer is memoized like a decoded one so a range
+			// whose other boundary lands in the same block does not
+			// re-fault it.
+			if c.err == nil {
+				c.err = err
+			}
+			dec = c.buf[:0]
+		}
+		c.buf = dec
 		c.bufI = bi
 	}
 	var k int
@@ -429,8 +565,7 @@ type iterator[A netaddr.Key[A]] struct {
 func (s *SetOf[A]) iter() *iterator[A] {
 	it := &iterator[A]{s: s}
 	if s.n > 0 {
-		it.buf = s.decodeBlock(0, nil)
-		it.v = it.buf[0]
+		it.loadBlock(0)
 	} else {
 		it.bi = len(s.mins)
 	}
@@ -439,13 +574,24 @@ func (s *SetOf[A]) iter() *iterator[A] {
 
 func (it *iterator[A]) valid() bool { return it.bi < len(it.s.mins) }
 
+// loadBlock positions the iterator at the first readable block >= bi.
+// Damaged blocks decode empty (fault recorded on the set) and are
+// skipped, so a corrupt block drops out of the intersection instead of
+// wedging or crashing the merge.
 func (it *iterator[A]) loadBlock(bi int) {
-	it.bi = bi
-	if bi < len(it.s.mins) {
-		it.buf = it.s.decodeBlock(bi, it.buf)
-		it.k = 0
-		it.v = it.buf[0]
+	s := it.s
+	for bi < len(s.mins) {
+		buf := s.readBlock(bi, it.buf)
+		if len(buf) > 0 {
+			it.bi = bi
+			it.buf = buf
+			it.k = 0
+			it.v = buf[0]
+			return
+		}
+		bi++
 	}
+	it.bi = bi
 }
 
 func (it *iterator[A]) next() {

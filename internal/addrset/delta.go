@@ -45,7 +45,7 @@ func (s *SetOf[A]) ApplyDelta(born, died []A) (*SetOf[A], error) {
 	}
 
 	nb := len(s.mins)
-	out := &SetOf[A]{bsize: s.bsize, data: s.data, src: s.src}
+	out := &SetOf[A]{bsize: s.bsize, data: s.data, src: s.src, policy: s.policy}
 	if s.src != nil {
 		// Carried blocks keep reading the parent's source lazily, so
 		// the child needs byte extents and its own decoded-block cache
@@ -110,8 +110,14 @@ func (s *SetOf[A]) ApplyDelta(born, died []A) (*SetOf[A], error) {
 			out.appendCarried(s, bi)
 			continue
 		}
-		dec = s.decodeBlock(bi, dec)
 		var err error
+		dec, err = s.decodeBlock(bi, dec)
+		if err != nil {
+			// A delta cannot be applied over a block we cannot read:
+			// merging against a damaged block would silently drop its
+			// survivors. Propagate the typed fault.
+			return nil, err
+		}
 		merged, err = mergeDelta(merged[:0], dec, born[b:bornHi], died[d:diedHi])
 		if err != nil {
 			return nil, err

@@ -16,13 +16,20 @@ import (
 // and the census file source, which serves extents from an mmap'd
 // TASSNAP2 payload or by pread on platforms without mmap.
 //
+// Reads can fail: a pread against a truncated file, a checksum
+// mismatch in a corruption-detecting wrapper, a transient I/O error.
+// Sources return the error instead of panicking; the set core wraps it
+// in a *BlockError naming the block and byte extent, and the set's
+// FaultPolicy decides whether the fault poisons the read or degrades
+// it (see SetFaultPolicy).
+//
 // Sources must be safe for concurrent Bytes calls and must serve
 // immutable data: the set retains and re-reads extents at any time.
 type BlockSource interface {
 	// Bytes returns the payload bytes [off, off+n). The returned slice
 	// is read-only; it may alias the source's storage (mmap, in-core
 	// slice) or be freshly read (pread fallback).
-	Bytes(off, n int) []byte
+	Bytes(off, n int) ([]byte, error)
 	// Size returns the total payload length in bytes.
 	Size() int
 }
@@ -34,10 +41,56 @@ type BlockSource interface {
 type Bytes []byte
 
 // Bytes implements BlockSource by subslicing.
-func (b Bytes) Bytes(off, n int) []byte { return b[off : off+n] }
+func (b Bytes) Bytes(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > len(b) {
+		return nil, fmt.Errorf("addrset: extent [%d,%d) outside %d-byte payload", off, off+n, len(b))
+	}
+	return b[off : off+n], nil
+}
 
 // Size implements BlockSource.
 func (b Bytes) Size() int { return len(b) }
+
+// BlockError is the typed fault of one lazy block read: the block that
+// failed, the byte extent it occupies in the source payload, and the
+// underlying cause (a source read error, a checksum mismatch, or a
+// malformed delta stream). It localizes corruption to one block so a
+// scrubber can quarantine exactly the damaged bytes.
+type BlockError struct {
+	// Block is the index of the failed block in the set's skip index.
+	Block int
+	// Off and Len are the block's byte extent within the source payload.
+	Off, Len int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *BlockError) Error() string {
+	return fmt.Sprintf("addrset: block %d (payload bytes [%d,%d)): %v", e.Block, e.Off, e.Off+e.Len, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *BlockError) Unwrap() error { return e.Err }
+
+// FaultPolicy selects what a lazy set does when a block read or decode
+// fails: refuse the result or degrade around the damage. Faults are
+// recorded either way (see Faults); the policy only decides whether
+// consumers treat the result as an error.
+type FaultPolicy int
+
+const (
+	// FailFast (the default) poisons reads: the first fault is recorded
+	// and surfaced by ReadErr, and integrity-checking consumers
+	// (selection, ranking, campaign reseeds) return it to their caller.
+	FailFast FaultPolicy = iota
+	// Degrade keeps counting: a damaged block contributes nothing to
+	// boundary decodes (interior blocks still count exactly from the
+	// CRC-verified index), the fault is recorded in Faults, and ReadErr
+	// stays nil. Counts may undershoot by at most the population of the
+	// damaged blocks that were touched as range boundaries.
+	Degrade
+)
 
 // DefaultBlockCacheCap is the decoded-block residency bound of a lazy
 // set when FromIndex is given a zero cache cap: at the default block
@@ -65,6 +118,7 @@ type blockEntry[A netaddr.Key[A]] struct {
 	prev, next *blockEntry[A]
 	once       sync.Once
 	addrs      []A
+	err        error
 }
 
 func newBlockCache[A netaddr.Key[A]](cacheCap int) *blockCache[A] {
@@ -105,8 +159,10 @@ func (c *blockCache[A]) pushFront(e *blockEntry[A]) {
 // touch. The decode runs outside the cache lock under the entry's
 // once, so concurrent faults on one cold block block on a single
 // decode; eviction only drops the map reference — readers holding the
-// (immutable) slice keep it alive.
-func (c *blockCache[A]) get(s *SetOf[A], bi int) []A {
+// (immutable) slice keep it alive. A failed decode is never cached:
+// the entry is dropped so a later touch retries, which heals faults
+// that were transient (an interrupted pread) rather than data damage.
+func (c *blockCache[A]) get(s *SetOf[A], bi int) ([]A, error) {
 	c.mu.Lock()
 	e, ok := c.m[bi]
 	if ok {
@@ -127,9 +183,18 @@ func (c *blockCache[A]) get(s *SetOf[A], bi int) []A {
 	c.mu.Unlock()
 	e.once.Do(func() {
 		c.decodes.Add(1)
-		e.addrs = s.decodeBlockInto(bi, make([]A, 0, s.blockLen(bi)))
+		e.addrs, e.err = s.decodeBlockInto(bi, make([]A, 0, s.blockLen(bi)))
 	})
-	return e.addrs
+	if e.err != nil {
+		c.mu.Lock()
+		if c.m[bi] == e {
+			c.unlink(e)
+			delete(c.m, bi)
+		}
+		c.mu.Unlock()
+		return nil, e.err
+	}
+	return e.addrs, nil
 }
 
 // len returns the resident entry count.
@@ -165,21 +230,90 @@ func (s *SetOf[A]) Decodes() int64 {
 	return s.cache.decodes.Load()
 }
 
+// SetFaultPolicy sets how the set treats failed block reads; see
+// FaultPolicy. The default is FailFast. Set it before handing the set
+// to concurrent readers — the policy is not synchronized with in-flight
+// reads.
+func (s *SetOf[A]) SetFaultPolicy(p FaultPolicy) { s.policy = p }
+
+// Policy returns the set's fault policy.
+func (s *SetOf[A]) Policy() FaultPolicy { return s.policy }
+
+// recordFault remembers a block fault, deduplicated by block index, so
+// Faults reports each damaged block once no matter how many reads
+// touched it.
+func (s *SetOf[A]) recordFault(be *BlockError) {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	if s.faultSeen == nil {
+		s.faultSeen = make(map[int]bool)
+	}
+	if s.faultSeen[be.Block] {
+		return
+	}
+	s.faultSeen[be.Block] = true
+	s.faults = append(s.faults, *be)
+}
+
+// Faults returns the block faults recorded so far (deduplicated by
+// block), in first-seen order. The slice is a copy. Faults are recorded
+// under both policies; under Degrade this is how a surviving consumer
+// learns what it skipped.
+func (s *SetOf[A]) Faults() []BlockError {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	if len(s.faults) == 0 {
+		return nil
+	}
+	out := make([]BlockError, len(s.faults))
+	copy(out, s.faults)
+	return out
+}
+
+// ReadErr returns the error a fault-checking consumer should surface:
+// under FailFast, the first recorded block fault; under Degrade, nil
+// (the faults are still listed by Faults). Counting entry points in the
+// census and selection layers call this after a pass over a lazy set
+// and propagate the result.
+func (s *SetOf[A]) ReadErr() error {
+	if s.policy == Degrade {
+		return nil
+	}
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	if len(s.faults) == 0 {
+		return nil
+	}
+	e := s.faults[0]
+	return &e
+}
+
+// readBlock decodes block bi through the cache (or directly on an eager
+// set), recording any fault and returning an empty slice for a damaged
+// block — the degraded-read primitive every non-error-returning
+// consumer (Counter, iterator, Contains, Walk) is built on. Callers
+// needing the error use decodeBlock.
+func (s *SetOf[A]) readBlock(bi int, buf []A) []A {
+	addrs, err := s.decodeBlock(bi, buf)
+	if err != nil {
+		return addrs[:0]
+	}
+	return addrs
+}
+
 // CheckBlocks fully decodes every block and validates it against the
 // skip index: each block must decode without truncation, run ascending
 // (multiset — equal neighbors allowed), and end exactly on its indexed
 // max. It is the O(n) deep check behind census.VerifySnapshotFile —
 // lazy reads trust the payload, so untrusted files go through this
 // once up front.
-func (s *SetOf[A]) CheckBlocks() (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("addrset: %v", r)
-		}
-	}()
+func (s *SetOf[A]) CheckBlocks() error {
 	var buf []A
 	for bi := range s.mins {
-		addrs := s.decodeBlockInto(bi, buf)
+		addrs, err := s.decodeBlockInto(bi, buf)
+		if err != nil {
+			return err
+		}
 		buf = addrs
 		for i := 1; i < len(addrs); i++ {
 			if addrs[i].Compare(addrs[i-1]) < 0 {
@@ -203,10 +337,12 @@ func (s *SetOf[A]) CheckBlocks() (err error) {
 //
 // FromIndex takes ownership of the index slices. cacheCap bounds the
 // decoded-block LRU (0 means DefaultBlockCacheCap). The index is
-// validated in O(blocks); the payload itself is trusted and only
-// faulted on demand — a byte-corrupt stream surfaces as a panic at
-// first decode, so untrusted files should be verified once (see
-// census.VerifySnapshotFile) before lazy use.
+// validated in O(blocks); the payload itself is only faulted on demand.
+// A corrupt block stream surfaces as a *BlockError at first decode —
+// propagated or degraded around per the set's FaultPolicy — and every
+// lazy decode is checked against the trusted index (population and max
+// address), so payload damage is detected even without per-block
+// checksums in the source.
 func FromIndex[A netaddr.Key[A]](mins, maxs []A, counts, blens []int, bsize int, src BlockSource, cacheCap int) (*SetOf[A], error) {
 	nb := len(mins)
 	if len(maxs) != nb || len(counts) != nb || len(blens) != nb {

@@ -162,6 +162,43 @@ func (s *SnapshotOf[A]) Close() error {
 	return c.Close()
 }
 
+// SetFaultPolicy sets how the snapshot's set view treats failed block
+// reads (lazy snapshots only — eager snapshots never fault). FailFast,
+// the default, makes StorageErr return the first fault so counting
+// consumers refuse damaged results; Degrade keeps counting around
+// damaged blocks and only records them (see StorageFaults). Set it
+// before handing the snapshot to concurrent readers.
+func (s *SnapshotOf[A]) SetFaultPolicy(p addrset.FaultPolicy) { s.Set().SetFaultPolicy(p) }
+
+// StorageErr returns the storage fault a counting pass over this
+// snapshot should surface: under FailFast the first block fault
+// recorded so far (a *addrset.BlockError), under Degrade (or on a
+// clean or eager snapshot) nil. Integrity-checking consumers call it
+// after a pass over the set view.
+func (s *SnapshotOf[A]) StorageErr() error {
+	s.setMu.Lock()
+	set := s.set
+	s.setMu.Unlock()
+	if set == nil {
+		return nil
+	}
+	return set.ReadErr()
+}
+
+// StorageFaults returns every storage fault recorded against the
+// snapshot's set view so far, one entry per damaged block, regardless
+// of policy — under Degrade this is how a surviving consumer learns
+// what its counts are missing.
+func (s *SnapshotOf[A]) StorageFaults() []addrset.BlockError {
+	s.setMu.Lock()
+	set := s.set
+	s.setMu.Unlock()
+	if set == nil {
+		return nil
+	}
+	return set.Faults()
+}
+
 // Materialize returns an Addrs-backed snapshot with the same contents:
 // the receiver when it is already eager, otherwise a fully decoded copy
 // (O(hosts) — the one operation a lazy snapshot cannot avoid paying in

@@ -8,22 +8,26 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 
 	"github.com/tass-scan/tass/internal/addrset"
 	"github.com/tass-scan/tass/internal/mmapfile"
 	"github.com/tass-scan/tass/internal/netaddr"
 )
 
-// TASSNAP2 — the indexed snapshot file format.
+// TASSNAP — the indexed snapshot file format.
 //
 // Format v1 (TASSCNS/TASSCN6, census.go) is one long delta stream:
 // reading it costs O(addresses) in time and memory before the first
 // count can run. v2 prefixes the same delta-coded payload with a block
 // directory, so opening costs O(blocks): the index is parsed and
 // checksummed, the payload is mapped (or left on disk for pread) and
-// blocks decode on first touch through the addrset lazy cache.
+// blocks decode on first touch through the addrset lazy cache. v3 adds
+// a CRC-32 per block to the directory, so payload corruption is
+// detected at first decode and localized to one block — the unit
+// `tass fsck` quarantines.
 //
-//	magic      [8]byte "TASSNAP2"
+//	magic      [8]byte "TASSNAP2" or "TASSNAP3"
 //	family     byte: 4 or 6
 //	proto      uvarint length + bytes
 //	month      uvarint
@@ -39,15 +43,27 @@ import (
 //	             span      key uvarint (max - min)
 //	             count_i   uvarint
 //	             bytes_i   uvarint (encoded stream length)
+//	             crc_i     [4]byte  (v3 only) CRC-32 (IEEE) of the
+//	                       block's payload bytes, little endian
 //	indexCRC   [4]byte  CRC-32 (IEEE) of everything above, little endian
 //	payload    payloadLen bytes: per block, count_i-1 key-uvarint deltas
 //
 // The index CRC is verified at open (still O(blocks)); the payload CRC
 // is only read by VerifySnapshotFile, keeping cold opens free of any
-// O(addresses) work. A block payload corrupted after a successful
-// verify surfaces as a panic at first decode — the pread analogue of an
-// mmap SIGBUS on a truncated file.
-var magic2 = [8]byte{'T', 'A', 'S', 'S', 'N', 'A', 'P', '2'}
+// O(addresses) work. A block payload corrupted after a successful open
+// surfaces at first decode as a typed *addrset.BlockError — a per-block
+// CRC mismatch on v3, or the decoded population/max disagreeing with
+// the trusted directory on v2 — propagated or degraded around per the
+// set's FaultPolicy, never a panic.
+var (
+	magic2 = [8]byte{'T', 'A', 'S', 'S', 'N', 'A', 'P', '2'}
+	magic3 = [8]byte{'T', 'A', 'S', 'S', 'N', 'A', 'P', '3'}
+)
+
+// snapWriteVersion is the directory format WriteSnapshotFileOf emits:
+// 3 (per-block CRCs) everywhere outside tests that pin 2 to exercise
+// the backward-compatibility read path.
+var snapWriteVersion = 3
 
 func familyByte(width int) byte {
 	if width == 32 {
@@ -56,8 +72,9 @@ func familyByte(width int) byte {
 	return 6
 }
 
-// snapFileIndex is a parsed v2 header + directory.
+// snapFileIndex is a parsed v2/v3 header + directory.
 type snapFileIndex[A netaddr.Key[A]] struct {
+	version    int // 2 or 3
 	proto      string
 	month      int
 	count      int
@@ -68,11 +85,12 @@ type snapFileIndex[A netaddr.Key[A]] struct {
 
 	mins, maxs    []A
 	counts, blens []int
+	crcs          []uint32 // per-block payload CRCs; nil on v2
 }
 
 // parseSnapFileIndex reads and validates the header, directory and
-// index CRC of an open v2 file. It touches only the index prefix of the
-// file — O(blocks) bytes — never the payload.
+// index CRC of an open v2/v3 file. It touches only the index prefix of
+// the file — O(blocks) bytes — never the payload.
 func parseSnapFileIndex[A netaddr.Key[A]](m *mmapfile.File) (*snapFileIndex[A], error) {
 	size := int(m.Size())
 	// The fixed header fits well under 4 KiB (proto <= 255 bytes, seven
@@ -81,9 +99,18 @@ func parseSnapFileIndex[A netaddr.Key[A]](m *mmapfile.File) (*snapFileIndex[A], 
 	if headLen > size {
 		headLen = size
 	}
-	head := m.Bytes(0, headLen)
-	if len(head) < len(magic2)+1 || !bytes.Equal(head[:8], magic2[:]) {
-		return nil, fmt.Errorf("%w: not a TASSNAP2 file", ErrFormat)
+	head, err := m.BytesAt(0, headLen)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	version := 0
+	switch {
+	case len(head) >= len(magic2)+1 && bytes.Equal(head[:8], magic2[:]):
+		version = 2
+	case len(head) >= len(magic3)+1 && bytes.Equal(head[:8], magic3[:]):
+		version = 3
+	default:
+		return nil, fmt.Errorf("%w: not a TASSNAP2/TASSNAP3 file", ErrFormat)
 	}
 	var zero A
 	if fam := head[8]; fam != familyByte(zero.Width()) {
@@ -141,24 +168,37 @@ func parseSnapFileIndex[A netaddr.Key[A]](m *mmapfile.File) (*snapFileIndex[A], 
 	if count > 1<<33 || blockSize == 0 || blockSize > 1<<20 {
 		return nil, fmt.Errorf("%w: implausible count %d / block size %d", ErrFormat, count, blockSize)
 	}
-	// Every directory record is at least 4 bytes (four 1-byte fields),
-	// so nblocks is bounded by the directory it claims to describe —
-	// checked before any nblocks-sized allocation.
+	// Every directory record is at least 4 bytes (four 1-byte fields) —
+	// 8 on v3, which appends a fixed 4-byte CRC — so nblocks is bounded
+	// by the directory it claims to describe, checked before any
+	// nblocks-sized allocation.
+	recMin := uint64(4)
+	if version == 3 {
+		recMin = 8
+	}
 	idxEnd := hdrEnd + int(dirLen)
 	payloadOff := idxEnd + 4
 	if dirLen > uint64(size) || payloadOff+int(payloadLen) != size {
 		return nil, fmt.Errorf("%w: file is %d bytes, index describes %d", ErrFormat, size, payloadOff+int(payloadLen))
 	}
-	if nblocks > dirLen/4 {
+	if nblocks > dirLen/recMin {
 		return nil, fmt.Errorf("%w: %d blocks cannot fit a %d-byte directory", ErrFormat, nblocks, dirLen)
 	}
 
-	idx := m.Bytes(0, idxEnd)
-	if got, want := crc32.ChecksumIEEE(idx), binary.LittleEndian.Uint32(m.Bytes(idxEnd, 4)); got != want {
+	idx, err := m.BytesAt(0, idxEnd)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	crcb, err := m.BytesAt(idxEnd, 4)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if got, want := crc32.ChecksumIEEE(idx), binary.LittleEndian.Uint32(crcb); got != want {
 		return nil, fmt.Errorf("%w: index CRC mismatch (got %08x, want %08x)", ErrFormat, got, want)
 	}
 
 	out := &snapFileIndex[A]{
+		version:    version,
 		proto:      proto,
 		month:      int(month),
 		count:      int(count),
@@ -170,6 +210,9 @@ func parseSnapFileIndex[A netaddr.Key[A]](m *mmapfile.File) (*snapFileIndex[A], 
 		maxs:       make([]A, nblocks),
 		counts:     make([]int, nblocks),
 		blens:      make([]int, nblocks),
+	}
+	if version == 3 {
+		out.crcs = make([]uint32, nblocks)
 	}
 	dir := idx[hdrEnd:]
 	dpos := 0
@@ -196,6 +239,13 @@ func parseSnapFileIndex[A netaddr.Key[A]](m *mmapfile.File) (*snapFileIndex[A], 
 			return nil, fmt.Errorf("%w: truncated directory at block %d", ErrFormat, i)
 		}
 		dpos += n
+		if version == 3 {
+			if dpos+4 > len(dir) {
+				return nil, fmt.Errorf("%w: truncated directory at block %d", ErrFormat, i)
+			}
+			out.crcs[i] = binary.LittleEndian.Uint32(dir[dpos:])
+			dpos += 4
+		}
 		min := minDelta
 		if i > 0 {
 			min = netaddr.KeyAdd(prevMin, minDelta)
@@ -234,8 +284,60 @@ type fileSource struct {
 	size int
 }
 
-func (s *fileSource) Bytes(off, n int) []byte { return s.f.Bytes(s.base+off, n) }
-func (s *fileSource) Size() int               { return s.size }
+func (s *fileSource) Bytes(off, n int) ([]byte, error) { return s.f.BytesAt(s.base+off, n) }
+func (s *fileSource) Size() int                        { return s.size }
+
+// blockCheckSource wraps a BlockSource with the v3 per-block CRCs:
+// every whole-block extent read is checksummed against the (index-CRC
+// protected) directory before the decoder sees a byte. The check runs
+// at first decode — and again if the block is evicted and re-faulted —
+// never at open, so cold opens stay O(blocks). Extents that are not
+// exactly one block pass through unchecked; the addrset core only ever
+// reads whole blocks.
+type blockCheckSource struct {
+	src  addrset.BlockSource
+	offs []int // ascending block start offsets within the payload
+	lens []int
+	crcs []uint32
+}
+
+func (s *blockCheckSource) Bytes(off, n int) ([]byte, error) {
+	b, err := s.src.Bytes(off, n)
+	if err != nil {
+		return nil, err
+	}
+	i := sort.SearchInts(s.offs, off)
+	// Zero-length blocks (single-address) share their offset with the
+	// next block; scan past them to the extent that matches.
+	for i < len(s.offs) && s.offs[i] == off && s.lens[i] != n {
+		i++
+	}
+	if i < len(s.offs) && s.offs[i] == off && s.lens[i] == n {
+		if got := crc32.ChecksumIEEE(b); got != s.crcs[i] {
+			return nil, fmt.Errorf("block CRC mismatch (got %08x, want %08x)", got, s.crcs[i])
+		}
+	}
+	return b, nil
+}
+
+func (s *blockCheckSource) Size() int { return s.src.Size() }
+
+// snapBlockSource builds the BlockSource for a parsed index: the raw
+// payload extent server, wrapped with per-block CRC checking when the
+// file carries v3 checksums.
+func snapBlockSource[A netaddr.Key[A]](m *mmapfile.File, idx *snapFileIndex[A]) addrset.BlockSource {
+	var src addrset.BlockSource = &fileSource{f: m, base: idx.payloadOff, size: idx.payloadLen}
+	if idx.crcs == nil {
+		return src
+	}
+	offs := make([]int, len(idx.blens))
+	off := 0
+	for i, bl := range idx.blens {
+		offs[i] = off
+		off += bl
+	}
+	return &blockCheckSource{src: src, offs: offs, lens: idx.blens, crcs: idx.crcs}
+}
 
 // OpenSnapshotFile opens an IPv4 snapshot file lazily with the default
 // decoded-block cache cap. See OpenSnapshotFileOf.
@@ -243,15 +345,21 @@ func OpenSnapshotFile(path string) (*Snapshot, error) {
 	return OpenSnapshotFileOf[netaddr.Addr](path, 0)
 }
 
-// OpenSnapshotFileOf opens a snapshot file of family A. A TASSNAP2 file
-// opens in O(blocks): the index is parsed and CRC-checked, the payload
-// is mapped (pread on platforms without mmap) and blocks decode on
-// first touch, cached in an LRU capped at cacheBlocks decoded blocks
+// OpenSnapshotFileOf opens a snapshot file of family A. A TASSNAP2/3
+// file opens in O(blocks): the index is parsed and CRC-checked, the
+// payload is mapped (pread on platforms without mmap) and blocks decode
+// on first touch, cached in an LRU capped at cacheBlocks decoded blocks
 // (0 means the addrset default). The returned snapshot is lazy: Addrs
 // is nil, counting and selection run off the block index, and Close
-// must be called to release the mapping. The payload is trusted after
-// the index CRC passes — run VerifySnapshotFile first on files of
-// doubtful provenance.
+// must be called to release the mapping.
+//
+// Payload integrity is checked lazily, per block, at first decode: a
+// v3 file verifies each block's CRC against the directory, a v2 file
+// falls back to checking the decoded population and max address against
+// the index. Damage surfaces as a typed *addrset.BlockError through the
+// snapshot's fault plumbing (StorageErr/StorageFaults, FaultPolicy) —
+// run VerifySnapshotFile first for an eager whole-file check on files
+// of doubtful provenance.
 //
 // A v1 file (TASSCNS/TASSCN6) is read eagerly as ReadSnapshotOf would,
 // so callers can open either format through one entry point.
@@ -263,7 +371,7 @@ func OpenSnapshotFileOf[A netaddr.Key[A]](path string, cacheBlocks int) (*Snapsh
 	if int(m.Size()) >= 8 {
 		var zero A
 		v1 := snapMagic(zero.Width())
-		if head := m.Bytes(0, 8); bytes.Equal(head, v1[:]) {
+		if head, err := m.BytesAt(0, 8); err == nil && bytes.Equal(head, v1[:]) {
 			// v1: one eager pass, as before this format existed.
 			m.Close()
 			f, err := os.Open(path)
@@ -279,8 +387,7 @@ func OpenSnapshotFileOf[A netaddr.Key[A]](path string, cacheBlocks int) (*Snapsh
 		m.Close()
 		return nil, err
 	}
-	src := &fileSource{f: m, base: idx.payloadOff, size: idx.payloadLen}
-	set, err := addrset.FromIndex(idx.mins, idx.maxs, idx.counts, idx.blens, idx.blockSize, src, cacheBlocks)
+	set, err := addrset.FromIndex(idx.mins, idx.maxs, idx.counts, idx.blens, idx.blockSize, snapBlockSource(m, idx), cacheBlocks)
 	if err != nil {
 		m.Close()
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
@@ -294,10 +401,13 @@ func OpenSnapshotFileOf[A netaddr.Key[A]](path string, cacheBlocks int) (*Snapsh
 	}, nil
 }
 
-// VerifySnapshotFile deep-checks a TASSNAP2 file of either family:
-// index CRC, payload CRC, and a full decode of every block against the
-// directory. It is the O(addresses) pass that makes the lazy open's
-// trust in the payload safe for files of unknown provenance.
+// VerifySnapshotFile deep-checks a snapshot file of any format and
+// family. v2/v3 files get the full pass: index CRC, payload CRC, then a
+// decode of every block against the directory (and, on v3, its block
+// CRC). v1 files have no index to cross-check, so verification is one
+// eager decode of the whole stream — the same validation ReadSnapshotOf
+// applies. It is the O(addresses) pass that makes the lazy open's
+// per-block trust safe for files of unknown provenance.
 func VerifySnapshotFile(path string) error {
 	m, err := mmapfile.Open(path)
 	if err != nil {
@@ -305,12 +415,34 @@ func VerifySnapshotFile(path string) error {
 	}
 	defer m.Close()
 	if int(m.Size()) < 9 {
-		return fmt.Errorf("%w: not a TASSNAP2 file", ErrFormat)
+		return fmt.Errorf("%w: not a snapshot file", ErrFormat)
 	}
-	if fam := m.Bytes(8, 1)[0]; fam == 6 {
+	head, err := m.BytesAt(0, 9)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if bytes.Equal(head[:8], magic[:]) || bytes.Equal(head[:8], magic6[:]) {
+		return verifySnapV1(path, head[:8])
+	}
+	if head[8] == 6 {
 		return verifySnapFile[netaddr.Addr6](m)
 	}
 	return verifySnapFile[netaddr.Addr](m)
+}
+
+// verifySnapV1 verifies a v1 stream file by decoding it in full.
+func verifySnapV1(path string, magicBytes []byte) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if bytes.Equal(magicBytes, magic6[:]) {
+		_, err = ReadSnapshotOf[netaddr.Addr6](f)
+	} else {
+		_, err = ReadSnapshotOf[netaddr.Addr](f)
+	}
+	return err
 }
 
 func verifySnapFile[A netaddr.Key[A]](m *mmapfile.File) error {
@@ -325,15 +457,19 @@ func verifySnapFile[A netaddr.Key[A]](m *mmapfile.File) error {
 		if n > chunk {
 			n = chunk
 		}
-		crc.Write(m.Bytes(idx.payloadOff+off, n))
+		b, err := m.BytesAt(idx.payloadOff+off, n)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		crc.Write(b)
 	}
 	if got := crc.Sum32(); got != idx.payloadCRC {
 		return fmt.Errorf("%w: payload CRC mismatch (got %08x, want %08x)", ErrFormat, got, idx.payloadCRC)
 	}
-	src := &fileSource{f: m, base: idx.payloadOff, size: idx.payloadLen}
 	// Cache cap 1: CheckBlocks streams every block once, nothing worth
-	// keeping resident.
-	set, err := addrset.FromIndex(idx.mins, idx.maxs, idx.counts, idx.blens, idx.blockSize, src, 1)
+	// keeping resident. The CRC-checking source makes CheckBlocks verify
+	// each v3 block checksum along the way.
+	set, err := addrset.FromIndex(idx.mins, idx.maxs, idx.counts, idx.blens, idx.blockSize, snapBlockSource(m, idx), 1)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrFormat, err)
 	}
@@ -343,14 +479,14 @@ func verifySnapFile[A netaddr.Key[A]](m *mmapfile.File) error {
 	return nil
 }
 
-// WriteSnapshotFile writes an IPv4 snapshot to path in TASSNAP2 format.
+// WriteSnapshotFile writes an IPv4 snapshot to path in TASSNAP3 format.
 // See WriteSnapshotFileOf.
 func WriteSnapshotFile(path string, s *Snapshot) error {
 	return WriteSnapshotFileOf(path, s)
 }
 
 // WriteSnapshotFileOf writes a snapshot of any family to path in
-// TASSNAP2 format, atomically (temp file + rename). The payload is
+// TASSNAP3 format, atomically (temp file + rename). The payload is
 // re-encoded from the snapshot's set view into canonical
 // fixed-population blocks, so overlay-carrying snapshots (ApplyDelta
 // output) and lazy snapshots serialize to the same bytes as a freshly
@@ -359,40 +495,63 @@ func WriteSnapshotFile(path string, s *Snapshot) error {
 // the payload to disk — rather than buffering the payload.
 func WriteSnapshotFileOf[A netaddr.Key[A]](path string, s *SnapshotOf[A]) error {
 	set := s.Set()
-	bsize := set.BlockSize()
+	return writeSnapStream(path, s.Protocol, s.Month, set.BlockSize(), set.Walk)
+}
 
-	// Pass 1: directory + payload CRC, no payload retained.
+// writeSnapStream writes the addresses yielded by walk — which must
+// yield the same ascending sequence every time it is called — to path
+// as a TASSNAP file (version snapWriteVersion). It is the writer behind
+// both WriteSnapshotFileOf (walk = set.Walk) and snapshot repair (walk
+// = the intact-blocks-only walk). The two encode passes are cross-
+// checked: if the payload streamed in pass 2 diverges in length from
+// the directory built in pass 1 (a non-deterministic walk — e.g. a
+// storage fault that appeared mid-repair), the write fails instead of
+// producing a file whose index lies about its payload.
+func writeSnapStream[A netaddr.Key[A]](path, proto string, month, bsize int, walk func(func(A) bool)) error {
+	// Pass 1: directory + payload CRC + per-block CRCs, no payload
+	// retained.
 	var (
 		mins, maxs    []A
 		counts, blens []int
+		crcs          []uint32
 		payloadLen    int
+		total         int
 	)
 	crc := crc32.NewIEEE()
-	encodeSnapBlocks(set, bsize,
-		func(min A) { mins = append(mins, min) },
-		func(b []byte) { crc.Write(b); payloadLen += len(b) },
+	bcrc := crc32.NewIEEE()
+	encodeSnapBlocks(walk, bsize,
+		func(min A) { mins = append(mins, min); bcrc.Reset() },
+		func(b []byte) { crc.Write(b); bcrc.Write(b); payloadLen += len(b) },
 		func(max A, count, blen int) {
 			maxs = append(maxs, max)
 			counts = append(counts, count)
 			blens = append(blens, blen)
+			crcs = append(crcs, bcrc.Sum32())
+			total += count
 		})
 
+	version := snapWriteVersion
+	magicV := magic3
+	if version == 2 {
+		magicV = magic2
+	}
 	var zero A
 	var hdr bytes.Buffer
-	hdr.Write(magic2[:])
+	hdr.Write(magicV[:])
 	hdr.WriteByte(familyByte(zero.Width()))
 	var vbuf [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) { hdr.Write(vbuf[:binary.PutUvarint(vbuf[:], v)]) }
-	putUvarint(uint64(len(s.Protocol)))
-	hdr.WriteString(s.Protocol)
-	putUvarint(uint64(s.Month))
-	putUvarint(uint64(set.Len()))
+	putUvarint(uint64(len(proto)))
+	hdr.WriteString(proto)
+	putUvarint(uint64(month))
+	putUvarint(uint64(total))
 	putUvarint(uint64(bsize))
 	putUvarint(uint64(len(mins)))
 	putUvarint(uint64(payloadLen))
 
 	var dir bytes.Buffer
 	kbuf := make([]byte, 0, 19)
+	var crcb [4]byte
 	var prevMin A
 	for i := range mins {
 		minDelta := mins[i]
@@ -403,10 +562,13 @@ func WriteSnapshotFileOf[A netaddr.Key[A]](path string, s *SnapshotOf[A]) error 
 		dir.Write(netaddr.AppendKeyUvarint(kbuf[:0], netaddr.KeySub(maxs[i], mins[i])))
 		dir.Write(vbuf[:binary.PutUvarint(vbuf[:], uint64(counts[i]))])
 		dir.Write(vbuf[:binary.PutUvarint(vbuf[:], uint64(blens[i]))])
+		if version >= 3 {
+			binary.LittleEndian.PutUint32(crcb[:], crcs[i])
+			dir.Write(crcb[:])
+		}
 		prevMin = mins[i]
 	}
 	putUvarint(uint64(dir.Len()))
-	var crcb [4]byte
 	binary.LittleEndian.PutUint32(crcb[:], crc.Sum32())
 	hdr.Write(crcb[:])
 	hdr.Write(dir.Bytes())
@@ -421,6 +583,7 @@ func WriteSnapshotFileOf[A netaddr.Key[A]](path string, s *SnapshotOf[A]) error 
 	idxCRC := crc32.ChecksumIEEE(hdr.Bytes())
 	binary.LittleEndian.PutUint32(crcb[:], idxCRC)
 	var werr error
+	written := 0
 	write := func(b []byte) {
 		if werr == nil {
 			_, werr = bw.Write(b)
@@ -428,8 +591,11 @@ func WriteSnapshotFileOf[A netaddr.Key[A]](path string, s *SnapshotOf[A]) error 
 	}
 	write(hdr.Bytes())
 	write(crcb[:])
-	// Pass 2: stream the payload.
-	encodeSnapBlocks(set, bsize, func(A) {}, write, func(A, int, int) {})
+	// Pass 2: stream the payload, counting bytes against pass 1.
+	encodeSnapBlocks(walk, bsize, func(A) {}, func(b []byte) { write(b); written += len(b) }, func(A, int, int) {})
+	if werr == nil && written != payloadLen {
+		werr = fmt.Errorf("census: snapshot encode not deterministic: pass 1 sized %d payload bytes, pass 2 wrote %d", payloadLen, written)
+	}
 	if werr != nil {
 		f.Close()
 		return werr
@@ -448,18 +614,19 @@ func WriteSnapshotFileOf[A netaddr.Key[A]](path string, s *SnapshotOf[A]) error 
 	return os.Rename(tmp, path)
 }
 
-// encodeSnapBlocks walks set in ascending order, re-encoding it into
-// fixed-population blocks of bsize addresses: startBlock fires with
-// each block's first address, deltaBytes with every encoded delta, and
-// endBlock with the block's last address, population, and encoded byte
-// length. Two identical invocations produce identical byte streams —
-// the property the two-pass file writer depends on.
-func encodeSnapBlocks[A netaddr.Key[A]](set *addrset.SetOf[A], bsize int,
+// encodeSnapBlocks consumes walk's ascending address sequence,
+// re-encoding it into fixed-population blocks of bsize addresses:
+// startBlock fires with each block's first address, deltaBytes with
+// every encoded delta, and endBlock with the block's last address,
+// population, and encoded byte length. Two invocations over the same
+// walk produce identical byte streams — the property the two-pass file
+// writer depends on.
+func encodeSnapBlocks[A netaddr.Key[A]](walk func(func(A) bool), bsize int,
 	startBlock func(min A), deltaBytes func(b []byte), endBlock func(max A, count, blen int)) {
 	kbuf := make([]byte, 0, 19)
 	var prev A
 	inBlk, blen := 0, 0
-	set.Walk(func(a A) bool {
+	walk(func(a A) bool {
 		if inBlk == bsize {
 			endBlock(prev, inBlk, blen)
 			inBlk, blen = 0, 0
@@ -481,7 +648,7 @@ func encodeSnapBlocks[A netaddr.Key[A]](set *addrset.SetOf[A], bsize int,
 }
 
 // ConvertSnapshotFile reads a v1 snapshot stream from r and writes it
-// to path as TASSNAP2. It is the library half of `tass convert`.
+// to path as TASSNAP3. It is the library half of `tass convert`.
 func ConvertSnapshotFile[A netaddr.Key[A]](r io.Reader, path string) error {
 	snap, err := ReadSnapshotOf[A](r)
 	if err != nil {

@@ -1,0 +1,417 @@
+package census
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/addrset"
+)
+
+// flipByte XORs one byte of the file at path in place.
+func flipByte(t *testing.T, path string, off int64, mask byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= mask
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrubCleanSnapshot(t *testing.T) {
+	eager := fileFixtureSnap(21, 12000)
+	path := writeSnapFile(t, eager)
+	rep, err := ScrubSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("ScrubSnapshotFile: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean file scrubbed dirty: %+v", rep)
+	}
+	if rep.Format != "TASSNAP3" {
+		t.Fatalf("Format = %q want TASSNAP3", rep.Format)
+	}
+	if rep.Hosts != eager.Hosts() {
+		t.Fatalf("Hosts = %d want %d", rep.Hosts, eager.Hosts())
+	}
+	if rep.Blocks == 0 {
+		t.Fatal("Blocks = 0")
+	}
+}
+
+func TestScrubAndRepairDamagedBlock(t *testing.T) {
+	eager := fileFixtureSnap(22, 20000)
+	path := writeSnapFile(t, eager)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One flipped bit near the end of the file lands inside the last
+	// payload block (the index is at the front).
+	flipByte(t, path, st.Size()-10, 0x40)
+
+	scrub, err := ScrubSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("ScrubSnapshotFile: %v", err)
+	}
+	if scrub.Clean() {
+		t.Fatal("corrupt file scrubbed clean")
+	}
+	if scrub.IndexErr != nil {
+		t.Fatalf("index blamed for payload damage: %v", scrub.IndexErr)
+	}
+	if scrub.PayloadCRCOK {
+		t.Fatal("payload CRC passed over flipped bit")
+	}
+	if len(scrub.Damage) == 0 {
+		t.Fatal("no block damage reported")
+	}
+	lost := 0
+	for _, d := range scrub.Damage {
+		if d.Len <= 0 || d.Off <= 0 || int64(d.Off+d.Len) > st.Size() {
+			t.Fatalf("damage extent [%d,%d) outside file", d.Off, d.Off+d.Len)
+		}
+		if d.Err == nil {
+			t.Fatal("damage without an error")
+		}
+		lost += d.Lost
+	}
+	if scrub.Hosts+lost != eager.Hosts() {
+		t.Fatalf("intact %d + lost %d != total %d", scrub.Hosts, lost, eager.Hosts())
+	}
+
+	rep, err := RepairSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("RepairSnapshotFile: %v", err)
+	}
+	if !rep.Repaired {
+		t.Fatal("damaged file not repaired")
+	}
+	if rep.RecoveredHosts != scrub.Hosts || rep.LostAddrs != lost {
+		t.Fatalf("recovered %d / lost %d, want %d / %d",
+			rep.RecoveredHosts, rep.LostAddrs, scrub.Hosts, lost)
+	}
+	if rep.QuarantinePath == "" {
+		t.Fatal("no quarantine sidecar")
+	}
+	qraw, err := os.ReadFile(rep.QuarantinePath)
+	if err != nil {
+		t.Fatalf("quarantine sidecar: %v", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(qraw))
+	if !sc.Scan() {
+		t.Fatal("empty quarantine sidecar")
+	}
+	var head quarantineRecord
+	if err := json.Unmarshal(sc.Bytes(), &head); err != nil || head.Quarantine != "tass-snapshot" {
+		t.Fatalf("quarantine header %q: %v", sc.Text(), err)
+	}
+	recs := 0
+	for sc.Scan() {
+		var rec quarantineRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("quarantine record: %v", err)
+		}
+		if rec.Data == "" && rec.ReadErr == "" {
+			t.Fatal("quarantine record lost the damaged bytes")
+		}
+		recs++
+	}
+	if recs != len(scrub.Damage) {
+		t.Fatalf("%d quarantine records for %d damaged blocks", recs, len(scrub.Damage))
+	}
+
+	// The repaired file verifies end to end and holds exactly the
+	// intact addresses (a subset of the original population).
+	if err := VerifySnapshotFile(path); err != nil {
+		t.Fatalf("repaired file fails verify: %v", err)
+	}
+	again, err := ScrubSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Clean() {
+		t.Fatalf("repaired file scrubs dirty: %+v", again)
+	}
+	snap, err := OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	got := snap.Set().AppendTo(nil)
+	if len(got) != rep.RecoveredHosts {
+		t.Fatalf("repaired file holds %d addrs, repair said %d", len(got), rep.RecoveredHosts)
+	}
+	i := 0
+	for _, a := range got {
+		for i < len(eager.Addrs) && eager.Addrs[i] != a {
+			i++
+		}
+		if i == len(eager.Addrs) {
+			t.Fatalf("repaired file invented address %v", a)
+		}
+	}
+}
+
+func TestRepairCleanFileIsNoop(t *testing.T) {
+	eager := fileFixtureSnap(23, 4000)
+	path := writeSnapFile(t, eager)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RepairSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("RepairSnapshotFile(clean): %v", err)
+	}
+	if rep.Repaired {
+		t.Fatal("clean file reported repaired")
+	}
+	if rep.RecoveredHosts != eager.Hosts() {
+		t.Fatalf("RecoveredHosts = %d want %d", rep.RecoveredHosts, eager.Hosts())
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(before, after) {
+		t.Fatal("no-op repair rewrote the file")
+	}
+}
+
+func TestRepairUnusableIndex(t *testing.T) {
+	eager := fileFixtureSnap(24, 3000)
+	path := writeSnapFile(t, eager)
+	flipByte(t, path, 12, 0x01) // inside the header/directory
+
+	scrub, err := ScrubSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrub.IndexErr == nil {
+		t.Fatal("index corruption not attributed to the index")
+	}
+	if _, err := RepairSnapshotFile(path); err == nil {
+		t.Fatal("repaired a file with an unusable index")
+	}
+}
+
+// TestVerifySnapshotFileV1 pins the satellite behavior: VerifySnapshotFile
+// accepts a valid v1 stream file and rejects a damaged one.
+func TestVerifySnapshotFileV1(t *testing.T) {
+	eager := fileFixtureSnap(25, 2000)
+	path := filepath.Join(t.TempDir(), "census.v1")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eager.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySnapshotFile(path); err != nil {
+		t.Fatalf("valid v1 file fails verify: %v", err)
+	}
+	scrub, err := ScrubSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scrub.Clean() || scrub.Format != "TASSNAP1" || scrub.Hosts != eager.Hosts() {
+		t.Fatalf("v1 scrub: %+v", scrub)
+	}
+
+	// Truncation is damage every v1 reader must catch (the stream has no
+	// checksum, but the host count no longer matches the bytes).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(t.TempDir(), "cut.v1")
+	if err := os.WriteFile(cut, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySnapshotFile(cut); err == nil {
+		t.Fatal("truncated v1 file passed verify")
+	}
+	scrub, err = ScrubSnapshotFile(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrub.IndexErr == nil {
+		t.Fatal("truncated v1 scrubbed clean")
+	}
+	// v1 has no block structure: damage is unrepairable by design.
+	if _, err := RepairSnapshotFile(cut); err == nil {
+		t.Fatal("repaired a damaged v1 stream")
+	}
+}
+
+// TestVerifyIndexOKPayloadCorrupt pins the split the lazy stack depends
+// on: a payload flip leaves the index CRC valid, so open succeeds and the
+// damage surfaces only at first decode — as a typed *addrset.BlockError —
+// while the deep verify rejects the file.
+func TestVerifyIndexOKPayloadCorrupt(t *testing.T) {
+	eager := fileFixtureSnap(26, 8000)
+	path := writeSnapFile(t, eager)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, path, st.Size()-5, 0x10)
+
+	snap, err := OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("open after payload flip: %v", err)
+	}
+	defer snap.Close()
+	if err := VerifySnapshotFile(path); err == nil {
+		t.Fatal("payload flip passed deep verify")
+	}
+	err = snap.Set().CheckBlocks()
+	if err == nil {
+		t.Fatal("CheckBlocks missed the damaged block")
+	}
+	var be *addrset.BlockError
+	if !errors.As(err, &be) {
+		t.Fatalf("fault is %T, want *addrset.BlockError: %v", err, err)
+	}
+	// An ordinary read through the cache records the fault on the set's
+	// ledger, where StorageErr/StorageFaults surface it.
+	_ = snap.Set().AppendTo(nil)
+	if err := snap.StorageErr(); err == nil {
+		t.Fatal("StorageErr nil after a faulted read")
+	}
+	if len(snap.StorageFaults()) == 0 {
+		t.Fatal("StorageFaults empty after a faulted read")
+	}
+}
+
+// TestSnapshotFileV2Compat pins backward compatibility: files written in
+// the CRC-less v2 format still open, verify, and decode identically.
+func TestSnapshotFileV2Compat(t *testing.T) {
+	defer func(v int) { snapWriteVersion = v }(snapWriteVersion)
+	snapWriteVersion = 2
+
+	eager := fileFixtureSnap(27, 9000)
+	path := writeSnapFile(t, eager)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:8]) != "TASSNAP2" {
+		t.Fatalf("magic %q want TASSNAP2", raw[:8])
+	}
+	if err := VerifySnapshotFile(path); err != nil {
+		t.Fatalf("v2 file fails verify: %v", err)
+	}
+	snap, err := OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if !slices.Equal(snap.Set().AppendTo(nil), eager.Addrs) {
+		t.Fatal("v2 file decodes differently")
+	}
+	scrub, err := ScrubSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scrub.Clean() || scrub.Format != "TASSNAP2" {
+		t.Fatalf("v2 scrub: %+v", scrub)
+	}
+	// Repairing a damaged v2 file upgrades it to the current format.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, path, st.Size()-8, 0x20)
+	snapWriteVersion = 3
+	rep, err := RepairSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("repairing damaged v2: %v", err)
+	}
+	if !rep.Repaired {
+		t.Fatal("damaged v2 not repaired")
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:8]) != "TASSNAP3" {
+		t.Fatalf("repair wrote %q, want an upgraded TASSNAP3", raw[:8])
+	}
+}
+
+// FuzzSnapshotFileCorruption drives arbitrary mutations of a valid
+// snapshot file through the whole degradation surface: open, scrub,
+// degraded decode, and repair must never panic — every outcome is an
+// error or a report.
+func FuzzSnapshotFileCorruption(f *testing.F) {
+	seedSnap := fileFixtureSnap(28, 600)
+	dir := f.TempDir()
+	seedPath := filepath.Join(dir, "seed.snap")
+	if err := WriteSnapshotFile(seedPath, seedSnap); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	for _, off := range []int{9, 20, len(raw) / 2, len(raw) - 3} {
+		corrupt := append([]byte(nil), raw...)
+		corrupt[off] ^= 0x80
+		f.Add(corrupt)
+	}
+	f.Add(raw[:len(raw)/3])
+	v2 := func() []byte {
+		defer func(v int) { snapWriteVersion = v }(snapWriteVersion)
+		snapWriteVersion = 2
+		p := filepath.Join(dir, "seed.snap2")
+		if err := WriteSnapshotFile(p, seedSnap); err != nil {
+			f.Fatal(err)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}()
+	f.Add(v2)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.snap")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		scrub, err := ScrubSnapshotFile(path)
+		if err == nil && scrub.Clean() && scrub.IndexErr == nil {
+			// A clean scrub promises a verifiable file.
+			if verr := VerifySnapshotFile(path); verr != nil {
+				t.Fatalf("scrub clean but verify failed: %v", verr)
+			}
+		}
+		snap, oerr := OpenSnapshotFile(path)
+		if oerr == nil {
+			snap.SetFaultPolicy(addrset.Degrade)
+			_ = snap.Set().AppendTo(nil) // must degrade, never panic
+			snap.Close()
+		}
+		_, _ = RepairSnapshotFile(path) // errors allowed, panics are not
+	})
+}

@@ -211,7 +211,14 @@ func SelectCached[A netaddr.Key[A]](seed *census.SnapshotOf[A], universe rib.Par
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	return selectRanked(RankCached(seed, universe, workers, cache), universe, opts)
+	ranked := RankCached(seed, universe, workers, cache)
+	// A lazy seed records block faults instead of panicking; refuse to
+	// build a plan over counts that silently miss damaged blocks unless
+	// the caller opted into degraded reads on the snapshot itself.
+	if err := seed.StorageErr(); err != nil {
+		return nil, fmt.Errorf("core: seed snapshot storage fault: %w", err)
+	}
+	return selectRanked(ranked, universe, opts)
 }
 
 // packKey packs one responsive prefix into the uint64 ranking key: the

@@ -80,6 +80,12 @@ func NewRanker(seed *census.Snapshot, universe rib.Partition, workers int, cache
 		return nil, fmt.Errorf("core: universe of %d prefixes exceeds the packed-key ranking; use the full recompute", universe.Len())
 	}
 	counts, _ := cache.Counts(seed, universe, workers)
+	// Same storage-fault posture as SelectCached: a lazy seed that hit
+	// damaged blocks during the counting walk must not silently rank
+	// from partial counts.
+	if err := seed.StorageErr(); err != nil {
+		return nil, fmt.Errorf("core: seed snapshot storage fault: %w", err)
+	}
 	r := &Ranker{
 		universe:  universe,
 		counts:    slices.Clone(counts),

@@ -1,0 +1,261 @@
+package faultfs_test
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/addrset"
+	"github.com/tass-scan/tass/internal/coord"
+	"github.com/tass-scan/tass/internal/faultfs"
+	"github.com/tass-scan/tass/internal/netaddr"
+)
+
+// handSet builds a lazy set whose payload this test owns byte for byte:
+// nblocks blocks of 4 addresses each, every delta 1, so block bi holds
+// {1000bi+10 .. 1000bi+13} and its payload is the three bytes {1,1,1}
+// at offset 3bi. Damage to any payload byte is caught by the decode's
+// cross-check against the trusted index (the block no longer ends on
+// its indexed max) — no checksums needed at this layer.
+func handSet(t *testing.T, nblocks int, src func(payload []byte) addrset.BlockSource, cacheCap int) (*addrset.Set, []netaddr.Addr) {
+	t.Helper()
+	var (
+		mins, maxs []netaddr.Addr
+		counts     []int
+		blens      []int
+		payload    []byte
+		all        []netaddr.Addr
+	)
+	for bi := 0; bi < nblocks; bi++ {
+		min := netaddr.Addr(1000*bi + 10)
+		mins = append(mins, min)
+		maxs = append(maxs, min+3)
+		counts = append(counts, 4)
+		blens = append(blens, 3)
+		payload = append(payload, 1, 1, 1)
+		all = append(all, min, min+1, min+2, min+3)
+	}
+	set, err := addrset.FromIndex(mins, maxs, counts, blens, 4, src(payload), cacheCap)
+	if err != nil {
+		t.Fatalf("FromIndex: %v", err)
+	}
+	return set, all
+}
+
+func TestCorruptSourceDegrade(t *testing.T) {
+	// Bit 6 of block 2's middle payload byte: delta 1 becomes 65, so the
+	// block decodes ascending but misses its indexed max.
+	set, all := handSet(t, 6, func(p []byte) addrset.BlockSource {
+		return &faultfs.CorruptSource{Src: addrset.Bytes(p), Off: 3*2 + 1, Bit: 6}
+	}, 4)
+	set.SetFaultPolicy(addrset.Degrade)
+
+	got := set.AppendTo(nil)
+	want := slices.DeleteFunc(slices.Clone(all), func(a netaddr.Addr) bool {
+		return a >= 2010 && a <= 2013 // block 2
+	})
+	if !slices.Equal(got, want) {
+		t.Fatalf("degraded AppendTo = %v want %v", got, want)
+	}
+	if err := set.ReadErr(); err != nil {
+		t.Fatalf("ReadErr under Degrade: %v", err)
+	}
+	faults := set.Faults()
+	if len(faults) != 1 || faults[0].Block != 2 {
+		t.Fatalf("Faults = %+v, want one fault on block 2", faults)
+	}
+	// A range covering the damaged block entirely counts it from the
+	// trusted index — interior blocks never decode, so the count stays
+	// exact even over damage.
+	if got := set.CountRange(0, 1<<31); got != len(all) {
+		t.Fatalf("interior-spanning CountRange = %d want %d", got, len(all))
+	}
+	// A range whose boundary lands inside the damaged block must decode
+	// it, and degrades to counting it as empty.
+	if got := set.CountRange(2011, 2012); got != 0 {
+		t.Fatalf("boundary CountRange over damaged block = %d want 0", got)
+	}
+	// Repeated passes do not duplicate the fault record.
+	if n := len(set.Faults()); n != 1 {
+		t.Fatalf("fault recorded %d times, want 1 (deduplicated)", n)
+	}
+}
+
+func TestCorruptSourceFailFast(t *testing.T) {
+	set, all := handSet(t, 6, func(p []byte) addrset.BlockSource {
+		return &faultfs.CorruptSource{Src: addrset.Bytes(p), Off: 3*2 + 1, Bit: 6}
+	}, 4)
+
+	// The range boundary lands inside block 2, forcing its decode.
+	_, err := set.CountRangeErr(2011, all[len(all)-1])
+	if err == nil {
+		t.Fatal("FailFast count over damaged block succeeded")
+	}
+	var be *addrset.BlockError
+	if !errors.As(err, &be) {
+		t.Fatalf("fault is %T, want *addrset.BlockError: %v", err, err)
+	}
+	if be.Block != 2 {
+		t.Fatalf("fault on block %d, want 2", be.Block)
+	}
+	if set.ReadErr() == nil {
+		t.Fatal("ReadErr nil under FailFast after a fault")
+	}
+	// Ranges that never touch the damaged block still count exactly.
+	if got, err := set.CountRangeErr(10, 1013); err != nil || got != 8 {
+		t.Fatalf("CountRangeErr over intact blocks = %d, %v", got, err)
+	}
+}
+
+// TestFlakySourceTransientFaultNotCached is the healing property: a read
+// that fails once must not poison the block cache — the next read goes
+// back to the source and succeeds.
+func TestFlakySourceTransientFaultNotCached(t *testing.T) {
+	flaky := &faultfs.FlakySource{Faults: map[int]error{1: io.ErrUnexpectedEOF}}
+	set, all := handSet(t, 3, func(p []byte) addrset.BlockSource {
+		flaky.Src = addrset.Bytes(p)
+		return flaky
+	}, 4)
+
+	if _, err := set.CountRangeErr(all[0], all[3]); err == nil {
+		t.Fatal("scripted transient fault not surfaced")
+	}
+	got, err := set.CountRangeErr(all[0], all[3])
+	if err != nil {
+		t.Fatalf("read after transient fault still failing: %v", err)
+	}
+	if got != 4 {
+		t.Fatalf("healed CountRangeErr = %d want 4", got)
+	}
+	if flaky.Calls() != 2 {
+		t.Fatalf("%d source reads, want 2 (failure evicted, not cached)", flaky.Calls())
+	}
+	// The transient fault stays on the ledger for post-pass inspection.
+	if len(set.Faults()) != 1 {
+		t.Fatalf("Faults = %+v, want the one transient fault", set.Faults())
+	}
+}
+
+func TestStoreScriptedFaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state")
+	inner := coord.NewFileStore(path)
+	st := &faultfs.Store{
+		Inner:      inner,
+		SaveFaults: map[int]error{3: io.ErrClosedPipe},
+		LoadFaults: map[int]error{2: io.ErrUnexpectedEOF},
+		TornSaves:  map[int]int{2: 10},
+	}
+	blob, err := json.Marshal(map[string]any{"cycle": 3, "shards": []int{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Call 1: clean round trip.
+	if err := st.Save(blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load()
+	if err != nil || !slices.Equal(got, blob) {
+		t.Fatalf("clean round trip: %q, %v", got, err)
+	}
+
+	// Call 2: torn save persists a 10-byte prefix but reports success —
+	// the blob is no longer valid JSON even though the store loads it.
+	if err := st.Save(blob); err != nil {
+		t.Fatalf("torn save must report success: %v", err)
+	}
+	if _, err := st.Load(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("scripted load fault not surfaced: %v", err)
+	}
+	torn, err := inner.Load()
+	if err != nil {
+		t.Fatalf("inner load after torn save: %v", err)
+	}
+	if len(torn) != 10 {
+		t.Fatalf("torn save persisted %d bytes, want 10", len(torn))
+	}
+	if json.Valid(torn) {
+		t.Fatal("torn blob still parses — fault did nothing")
+	}
+
+	// Call 3: scripted save fault, inner store untouched.
+	if err := st.Save(blob); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("scripted save fault not surfaced: %v", err)
+	}
+	if again, err := inner.Load(); err != nil || len(again) != 10 {
+		t.Fatalf("failed save reached the inner store: %d bytes, %v", len(again), err)
+	}
+	if st.Saves() != 3 || st.Loads() != 2 {
+		t.Fatalf("Saves/Loads = %d/%d, want 3/2", st.Saves(), st.Loads())
+	}
+}
+
+func TestFlipBitSelfInverse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	orig := []byte("hello, world")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultfs.FlipBit(path, 8*3+7); err != nil {
+		t.Fatal(err)
+	}
+	flipped, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipped[3] != orig[3]^0x80 || slices.Equal(flipped, orig) {
+		t.Fatalf("flip produced %q", flipped)
+	}
+	if err := faultfs.FlipBit(path, 8*3+7); err != nil {
+		t.Fatal(err)
+	}
+	back, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(back, orig) {
+		t.Fatalf("double flip is not identity: %q", back)
+	}
+	if err := faultfs.FlipBit(path, 8*int64(len(orig))); err == nil {
+		t.Fatal("flip past EOF succeeded")
+	}
+}
+
+func TestSweepBitsDeterministic(t *testing.T) {
+	// Small files sweep exhaustively.
+	small := faultfs.SweepBits(4, 100, 1)
+	if len(small) != 32 {
+		t.Fatalf("exhaustive sweep of 4 bytes has %d offsets, want 32", len(small))
+	}
+	for i, b := range small {
+		if b != int64(i) {
+			t.Fatalf("exhaustive sweep offset %d = %d", i, b)
+		}
+	}
+	// Large files sample: seeded, unique, in range, reproducible.
+	a := faultfs.SweepBits(1_000_000, 64, 7)
+	b := faultfs.SweepBits(1_000_000, 64, 7)
+	if !slices.Equal(a, b) {
+		t.Fatal("same seed produced different sweeps")
+	}
+	if len(a) != 64 {
+		t.Fatalf("sampled sweep has %d offsets, want 64", len(a))
+	}
+	seen := map[int64]bool{}
+	for _, bit := range a {
+		if bit < 0 || bit >= 8_000_000 {
+			t.Fatalf("offset %d outside the file", bit)
+		}
+		if seen[bit] {
+			t.Fatalf("offset %d drawn twice", bit)
+		}
+		seen[bit] = true
+	}
+	if c := faultfs.SweepBits(1_000_000, 64, 8); slices.Equal(a, c) {
+		t.Fatal("different seeds produced identical sweeps")
+	}
+}

@@ -11,14 +11,18 @@
 package mmapfile
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
+	"syscall"
 )
 
 // File is a read-only file with random extent access. It is safe for
 // concurrent use.
 type File struct {
 	f      *os.File
+	ra     io.ReaderAt // pread source; f unless a test swapped it
 	size   int64
 	data   []byte // whole-file mapping; nil when running on pread
 	mapped bool
@@ -44,7 +48,7 @@ func Open(path string) (*File, error) {
 		f.Close()
 		return nil, err
 	}
-	m := &File{f: f, size: st.Size()}
+	m := &File{f: f, ra: f, size: st.Size()}
 	if m.size > 0 && !DisableMmap {
 		if data, err := mmap(f, int(m.size)); err == nil {
 			m.data = data
@@ -61,25 +65,56 @@ func (m *File) Mapped() bool { return m.mapped }
 // Size returns the file size at open time.
 func (m *File) Size() int64 { return m.size }
 
-// Bytes returns the file bytes [off, off+n). Mapped files return a
+// BytesAt returns the file bytes [off, off+n). Mapped files return a
 // zero-copy subslice of the mapping; the fallback preads into a fresh
-// slice. Out-of-range extents and fallback read errors panic — Bytes
-// sits under the addrset block-fault path, whose extents were validated
-// against the file's directory at open, so a failure here means the
-// file changed or vanished underneath us (the moral equivalent of an
-// mmap SIGBUS).
-func (m *File) Bytes(off, n int) []byte {
+// slice. Out-of-range extents and fallback read failures return an
+// error; transient pread faults (EINTR, a short read racing a signal)
+// are retried once before the error is surfaced, so a single
+// interrupted syscall never poisons a long counting pass.
+func (m *File) BytesAt(off, n int) ([]byte, error) {
 	if off < 0 || n < 0 || int64(off)+int64(n) > m.size {
-		panic(fmt.Sprintf("mmapfile: extent [%d,%d) outside file of %d bytes", off, off+n, m.size))
+		return nil, fmt.Errorf("mmapfile: extent [%d,%d) outside file of %d bytes", off, off+n, m.size)
 	}
 	if m.mapped {
-		return m.data[off : off+n]
+		return m.data[off : off+n], nil
 	}
 	buf := make([]byte, n)
-	if _, err := m.f.ReadAt(buf, int64(off)); err != nil {
-		panic(fmt.Sprintf("mmapfile: pread %d bytes at %d: %v", n, off, err))
+	read, err := m.ra.ReadAt(buf, int64(off))
+	if err != nil && retryableRead(read, n, err) {
+		read, err = m.ra.ReadAt(buf, int64(off))
 	}
-	return buf
+	if err != nil {
+		return nil, fmt.Errorf("mmapfile: pread %d bytes at %d: %w", n, off, err)
+	}
+	if read < n {
+		return nil, fmt.Errorf("mmapfile: pread %d bytes at %d: short read (%d)", n, off, read)
+	}
+	return buf, nil
+}
+
+// retryableRead reports whether a failed pread is worth one retry: an
+// interrupted syscall, or a short read that still signalled progress
+// (io.ErrUnexpectedEOF from a racing truncate-and-regrow, a driver
+// returning early). A zero-progress io.EOF is not retried — the file
+// really ended.
+func retryableRead(read, want int, err error) bool {
+	if errors.Is(err, syscall.EINTR) {
+		return true
+	}
+	return read > 0 && read < want && (errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF))
+}
+
+// Bytes returns the file bytes [off, off+n), panicking on failure. It
+// is the legacy accessor for callers whose extents were validated
+// against the file's directory at open, where a failure means the file
+// changed or vanished underneath us (the moral equivalent of an mmap
+// SIGBUS). New code should use BytesAt and propagate the error.
+func (m *File) Bytes(off, n int) []byte {
+	b, err := m.BytesAt(off, n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return b
 }
 
 // Close unmaps and closes the file. Slices previously returned by Bytes

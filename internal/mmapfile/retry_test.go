@@ -1,0 +1,103 @@
+package mmapfile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+
+	"github.com/tass-scan/tass/internal/faultfs"
+)
+
+// openFallback opens path on the pread path and swaps its reader for a
+// scripted flaky one.
+func openFallback(t *testing.T, content []byte, faults map[int]faultfs.ReadFault) (*File, *faultfs.FlakyReaderAt) {
+	t.Helper()
+	defer func(v bool) { DisableMmap = v }(DisableMmap)
+	DisableMmap = true
+	m, err := Open(writeTemp(t, content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	if m.Mapped() {
+		t.Fatal("fallback file came back mapped")
+	}
+	flaky := &faultfs.FlakyReaderAt{R: m.ra, Faults: faults}
+	m.ra = flaky
+	return m, flaky
+}
+
+func TestBytesAtRetriesEINTR(t *testing.T) {
+	content := []byte("the quick brown fox jumps over the lazy dog")
+	m, flaky := openFallback(t, content, map[int]faultfs.ReadFault{
+		1: {Err: syscall.EINTR},
+	})
+	got, err := m.BytesAt(4, 11)
+	if err != nil {
+		t.Fatalf("BytesAt after EINTR: %v", err)
+	}
+	if !bytes.Equal(got, content[4:15]) {
+		t.Fatalf("BytesAt = %q", got)
+	}
+	if flaky.Calls() != 2 {
+		t.Fatalf("%d ReadAt calls, want 2 (one retry)", flaky.Calls())
+	}
+}
+
+func TestBytesAtRetriesShortRead(t *testing.T) {
+	content := []byte("0123456789abcdef")
+	m, flaky := openFallback(t, content, map[int]faultfs.ReadFault{
+		1: {Short: 3, Err: io.ErrUnexpectedEOF},
+	})
+	got, err := m.BytesAt(0, 10)
+	if err != nil {
+		t.Fatalf("BytesAt after short read: %v", err)
+	}
+	if !bytes.Equal(got, content[:10]) {
+		t.Fatalf("BytesAt = %q", got)
+	}
+	if flaky.Calls() != 2 {
+		t.Fatalf("%d ReadAt calls, want 2 (one retry)", flaky.Calls())
+	}
+}
+
+func TestBytesAtPersistentFaultSurfaces(t *testing.T) {
+	content := []byte("0123456789")
+	m, flaky := openFallback(t, content, map[int]faultfs.ReadFault{
+		1: {Err: syscall.EIO},
+		2: {Err: syscall.EIO},
+	})
+	if _, err := m.BytesAt(0, 5); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("persistent EIO not surfaced: %v", err)
+	}
+	// EIO is not retryable: exactly one call, no blind retry loop.
+	if flaky.Calls() != 1 {
+		t.Fatalf("%d ReadAt calls for non-retryable fault, want 1", flaky.Calls())
+	}
+	m2, flaky2 := openFallback(t, content, map[int]faultfs.ReadFault{
+		1: {Err: syscall.EINTR},
+		2: {Err: syscall.EINTR},
+	})
+	if _, err := m2.BytesAt(0, 5); err == nil {
+		t.Fatal("double EINTR slipped through")
+	}
+	// Retried once, then surfaced — never a retry storm.
+	if flaky2.Calls() != 2 {
+		t.Fatalf("%d ReadAt calls, want 2", flaky2.Calls())
+	}
+}
+
+func TestBytesAtZeroProgressEOFNotRetried(t *testing.T) {
+	content := []byte("0123456789")
+	m, flaky := openFallback(t, content, map[int]faultfs.ReadFault{
+		1: {Err: io.EOF},
+	})
+	if _, err := m.BytesAt(0, 5); err == nil {
+		t.Fatal("zero-progress EOF produced bytes")
+	}
+	if flaky.Calls() != 1 {
+		t.Fatalf("%d ReadAt calls, want 1 (EOF without progress is final)", flaky.Calls())
+	}
+}

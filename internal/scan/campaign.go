@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/tass-scan/tass/internal/addrset"
 	"github.com/tass-scan/tass/internal/census"
 	"github.com/tass-scan/tass/internal/core"
 	"github.com/tass-scan/tass/internal/netaddr"
@@ -34,6 +35,18 @@ type Campaign struct {
 	// the selection counts off the block index, so a multi-gigabyte
 	// census seeds a campaign without ever being resident in full.
 	SeedSnapshot *census.Snapshot
+	// DegradedReads opts the seed selection into surviving storage
+	// corruption in a lazy SeedSnapshot: damaged blocks are skipped
+	// (their hosts drop out of the counts), each fault is reported
+	// through OnStorageFault, and the campaign runs on. The default
+	// (false) fails the seed selection with a typed
+	// *addrset.BlockError instead — a coordinator would rather alert
+	// than plan from a silently short census.
+	DegradedReads bool
+	// OnStorageFault, when set, receives every damaged-block fault the
+	// seed selection recorded (only possible with a lazy SeedSnapshot;
+	// only survivable with DegradedReads).
+	OnStorageFault func(addrset.BlockError)
 	// Prober performs the probes (required unless ProberAt is set).
 	Prober Prober
 	// ProberAt, when set, supplies the prober per cycle — the hook for
@@ -160,7 +173,15 @@ func (c *Campaign) Run(ctx context.Context, cycles int) ([]Cycle, error) {
 		}
 	}
 	if c.SeedSnapshot != nil && c.Targets.Len() == 0 {
+		if c.DegradedReads {
+			c.SeedSnapshot.SetFaultPolicy(addrset.Degrade)
+		}
 		sel, err := selectFrom(c.SeedSnapshot)
+		if faults := c.SeedSnapshot.StorageFaults(); len(faults) > 0 && c.OnStorageFault != nil {
+			for _, f := range faults {
+				c.OnStorageFault(f)
+			}
+		}
 		if err != nil {
 			return nil, fmt.Errorf("scan: campaign seed selection: %w", err)
 		}

@@ -115,6 +115,13 @@ type checkpointEnvelope struct {
 	Body    json.RawMessage `json:"body"`
 }
 
+// LegacyCheckpointWarn receives the deprecation notice emitted when a
+// legacy checksum-less checkpoint file is loaded. The un-enveloped
+// format was accepted for one release of grace; re-saving under a
+// current binary upgrades the file. Tests (and embedders with their own
+// logging) may swap it; the default writes to standard error.
+var LegacyCheckpointWarn = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+
 // WriteCheckpoint serializes a checkpoint: a versioned JSON envelope
 // whose body is the checkpoint fields and whose crc field checksums the
 // body bytes. ReadCheckpoint refuses anything that does not round-trip.
@@ -160,6 +167,7 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		if err := dec.Decode(&cp); err != nil {
 			return nil, fmt.Errorf("scan: reading checkpoint: not a checkpoint file: %w", err)
 		}
+		LegacyCheckpointWarn("scan: deprecated: loaded a legacy checksum-less checkpoint; corruption in this file cannot be detected — re-save it (or run `tass fsck -repair`) to upgrade to the enveloped format")
 		return &cp, nil
 	}
 	if env.Format != checkpointFormat {

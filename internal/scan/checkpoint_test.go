@@ -54,6 +54,42 @@ func TestCheckpointLegacyAccepted(t *testing.T) {
 	}
 }
 
+// TestLegacyCheckpointWarning pins the deprecation surface: loading a
+// checksum-less legacy file warns exactly once through the swappable
+// hook, loading an enveloped file never does.
+func TestLegacyCheckpointWarning(t *testing.T) {
+	var warnings []string
+	defer func(f func(string)) { LegacyCheckpointWarn = f }(LegacyCheckpointWarn)
+	LegacyCheckpointWarn = func(msg string) { warnings = append(warnings, msg) }
+
+	cp := testCheckpoint()
+	legacy, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(legacy)); err != nil {
+		t.Fatalf("legacy checkpoint rejected: %v", err)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("%d warnings for a legacy load, want 1: %q", len(warnings), warnings)
+	}
+	if !strings.Contains(warnings[0], "deprecated") || !strings.Contains(warnings[0], "fsck") {
+		t.Fatalf("warning does not name the deprecation or the fix: %q", warnings[0])
+	}
+
+	warnings = nil
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("enveloped load warned: %q", warnings)
+	}
+}
+
 // TestCheckpointCorruptionRefused covers the torn-file matrix: every
 // corruption must surface as a load error, never as a silently wrong
 // resume cursor.

@@ -43,6 +43,7 @@ import (
 	"github.com/tass-scan/tass/internal/cluster"
 	"github.com/tass-scan/tass/internal/coord"
 	"github.com/tass-scan/tass/internal/core"
+	"github.com/tass-scan/tass/internal/fsck"
 	"github.com/tass-scan/tass/internal/mrt"
 	"github.com/tass-scan/tass/internal/netaddr"
 	"github.com/tass-scan/tass/internal/pfx2as"
@@ -426,6 +427,61 @@ func WriteSnapshotFile(path string, s *Snapshot) error { return census.WriteSnap
 // untrusted files before lazy use — OpenSnapshotFile verifies only the
 // index, and trusts the payload bytes it faults in afterwards.
 func VerifySnapshotFile(path string) error { return census.VerifySnapshotFile(path) }
+
+// Storage-integrity surface: typed block faults, the degraded-read
+// policy knob, and the scrub/repair entry points behind `tass fsck`.
+type (
+	// BlockError is the typed fault of one lazy block read: the damaged
+	// block's index, its byte extent in the payload, and the cause.
+	BlockError = addrset.BlockError
+	// FaultPolicy selects what a lazy snapshot does when a block read
+	// fails: FaultFailFast surfaces the fault to counting consumers,
+	// FaultDegrade skips the block, records it, and keeps counting.
+	FaultPolicy = addrset.FaultPolicy
+	// SnapshotScrub is the block-by-block damage report of
+	// ScrubSnapshotFile.
+	SnapshotScrub = census.SnapshotScrub
+	// SnapshotRepair reports what RepairSnapshotFile recovered, lost,
+	// and quarantined.
+	SnapshotRepair = census.SnapshotRepair
+	// BlockDamage is one undecodable block in a SnapshotScrub.
+	BlockDamage = census.BlockDamage
+	// FsckResult is the outcome of one FsckCheck/FsckRepair over one
+	// file of any tass artifact kind.
+	FsckResult = fsck.Result
+)
+
+// Fault policies for lazy snapshots (Snapshot.SetFaultPolicy).
+const (
+	// FaultFailFast (the default) refuses results computed over damaged
+	// blocks: selection and ranking return the typed *BlockError.
+	FaultFailFast = addrset.FailFast
+	// FaultDegrade keeps counting around damaged blocks: counts may
+	// undershoot by the damaged blocks' populations, the faults are
+	// recorded (Snapshot.StorageFaults), and the process survives.
+	FaultDegrade = addrset.Degrade
+)
+
+// ScrubSnapshotFile verifies a snapshot file block by block, reporting
+// every finding (index damage, payload CRC, per-block damage) instead
+// of stopping at the first. It is the read-only half of `tass fsck`.
+func ScrubSnapshotFile(path string) (*SnapshotScrub, error) { return census.ScrubSnapshotFile(path) }
+
+// RepairSnapshotFile re-derives every intact block of a damaged
+// snapshot file into a fresh verified file, atomically replacing path;
+// damaged blocks' raw bytes are quarantined beside it first.
+func RepairSnapshotFile(path string) (*SnapshotRepair, error) {
+	return census.RepairSnapshotFile(path)
+}
+
+// FsckCheck scrubs any tass artifact (snapshot, scan checkpoint,
+// coordinator state) read-only, sniffing the kind from the file.
+func FsckCheck(path string) (*FsckResult, error) { return fsck.Check(path) }
+
+// FsckRepair scrubs and repairs any tass artifact: snapshots are
+// re-derived block by block, valid legacy checkpoints upgraded, and
+// unrepairable files moved aside whole to a .quarantine sibling.
+func FsckRepair(path string) (*FsckResult, error) { return fsck.Repair(path) }
 
 // ConvertSnapshotFile streams a v1 snapshot (Snapshot.WriteTo bytes,
 // e.g. a census archive) into an indexed TASSNAP2 file without ever
